@@ -1,0 +1,43 @@
+"""Ablation — what each part of the five-state matrix contributes.
+
+Compares the full ten-row score against reduced designs: HPL-only
+(Green500-like), EP-only, and full-memory-only.  The full matrix sits
+between the HPL-only and EP-only extremes, which is the paper's argument
+for combining the two programs.
+"""
+
+from conftest import print_series
+
+from repro.core.evaluation import evaluate_server
+from repro.hardware import XEON_E5462
+
+
+def collect():
+    result = evaluate_server(XEON_E5462)
+    def mean_ppw(rows):
+        return sum(r.ppw for r in rows) / len(rows)
+
+    hpl_rows = [r for r in result.rows if r.label.startswith("HPL")]
+    ep_rows = [r for r in result.rows if r.label.startswith("ep.")]
+    mf_rows = [r for r in result.rows if r.label.endswith("Mf")]
+    return {
+        "full matrix (10 rows)": result.score,
+        "HPL rows only": mean_ppw(hpl_rows),
+        "EP rows only": mean_ppw(ep_rows),
+        "full-memory rows only": mean_ppw(mf_rows),
+    }
+
+
+def test_state_ablation(benchmark):
+    scores = benchmark(collect)
+    rows = [(k, round(v, 5)) for k, v in scores.items()]
+    print_series(
+        "Ablation: score under reduced state matrices (Xeon-E5462)",
+        rows,
+        ("Design", "Mean PPW"),
+    )
+    assert (
+        scores["EP rows only"]
+        < scores["full matrix (10 rows)"]
+        < scores["HPL rows only"]
+    )

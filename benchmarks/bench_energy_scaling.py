@@ -1,0 +1,39 @@
+"""Extension — energy-to-solution across programs (Fig. 11 generalised).
+
+The paper shows the "parallelism saves energy" effect for EP only; this
+bench sweeps several NPB programs and confirms the conclusion holds
+broadly on the simulated machines.
+"""
+
+from conftest import print_series
+
+from repro.core.energy import energy_scaling
+from repro.hardware import XEON_E5462
+
+
+def collect():
+    return {
+        program: energy_scaling(XEON_E5462, program, "C")
+        for program in ("ep", "lu", "mg", "bt", "ft")
+    }
+
+
+def test_energy_scaling(benchmark):
+    scalings = benchmark(collect)
+    rows = [
+        (
+            f"{s.program}.C",
+            s.serial.energy_kj.__round__(1),
+            s.optimal.energy_kj.__round__(1),
+            s.optimal.nprocs,
+            f"{s.max_saving:.0%}",
+        )
+        for s in scalings.values()
+    ]
+    print_series(
+        "Energy-to-solution on Xeon-E5462 (Fig. 11 generalised)",
+        rows,
+        ("Program", "Serial KJ", "Best KJ", "Best procs", "Saving"),
+    )
+    for s in scalings.values():
+        assert s.parallelism_saves_energy(), s.program

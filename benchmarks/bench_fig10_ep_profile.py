@@ -1,0 +1,29 @@
+"""Fig. 10 — EP.C power and PPW vs core count on the Xeon-E5462.
+
+Paper: both power (~140->190 W band) and PPW (up to ~1 MFLOPS/W) increase
+with cores.
+"""
+
+from conftest import print_series
+
+from repro.core.sweeps import ep_profile
+from repro.units import gflops_to_mflops
+
+
+def test_fig10_ep_profile(benchmark, sim_e5462):
+    profile = benchmark(ep_profile, sim_e5462, (1, 2, 4))
+    rows = [
+        (n, round(watts, 1), round(gflops_to_mflops(ppw), 3))
+        for n, _t, watts, ppw, _e in profile
+    ]
+    print_series(
+        "Fig. 10: EP.C power and PPW on Xeon-E5462 "
+        "(paper: power 145->174 W, PPW 0.2->0.7 MFLOPS/W)",
+        rows,
+        ("Cores", "Power W", "PPW MFLOPS/W"),
+    )
+    watts = [r[1] for r in rows]
+    ppws = [r[2] for r in rows]
+    assert watts == sorted(watts)
+    assert ppws == sorted(ppws)
+    assert ppws[-1] > 2 * ppws[0]

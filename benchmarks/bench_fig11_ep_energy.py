@@ -1,0 +1,25 @@
+"""Fig. 11 — EP.C energy vs core count on the Xeon-E5462.
+
+Paper: energy *decreases* with more cores (the PPW gain outruns the power
+rise), the argument that parallelism saves energy.
+"""
+
+from conftest import print_series
+
+from repro.core.sweeps import ep_profile
+
+
+def test_fig11_ep_energy(benchmark, sim_e5462):
+    profile = benchmark(ep_profile, sim_e5462, (1, 2, 4))
+    rows = [
+        (n, round(t, 1), round(watts, 1), round(energy, 2))
+        for n, t, watts, _ppw, energy in profile
+    ]
+    print_series(
+        "Fig. 11: EP.C energy on Xeon-E5462 (paper: decreasing with cores)",
+        rows,
+        ("Cores", "Time s", "Power W", "Energy KJ"),
+    )
+    energies = [r[3] for r in rows]
+    assert energies[0] > energies[1] > energies[2]
+    assert energies[0] / energies[2] > 2.0

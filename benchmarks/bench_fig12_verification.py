@@ -1,0 +1,41 @@
+"""Fig. 12 — measured vs regression values over the NPB-B sweep.
+
+Paper: R² = 0.634 for class B (0.543 for class C); 82 bars in
+lexicographic label order; EP and SP fit worst.
+"""
+
+from conftest import print_series
+
+from repro.core.regression import (
+    collect_hpcc_training,
+    train_power_model,
+    verify_on_npb,
+)
+from repro.hardware import XEON_4870
+
+
+def run_verification():
+    dataset = collect_hpcc_training(XEON_4870)
+    model = train_power_model(dataset, server_name="Xeon-4870")
+    return (
+        verify_on_npb(XEON_4870, model, "B"),
+        verify_on_npb(XEON_4870, model, "C"),
+    )
+
+
+def test_fig12(benchmark):
+    v_b, v_c = benchmark(run_verification)
+    rows = [
+        (label, f"{m:+.3f}", f"{p:+.3f}")
+        for label, m, p in zip(v_b.labels, v_b.measured, v_b.predicted)
+    ]
+    print_series(
+        f"Fig. 12: NPB-B measured vs regression (dimensionless); "
+        f"R^2 = {v_b.r_squared:.3f} (paper 0.634); "
+        f"class C R^2 = {v_c.r_squared:.3f} (paper 0.543)",
+        rows[:20] + [("...", "...", "...")],
+        ("Program", "Measured", "Regression"),
+    )
+    assert len(v_b.labels) == 82
+    assert 0.45 <= v_b.r_squared <= 0.72
+    assert 0.40 <= v_c.r_squared <= 0.72

@@ -1,0 +1,39 @@
+"""Fig. 13 — the measured-minus-regression differences over NPB-B.
+
+Paper: differences scatter around zero within roughly -1.5..+3
+dimensionless units; EP's and SP's are the largest (Section VI-C).
+"""
+
+import numpy as np
+from conftest import print_series
+
+from repro.core.regression import (
+    collect_hpcc_training,
+    train_power_model,
+    verify_on_npb,
+)
+from repro.hardware import XEON_4870
+
+
+def run_verification():
+    dataset = collect_hpcc_training(XEON_4870)
+    model = train_power_model(dataset, server_name="Xeon-4870")
+    return verify_on_npb(XEON_4870, model, "B")
+
+
+def test_fig13(benchmark):
+    result = benchmark(run_verification)
+    diff = result.difference
+    per_program = result.per_program_rms()
+    rows = sorted(per_program.items(), key=lambda kv: -kv[1])
+    print_series(
+        f"Fig. 13: per-program RMS difference, NPB-B "
+        f"(range {diff.min():+.2f}..{diff.max():+.2f}; "
+        "paper highlights EP and SP as worst)",
+        [(name, round(rms, 3)) for name, rms in rows],
+        ("Program", "RMS diff"),
+    )
+    assert diff.min() > -3.0 and diff.max() < 3.5
+    worst = [name for name, _ in rows[:4]]
+    assert "ep" in worst and "sp" in worst
+    assert abs(float(np.mean(diff))) < 0.5

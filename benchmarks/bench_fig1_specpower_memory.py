@@ -1,0 +1,21 @@
+"""Fig. 1 — SPECpower memory usage vs workload size on the Xeon-E5462.
+
+Paper: memory utilisation stays below 14 % and barely varies with load.
+"""
+
+from conftest import print_series
+
+from repro.core.sweeps import specpower_usage_sweep
+
+
+def test_fig1_memory_usage(benchmark, sim_e5462):
+    rows = benchmark(specpower_usage_sweep, sim_e5462)
+    print_series(
+        "Fig. 1: SPECpower memory usage (%), Xeon-E5462 "
+        "(paper: < 14 %, flat)",
+        [(name, round(mem, 2)) for name, mem, _cpu, _w in rows],
+        ("Workload size", "Memory %"),
+    )
+    values = [mem for _name, mem, _cpu, _w in rows]
+    assert max(values) < 14.0
+    assert max(values) - min(values) < 3.0

@@ -1,0 +1,21 @@
+"""Fig. 2 — SPECpower per-core CPU usage vs workload size.
+
+Paper: CPU utilisation tracks the load level downward — unlike HPC codes
+that pin cores at 100 %.
+"""
+
+from conftest import print_series
+
+from repro.core.sweeps import specpower_usage_sweep
+
+
+def test_fig2_cpu_usage(benchmark, sim_e5462):
+    rows = benchmark(specpower_usage_sweep, sim_e5462)
+    print_series(
+        "Fig. 2: SPECpower per-core CPU usage (%), Xeon-E5462 "
+        "(paper: tracks load)",
+        [(name, round(cpu, 1)) for name, _mem, cpu, _w in rows],
+        ("Workload size", "CPU %"),
+    )
+    measured = [cpu for name, _mem, cpu, _w in rows if name.endswith("%")]
+    assert measured == sorted(measured, reverse=True)

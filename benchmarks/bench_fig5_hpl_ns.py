@@ -1,0 +1,35 @@
+"""Fig. 5 — HPL Ns (memory utilisation) sweep vs power, 1/2/4 cores.
+
+Paper: core count decides power; memory utilisation's impact is limited;
+the per-core-count curves never intersect.
+"""
+
+from conftest import print_series
+
+from repro.core.sweeps import hpl_ns_sweep
+
+FRACTIONS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+
+
+def test_fig5_ns_sweep(benchmark, sim_e5462):
+    table = benchmark(
+        hpl_ns_sweep, sim_e5462, (1, 2, 4), FRACTIONS
+    )
+    rows = [
+        (
+            f"{int(f * 100)}%",
+            round(table[1][i], 1),
+            round(table[2][i], 1),
+            round(table[4][i], 1),
+        )
+        for i, f in enumerate(FRACTIONS)
+    ]
+    print_series(
+        "Fig. 5: HPL Ns sweep on Xeon-E5462 (W; paper: flat in memory, "
+        "stepped in cores)",
+        rows,
+        ("Workload size", "1 core", "2 cores", "4 cores"),
+    )
+    for n in (1, 2, 4):
+        assert max(table[n]) - min(table[n]) < 12.0
+    assert max(table[1]) < min(table[2]) < max(table[2]) < min(table[4])

@@ -1,0 +1,28 @@
+"""Fig. 6 — HPL NBs (block size) sweep vs power, 1-4 cores.
+
+Paper: NB variation barely moves power; the per-core-count curves do not
+intersect, showing core count is the decisive factor.
+"""
+
+from conftest import print_series
+
+from repro.core.sweeps import hpl_nb_sweep
+
+NBS = (50, 100, 150, 200, 250, 300, 350, 400)
+
+
+def test_fig6_nbs_sweep(benchmark, sim_e5462):
+    table = benchmark(hpl_nb_sweep, sim_e5462, (1, 2, 3, 4), NBS)
+    rows = [
+        (nb, *(round(table[n][i], 1) for n in (1, 2, 3, 4)))
+        for i, nb in enumerate(NBS)
+    ]
+    print_series(
+        "Fig. 6: HPL NBs sweep on Xeon-E5462 (W; paper: curves do not "
+        "intersect; NB=50 dips ~10 W)",
+        rows,
+        ("NBs", "1 core", "2 cores", "3 cores", "4 cores"),
+    )
+    for lo, hi in ((1, 2), (2, 3), (3, 4)):
+        assert max(table[lo]) < min(table[hi])
+    assert table[4][-1] - table[4][0] > 3.0

@@ -1,0 +1,28 @@
+"""Fig. 7 — P x Q grid influence over an NB sweep at 4 processes.
+
+Paper: the P/Q combination affects power minimally; most values fall in
+a ~15 W band.
+"""
+
+from conftest import print_series
+
+from repro.core.sweeps import hpl_pq_sweep
+
+NBS = (50, 100, 150, 200, 250, 300, 350, 400)
+GRIDS = ((1, 4), (2, 2), (4, 1))
+
+
+def test_fig7_pq_grid(benchmark, sim_e5462):
+    table = benchmark(hpl_pq_sweep, sim_e5462, GRIDS, NBS)
+    rows = [
+        (f"HPL.NB_{nb}", *(round(table[g][i], 1) for g in GRIDS))
+        for i, nb in enumerate(NBS)
+    ]
+    print_series(
+        "Fig. 7: P/Q influence on Xeon-E5462 (W; paper: minimal, "
+        "~230-245 W band)",
+        rows,
+        ("NBs", "P=1,Q=4", "P=2,Q=2", "P=4,Q=1"),
+    )
+    everything = [w for series in table.values() for w in series]
+    assert max(everything) - min(everything) < 20.0

@@ -1,0 +1,38 @@
+"""Fig. 8 — NPB memory footprints for classes A/B/C on the Xeon-E5462.
+
+Paper: footprint is decided by the class, not the process count; FT is
+the largest and fastest-growing, EP the smallest and flattest; CG class C
+exceeds the machine.
+"""
+
+from conftest import print_series
+
+from repro.core.sweeps import npb_class_sweep
+
+
+def test_fig8_npb_memory(benchmark, sim_e5462):
+    table = benchmark(
+        npb_class_sweep, sim_e5462, (1, 2, 4), ("A", "B", "C"), "memory"
+    )
+    rows = [
+        (
+            label,
+            *(round(v, 0) if v is not None else "OOM" for v in entry),
+        )
+        for label, entry in table.items()
+    ]
+    print_series(
+        "Fig. 8: NPB resident memory (MB incl. OS) on Xeon-E5462 "
+        "(paper: FT largest, EP flat, CG.C OOM)",
+        rows,
+        ("Workload", "A", "B", "C"),
+    )
+    assert table["cg.1"][2] is None  # CG class C cannot run
+    runnable_c = {
+        label: entry[2]
+        for label, entry in table.items()
+        if entry[2] is not None
+    }
+    assert max(runnable_c, key=runnable_c.get).startswith("ft.")
+    # EP's footprint is class-independent (up to sampler jitter).
+    assert abs(table["ep.1"][0] - table["ep.1"][2]) < 0.02 * table["ep.1"][0]

@@ -1,0 +1,45 @@
+"""Fig. 9 — NPB power for classes A/B/C on the Xeon-E5462.
+
+Paper: power does not rise significantly with memory usage (class); at
+equal core counts EP draws the least; power rises with core count.
+"""
+
+from conftest import print_series
+
+from repro.core.sweeps import npb_class_sweep
+
+
+def test_fig9_npb_power(benchmark, sim_e5462):
+    table = benchmark(
+        npb_class_sweep, sim_e5462, (1, 2, 4), ("A", "B", "C"), "power"
+    )
+    rows = [
+        (
+            label,
+            *(round(v, 1) if v is not None else "OOM" for v in entry),
+        )
+        for label, entry in table.items()
+    ]
+    print_series(
+        "Fig. 9: NPB power (W) for A/B/C on Xeon-E5462 "
+        "(paper range ~120-230 W)",
+        rows,
+        ("Workload", "A", "B", "C"),
+    )
+    # Class moves power far less than core count does.
+    for label, entry in table.items():
+        watts = [w for w in entry if w is not None]
+        assert max(watts) - min(watts) < 30.0, label
+    # EP minimum at each core count (class C).
+    for n in (1, 2, 4):
+        ep = table[f"ep.{n}"][2]
+        peers = [
+            entry[2]
+            for label, entry in table.items()
+            if label.endswith(f".{n}") and entry[2] is not None
+        ]
+        assert ep == min(peers)
+    # Power rises with core count for every program.
+    for name in ("ep", "lu", "mg"):
+        series = [table[f"{name}.{n}"][2] for n in (1, 2, 4)]
+        assert series == sorted(series)

@@ -1,0 +1,94 @@
+"""Compute-kernel timing benchmarks (pytest-benchmark's timing output).
+
+These time the executable mini-kernels; the exhibit benchmarks above
+time the simulation pipelines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.cg import conjugate_gradient, random_spd_matrix
+from repro.kernels.ep import run_ep
+from repro.kernels.ft import run_ft
+from repro.kernels.is_ import run_is
+from repro.kernels.linalg import blocked_dgemm, blocked_lu
+from repro.kernels.mg import poisson_rhs, v_cycle_solve
+from repro.kernels.random_access import run_random_access
+from repro.kernels.stream import run_stream
+
+
+def test_bench_ep_kernel(benchmark):
+    result = benchmark(run_ep, 16)
+    assert abs(result.acceptance_rate - np.pi / 4) < 0.02
+
+
+def test_bench_blocked_lu(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((128, 128))
+    lu, piv = benchmark(blocked_lu, a, 32)
+    assert lu.shape == a.shape
+
+
+def test_bench_blocked_dgemm(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((128, 128))
+    b = rng.standard_normal((128, 128))
+    c = benchmark(blocked_dgemm, a, b, 64)
+    assert np.allclose(c, a @ b)
+
+
+def test_bench_cg_solve(benchmark):
+    a = random_spd_matrix(1000, seed=0)
+    b = np.ones(1000)
+    result = benchmark(conjugate_gradient, a, b)
+    assert result.converged
+
+
+def test_bench_mg_vcycle(benchmark):
+    f = poisson_rhs(32)
+    result = benchmark(v_cycle_solve, f, 2)
+    assert result.residual_norms[-1] < result.residual_norms[0]
+
+
+def test_bench_ft(benchmark):
+    result = benchmark(run_ft, (32, 32, 32), 2)
+    assert len(result.checksums) == 2
+
+
+def test_bench_is_sort(benchmark):
+    result = benchmark(run_is, 16)
+    assert result.verify()
+
+
+def test_bench_stream_triad(benchmark):
+    result = benchmark(run_stream, 500_000, 1)
+    assert result.triad_gbs > 0
+
+
+def test_bench_random_access(benchmark):
+    result = benchmark(run_random_access, 16)
+    assert result.n_updates == 4 << 16
+
+
+def test_bench_block_tridiag(benchmark):
+    from repro.kernels.block_tridiag import (
+        block_thomas_solve,
+        random_block_tridiagonal,
+    )
+
+    lower, diag, upper = random_block_tridiagonal(64, 32, 5, seed=0)
+    rng = np.random.default_rng(0)
+    rhs = rng.standard_normal((64, 32, 5))
+    x = benchmark(block_thomas_solve, lower, diag, upper, rhs)
+    assert x.shape == rhs.shape
+
+
+def test_bench_bt_adi_step(benchmark):
+    from repro.kernels.bt_solver import BtMiniProblem, bt_adi_step
+
+    problem = BtMiniProblem(n=17, dt=0.1, coupling=np.eye(5) * 0.5)
+    u = np.zeros((17, 17, 17, 5))
+    f = np.zeros((17, 17, 17, 5))
+    f[8, 8, 8] = 1.0
+    out = benchmark(bt_adi_step, u, f, problem)
+    assert out.shape == u.shape

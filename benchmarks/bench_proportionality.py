@@ -1,0 +1,41 @@
+"""Extension — energy proportionality of the three servers.
+
+Context for the ranking disagreement the paper reports: all three
+machines idle at 55-60 % of their peak power, so a method that includes
+idle and partial-load states (the proposed one, SPECpower) penalises big
+idle draws that the Green500's peak-only view never sees.
+"""
+
+from conftest import print_series
+
+from repro.core.proportionality import proportionality_report
+from repro.hardware import OPTERON_8347, XEON_4870, XEON_E5462
+
+
+def collect():
+    return {
+        s.name: proportionality_report(s)
+        for s in (XEON_E5462, OPTERON_8347, XEON_4870)
+    }
+
+
+def test_proportionality(benchmark):
+    reports = benchmark(collect)
+    rows = [
+        (
+            name,
+            round(r.idle_watts, 1),
+            round(r.peak_watts, 1),
+            f"{r.dynamic_range:.2f}",
+            f"{r.mean_linear_deviation:.2f}",
+        )
+        for name, r in reports.items()
+    ]
+    print_series(
+        "Energy proportionality (idle fraction is what the peak-only "
+        "Green500 view ignores)",
+        rows,
+        ("Server", "Idle W", "Peak W", "Dyn range", "Lin deviation"),
+    )
+    for r in reports.values():
+        assert r.idle_fraction > 0.5

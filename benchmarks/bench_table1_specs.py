@@ -1,0 +1,29 @@
+"""Table I — system characteristics of the three servers."""
+
+from conftest import print_series
+
+from repro.hardware import BUILTIN_SERVERS
+
+
+def test_table1_specs(benchmark):
+    def build():
+        return {
+            name: (
+                s.processor.model,
+                s.total_cores,
+                s.chips,
+                s.processor.frequency_mhz,
+                s.memory.total_gb,
+                round(s.gflops_peak, 1),
+            )
+            for name, s in BUILTIN_SERVERS.items()
+        }
+
+    table = benchmark(build)
+    rows = [(name, *values) for name, values in table.items()]
+    print_series(
+        "Table I: system characteristics",
+        rows,
+        ("Server", "Processor", "Cores", "Chips", "MHz", "Mem GB", "Peak GF"),
+    )
+    assert table["Xeon-4870"][2] == 4

@@ -1,0 +1,38 @@
+"""Table II — normalized power on the Xeon-4870, processes 1 to 40.
+
+The paper normalises each program's average power; empty cells follow
+each program's process-count rule (only EP and HPL run everywhere).
+"""
+
+from conftest import print_series
+
+from repro.core.sweeps import table2_power_matrix
+
+PROCESS_ROWS = (1, 2, 4, 8, 9, 16, 25, 32, 36, 39, 40)
+COLUMNS = ("hpl", "bt", "ep", "ft", "is", "lu", "mg", "sp", "spec")
+
+
+def test_table2_power_4870(benchmark, sim_4870):
+    table = benchmark(table2_power_matrix, sim_4870, PROCESS_ROWS)
+    peak = max(max(row.values()) for row in table.values())
+    rows = [
+        (
+            n,
+            *(
+                f"{table[n][c] / peak:.2f}" if c in table[n] else ""
+                for c in COLUMNS
+            ),
+        )
+        for n in PROCESS_ROWS
+    ]
+    print_series(
+        "Table II: normalized power on Xeon-4870 "
+        "(paper: HPL 0.45->0.74, EP 0.44->0.60)",
+        rows,
+        ("Procs", *[c.upper() for c in COLUMNS]),
+    )
+    # Shape: only EP+HPL at 39; monotone EP series; HPL spans a wide range.
+    assert set(table[39]) == {"hpl", "ep"}
+    assert table[1]["hpl"] / peak < 0.65
+    ep_series = [table[n]["ep"] for n in PROCESS_ROWS]
+    assert ep_series == sorted(ep_series)

@@ -1,0 +1,41 @@
+"""Table IV — the proposed evaluation on the Xeon-E5462."""
+
+from conftest import print_series
+
+from repro.core.evaluation import evaluate_server
+from repro.hardware import XEON_E5462
+from repro.paperdata import paper_table
+
+PAPER = {
+    row.label: (row.gflops, row.watts, row.ppw)
+    for row in paper_table("Xeon-E5462")
+}
+
+
+def test_table4(benchmark):
+    result = benchmark(evaluate_server, XEON_E5462)
+    rows = [
+        (
+            row.label,
+            round(row.gflops, 4),
+            round(row.watts, 2),
+            round(row.ppw, 4),
+            PAPER[row.label][1],
+            PAPER[row.label][2],
+        )
+        for row in result.rows
+    ]
+    print_series(
+        "Table IV: PPW on Xeon-E5462 (ours vs paper)",
+        rows,
+        ("Program", "GFLOPS", "Power W", "PPW", "paper W", "paper PPW"),
+    )
+    print(
+        f"Average: {result.average_gflops:.2f} GFLOPS {result.average_watts:.2f} W"
+        f"  (paper 13.50 / 182.29)"
+    )
+    print(f"Score (mean PPW): {result.score:.4f}  (paper table prints 0.6390 "
+          f"= the PPW *sum*; sum/10 = 0.0639)")
+    assert abs(result.score - 0.0639) / 0.0639 < 0.05
+    for row in result.rows:
+        assert abs(row.watts - PAPER[row.label][1]) / PAPER[row.label][1] < 0.08

@@ -1,0 +1,32 @@
+"""Table VI — the proposed evaluation on the Xeon-4870."""
+
+from conftest import print_series
+
+from repro.core.evaluation import evaluate_server
+from repro.hardware import XEON_4870
+from repro.paperdata import paper_table
+
+PAPER = {row.label: row.watts for row in paper_table("Xeon-4870")}
+
+
+def test_table6(benchmark):
+    result = benchmark(evaluate_server, XEON_4870)
+    rows = [
+        (
+            row.label,
+            round(row.gflops, 3),
+            round(row.watts, 2),
+            round(row.ppw, 4),
+            PAPER[row.label],
+        )
+        for row in result.rows
+    ]
+    print_series(
+        "Table VI: PPW on Xeon-4870 (ours vs paper)",
+        rows,
+        ("Program", "GFLOPS", "Power W", "PPW", "paper W"),
+    )
+    print(f"Score: {result.score:.4f} (paper 0.0975)")
+    assert abs(result.score - 0.0975) / 0.0975 < 0.05
+    for row in result.rows:
+        assert abs(row.watts - PAPER[row.label]) / PAPER[row.label] < 0.08

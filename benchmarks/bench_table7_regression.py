@@ -1,0 +1,36 @@
+"""Table VII — the regression summary block on the Xeon-4870.
+
+Paper: Multiple R 0.9697, R Square 0.9403, Adjusted 0.9403, Standard
+Error 0.2444, Observations 6056.
+"""
+
+import pytest
+from conftest import print_series
+
+from repro.core.regression import collect_hpcc_training, train_power_model
+from repro.hardware import XEON_4870
+
+
+@pytest.fixture(scope="session")
+def trained_model():
+    dataset = collect_hpcc_training(XEON_4870)
+    return train_power_model(dataset, server_name="Xeon-4870"), dataset
+
+
+def test_table7(benchmark, trained_model):
+    _, dataset = trained_model
+    model = benchmark(train_power_model, dataset, "Xeon-4870")
+    rows = [
+        ("Multiple R", f"{model.ols.multiple_r:.6f}", "0.969707"),
+        ("R Square", f"{model.ols.r_square:.6f}", "0.940331"),
+        ("Adjusted R Square", f"{model.ols.adjusted_r_square:.6f}", "0.940272"),
+        ("Standard Error", f"{model.ols.standard_error:.6f}", "0.244394"),
+        ("Observation", str(model.n_observations), "6056"),
+    ]
+    print_series(
+        "Table VII: regression result on Xeon-4870 (ours vs paper)",
+        rows,
+        ("Name", "Value", "Paper"),
+    )
+    assert 0.85 <= model.r_square <= 0.97
+    assert 5500 <= model.n_observations <= 6500

@@ -1,0 +1,39 @@
+"""Extension — measurement-chain uncertainty of the evaluation score.
+
+Quantifies what the paper leaves implicit: how much the final score moves
+under meter noise, phase ripple, and sampler jitter.  Small spread means
+the single numbers in Tables IV-VI are trustworthy at the precision they
+are quoted.
+"""
+
+from conftest import print_series
+
+from repro.core.uncertainty import score_distribution
+from repro.hardware import OPTERON_8347, XEON_E5462
+
+
+def collect():
+    return {
+        server.name: score_distribution(server, n_repeats=5)
+        for server in (XEON_E5462, OPTERON_8347)
+    }
+
+
+def test_score_uncertainty(benchmark):
+    distributions = benchmark(collect)
+    rows = [
+        (
+            name,
+            f"{d.mean:.5f}",
+            f"{d.std:.5f}",
+            f"{d.relative_spread:.2%}",
+        )
+        for name, d in distributions.items()
+    ]
+    print_series(
+        "Evaluation-score uncertainty over 5 measurement streams",
+        rows,
+        ("Server", "Mean", "Std", "Spread"),
+    )
+    for d in distributions.values():
+        assert d.relative_spread < 0.02

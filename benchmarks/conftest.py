@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the exhibit benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each benchmark regenerates one table or figure of the paper and prints
+the reproduced rows next to the published values, so the comparison is a
+visual diff (absolute watts are expected to be close because the power
+model is calibrated to the paper's anchors; everything else is a model
+prediction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Simulator
+from repro.hardware import OPTERON_8347, XEON_4870, XEON_E5462
+
+
+@pytest.fixture(scope="session")
+def sim_e5462():
+    return Simulator(XEON_E5462)
+
+
+@pytest.fixture(scope="session")
+def sim_opteron():
+    return Simulator(OPTERON_8347)
+
+
+@pytest.fixture(scope="session")
+def sim_4870():
+    return Simulator(XEON_4870)
+
+
+def print_series(title: str, rows: "list[tuple]", headers: "tuple[str, ...]"):
+    """Print one exhibit as an aligned table."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(headers[i])), max((len(f"{r[i]}") for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(f"{v}".ljust(w) for v, w in zip(row, widths)))

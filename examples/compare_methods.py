@@ -1,0 +1,55 @@
+"""Compare the three power evaluation methods on all three servers.
+
+Reproduces Section V-C3: the proposed HPL+EP method, the Green500 (HPL
+peak PPW), and SPECpower_ssj2008 rank the same machines differently,
+because each weighs idle power and partial-load behaviour differently.
+
+Run:  python examples/compare_methods.py
+"""
+
+from repro import (
+    OPTERON_8347,
+    XEON_4870,
+    XEON_E5462,
+    evaluate_server,
+    green500_score,
+    specpower_score,
+)
+
+SERVERS = (XEON_E5462, OPTERON_8347, XEON_4870)
+
+
+def ranking(scores: dict) -> str:
+    ordered = sorted(scores, key=scores.get, reverse=True)
+    return " > ".join(f"{name} ({scores[name]:.4g})" for name in ordered)
+
+
+def main() -> None:
+    ours = {}
+    g500 = {}
+    spec = {}
+    for server in SERVERS:
+        print(f"evaluating {server.name} ...")
+        ours[server.name] = evaluate_server(server).score
+        g500[server.name] = green500_score(server).ppw
+        spec[server.name] = specpower_score(server).overall_ssj_ops_per_watt
+
+    print()
+    print("Proposed method (mean PPW over ten states, GFLOPS/W):")
+    print("   ", ranking(ours))
+    print("Green500 (HPL peak PPW, GFLOPS/W):")
+    print("   ", ranking(g500))
+    print("SPECpower_ssj2008 (overall ssj_ops/W):")
+    print("   ", ranking(spec))
+    print()
+    print(
+        "Paper (Section V-C3): Green500 puts the Xeon-4870 first because\n"
+        "it only looks at the peak point; the proposed method includes\n"
+        "idle and partial-load states where the small Xeon-E5462's low\n"
+        "baseline power pays off, and SPECpower agrees with that ordering\n"
+        "while measuring a datacenter (ssj_ops) workload instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

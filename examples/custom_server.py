@@ -1,0 +1,98 @@
+"""Score your own machine model with the paper's method.
+
+Defines a hypothetical dual-socket server from scratch, gives it a power
+model two ways — the generic heuristic, and a calibration against your
+own measurements (here: scaled variants of the paper's anchors) — and
+evaluates it next to the built-in machines.
+
+Run:  python examples/custom_server.py
+"""
+
+from repro import ServerSpec, XEON_E5462, evaluate_server
+from repro.core.report import format_evaluation_table
+from repro.engine import Simulator
+from repro.hardware import calibrate_server
+from repro.hardware.calibration import (
+    PAPER_IDLE_WATTS,
+    PAPER_POWER_ANCHORS,
+    AnchorPoint,
+)
+from repro.hardware.power import SystemPowerModel
+from repro.hardware.specs import CacheLevelSpec, MemorySpec, ProcessorSpec
+
+
+def build_server() -> ServerSpec:
+    """A hypothetical dual-socket 16-core machine."""
+    processor = ProcessorSpec(
+        model="Hypothetical-8C",
+        frequency_mhz=2600,
+        cores=8,
+        flops_per_cycle=8,  # AVX-era FMA width
+        dcache=CacheLevelSpec(1, 32, 8, instances_per_chip=8),
+        l2=CacheLevelSpec(2, 256, 8, instances_per_chip=8),
+        l3=CacheLevelSpec(3, 20480, 20, instances_per_chip=1, shared=True),
+    )
+    return ServerSpec(
+        name="Hypothetical-2S16C",
+        processor=processor,
+        chips=2,
+        memory=MemorySpec(total_gb=64, technology="DDR3", bandwidth_gbs=42.0),
+        hpl_efficiency=0.88,
+    )
+
+
+def measured_anchors(server: ServerSpec) -> tuple[tuple[AnchorPoint, ...], float]:
+    """Stand-in for your own meter readings.
+
+    On a real machine you would run EP.C and HPL at 1/half/full cores
+    with a wall-power meter and type the watts in here.  This demo scales
+    the Xeon-E5462's published numbers to the hypothetical machine's
+    size, remapping the anchor core counts to 1/half/full of the new
+    machine.
+    """
+    base = PAPER_POWER_ANCHORS["Xeon-E5462"]
+    idle = PAPER_IDLE_WATTS["Xeon-E5462"] * 1.6
+    count_map = {1: 1, 2: server.half_cores(), 4: server.total_cores}
+    anchors = tuple(
+        AnchorPoint(
+            program=a.program,
+            nprocs=count_map[a.nprocs],
+            memory_fraction=a.memory_fraction,
+            watts=idle + (a.watts - PAPER_IDLE_WATTS["Xeon-E5462"]) * 1.9,
+        )
+        for a in base
+    )
+    return anchors, idle
+
+
+def main() -> None:
+    server = build_server()
+    print(f"custom server: {server.name}, {server.total_cores} cores, "
+          f"{server.gflops_peak:.0f} GFLOPS peak\n")
+
+    # Variant 1: generic heuristic power model (no measurements needed).
+    print("--- generic power model ---")
+    generic = evaluate_server(server)
+    print(format_evaluation_table(generic))
+
+    # Variant 2: calibrate against your own meter readings.
+    print("\n--- calibrated against (stand-in) measurements ---")
+    anchors, idle = measured_anchors(server)
+    report = calibrate_server(server, anchors=anchors, idle_watts=idle)
+    print(f"calibration rms residual: {report.rms_residual_watts:.1f} W")
+    simulator = Simulator(
+        server, power_model=SystemPowerModel(server, report.coefficients)
+    )
+    calibrated = evaluate_server(server, simulator)
+    print(format_evaluation_table(calibrated))
+
+    reference = evaluate_server(XEON_E5462)
+    print(
+        f"\nscores: {server.name} generic {generic.score:.4f}, "
+        f"calibrated {calibrated.score:.4f}; "
+        f"Xeon-E5462 reference {reference.score:.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

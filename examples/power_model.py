@@ -1,0 +1,53 @@
+"""Train the PMU power regression on HPCC, verify on the NPB.
+
+Reproduces the paper's Section VI end to end:
+
+1. sweep the seven HPCC components from 1 to 40 processes on the
+   Xeon-4870, collecting the six PMU counters every 10 s alongside the
+   metered power (~6000 observations);
+2. z-score everything and fit by forward stepwise + OLS (Tables VII and
+   VIII);
+3. verify against the NPB class-B and class-C sweeps (Figs. 12-13) with
+   the Eq. (6)-(8) fitting R².
+
+Run:  python examples/power_model.py
+"""
+
+from repro import (
+    XEON_4870,
+    collect_hpcc_training,
+    train_power_model,
+    verify_on_npb,
+)
+from repro.core.report import (
+    format_coefficients,
+    format_regression_summary,
+    format_verification,
+)
+
+
+def main() -> None:
+    print("collecting HPCC training sweep on Xeon-4870 ...")
+    dataset = collect_hpcc_training(XEON_4870)
+    print(f"  {dataset.n_observations} observations "
+          "(paper: 6056)")
+
+    model = train_power_model(dataset, server_name="Xeon-4870")
+    print()
+    print(format_regression_summary(model))
+    print()
+    print(format_coefficients(model))
+
+    for klass, paper in (("B", 0.634), ("C", 0.543)):
+        print()
+        result = verify_on_npb(XEON_4870, model, klass)
+        print(format_verification(result, limit=12))
+        print(f"  (paper R^2 for class {klass}: {paper})")
+        rms = result.per_program_rms()
+        worst = sorted(rms, key=rms.get, reverse=True)[:2]
+        print(f"  worst-fit programs: {', '.join(worst)} "
+              "(paper: EP and SP)")
+
+
+if __name__ == "__main__":
+    main()

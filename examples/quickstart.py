@@ -1,0 +1,26 @@
+"""Quickstart: score one server with the paper's evaluation method.
+
+Runs the ten-state matrix (idle + EP.C x {1, half, full} cores + HPL x
+{1, half, full} cores x {half, full} memory) on the simulated Xeon-E5462
+and prints the Table-IV-style result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import XEON_E5462, evaluate_server
+from repro.core.report import format_evaluation_table
+
+
+def main() -> None:
+    result = evaluate_server(XEON_E5462)
+    print(format_evaluation_table(result))
+    print()
+    print(
+        f"{result.server} scores {result.score:.4f} GFLOPS/W "
+        "(mean PPW over the ten states; paper Table IV sums to "
+        f"{result.score * 10:.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

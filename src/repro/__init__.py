@@ -1,0 +1,97 @@
+"""repro — reproduction of "HPC-Oriented Power Evaluation Method" (ICPP 2015).
+
+The library packages the paper's three contributions on top of a
+calibrated single-server simulation substrate:
+
+1. a quantitative critique of SPECpower_ssj2008 and the Green500 as HPC
+   power benchmarks (Sections III-IV),
+2. a power evaluation method for single multi-core HPC servers combining
+   HPL and NPB-EP over a five-state CPU/memory matrix (Section V), and
+3. a PMU-feature linear regression power model trained on HPCC and
+   verified on NPB (Section VI).
+
+Quickstart::
+
+    from repro import evaluate_server, XEON_E5462
+    result = evaluate_server(XEON_E5462)
+    print(result.score)           # the paper's "(GFlops/Watt)/10" row
+
+See ``examples/`` for complete walkthroughs and ``benchmarks/`` for the
+table/figure reproductions.
+"""
+
+from repro.demand import ResourceDemand
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    InsufficientMemoryError,
+    InvalidProcessCountError,
+    MeterError,
+    RegressionError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.hardware import (
+    BUILTIN_SERVERS,
+    OPTERON_8347,
+    XEON_4870,
+    XEON_E5462,
+    ServerSpec,
+    get_server,
+)
+from repro.engine import Campaign, Simulator
+from repro.core import (
+    EvaluationResult,
+    evaluate_server,
+    green500_score,
+    rank_servers,
+    specpower_score,
+    collect_hpcc_training,
+    train_power_model,
+    verify_on_npb,
+)
+from repro.workloads import (
+    HplConfig,
+    HplWorkload,
+    HpccWorkload,
+    NpbWorkload,
+    SpecPowerWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ResourceDemand",
+    "ReproError",
+    "ConfigurationError",
+    "WorkloadError",
+    "InvalidProcessCountError",
+    "InsufficientMemoryError",
+    "SimulationError",
+    "MeterError",
+    "CalibrationError",
+    "RegressionError",
+    "ServerSpec",
+    "BUILTIN_SERVERS",
+    "XEON_E5462",
+    "OPTERON_8347",
+    "XEON_4870",
+    "get_server",
+    "Simulator",
+    "Campaign",
+    "EvaluationResult",
+    "evaluate_server",
+    "rank_servers",
+    "green500_score",
+    "specpower_score",
+    "collect_hpcc_training",
+    "train_power_model",
+    "verify_on_npb",
+    "HplConfig",
+    "HplWorkload",
+    "HpccWorkload",
+    "NpbWorkload",
+    "SpecPowerWorkload",
+]

@@ -1,0 +1,524 @@
+"""Command-line interface.
+
+Every reproduction entry point, runnable without writing Python::
+
+    python -m repro servers
+    python -m repro evaluate Xeon-E5462 [--json out.json]
+    python -m repro green500 Xeon-4870
+    python -m repro specpower Opteron-8347
+    python -m repro rankings
+    python -m repro regression [--server Xeon-4870] [--classes B C]
+                               [--save-model model.json]
+    python -m repro figure fig5 [--server Xeon-E5462]
+    python -m repro breakdown <server> <workload>
+    python -m repro energy <server> <program> [--npb-class C]
+    python -m repro uncertainty <server> [--repeats 5]
+    python -m repro compare [--regression]
+
+``figure`` renders ASCII versions of the paper's figure sweeps; the full
+table/figure harness with assertions lives in ``benchmarks/``.  Commands
+taking a server accept a built-in name or a ``.json`` spec file written
+by :func:`repro.io.server_to_dict`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro import io as repro_io
+from repro.core.evaluation import evaluate_server
+from repro.core.green500 import green500_score
+from repro.core.regression import (
+    collect_hpcc_training,
+    train_power_model,
+    verify_on_npb,
+)
+from repro.core.report import (
+    format_coefficients,
+    format_evaluation_table,
+    format_regression_summary,
+    format_verification,
+)
+from repro.core.spec_method import specpower_score
+from repro.core import sweeps
+from repro.engine.simulator import Simulator
+from repro.errors import ReproError
+from repro.hardware.specs import BUILTIN_SERVERS, get_server
+from repro.viz import bar_chart, line_columns, paired_series
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = (
+    "fig1", "fig2", "fig3", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'HPC-Oriented Power Evaluation Method' "
+            "(ICPP 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("servers", help="list the built-in server models")
+
+    for name, help_text in (
+        ("evaluate", "run the proposed ten-state evaluation"),
+        ("green500", "run the Green500 method (HPL peak PPW)"),
+        ("specpower", "run the SPECpower_ssj2008 method"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument(
+            "server",
+            help="built-in server name (see 'servers') or a .json spec file",
+        )
+        cmd.add_argument("--seed", type=int, default=0)
+        if name == "evaluate":
+            cmd.add_argument(
+                "--json", metavar="PATH", help="save the result as JSON"
+            )
+
+    sub.add_parser(
+        "rankings", help="all three methods on all three servers (§V-C3)"
+    )
+
+    reg = sub.add_parser(
+        "regression", help="train on HPCC, verify on NPB (Section VI)"
+    )
+    reg.add_argument("--server", default="Xeon-4870")
+    reg.add_argument(
+        "--classes", nargs="+", default=["B", "C"], choices=["A", "B", "C"]
+    )
+    reg.add_argument("--seed", type=int, default=0)
+    reg.add_argument(
+        "--save-model", metavar="PATH", help="save the trained model as JSON"
+    )
+
+    fig = sub.add_parser("figure", help="render one figure sweep as ASCII")
+    fig.add_argument("name", choices=_FIGURES)
+    fig.add_argument("--server", default="Xeon-E5462")
+    fig.add_argument("--seed", type=int, default=0)
+
+    brk = sub.add_parser(
+        "breakdown", help="component-level power decomposition of one run"
+    )
+    brk.add_argument("server")
+    brk.add_argument(
+        "workload",
+        help="'hpl' (full cores/memory) or '<prog>.<class>.<nprocs>', "
+        "e.g. ep.C.4",
+    )
+
+    eng = sub.add_parser(
+        "energy", help="energy-to-solution sweep for one NPB program"
+    )
+    eng.add_argument("server")
+    eng.add_argument("program", help="NPB program, e.g. ep, lu, bt")
+    eng.add_argument(
+        "--npb-class", default="C", choices=["W", "A", "B", "C", "D", "E"]
+    )
+
+    unc = sub.add_parser(
+        "uncertainty", help="score spread across measurement streams"
+    )
+    unc.add_argument("server")
+    unc.add_argument("--repeats", type=int, default=5)
+
+    exp = sub.add_parser(
+        "export", help="write every exhibit's data files to a directory"
+    )
+    exp.add_argument("out_dir")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument(
+        "--regression",
+        action="store_true",
+        help="include the Section-VI regression study (slower)",
+    )
+
+    cmp_ = sub.add_parser(
+        "compare",
+        help="paper-vs-measured report over every published number",
+    )
+    cmp_.add_argument(
+        "--regression",
+        action="store_true",
+        help="include the Section-VI regression study (slower)",
+    )
+
+    return parser
+
+
+def _load_server(name_or_path: str):
+    """Resolve a server argument: a built-in name, or a path to a JSON
+    spec produced by ``repro.io.server_to_dict`` (detected by suffix)."""
+    if name_or_path.endswith(".json"):
+        return repro_io.server_from_dict(repro_io.load_json(name_or_path))
+    return get_server(name_or_path)
+
+
+def _cmd_servers(_args: argparse.Namespace) -> int:
+    for name, server in BUILTIN_SERVERS.items():
+        print(
+            f"{name:<14} {server.total_cores:>3} cores "
+            f"({server.chips} x {server.cores_per_chip}), "
+            f"{server.memory.total_gb:>4.0f} GB, "
+            f"{server.gflops_peak:>6.1f} GFLOPS peak"
+        )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    server = _load_server(args.server)
+    result = evaluate_server(server, Simulator(server, seed=args.seed))
+    print(format_evaluation_table(result))
+    if args.json:
+        path = repro_io.save_json(
+            repro_io.evaluation_to_dict(result), args.json
+        )
+        print(f"\nsaved: {path}")
+    return 0
+
+
+def _cmd_green500(args: argparse.Namespace) -> int:
+    server = _load_server(args.server)
+    result = green500_score(server, Simulator(server, seed=args.seed))
+    print(
+        f"{result.server}: Rmax {result.rmax_gflops:.1f} GFLOPS at "
+        f"{result.average_watts:.1f} W -> {result.ppw:.4f} GFLOPS/W"
+    )
+    return 0
+
+
+def _cmd_specpower(args: argparse.Namespace) -> int:
+    server = _load_server(args.server)
+    result = specpower_score(server, Simulator(server, seed=args.seed))
+    for level in result.levels:
+        print(
+            f"{level.level:<10} load {level.load:>4.0%}  "
+            f"{level.ssj_ops:>10.0f} ssj_ops  {level.watts:>8.2f} W"
+        )
+    print(
+        f"overall: {result.overall_ssj_ops_per_watt:.1f} ssj_ops/W "
+        f"on {result.server}"
+    )
+    return 0
+
+
+def _cmd_rankings(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in BUILTIN_SERVERS:
+        server = get_server(name)
+        rows.append(
+            (
+                name,
+                evaluate_server(server).score,
+                green500_score(server).ppw,
+                specpower_score(server).overall_ssj_ops_per_watt,
+            )
+        )
+    print(f"{'Server':<14} {'Ours':>8} {'Green500':>9} {'SPECpower':>10}")
+    for name, ours, g500, spec in rows:
+        print(f"{name:<14} {ours:>8.4f} {g500:>9.4f} {spec:>10.1f}")
+    for title, key in (
+        ("ours (mean PPW)", 1),
+        ("Green500", 2),
+        ("SPECpower", 3),
+    ):
+        ordered = sorted(rows, key=lambda r: r[key], reverse=True)
+        print(f"{title}: " + " > ".join(r[0] for r in ordered))
+    return 0
+
+
+def _cmd_regression(args: argparse.Namespace) -> int:
+    server = _load_server(args.server)
+    simulator = Simulator(server, seed=args.seed)
+    dataset = collect_hpcc_training(server, simulator)
+    model = train_power_model(dataset, server_name=server.name)
+    print(format_regression_summary(model))
+    print()
+    print(format_coefficients(model))
+    for klass in args.classes:
+        print()
+        result = verify_on_npb(server, model, klass, simulator)
+        print(format_verification(result, limit=10))
+    if args.save_model:
+        path = repro_io.save_json(repro_io.model_to_dict(model), args.save_model)
+        print(f"\nsaved: {path}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    server = _load_server(args.server)
+    simulator = Simulator(server, seed=args.seed)
+    if args.name in ("fig1", "fig2"):
+        rows = sweeps.specpower_usage_sweep(simulator)
+        labels = [r[0] for r in rows]
+        column = 1 if args.name == "fig1" else 2
+        title = (
+            "Fig. 1: SPECpower memory usage (%)"
+            if args.name == "fig1"
+            else "Fig. 2: SPECpower CPU usage (%)"
+        )
+        print(bar_chart(title, labels, [r[column] for r in rows], floor=0.0))
+    elif args.name == "fig3":
+        counts = (
+            server.total_cores,
+            server.half_cores(),
+            1,
+        )
+        points = [
+            p for p in sweeps.mixed_power_sweep(simulator, counts) if p.runnable
+        ]
+        print(
+            bar_chart(
+                f"Fig. 3-style power chart on {server.name} (W)",
+                [p.label for p in points],
+                [p.watts for p in points],
+                unit=" W",
+            )
+        )
+    elif args.name == "fig5":
+        series = sweeps.hpl_ns_sweep(simulator)
+        fractions = [f"{int(f * 100)}%" for f in (
+            0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95,
+        )]
+        print(
+            line_columns(
+                f"Fig. 5: HPL Ns sweep on {server.name} (W)",
+                fractions,
+                {f"{n} cores": values for n, values in series.items()},
+            )
+        )
+    elif args.name == "fig6":
+        series = sweeps.hpl_nb_sweep(simulator)
+        print(
+            line_columns(
+                f"Fig. 6: HPL NB sweep on {server.name} (W)",
+                [str(nb) for nb in (50, 100, 150, 200, 250, 300, 350, 400)],
+                {f"{n} cores": values for n, values in series.items()},
+            )
+        )
+    elif args.name in ("fig12", "fig13"):
+        # The regression verification figures; trains the model first.
+        train_server = get_server("Xeon-4870")
+        train_sim = Simulator(train_server, seed=args.seed)
+        dataset = collect_hpcc_training(train_server, train_sim)
+        model = train_power_model(dataset, server_name=train_server.name)
+        result = verify_on_npb(train_server, model, "B", train_sim)
+        if args.name == "fig12":
+            print(
+                paired_series(
+                    f"Fig. 12: measured vs regression, NPB-B on "
+                    f"{train_server.name} (R^2 = {result.r_squared:.3f})",
+                    result.labels,
+                    result.measured,
+                    result.predicted,
+                )
+            )
+        else:
+            print(
+                bar_chart(
+                    "Fig. 13: |measured - regression| RMS per program, "
+                    f"NPB-B on {train_server.name}",
+                    list(result.per_program_rms()),
+                    list(result.per_program_rms().values()),
+                    floor=0.0,
+                )
+            )
+    elif args.name in ("fig10", "fig11"):
+        rows = sweeps.ep_profile(simulator)
+        labels = [f"{n} cores" for n, *_ in rows]
+        if args.name == "fig10":
+            print(
+                bar_chart(
+                    f"Fig. 10: EP.C power on {server.name}",
+                    labels,
+                    [r[2] for r in rows],
+                    unit=" W",
+                )
+            )
+        else:
+            print(
+                bar_chart(
+                    f"Fig. 11: EP.C energy on {server.name}",
+                    labels,
+                    [r[4] for r in rows],
+                    floor=0.0,
+                    unit=" KJ",
+                )
+            )
+    return 0
+
+
+def _parse_workload(server, text: str):
+    from repro.workloads.hpl import HplConfig, HplWorkload
+    from repro.workloads.npb import NpbWorkload
+
+    if text.lower() == "hpl":
+        return HplWorkload(HplConfig(server.total_cores, 0.95))
+    parts = text.split(".")
+    if len(parts) != 3:
+        raise ReproError(
+            f"workload must be 'hpl' or '<prog>.<class>.<nprocs>', "
+            f"got {text!r}"
+        )
+    name, klass, nprocs = parts
+    return NpbWorkload(name, klass, int(nprocs))
+
+
+def _cmd_breakdown(args: argparse.Namespace) -> int:
+    from repro.core.breakdown import breakdown
+
+    server = _load_server(args.server)
+    result = breakdown(server, _parse_workload(server, args.workload))
+    print(result.format())
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.core.energy import energy_scaling
+
+    server = _load_server(args.server)
+    scaling = energy_scaling(server, args.program, args.npb_class)
+    print(
+        f"{scaling.program}.{scaling.npb_class} on {scaling.server}: "
+        f"energy-optimal at {scaling.optimal.nprocs} processes "
+        f"({scaling.max_saving:.0%} below serial)"
+    )
+    print(f"{'Procs':>6} {'Time s':>9} {'Power W':>9} {'Energy KJ':>10}")
+    for p in scaling.points:
+        print(
+            f"{p.nprocs:>6} {p.duration_s:>9.1f} {p.watts:>9.1f} "
+            f"{p.energy_kj:>10.2f}"
+        )
+    return 0
+
+
+def _cmd_uncertainty(args: argparse.Namespace) -> int:
+    from repro.core.uncertainty import score_distribution
+
+    server = _load_server(args.server)
+    dist = score_distribution(server, n_repeats=args.repeats)
+    lo, hi = dist.interval()
+    print(
+        f"{dist.server}: score {dist.mean:.5f} +/- {dist.std:.5f} "
+        f"(2-sigma interval {lo:.5f}..{hi:.5f}, "
+        f"spread {dist.relative_spread:.2%} over {args.repeats} streams)"
+    )
+    return 0
+
+
+def _delta_line(label: str, paper: float, measured: float, fmt: str = "{:.4f}") -> str:
+    delta = (measured - paper) / paper * 100 if paper else 0.0
+    return (
+        f"  {label:<22} paper {fmt.format(paper):>10}  "
+        f"measured {fmt.format(measured):>10}  ({delta:+.1f} %)"
+    )
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.core.export import export_exhibits
+
+    paths = export_exhibits(
+        args.out_dir, seed=args.seed, regression=args.regression
+    )
+    for path in paths:
+        print(path)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro import paperdata
+    from repro.core.metrics import ppw as ppw_of
+
+    print("== Evaluation tables (IV-VI) ==")
+    for name in BUILTIN_SERVERS:
+        server = get_server(name)
+        result = evaluate_server(server)
+        rows = {r.label: r for r in result.rows}
+        print(f"{name}:")
+        for paper_row in paperdata.paper_table(name):
+            ours = rows.get(paper_row.label)
+            if ours is None:
+                print(
+                    f"  {paper_row.label:<22} paper "
+                    f"{paper_row.watts:>10.2f}  (row not in the "
+                    "1/half/full method matrix)"
+                )
+                continue
+            print(_delta_line(paper_row.label, paper_row.watts, ours.watts, "{:.2f}"))
+        paper_score = paperdata.PAPER_SCORES[name]
+        # Table IV prints the PPW sum; compare like with like.
+        measured_score = (
+            result.score * 10 if name == "Xeon-E5462" else result.score
+        )
+        print(_delta_line("score (as printed)", paper_score, measured_score))
+
+    print("\n== Green500 (Section V-C3) ==")
+    for name, paper_value in paperdata.PAPER_GREEN500_PPW.items():
+        measured = green500_score(get_server(name)).ppw
+        print(_delta_line(name, paper_value, measured))
+
+    print("\n== SPECpower (Section V-C3) ==")
+    for name, paper_value in paperdata.PAPER_SPECPOWER_SCORES.items():
+        measured = specpower_score(
+            get_server(name)
+        ).overall_ssj_ops_per_watt
+        print(_delta_line(name, paper_value, measured, "{:.1f}"))
+
+    if args.regression:
+        print("\n== Regression (Tables VII-VIII, Figs. 12-13) ==")
+        server = get_server("Xeon-4870")
+        dataset = collect_hpcc_training(server)
+        model = train_power_model(dataset, server_name=server.name)
+        summary = paperdata.PAPER_REGRESSION_SUMMARY
+        print(_delta_line("R Square", summary["r_square"], model.r_square))
+        print(
+            _delta_line(
+                "Observations",
+                summary["observations"],
+                model.n_observations,
+                "{:.0f}",
+            )
+        )
+        for klass, paper_r2 in paperdata.PAPER_VERIFICATION_R2.items():
+            measured = verify_on_npb(server, model, klass).r_squared
+            print(_delta_line(f"NPB-{klass} R^2", paper_r2, measured))
+    return 0
+
+
+_HANDLERS = {
+    "servers": _cmd_servers,
+    "evaluate": _cmd_evaluate,
+    "green500": _cmd_green500,
+    "specpower": _cmd_specpower,
+    "rankings": _cmd_rankings,
+    "regression": _cmd_regression,
+    "figure": _cmd_figure,
+    "breakdown": _cmd_breakdown,
+    "energy": _cmd_energy,
+    "uncertainty": _cmd_uncertainty,
+    "compare": _cmd_compare,
+    "export": _cmd_export,
+}
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

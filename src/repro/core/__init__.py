@@ -1,0 +1,80 @@
+"""The paper's contributions: the evaluation method and the power model.
+
+* :mod:`repro.core.metrics` — PPW (Eq. 1), energy (Eq. 2), and the
+  R²/RSS/TSS fit formulas (Eqs. 6-8).
+* :mod:`repro.core.states` — the five-state test matrix of Table III.
+* :mod:`repro.core.evaluation` — the proposed HPL+EP evaluation method
+  (Tables IV-VI and the Section V-C3 ranking).
+* :mod:`repro.core.green500` — the Green500 comparison method (HPL peak
+  PPW).
+* :mod:`repro.core.spec_method` — the SPECpower_ssj2008 comparison method
+  (overall ssj_ops/watt).
+* :mod:`repro.core.regression` — the HPCC-trained, NPB-verified power
+  regression model (Section VI, Tables VII-VIII, Figs. 12-13).
+* :mod:`repro.core.report` — plain-text table rendering for the benches
+  and examples.
+* :mod:`repro.core.sweeps` — the canonical experiment sweeps behind each
+  figure.
+* :mod:`repro.core.breakdown` — component-level power decomposition.
+* :mod:`repro.core.uncertainty` — score spread across measurement streams.
+* :mod:`repro.core.energy` — energy-to-solution scaling (Fig. 11
+  generalised).
+* :mod:`repro.core.proportionality` — energy-proportionality metrics.
+"""
+
+from repro.core.metrics import ppw, r_squared, rss, tss
+from repro.core.states import EvaluationState, evaluation_states
+from repro.core.evaluation import (
+    EvaluationResult,
+    EvaluationRow,
+    evaluate_server,
+    rank_servers,
+)
+from repro.core.green500 import Green500Result, green500_score
+from repro.core.spec_method import SpecPowerResult, specpower_score
+from repro.core.breakdown import PowerBreakdown, breakdown
+from repro.core.energy import EnergyScaling, energy_scaling
+from repro.core.uncertainty import ScoreDistribution, score_distribution
+from repro.core.proportionality import (
+    ProportionalityReport,
+    proportionality_report,
+)
+from repro.core.regression import (
+    PowerRegressionModel,
+    RegressionDataset,
+    VerificationResult,
+    collect_hpcc_training,
+    train_power_model,
+    verify_on_npb,
+)
+
+__all__ = [
+    "ppw",
+    "r_squared",
+    "rss",
+    "tss",
+    "EvaluationState",
+    "evaluation_states",
+    "EvaluationResult",
+    "EvaluationRow",
+    "evaluate_server",
+    "rank_servers",
+    "Green500Result",
+    "green500_score",
+    "SpecPowerResult",
+    "specpower_score",
+    "PowerBreakdown",
+    "breakdown",
+    "EnergyScaling",
+    "energy_scaling",
+    "ScoreDistribution",
+    "score_distribution",
+    "ProportionalityReport",
+    "proportionality_report",
+    "PowerRegressionModel",
+    "RegressionDataset",
+    "VerificationResult",
+    "collect_hpcc_training",
+    "train_power_model",
+    "verify_on_npb",
+]

@@ -1,0 +1,109 @@
+"""Component-level power breakdown of an operating point.
+
+Decomposes a workload's watts into the terms of Eq. (4)'s refined form —
+idle baseline, chip uncore, shared (sqrt) term, per-core activity,
+per-core compute intensity, DRAM traffic, and communication — answering
+"where do the watts go" for any state of the evaluation matrix.  The
+paper argues informally that core count dominates and memory barely
+matters; the breakdown makes that quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.demand import ResourceDemand
+from repro.errors import ConfigurationError
+from repro.hardware.calibration import calibrated_power_model
+from repro.hardware.cpu import CpuSubsystem
+from repro.hardware.memory import MemorySubsystem
+from repro.hardware.power import DELTA_FEATURES, dynamic_feature_vector
+from repro.hardware.specs import ServerSpec
+from repro.workloads.base import Workload
+
+__all__ = ["PowerBreakdown", "breakdown"]
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Watts per component for one operating point."""
+
+    program: str
+    idle_watts: float
+    components: dict[str, float]
+
+    @property
+    def dynamic_watts(self) -> float:
+        """Total above-idle power."""
+        return sum(self.components.values())
+
+    @property
+    def total_watts(self) -> float:
+        """Idle plus dynamic."""
+        return self.idle_watts + self.dynamic_watts
+
+    def fractions(self) -> dict[str, float]:
+        """Each component (plus idle) as a fraction of total power."""
+        total = self.total_watts
+        out = {"idle": self.idle_watts / total}
+        out.update(
+            {name: watts / total for name, watts in self.components.items()}
+        )
+        return out
+
+    def dominant_component(self) -> str:
+        """The largest dynamic component (idle excluded)."""
+        if not self.components:
+            raise ConfigurationError("idle point has no dynamic components")
+        return max(self.components, key=self.components.get)
+
+    def format(self) -> str:
+        """Aligned text rendering."""
+        lines = [f"power breakdown: {self.program}"]
+        lines.append(f"  {'idle':<16} {self.idle_watts:>8.2f} W")
+        for name, watts in self.components.items():
+            lines.append(f"  {name:<16} {watts:>8.2f} W")
+        lines.append(f"  {'total':<16} {self.total_watts:>8.2f} W")
+        return "\n".join(lines)
+
+
+def breakdown(
+    server: ServerSpec,
+    workload: "Workload | ResourceDemand",
+    placement_policy: str = "compact",
+) -> PowerBreakdown:
+    """Decompose one workload's steady-state power on ``server``.
+
+    The decomposition reports the component model's terms *before* the
+    idiosyncrasy factor and meter noise — the structural answer, matching
+    what calibration fit.
+    """
+    demand = (
+        workload
+        if isinstance(workload, ResourceDemand)
+        else workload.bind(server)
+    )
+    model = calibrated_power_model(server)
+    if demand.is_idle:
+        return PowerBreakdown(
+            program=demand.program,
+            idle_watts=model.coefficients.p_idle,
+            components={},
+        )
+    cpu = CpuSubsystem(server, placement_policy)
+    cpu.bind(demand)
+    traffic = MemorySubsystem(server).traffic(demand, cpu.placement)
+    features = dynamic_feature_vector(demand, cpu.activity(), traffic)
+    coefficients = model.coefficients.as_delta_vector()
+    parts = features * coefficients
+    components = {
+        name: float(watts)
+        for name, watts in zip(DELTA_FEATURES, parts)
+    }
+    return PowerBreakdown(
+        program=demand.program,
+        idle_watts=model.coefficients.p_idle,
+        components=components,
+    )

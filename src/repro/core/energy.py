@@ -1,0 +1,106 @@
+"""Energy-to-solution analysis (generalising Fig. 11).
+
+The paper shows for EP that adding cores *reduces* total energy because
+runtime shrinks faster than power grows, and concludes that "improving
+the parallelism can not only improve the computing performance, but also
+reduce energy consumption".  This module tests that claim for any
+program: sweep a program over its allowed core counts and report time,
+power, and energy per point, plus the energy-optimal count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError, InsufficientMemoryError
+from repro.hardware.specs import ServerSpec
+from repro.workloads.npb import NpbClass, NpbWorkload, get_npb_program
+
+__all__ = ["EnergyPoint", "EnergyScaling", "energy_scaling"]
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """One (core count) sample of the energy sweep."""
+
+    nprocs: int
+    duration_s: float
+    watts: float
+    energy_kj: float
+
+
+@dataclass(frozen=True)
+class EnergyScaling:
+    """Energy-to-solution across core counts for one program."""
+
+    server: str
+    program: str
+    npb_class: str
+    points: tuple[EnergyPoint, ...]
+
+    @property
+    def optimal(self) -> EnergyPoint:
+        """The energy-minimal operating point."""
+        return min(self.points, key=lambda p: p.energy_kj)
+
+    @property
+    def serial(self) -> EnergyPoint:
+        """The single-process point."""
+        for point in self.points:
+            if point.nprocs == 1:
+                return point
+        raise ConfigurationError("sweep did not include 1 process")
+
+    @property
+    def max_saving(self) -> float:
+        """Fractional energy saved at the optimum vs. serial."""
+        return 1.0 - self.optimal.energy_kj / self.serial.energy_kj
+
+    def parallelism_saves_energy(self) -> bool:
+        """The paper's Fig.-11 claim, for this program."""
+        return self.optimal.nprocs > 1 and self.max_saving > 0.0
+
+
+def energy_scaling(
+    server: ServerSpec,
+    program: str,
+    npb_class: "NpbClass | str" = "C",
+    simulator: Simulator | None = None,
+    counts: "tuple[int, ...] | None" = None,
+) -> EnergyScaling:
+    """Sweep one NPB program's energy over its allowed core counts."""
+    simulator = simulator or Simulator(server)
+    prog = get_npb_program(program)
+    klass = NpbClass.parse(npb_class)
+    if counts is None:
+        counts = tuple(
+            n
+            for n in range(1, server.total_cores + 1)
+            if prog.proc_rule.allows(n)
+        )
+    points = []
+    for n in counts:
+        prog.validate_nprocs(n)
+        try:
+            run = simulator.run(NpbWorkload(prog, klass, n))
+        except InsufficientMemoryError:
+            continue
+        points.append(
+            EnergyPoint(
+                nprocs=n,
+                duration_s=run.duration_s,
+                watts=run.average_power_watts(),
+                energy_kj=run.energy_kilojoules(),
+            )
+        )
+    if not points:
+        raise ConfigurationError(
+            f"{program}.{klass.value} could not run at any requested count"
+        )
+    return EnergyScaling(
+        server=server.name,
+        program=prog.name,
+        npb_class=klass.value,
+        points=tuple(points),
+    )

@@ -1,0 +1,126 @@
+"""The proposed HPC power evaluation method (Section V-C).
+
+Runs the ten-state matrix (idle + EP.C x {1, half, full} + HPL x
+{1, half, full} x {Mh, Mf}), measures each state with the metering
+pipeline, computes PPW per state (Eq. 1), and scores the server with the
+arithmetic mean of the ten PPW values — the row the paper prints as
+"(GFlops/Watt)/10".
+
+Note on the paper's Table IV: the Xeon-E5462 score is printed as 0.6390,
+which is the *sum* of its PPW column; the other two servers print the
+sum/10.  The mean (sum/10) is used consistently here — it changes no
+ordering, and the paper's own ranking text juxtaposes 0.639 with the
+other servers' sum/10 values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import ppw
+from repro.core.states import EvaluationState, evaluation_states
+from repro.demand import ResourceDemand
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.hardware.specs import ServerSpec
+from repro.metering.analysis import DEFAULT_TRIM
+
+__all__ = ["EvaluationRow", "EvaluationResult", "evaluate_server", "rank_servers"]
+
+#: Duration of the idle measurement window, seconds.
+IDLE_WINDOW_S: float = 120.0
+
+
+@dataclass(frozen=True)
+class EvaluationRow:
+    """One measured row of Tables IV-VI."""
+
+    label: str
+    gflops: float
+    watts: float
+    memory_mb: float
+    duration_s: float
+
+    @property
+    def ppw(self) -> float:
+        """Performance per watt for this row (0 for idle)."""
+        return ppw(self.gflops, self.watts)
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Complete outcome of the proposed method on one server."""
+
+    server: str
+    rows: tuple[EvaluationRow, ...]
+
+    @property
+    def average_gflops(self) -> float:
+        """The tables' "Average" performance row."""
+        return sum(r.gflops for r in self.rows) / len(self.rows)
+
+    @property
+    def average_watts(self) -> float:
+        """The tables' "Average" power row."""
+        return sum(r.watts for r in self.rows) / len(self.rows)
+
+    @property
+    def score(self) -> float:
+        """Mean PPW over all ten states — the "(GFlops/Watt)/10" row."""
+        return sum(r.ppw for r in self.rows) / len(self.rows)
+
+    def row(self, label: str) -> EvaluationRow:
+        """Look up a row by its table label."""
+        for r in self.rows:
+            if r.label == label:
+                return r
+        raise ConfigurationError(f"no row labelled {label!r}")
+
+
+def _measure_state(
+    simulator: Simulator, state: EvaluationState, trim: float
+) -> EvaluationRow:
+    if state.is_idle:
+        result = simulator.run(ResourceDemand.idle(IDLE_WINDOW_S))
+        gflops = 0.0
+    else:
+        result = simulator.run(state.workload)
+        gflops = result.demand.gflops
+    return EvaluationRow(
+        label=state.label,
+        gflops=gflops,
+        watts=result.average_power_watts(trim),
+        memory_mb=result.average_memory_mb(trim),
+        duration_s=result.duration_s,
+    )
+
+
+def evaluate_server(
+    server: ServerSpec,
+    simulator: Simulator | None = None,
+    trim: float = DEFAULT_TRIM,
+) -> EvaluationResult:
+    """Run the full proposed method on ``server``.
+
+    >>> from repro.hardware import XEON_E5462
+    >>> result = evaluate_server(XEON_E5462)
+    >>> len(result.rows)
+    10
+    """
+    simulator = simulator or Simulator(server)
+    if simulator.server != server:
+        raise ConfigurationError("simulator is bound to a different server")
+    rows = tuple(
+        _measure_state(simulator, state, trim)
+        for state in evaluation_states(server)
+    )
+    return EvaluationResult(server=server.name, rows=rows)
+
+
+def rank_servers(
+    results: "list[EvaluationResult]",
+) -> list[EvaluationResult]:
+    """Order evaluation results best-first (highest score wins)."""
+    if not results:
+        raise ConfigurationError("nothing to rank")
+    return sorted(results, key=lambda r: r.score, reverse=True)

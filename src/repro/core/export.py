@@ -1,0 +1,259 @@
+"""Export every reproduced exhibit as data files.
+
+Writes one artifact per table/figure of the paper into a directory —
+tables as CSV, figure series as JSON — so downstream plotting or
+spreadsheet comparison needs no Python.  The CLI front end is
+``python -m repro export <dir>``.
+
+Artifacts (all deterministic for a given seed):
+
+========================  ====================================================
+``table1_specs.csv``      server characteristics
+``table4..6_*.csv``       the evaluation tables per server
+``table2_normalized.csv`` the Xeon-4870 power matrix
+``fig1_2_specpower.csv``  memory %, CPU %, watts per load level
+``fig3_e5462.csv`` /      the mixed power charts
+``fig4_opteron.csv``
+``fig5_ns.json`` ...      the HPL parameter sweeps
+``fig8_9_npb.csv``        NPB footprints and power per class
+``fig10_11_ep.csv``       the EP profile
+``rankings.json``         the three method scores per server
+``table7_8_regression.json`` / ``fig12_13_verification.csv``
+                          the regression study (with ``regression=True``)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.core import sweeps
+from repro.core.evaluation import evaluate_server
+from repro.core.green500 import green500_score
+from repro.core.regression import (
+    collect_hpcc_training,
+    train_power_model,
+    verify_on_npb,
+)
+from repro.core.spec_method import specpower_score
+from repro.engine.simulator import Simulator
+from repro.hardware.pmu import REGRESSION_FEATURES
+from repro.hardware.specs import BUILTIN_SERVERS, get_server
+
+__all__ = ["export_exhibits"]
+
+
+def _write_csv(path: Path, header: "list[str]", rows: "list[tuple]") -> None:
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def _export_specs(out: Path) -> None:
+    rows = [
+        (
+            s.name,
+            s.processor.model,
+            s.total_cores,
+            s.chips,
+            s.processor.frequency_mhz,
+            s.memory.total_gb,
+            round(s.gflops_peak, 1),
+        )
+        for s in BUILTIN_SERVERS.values()
+    ]
+    _write_csv(
+        out / "table1_specs.csv",
+        ["server", "processor", "cores", "chips", "mhz", "memory_gb", "peak_gflops"],
+        rows,
+    )
+
+
+def _export_evaluations(out: Path, seed: int) -> None:
+    table_names = {
+        "Xeon-E5462": "table4_e5462.csv",
+        "Opteron-8347": "table5_opteron.csv",
+        "Xeon-4870": "table6_4870.csv",
+    }
+    rankings = {}
+    for name, filename in table_names.items():
+        server = get_server(name)
+        result = evaluate_server(server, Simulator(server, seed=seed))
+        _write_csv(
+            out / filename,
+            ["program", "gflops", "watts", "ppw"],
+            [
+                (r.label, round(r.gflops, 4), round(r.watts, 4), round(r.ppw, 6))
+                for r in result.rows
+            ],
+        )
+        rankings[name] = {
+            "ours_mean_ppw": result.score,
+            "green500_ppw": green500_score(
+                server, Simulator(server, seed=seed)
+            ).ppw,
+            "specpower_ssj_ops_per_watt": specpower_score(
+                server, Simulator(server, seed=seed)
+            ).overall_ssj_ops_per_watt,
+        }
+    (out / "rankings.json").write_text(
+        json.dumps(rankings, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _export_motivation(out: Path, seed: int) -> None:
+    sim_small = Simulator(get_server("Xeon-E5462"), seed=seed)
+    sim_opteron = Simulator(get_server("Opteron-8347"), seed=seed)
+    sim_big = Simulator(get_server("Xeon-4870"), seed=seed)
+
+    usage = sweeps.specpower_usage_sweep(sim_small)
+    _write_csv(
+        out / "fig1_2_specpower.csv",
+        ["level", "memory_pct", "cpu_pct", "watts"],
+        [(n, round(m, 3), round(c, 1), round(w, 2)) for n, m, c, w in usage],
+    )
+
+    for sim, counts, filename in (
+        (sim_small, (4, 2, 1), "fig3_e5462.csv"),
+        (sim_opteron, (16, 8, 4, 2, 1), "fig4_opteron.csv"),
+    ):
+        points = sweeps.mixed_power_sweep(sim, counts)
+        _write_csv(
+            out / filename,
+            ["benchmark", "watts"],
+            [
+                (p.label, round(p.watts, 2) if p.runnable else "cannot_run")
+                for p in points
+            ],
+        )
+
+    matrix = sweeps.table2_power_matrix(sim_big)
+    peak = max(max(row.values()) for row in matrix.values())
+    programs = sorted({k for row in matrix.values() for k in row})
+    _write_csv(
+        out / "table2_normalized.csv",
+        ["procs"] + programs,
+        [
+            (
+                n,
+                *(
+                    round(row[p] / peak, 3) if p in row else ""
+                    for p in programs
+                ),
+            )
+            for n, row in matrix.items()
+        ],
+    )
+
+
+def _export_hpl_sweeps(out: Path, seed: int) -> None:
+    sim = Simulator(get_server("Xeon-E5462"), seed=seed)
+    (out / "fig5_ns.json").write_text(
+        json.dumps(
+            {str(k): v for k, v in sweeps.hpl_ns_sweep(sim).items()},
+            indent=2,
+        )
+        + "\n"
+    )
+    (out / "fig6_nbs.json").write_text(
+        json.dumps(
+            {str(k): v for k, v in sweeps.hpl_nb_sweep(sim).items()},
+            indent=2,
+        )
+        + "\n"
+    )
+    (out / "fig7_pq.json").write_text(
+        json.dumps(
+            {f"{p}x{q}": v for (p, q), v in sweeps.hpl_pq_sweep(sim).items()},
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def _export_npb(out: Path, seed: int) -> None:
+    sim = Simulator(get_server("Xeon-E5462"), seed=seed)
+    power = sweeps.npb_class_sweep(sim, quantity="power")
+    memory = sweeps.npb_class_sweep(sim, quantity="memory")
+    _write_csv(
+        out / "fig8_9_npb.csv",
+        ["workload", "mem_A", "mem_B", "mem_C", "watts_A", "watts_B", "watts_C"],
+        [
+            (
+                label,
+                *(round(v, 1) if v is not None else "oom" for v in memory[label]),
+                *(round(v, 1) if v is not None else "oom" for v in power[label]),
+            )
+            for label in power
+        ],
+    )
+    _write_csv(
+        out / "fig10_11_ep.csv",
+        ["cores", "time_s", "watts", "ppw", "energy_kj"],
+        [
+            (n, round(t, 2), round(w, 2), round(p, 6), round(e, 3))
+            for n, t, w, p, e in sweeps.ep_profile(sim)
+        ],
+    )
+
+
+def _export_regression(out: Path, seed: int) -> None:
+    server = get_server("Xeon-4870")
+    simulator = Simulator(server, seed=seed)
+    dataset = collect_hpcc_training(server, simulator)
+    model = train_power_model(dataset, server_name=server.name)
+    summary = {
+        "multiple_r": model.ols.multiple_r,
+        "r_square": model.r_square,
+        "adjusted_r_square": model.ols.adjusted_r_square,
+        "standard_error": model.ols.standard_error,
+        "observations": model.n_observations,
+        "coefficients": dict(
+            zip(REGRESSION_FEATURES, model.coefficients_full().tolist())
+        ),
+        "intercept": model.intercept,
+    }
+    (out / "table7_8_regression.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    rows = []
+    for klass in ("B", "C"):
+        result = verify_on_npb(server, model, klass, simulator)
+        summary[f"npb_{klass}_r_squared"] = result.r_squared
+        rows.extend(
+            (klass, label, round(m, 4), round(p, 4), round(m - p, 4))
+            for label, m, p in zip(
+                result.labels, result.measured, result.predicted
+            )
+        )
+    _write_csv(
+        out / "fig12_13_verification.csv",
+        ["npb_class", "program", "measured", "regression", "difference"],
+        rows,
+    )
+    (out / "table7_8_regression.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def export_exhibits(
+    out_dir: "str | Path", seed: int = 0, regression: bool = False
+) -> list[Path]:
+    """Write every exhibit's data into ``out_dir``; returns the paths.
+
+    ``regression=True`` additionally runs the Section-VI study (the
+    slowest part, a few seconds).
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    _export_specs(out)
+    _export_evaluations(out, seed)
+    _export_motivation(out, seed)
+    _export_hpl_sweeps(out, seed)
+    _export_npb(out, seed)
+    if regression:
+        _export_regression(out, seed)
+    return sorted(out.iterdir())

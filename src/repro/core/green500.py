@@ -1,0 +1,63 @@
+"""The Green500 comparison method (Section III-B).
+
+Green500 ranks by PPW at peak: ``Rmax / Pavg(Rmax)`` where Rmax is the
+best HPL result and Pavg the average system power during that run, with
+the first and last few samples ignored.  On a single server that means
+HPL at full cores and full memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import ppw
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.hardware.calibration import FULL_MEMORY_FRACTION
+from repro.hardware.specs import ServerSpec
+from repro.workloads.hpl import HplConfig, HplWorkload
+
+__all__ = ["Green500Result", "green500_score"]
+
+#: Samples ignored at each end of the power log ("the first and last few
+#: samples can be ignored ... to prevent inaccurate records").
+EDGE_TRIM_FRACTION: float = 0.05
+
+
+@dataclass(frozen=True)
+class Green500Result:
+    """Outcome of the Green500 method on one server."""
+
+    server: str
+    rmax_gflops: float
+    average_watts: float
+
+    @property
+    def ppw(self) -> float:
+        """GFLOPS per watt, Eq. (1)."""
+        return ppw(self.rmax_gflops, self.average_watts)
+
+
+def green500_score(
+    server: ServerSpec,
+    simulator: Simulator | None = None,
+    memory_fraction: float = FULL_MEMORY_FRACTION,
+) -> Green500Result:
+    """Measure a server the Green500 way: peak HPL, average power.
+
+    >>> from repro.hardware import XEON_4870
+    >>> 0.28 < green500_score(XEON_4870).ppw < 0.32  # paper: 0.307
+    True
+    """
+    simulator = simulator or Simulator(server)
+    if simulator.server != server:
+        raise ConfigurationError("simulator is bound to a different server")
+    workload = HplWorkload(
+        HplConfig(nprocs=server.total_cores, memory_fraction=memory_fraction)
+    )
+    result = simulator.run(workload)
+    return Green500Result(
+        server=server.name,
+        rmax_gflops=result.demand.gflops,
+        average_watts=result.average_power_watts(EDGE_TRIM_FRACTION),
+    )

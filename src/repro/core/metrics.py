@@ -1,0 +1,69 @@
+"""The paper's numbered formulas.
+
+* Eq. (1): ``PPW = Rmax (GFLOPS) / Pavg (W)`` — performance per watt.
+* Eq. (2): ``Energy (KJ) = Power (KW) * Time (s)`` — see
+  :func:`repro.units.energy_kj`.
+* Eqs. (6)-(8): the fitting coefficient of determination used for
+  regression verification: ``R² = 1 - RSS/TSS`` with RSS the residual sum
+  of squares against the *regression* values and TSS the total variation
+  of the *measured* values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ppw", "rss", "tss", "r_squared"]
+
+
+def ppw(gflops: float, watts: float) -> float:
+    """Performance per watt, Eq. (1).
+
+    >>> round(ppw(344.0, 1119.6), 4)  # Xeon-4870, HPL P40 Mf
+    0.3073
+    """
+    if watts <= 0:
+        raise ConfigurationError(f"power must be positive, got {watts}")
+    if gflops < 0:
+        raise ConfigurationError(f"performance must be >= 0, got {gflops}")
+    return gflops / watts
+
+
+def rss(measured: np.ndarray, regression: np.ndarray) -> float:
+    """Residual sum of squares, Eq. (7)."""
+    measured = np.asarray(measured, dtype=float).ravel()
+    regression = np.asarray(regression, dtype=float).ravel()
+    if measured.shape != regression.shape:
+        raise ConfigurationError(
+            f"shapes differ: {measured.shape} vs {regression.shape}"
+        )
+    if measured.size == 0:
+        raise ConfigurationError("cannot compute RSS of empty series")
+    diff = measured - regression
+    return float(diff @ diff)
+
+
+def tss(measured: np.ndarray) -> float:
+    """Total variation of the measured series, Eq. (8)."""
+    measured = np.asarray(measured, dtype=float).ravel()
+    if measured.size == 0:
+        raise ConfigurationError("cannot compute TSS of empty series")
+    centred = measured - measured.mean()
+    return float(centred @ centred)
+
+
+def r_squared(measured: np.ndarray, regression: np.ndarray) -> float:
+    """Fitting coefficient of determination, Eq. (6).
+
+    Unlike an in-sample OLS R², this can be negative when the regression
+    values fit worse than the measured mean — which is informative for
+    out-of-sample verification.
+    """
+    total = tss(measured)
+    if total <= 0:
+        raise ConfigurationError(
+            "measured series has zero variation; R^2 undefined"
+        )
+    return 1.0 - rss(measured, regression) / total

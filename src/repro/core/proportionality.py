@@ -1,0 +1,101 @@
+"""Energy proportionality analysis.
+
+The paper's related work cites Ryckbosch et al., *Trends in server energy
+proportionality* — a server is energy-proportional when its power tracks
+its utilisation, so an idle machine costs nothing.  None of the paper's
+three servers comes close (their idle draw is 57-87 % of peak), which is
+exactly why the proposed method's idle state matters so much for the
+final score.
+
+This module computes the standard proportionality metrics from the same
+measurement machinery the evaluation uses:
+
+* **dynamic range** — ``(P_peak - P_idle) / P_peak``; 1.0 is perfectly
+  proportional, 0.0 is a constant-power brick.
+* **linear-deviation proportionality** — sweep utilisation (via
+  SPECpower's graduated load, the only utilisation-controllable workload
+  in the suite) and measure how far the power curve sits above the ideal
+  straight line from idle-share to peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.demand import ResourceDemand
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.hardware.specs import ServerSpec
+from repro.workloads.hpl import HplConfig, HplWorkload
+from repro.workloads.specpower import SpecPowerLevel, SpecPowerWorkload
+
+__all__ = ["ProportionalityReport", "proportionality_report"]
+
+
+@dataclass(frozen=True)
+class ProportionalityReport:
+    """Energy-proportionality metrics for one server."""
+
+    server: str
+    idle_watts: float
+    peak_watts: float
+    loads: tuple[float, ...]
+    watts_at_load: tuple[float, ...]
+
+    @property
+    def dynamic_range(self) -> float:
+        """``(peak - idle) / peak`` — 1.0 is perfectly proportional."""
+        return (self.peak_watts - self.idle_watts) / self.peak_watts
+
+    @property
+    def idle_fraction(self) -> float:
+        """Idle power as a fraction of peak."""
+        return self.idle_watts / self.peak_watts
+
+    @property
+    def mean_linear_deviation(self) -> float:
+        """Mean excess of measured power over the ideal proportional line.
+
+        The ideal line runs from (0, 0) to (1, peak); the deviation is
+        normalised by peak, so 0.0 is perfect proportionality and the
+        idle fraction is the deviation's floor at zero load.
+        """
+        loads = np.asarray(self.loads)
+        watts = np.asarray(self.watts_at_load)
+        ideal = loads * self.peak_watts
+        return float(np.mean((watts - ideal) / self.peak_watts))
+
+
+def proportionality_report(
+    server: ServerSpec,
+    simulator: Simulator | None = None,
+    loads: "tuple[float, ...]" = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+) -> ProportionalityReport:
+    """Measure a server's energy proportionality.
+
+    Peak is the HPL full-cores/full-memory point (the machine's realistic
+    power ceiling); the load curve comes from SPECpower's graduated
+    levels, the suite's only workload with a controllable utilisation.
+    """
+    if not loads or any(not 0.0 < l <= 1.0 for l in loads):
+        raise ConfigurationError("loads must be fractions in (0, 1]")
+    simulator = simulator or Simulator(server)
+    idle = simulator.run(ResourceDemand.idle(120.0)).average_power_watts()
+    peak = simulator.run(
+        HplWorkload(HplConfig(server.total_cores, 0.95))
+    ).average_power_watts()
+    watts = tuple(
+        simulator.run(
+            SpecPowerWorkload(SpecPowerLevel(f"{int(l * 100)}%", l))
+        ).average_power_watts()
+        for l in loads
+    )
+    return ProportionalityReport(
+        server=server.name,
+        idle_watts=idle,
+        peak_watts=peak,
+        loads=tuple(loads),
+        watts_at_load=watts,
+    )

@@ -1,0 +1,83 @@
+"""Plain-text rendering of the paper's tables.
+
+Used by the benchmark harness and the examples to print rows in the same
+layout as the paper, so paper-vs-measured comparison is a visual diff.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import EvaluationResult
+from repro.core.regression import PowerRegressionModel, VerificationResult
+from repro.hardware.pmu import REGRESSION_FEATURES
+
+__all__ = [
+    "format_evaluation_table",
+    "format_regression_summary",
+    "format_coefficients",
+    "format_verification",
+]
+
+
+def format_evaluation_table(result: EvaluationResult) -> str:
+    """Render an :class:`EvaluationResult` like Tables IV-VI."""
+    lines = [
+        f"PPW on server {result.server}",
+        f"{'Program':<14} {'Performance':>12} {'Power':>10} {'PPW':>14}",
+        f"{'':<14} {'(GFLOPS)':>12} {'(Watt)':>10} {'(GFLOPS/Watt)':>14}",
+    ]
+    for row in result.rows:
+        lines.append(
+            f"{row.label:<14} {row.gflops:>12.4f} {row.watts:>10.4f} "
+            f"{row.ppw:>14.4f}"
+        )
+    lines.append(
+        f"{'Average':<14} {result.average_gflops:>12.4f} "
+        f"{result.average_watts:>10.4f}"
+    )
+    lines.append(f"{'(GFlops/Watt)/10':<27} {result.score:>10.4f}")
+    return "\n".join(lines)
+
+
+def format_regression_summary(model: PowerRegressionModel) -> str:
+    """Render the Table VII summary block."""
+    lines = [
+        f"Regression result on server {model.server or '(unnamed)'}",
+        f"{'Multiple R':<22} {model.ols.multiple_r:.9f}",
+        f"{'R Square':<22} {model.ols.r_square:.9f}",
+        f"{'Adjusted R Square':<22} {model.ols.adjusted_r_square:.9f}",
+        f"{'Standard Error':<22} {model.ols.standard_error:.9f}",
+        f"{'Observation':<22} {model.n_observations}",
+    ]
+    return "\n".join(lines)
+
+
+def format_coefficients(model: PowerRegressionModel) -> str:
+    """Render the Table VIII coefficient row."""
+    coefficients = model.coefficients_full()
+    parts = [
+        f"b{i + 1}[{name}]={value:+.6f}"
+        for i, (name, value) in enumerate(
+            zip(REGRESSION_FEATURES, coefficients)
+        )
+    ]
+    parts.append(f"C={model.intercept:+.3e}")
+    return "\n".join(parts)
+
+
+def format_verification(result: VerificationResult, limit: int = 0) -> str:
+    """Render the Fig. 12/13 series as rows (optionally truncated)."""
+    lines = [
+        f"Verification on {result.server}, NPB class {result.npb_class}: "
+        f"R^2 = {result.r_squared:.3f}",
+        f"{'Program':<12} {'Measured':>10} {'Regression':>11} {'Diff':>8}",
+    ]
+    rows = zip(result.labels, result.measured, result.predicted)
+    for i, (label, measured, predicted) in enumerate(rows):
+        if limit and i >= limit:
+            lines.append(f"... ({len(result.labels) - limit} more rows)")
+            break
+        lines.append(
+            f"{label:<12} {measured:>10.3f} {predicted:>11.3f} "
+            f"{measured - predicted:>8.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""The SPECpower_ssj2008 comparison method (Section III-A).
+
+The benchmark's overall metric divides the sum of delivered ssj_ops over
+the ten graduated target loads by the sum of average power over those
+loads *plus active idle*.  The three calibration phases precede the
+measured levels but do not enter the metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.hardware.specs import ServerSpec
+from repro.metering.analysis import DEFAULT_TRIM
+from repro.workloads.specpower import (
+    SpecPowerLevel,
+    SpecPowerWorkload,
+    full_run_levels,
+)
+
+__all__ = ["SpecPowerLevelResult", "SpecPowerResult", "specpower_score"]
+
+
+@dataclass(frozen=True)
+class SpecPowerLevelResult:
+    """One measured load level."""
+
+    level: str
+    load: float
+    ssj_ops: float
+    watts: float
+    memory_mb: float
+    cpu_util: float
+
+
+@dataclass(frozen=True)
+class SpecPowerResult:
+    """Complete graduated-load measurement."""
+
+    server: str
+    levels: tuple[SpecPowerLevelResult, ...]
+
+    @property
+    def measured_levels(self) -> tuple[SpecPowerLevelResult, ...]:
+        """The ten target loads (excludes calibration phases and idle)."""
+        return tuple(
+            lv
+            for lv in self.levels
+            if not lv.level.startswith("Cal") and lv.load > 0
+        )
+
+    @property
+    def active_idle(self) -> SpecPowerLevelResult:
+        """The active-idle level."""
+        for lv in self.levels:
+            if lv.load == 0:
+                return lv
+        raise ConfigurationError("campaign did not include active idle")
+
+    @property
+    def overall_ssj_ops_per_watt(self) -> float:
+        """The benchmark's headline metric."""
+        ops = sum(lv.ssj_ops for lv in self.measured_levels)
+        watts = sum(lv.watts for lv in self.measured_levels)
+        watts += self.active_idle.watts
+        return ops / watts
+
+
+def specpower_score(
+    server: ServerSpec,
+    simulator: Simulator | None = None,
+    trim: float = DEFAULT_TRIM,
+) -> SpecPowerResult:
+    """Run the full SPECpower_ssj2008 sequence on ``server``.
+
+    >>> from repro.hardware import XEON_E5462
+    >>> result = specpower_score(XEON_E5462)
+    >>> 200 < result.overall_ssj_ops_per_watt < 300
+    True
+    """
+    simulator = simulator or Simulator(server)
+    if simulator.server != server:
+        raise ConfigurationError("simulator is bound to a different server")
+    levels = full_run_levels() + [SpecPowerLevel("ActiveIdle", 0.0)]
+    results = []
+    for level in levels:
+        workload = SpecPowerWorkload(level)
+        run = simulator.run(workload)
+        results.append(
+            SpecPowerLevelResult(
+                level=level.name,
+                load=level.load,
+                ssj_ops=workload.ssj_ops(server),
+                watts=run.average_power_watts(trim),
+                memory_mb=run.average_memory_mb(trim),
+                cpu_util=run.demand.cpu_util,
+            )
+        )
+    return SpecPowerResult(server=server.name, levels=tuple(results))

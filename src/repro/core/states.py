@@ -1,0 +1,90 @@
+"""The five-state test matrix (Table III / Section V-C1).
+
+The proposed method measures the system in five states:
+
+1. Idle (no load),
+2. full CPU + full memory,
+3. half CPU + full memory,
+4. full CPU + half memory,
+5. half CPU + half memory,
+
+realised with NPB-EP class C (cores swept 1/half/full, tiny fixed memory)
+and HPL (cores 1/half/full at 50 % and 90-100 % memory).  The evaluation
+tables list ten rows: idle, three EP rows, and six HPL rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.calibration import (
+    FULL_MEMORY_FRACTION,
+    HALF_MEMORY_FRACTION,
+)
+from repro.hardware.specs import ServerSpec
+from repro.workloads.base import Workload
+from repro.workloads.hpl import HplConfig, HplWorkload
+from repro.workloads.npb import NpbWorkload
+
+__all__ = ["EvaluationState", "evaluation_states", "core_levels"]
+
+
+@dataclass(frozen=True)
+class EvaluationState:
+    """One row of the test matrix."""
+
+    label: str
+    workload: Workload | None
+    #: Core level as a fraction of the machine (0 for idle, 1/cores for
+    #: the single-core rows, 0.5 and 1.0 for half/full).
+    core_level: float
+    #: Memory level ("C scale" for EP is represented as 0).
+    memory_level: float
+
+    @property
+    def is_idle(self) -> bool:
+        """True for the no-load state."""
+        return self.workload is None
+
+
+def core_levels(server: ServerSpec) -> tuple[int, int, int]:
+    """The (1, half, full) core counts for a server."""
+    full = server.total_cores
+    half = server.half_cores()
+    if full < 2:
+        raise ConfigurationError(
+            f"{server.name}: the method needs at least 2 cores"
+        )
+    return (1, half, full)
+
+
+def evaluation_states(server: ServerSpec) -> list[EvaluationState]:
+    """The ten measurement rows of Tables IV-VI, in table order."""
+    one, half, full = core_levels(server)
+    states: list[EvaluationState] = [
+        EvaluationState("Idle", None, 0.0, 0.0)
+    ]
+    for n in (one, half, full):
+        states.append(
+            EvaluationState(
+                f"ep.C.{n}",
+                NpbWorkload("ep", "C", n),
+                n / full,
+                0.0,
+            )
+        )
+    for fraction, suffix in (
+        (HALF_MEMORY_FRACTION, "Mh"),
+        (FULL_MEMORY_FRACTION, "Mf"),
+    ):
+        for n in (one, half, full):
+            states.append(
+                EvaluationState(
+                    f"HPL P{n} {suffix}",
+                    HplWorkload(HplConfig(nprocs=n, memory_fraction=fraction)),
+                    n / full,
+                    fraction,
+                )
+            )
+    return states

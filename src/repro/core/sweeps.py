@@ -1,0 +1,243 @@
+"""Canonical experiment sweeps behind the paper's figures.
+
+Each function runs one figure's or table's sweep on a simulator and
+returns plain data (labels + values) that the benchmark harness, the CLI,
+and the examples all render.  Keeping the sweep definitions here — rather
+than duplicated in each consumer — makes "which runs make up Fig. X" a
+single-sourced, testable fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.simulator import Simulator
+from repro.errors import InsufficientMemoryError
+from repro.workloads.hpl import HplConfig, HplWorkload
+from repro.workloads.npb import NPB_PROGRAMS, NpbClass, NpbWorkload
+from repro.workloads.specpower import (
+    SpecPowerLevel,
+    SpecPowerWorkload,
+    full_run_levels,
+)
+
+__all__ = [
+    "PowerPoint",
+    "specpower_usage_sweep",
+    "mixed_power_sweep",
+    "table2_power_matrix",
+    "hpl_ns_sweep",
+    "hpl_nb_sweep",
+    "hpl_pq_sweep",
+    "npb_class_sweep",
+    "ep_profile",
+]
+
+#: Default HPL memory fraction for the power charts (full memory).
+_FULL = 0.95
+
+
+@dataclass(frozen=True)
+class PowerPoint:
+    """One bar of a power chart."""
+
+    label: str
+    watts: float | None  # None = could not run (memory or proc rule)
+
+    @property
+    def runnable(self) -> bool:
+        """Whether the configuration could execute."""
+        return self.watts is not None
+
+
+def specpower_usage_sweep(
+    simulator: Simulator,
+) -> list[tuple[str, float, float, float]]:
+    """Figs. 1-2 data: (level, memory %, cpu %, watts) per load level."""
+    rows = []
+    for level in full_run_levels():
+        run = simulator.run(SpecPowerWorkload(level))
+        memory_pct = (
+            100.0 * run.average_memory_mb() / simulator.server.memory_mb
+        )
+        rows.append(
+            (
+                level.name,
+                memory_pct,
+                100.0 * run.demand.cpu_util,
+                run.average_power_watts(),
+            )
+        )
+    return rows
+
+
+def mixed_power_sweep(
+    simulator: Simulator,
+    counts: "tuple[int, ...]",
+    npb_class: "NpbClass | str" = "C",
+    include_specpower: bool = True,
+) -> list[PowerPoint]:
+    """Figs. 3-4 data: SPECpower, HPL, and every runnable NPB program.
+
+    Labels follow the paper's x-axes (``HPL.4``, ``ep.C.4``...); counts
+    are listed in the order given (the paper descends).
+    """
+    klass = NpbClass.parse(npb_class)
+    points: list[PowerPoint] = []
+    if include_specpower:
+        run = simulator.run(SpecPowerWorkload(SpecPowerLevel("100%", 1.0)))
+        points.append(
+            PowerPoint(
+                f"SPECPower.{simulator.server.total_cores}",
+                run.average_power_watts(),
+            )
+        )
+    for n in counts:
+        run = simulator.run(HplWorkload(HplConfig(n, _FULL)))
+        points.append(PowerPoint(f"HPL.{n}", run.average_power_watts()))
+        for name, program in sorted(NPB_PROGRAMS.items()):
+            if not program.proc_rule.allows(n):
+                continue
+            label = f"{name}.{klass.value}.{n}"
+            try:
+                run = simulator.run(NpbWorkload(program, klass, n))
+            except InsufficientMemoryError:
+                points.append(PowerPoint(label, None))
+                continue
+            points.append(PowerPoint(label, run.average_power_watts()))
+    return points
+
+
+def table2_power_matrix(
+    simulator: Simulator,
+    counts: "tuple[int, ...]" = (1, 2, 4, 8, 9, 16, 25, 32, 36, 39, 40),
+) -> dict[int, dict[str, float]]:
+    """Table II data: program -> watts per process count (CG omitted,
+    as in the paper's table)."""
+    table: dict[int, dict[str, float]] = {}
+    for n in counts:
+        row: dict[str, float] = {}
+        run = simulator.run(HplWorkload(HplConfig(n, _FULL)))
+        row["hpl"] = run.average_power_watts()
+        for name, program in NPB_PROGRAMS.items():
+            if name == "cg" or not program.proc_rule.allows(n):
+                continue
+            row[name] = simulator.run(
+                NpbWorkload(program, "C", n)
+            ).average_power_watts()
+        if n == simulator.server.total_cores:
+            row["spec"] = simulator.run(
+                SpecPowerWorkload(SpecPowerLevel("100%", 1.0))
+            ).average_power_watts()
+        table[n] = row
+    return table
+
+
+def hpl_ns_sweep(
+    simulator: Simulator,
+    core_counts: "tuple[int, ...]" = (1, 2, 4),
+    fractions: "tuple[float, ...]" = (
+        0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95,
+    ),
+) -> dict[int, list[float]]:
+    """Fig. 5 data: watts per memory fraction, one series per core count."""
+    return {
+        n: [
+            simulator.run(
+                HplWorkload(HplConfig(n, fraction))
+            ).average_power_watts()
+            for fraction in fractions
+        ]
+        for n in core_counts
+    }
+
+
+def hpl_nb_sweep(
+    simulator: Simulator,
+    core_counts: "tuple[int, ...]" = (1, 2, 3, 4),
+    nbs: "tuple[int, ...]" = (50, 100, 150, 200, 250, 300, 350, 400),
+) -> dict[int, list[float]]:
+    """Fig. 6 data: watts per NB, one series per core count."""
+    return {
+        n: [
+            simulator.run(
+                HplWorkload(HplConfig(n, 0.5, nb=nb))
+            ).average_power_watts()
+            for nb in nbs
+        ]
+        for n in core_counts
+    }
+
+
+def hpl_pq_sweep(
+    simulator: Simulator,
+    grids: "tuple[tuple[int, int], ...]" = ((1, 4), (2, 2), (4, 1)),
+    nbs: "tuple[int, ...]" = (50, 100, 150, 200, 250, 300, 350, 400),
+) -> dict[tuple[int, int], list[float]]:
+    """Fig. 7 data: watts per NB, one series per P x Q grid."""
+    return {
+        (p, q): [
+            simulator.run(
+                HplWorkload(HplConfig(p * q, 0.5, nb=nb, p=p, q=q))
+            ).average_power_watts()
+            for nb in nbs
+        ]
+        for p, q in grids
+    }
+
+
+def npb_class_sweep(
+    simulator: Simulator,
+    counts: "tuple[int, ...]" = (1, 2, 4),
+    classes: "tuple[str, ...]" = ("A", "B", "C"),
+    quantity: str = "power",
+) -> dict[str, list[float | None]]:
+    """Figs. 8-9 data: per (program, count) row, one value per class.
+
+    ``quantity`` is ``"power"`` (W) or ``"memory"`` (MB); unrunnable
+    configurations yield None.
+    """
+    if quantity not in ("power", "memory"):
+        raise ValueError(f"quantity must be power|memory, got {quantity!r}")
+    table: dict[str, list[float | None]] = {}
+    for name, program in sorted(NPB_PROGRAMS.items()):
+        for n in counts:
+            if not program.proc_rule.allows(n):
+                continue
+            entry: list[float | None] = []
+            for klass in classes:
+                try:
+                    run = simulator.run(NpbWorkload(program, klass, n))
+                except InsufficientMemoryError:
+                    entry.append(None)
+                    continue
+                entry.append(
+                    run.average_power_watts()
+                    if quantity == "power"
+                    else run.average_memory_mb()
+                )
+            table[f"{name}.{n}"] = entry
+    return table
+
+
+def ep_profile(
+    simulator: Simulator,
+    counts: "tuple[int, ...] | None" = None,
+) -> list[tuple[int, float, float, float, float]]:
+    """Figs. 10-11 data: (cores, time s, watts, PPW, energy KJ) for EP.C."""
+    if counts is None:
+        server = simulator.server
+        counts = (1, server.half_cores(), server.total_cores)
+    rows = []
+    for n in counts:
+        run = simulator.run(NpbWorkload("ep", "C", n))
+        rows.append(
+            (
+                n,
+                run.duration_s,
+                run.average_power_watts(),
+                run.ppw(),
+                run.energy_kilojoules(),
+            )
+        )
+    return rows

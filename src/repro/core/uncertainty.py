@@ -1,0 +1,79 @@
+"""Measurement-uncertainty quantification for the evaluation score.
+
+The paper notes that short runs make "stability and accuracy ... difficult
+to maintain" (Section V-B1) but reports single numbers.  This module
+quantifies the run-to-run spread the metering chain introduces: repeat the
+evaluation under different random streams (meter noise, phase ripple,
+sampler jitter) and report the score's distribution.
+
+Because every random effect is seeded, the result is itself
+deterministic for a given seed list — suitable for regression testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.evaluation import EvaluationResult, evaluate_server
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.hardware.specs import ServerSpec
+
+__all__ = ["ScoreDistribution", "score_distribution"]
+
+
+@dataclass(frozen=True)
+class ScoreDistribution:
+    """Evaluation-score spread across independent measurement streams."""
+
+    server: str
+    scores: tuple[float, ...]
+    results: tuple[EvaluationResult, ...]
+
+    @property
+    def mean(self) -> float:
+        """Mean score."""
+        return float(np.mean(self.scores))
+
+    @property
+    def std(self) -> float:
+        """Score standard deviation across streams."""
+        return float(np.std(self.scores))
+
+    @property
+    def relative_spread(self) -> float:
+        """(max - min) / mean — the headline stability figure."""
+        return (max(self.scores) - min(self.scores)) / self.mean
+
+    def interval(self, k: float = 2.0) -> tuple[float, float]:
+        """A mean +/- k sigma interval."""
+        return (self.mean - k * self.std, self.mean + k * self.std)
+
+
+def score_distribution(
+    server: ServerSpec,
+    n_repeats: int = 5,
+    base_seed: int = 0,
+    trim: float = 0.10,
+) -> ScoreDistribution:
+    """Repeat the full evaluation under ``n_repeats`` measurement streams.
+
+    Each repeat reruns the whole ten-state campaign with a different
+    simulator seed; workload idiosyncrasy (a property of the *programs*)
+    stays fixed, so the spread isolates the measurement chain.
+    """
+    if n_repeats < 2:
+        raise ConfigurationError(
+            f"need at least 2 repeats, got {n_repeats}"
+        )
+    results = []
+    for k in range(n_repeats):
+        simulator = Simulator(server, seed=base_seed + k)
+        results.append(evaluate_server(server, simulator, trim=trim))
+    return ScoreDistribution(
+        server=server.name,
+        scores=tuple(r.score for r in results),
+        results=tuple(results),
+    )

@@ -1,0 +1,166 @@
+"""Multi-program campaigns with the paper's CSV pipeline.
+
+Section V-C2 describes the full test procedure: share the PC's power-data
+directory, synchronise clocks, record with WTViewer while the server runs
+each program in sequence, then merge the CSV files, extract per-program
+windows by execution time, trim 10 % at each end, and average.
+
+:class:`Campaign` reproduces that end to end — including a residual clock
+offset between the meter PC and the server that the synchronisation step
+bounds but does not eliminate — and returns per-program measurements.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.simulator import Simulator
+from repro.engine.trace import RunResult
+from repro.errors import ConfigurationError
+from repro.metering.analysis import DEFAULT_TRIM, extract_window, trimmed_stats
+from repro.metering.csvlog import merge_power_csvs, read_power_csv, write_power_csv
+from repro.units import energy_kj
+from repro.workloads.base import Workload
+
+__all__ = ["ProgramMeasurement", "CampaignResult", "Campaign"]
+
+
+@dataclass(frozen=True)
+class ProgramMeasurement:
+    """Per-program outcome of a campaign (one row of Tables IV-VI)."""
+
+    label: str
+    gflops: float
+    average_watts: float
+    average_memory_mb: float
+    duration_s: float
+
+    @property
+    def ppw(self) -> float:
+        """Performance per watt (Eq. 1)."""
+        return self.gflops / self.average_watts
+
+    @property
+    def energy_kilojoules(self) -> float:
+        """Run energy (Eq. 2)."""
+        return energy_kj(self.average_watts, self.duration_s)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All measurements of one campaign plus the raw runs."""
+
+    server: str
+    measurements: tuple[ProgramMeasurement, ...]
+    runs: tuple[RunResult, ...]
+    merged_csv: Path | None = None
+
+    def by_label(self, label: str) -> ProgramMeasurement:
+        """Look up a measurement by its program label."""
+        for m in self.measurements:
+            if m.label == label:
+                return m
+        raise ConfigurationError(
+            f"no measurement labelled {label!r} in campaign"
+        )
+
+
+class Campaign:
+    """Sequential execution of several workloads on one server.
+
+    Parameters
+    ----------
+    simulator:
+        The engine to run on.
+    gap_s:
+        Idle seconds between consecutive programs (lets the meter trace
+        separate cleanly, as in the real procedure).
+    clock_offset_s:
+        Residual meter-PC clock offset after synchronisation; the meter's
+        timestamps are shifted by it and the analysis corrects with the
+        recorded offset, so a correct pipeline is insensitive to it.
+    trim:
+        Head/tail trim fraction for the averages.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        gap_s: float = 30.0,
+        clock_offset_s: float = 0.4,
+        trim: float = DEFAULT_TRIM,
+    ):
+        if gap_s < 0:
+            raise ConfigurationError("gap must be non-negative")
+        self.simulator = simulator
+        self.gap_s = gap_s
+        self.clock_offset_s = clock_offset_s
+        self.trim = trim
+
+    def run(
+        self,
+        workloads: "list[Workload]",
+        csv_dir: "str | Path | None" = None,
+    ) -> CampaignResult:
+        """Run every workload in order and analyse the merged trace.
+
+        ``csv_dir`` receives the per-segment and merged CSV files; a
+        temporary directory is used (and cleaned up) when omitted.
+        """
+        if not workloads:
+            raise ConfigurationError("campaign needs at least one workload")
+        own_tmp = csv_dir is None
+        tmp = tempfile.TemporaryDirectory() if own_tmp else None
+        out_dir = Path(tmp.name) if own_tmp else Path(csv_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            runs: list[RunResult] = []
+            csv_paths: list[Path] = []
+            t = 0.0
+            for i, workload in enumerate(workloads):
+                result = self.simulator.run(workload, t_start_s=t)
+                runs.append(result)
+                # The meter PC's clock leads the server's by the offset.
+                csv_paths.append(
+                    write_power_csv(
+                        out_dir / f"segment_{i:03d}.csv",
+                        result.times_s + self.clock_offset_s,
+                        result.measured_watts,
+                    )
+                )
+                t = result.t_end_s + self.gap_s
+
+            merged = merge_power_csvs(csv_paths, out_dir / "merged.csv")
+            times, watts = read_power_csv(merged)
+            # Clock-sync correction (procedure step 3): map meter time back
+            # to server time before window extraction.
+            times = times - self.clock_offset_s
+
+            measurements = []
+            for result in runs:
+                window = extract_window(
+                    times, watts, result.t_start_s, result.t_end_s
+                )
+                stats = trimmed_stats(window, self.trim)
+                measurements.append(
+                    ProgramMeasurement(
+                        label=result.demand.program,
+                        gflops=result.demand.gflops,
+                        average_watts=stats.mean,
+                        average_memory_mb=result.average_memory_mb(self.trim),
+                        duration_s=result.duration_s,
+                    )
+                )
+            return CampaignResult(
+                server=self.simulator.server.name,
+                measurements=tuple(measurements),
+                runs=tuple(runs),
+                merged_csv=None if own_tmp else merged,
+            )
+        finally:
+            if tmp is not None:
+                tmp.cleanup()

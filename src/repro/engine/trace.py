@@ -1,0 +1,93 @@
+"""Trace containers produced by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.demand import ResourceDemand
+from repro.errors import SimulationError
+from repro.hardware.pmu import PmuSample
+from repro.metering.analysis import DEFAULT_TRIM, trimmed_mean
+from repro.units import energy_kj
+
+__all__ = ["RunResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything observed during one simulated program run.
+
+    Attributes
+    ----------
+    demand:
+        The bound demand that was executed.
+    t_start_s:
+        Campaign-relative start time.
+    times_s:
+        Per-second sample timestamps (absolute, campaign-relative).
+    true_watts:
+        Ground-truth instantaneous power (available only in simulation —
+        a real testbed sees just the meter).
+    measured_watts:
+        What the meter logged.
+    memory_mb:
+        What the 1 s memory sampler logged.
+    pmu_samples:
+        PMU readings at the 10 s collection interval.
+    power_factor:
+        Idiosyncrasy factor applied to dynamic power for this run.
+    """
+
+    demand: ResourceDemand
+    t_start_s: float
+    times_s: np.ndarray
+    true_watts: np.ndarray
+    measured_watts: np.ndarray
+    memory_mb: np.ndarray
+    pmu_samples: tuple[PmuSample, ...] = field(default_factory=tuple)
+    power_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        n = self.times_s.shape[0]
+        for name in ("true_watts", "measured_watts", "memory_mb"):
+            arr = getattr(self, name)
+            if arr.shape[0] != n:
+                raise SimulationError(
+                    f"{name} has {arr.shape[0]} samples, expected {n}"
+                )
+        if n == 0:
+            raise SimulationError("a run must contain at least one sample")
+
+    @property
+    def duration_s(self) -> float:
+        """Nominal run duration."""
+        return self.demand.duration_s
+
+    @property
+    def t_end_s(self) -> float:
+        """Campaign-relative end time."""
+        return self.t_start_s + self.duration_s
+
+    def average_power_watts(self, trim: float = DEFAULT_TRIM) -> float:
+        """Trimmed-mean measured power (the paper's analysis step 4)."""
+        return trimmed_mean(self.measured_watts, trim)
+
+    def average_memory_mb(self, trim: float = DEFAULT_TRIM) -> float:
+        """Trimmed-mean observed resident memory."""
+        return trimmed_mean(self.memory_mb, trim)
+
+    def ppw(self, trim: float = DEFAULT_TRIM) -> float:
+        """Performance per watt (Eq. 1): GFLOPS / average watts."""
+        return self.demand.gflops / self.average_power_watts(trim)
+
+    def energy_kilojoules(self, trim: float = DEFAULT_TRIM) -> float:
+        """Energy for the whole run (Eq. 2)."""
+        return energy_kj(self.average_power_watts(trim), self.duration_s)
+
+    def pmu_matrix(self) -> np.ndarray:
+        """PMU feature matrix, one row per 10 s sample (X1..X6)."""
+        if not self.pmu_samples:
+            raise SimulationError("run recorded no PMU samples")
+        return np.vstack([s.as_vector() for s in self.pmu_samples])

@@ -1,0 +1,83 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+simulation failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "WorkloadError",
+    "InvalidProcessCountError",
+    "InsufficientMemoryError",
+    "SimulationError",
+    "MeterError",
+    "CalibrationError",
+    "RegressionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A server, workload, or experiment was configured inconsistently."""
+
+
+class WorkloadError(ReproError):
+    """A workload cannot be instantiated or bound to a server."""
+
+
+class InvalidProcessCountError(WorkloadError, ValueError):
+    """The requested MPI process count is not valid for this program.
+
+    NPB programs constrain their process counts (squares for BT/SP, powers
+    of two for CG/FT/IS/LU/MG); this mirrors the empty cells of Table II in
+    the paper.
+    """
+
+    def __init__(self, program: str, nprocs: int, allowed: str):
+        self.program = program
+        self.nprocs = nprocs
+        self.allowed = allowed
+        super().__init__(
+            f"{program} cannot run with {nprocs} process(es); allowed: {allowed}"
+        )
+
+
+class InsufficientMemoryError(WorkloadError):
+    """The workload's memory footprint exceeds the server's installed DRAM.
+
+    Mirrors the paper's observation that CG class C could not run on the
+    8 GB Xeon-E5462 server.
+    """
+
+    def __init__(self, program: str, required_mb: float, available_mb: float):
+        self.program = program
+        self.required_mb = required_mb
+        self.available_mb = available_mb
+        super().__init__(
+            f"{program} needs {required_mb:.0f} MB but server has "
+            f"{available_mb:.0f} MB installed"
+        )
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-time simulation reached an inconsistent state."""
+
+
+class MeterError(ReproError, RuntimeError):
+    """The simulated power meter was used outside its operating envelope."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """Power-model calibration failed to fit the anchor measurements."""
+
+
+class RegressionError(ReproError, RuntimeError):
+    """The regression power model cannot be fit or applied."""

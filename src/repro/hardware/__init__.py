@@ -1,0 +1,70 @@
+"""Simulated HPC server hardware.
+
+This package models the three servers of Table I in the paper — Xeon-E5462,
+Opteron-8347, and Xeon-4870 — as parameterized component models:
+
+* :mod:`repro.hardware.specs` — static descriptions (processors, cache
+  hierarchy, memory) plus the three built-in servers.
+* :mod:`repro.hardware.topology` — placement of MPI processes onto
+  cores/chips.
+* :mod:`repro.hardware.cache` — set-associative cache hierarchy used to
+  derive L2/L3 hit counters from workload access streams.
+* :mod:`repro.hardware.cpu` / :mod:`repro.hardware.memory` — dynamic state
+  of the core and DRAM subsystems during a simulated run.
+* :mod:`repro.hardware.pmu` — the six Performance Monitoring Unit counters
+  used by the paper's regression model (Section VI-A2).
+* :mod:`repro.hardware.power` — the component power model
+  ``P = P_cpu + P_mem + C`` (Eq. 4).
+* :mod:`repro.hardware.calibration` — fits each server's power coefficients
+  to the paper's published measurements.
+"""
+
+from repro.hardware.specs import (
+    CacheLevelSpec,
+    MemorySpec,
+    ProcessorSpec,
+    ServerSpec,
+    OPTERON_8347,
+    XEON_4870,
+    XEON_E5462,
+    BUILTIN_SERVERS,
+    get_server,
+)
+from repro.hardware.topology import Placement, place_processes
+from repro.hardware.cache import CacheConfig, CacheHierarchy, CacheLevel
+from repro.hardware.cpu import CpuSubsystem
+from repro.hardware.memory import MemorySubsystem
+from repro.hardware.pmu import PmuSample, Pmu, REGRESSION_FEATURES
+from repro.hardware.power import PowerCoefficients, SystemPowerModel
+from repro.hardware.calibration import (
+    AnchorPoint,
+    calibrate_server,
+    calibrated_power_model,
+)
+
+__all__ = [
+    "CacheLevelSpec",
+    "MemorySpec",
+    "ProcessorSpec",
+    "ServerSpec",
+    "OPTERON_8347",
+    "XEON_4870",
+    "XEON_E5462",
+    "BUILTIN_SERVERS",
+    "get_server",
+    "Placement",
+    "place_processes",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheLevel",
+    "CpuSubsystem",
+    "MemorySubsystem",
+    "PmuSample",
+    "Pmu",
+    "REGRESSION_FEATURES",
+    "PowerCoefficients",
+    "SystemPowerModel",
+    "AnchorPoint",
+    "calibrate_server",
+    "calibrated_power_model",
+]

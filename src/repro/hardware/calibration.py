@@ -1,0 +1,340 @@
+"""Power-model calibration against the paper's published measurements.
+
+The paper reports whole-system watts for idle, NPB-EP class C, and HPL
+(half- and full-memory) at several core counts on each of its three servers
+(Tables IV, V, VI).  Those measurements are embedded here as *anchor
+points*; :func:`calibrate_server` fits the delta-power coefficients of
+:class:`~repro.hardware.power.PowerCoefficients` to them by non-negative
+least squares (``scipy.optimize.nnls`` — non-negativity keeps every term
+physically meaningful).
+
+Every other operating point the library simulates (the remaining NPB
+programs, SPECpower, HPCC, other core counts, other memory fractions) is a
+*prediction* of the fitted component model positioned by its program traits
+— not a table lookup — so reproduced exhibits genuinely exercise the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.characteristics import get_traits
+from repro.demand import ResourceDemand
+from repro.errors import CalibrationError, ConfigurationError
+from repro.hardware.cpu import CpuSubsystem
+from repro.hardware.memory import MemorySubsystem
+from repro.hardware.power import (
+    DELTA_FEATURES,
+    PowerCoefficients,
+    SystemPowerModel,
+    dynamic_feature_vector,
+)
+from repro.hardware.specs import BUILTIN_SERVERS, ServerSpec, get_server
+
+__all__ = [
+    "AnchorPoint",
+    "PAPER_POWER_ANCHORS",
+    "anchor_demand",
+    "calibrate_server",
+    "calibrated_power_model",
+    "default_coefficients",
+    "CalibrationReport",
+]
+
+#: Memory fractions used by the evaluation states (Table III): HPL "Mh"
+#: targets 50 % of DRAM, "Mf" targets 90-100 % (we use 95 %).
+HALF_MEMORY_FRACTION: float = 0.50
+FULL_MEMORY_FRACTION: float = 0.95
+
+#: Resident footprint of NPB-EP per process, MB (EP's footprint is tiny and
+#: nearly scale-independent — Fig. 8).
+EP_FOOTPRINT_MB: float = 16.0
+
+#: Communication power is *pinned*, not fitted: within the anchor set it is
+#: collinear with core count (only HPL communicates), so fitting it lets the
+#: solver dump arbitrary watts into it.  Physically it is a small NIC/MPI
+#: stack cost; its main role is to be the power component the regression
+#: model's six PMU features cannot see (Section VI-C).
+COMM_WATTS_PER_CORE: float = 2.5
+
+#: DRAM traffic power is also pinned (W per GB/s): the paper's Fig. 5 shows
+#: memory utilisation barely moves power (idle DRAM already burns near its
+#: peak), and the anchor set cannot identify the term (HPL Mh and Mf differ
+#: only in footprint, not traffic).  A small positive value keeps the Ns
+#: sweep's slight slope.
+MEM_DYN_WATTS_PER_GBS: float = 0.15
+
+#: Delta features whose coefficients are pinned rather than fitted.
+_PINNED: dict[str, float] = {
+    "mem_dyn": MEM_DYN_WATTS_PER_GBS,
+    "comm": COMM_WATTS_PER_CORE,
+}
+
+#: Physical priors for the weak ridge pull (watts); see calibrate_server.
+_COEFF_PRIORS: dict[str, float] = {
+    "chip_uncore": 8.0,
+    "shared_sqrt": 5.0,
+    "core_active": 1.5,
+    "core_intensity": 12.0,
+}
+
+
+@dataclass(frozen=True)
+class AnchorPoint:
+    """One published measurement: (program, nprocs, memory fraction) -> W."""
+
+    program: str
+    nprocs: int
+    memory_fraction: float
+    watts: float
+
+    def __post_init__(self) -> None:
+        if self.watts <= 0:
+            raise ConfigurationError("anchor watts must be positive")
+
+
+def _anchor_from_row(label: str, watts: float) -> AnchorPoint:
+    """Parse a Table IV-VI row label into an anchor point.
+
+    ``ep.C.<n>`` rows anchor EP; ``HPL P<n> Mh|Mf`` rows anchor HPL at
+    the half/full memory fraction.
+    """
+    if label.startswith("ep."):
+        return AnchorPoint("ep", int(label.rsplit(".", 1)[1]), 0.0, watts)
+    if label.startswith("HPL "):
+        _, p_part, m_part = label.split()
+        fraction = (
+            HALF_MEMORY_FRACTION if m_part == "Mh" else FULL_MEMORY_FRACTION
+        )
+        return AnchorPoint("hpl", int(p_part[1:]), fraction, watts)
+    raise ConfigurationError(f"cannot parse anchor row label {label!r}")
+
+
+def _build_anchor_tables() -> tuple[
+    dict[str, float], dict[str, tuple[AnchorPoint, ...]]
+]:
+    """Derive the anchor tables from the transcribed paper constants."""
+    from repro.paperdata import PAPER_TABLES
+
+    idle: dict[str, float] = {}
+    anchors: dict[str, tuple[AnchorPoint, ...]] = {}
+    for server, rows in PAPER_TABLES.items():
+        loaded = []
+        for row in rows:
+            if row.label == "Idle":
+                idle[server] = row.watts
+            else:
+                loaded.append(_anchor_from_row(row.label, row.watts))
+        anchors[server] = tuple(loaded)
+    return idle, anchors
+
+
+#: Published idle power per server (W) and loaded-power anchors, both
+#: derived from the Table IV-VI transcription in :mod:`repro.paperdata`.
+PAPER_IDLE_WATTS, PAPER_POWER_ANCHORS = _build_anchor_tables()
+
+
+def anchor_demand(server: ServerSpec, anchor: AnchorPoint) -> ResourceDemand:
+    """Build the :class:`ResourceDemand` an anchor point describes."""
+    traits = get_traits(anchor.program)
+    if anchor.program == "ep":
+        memory_mb = EP_FOOTPRINT_MB * anchor.nprocs
+        label = f"ep.C.{anchor.nprocs}"
+    else:
+        n = MemorySubsystem(server).hpl_problem_size(anchor.memory_fraction)
+        memory_mb = 8.0 * n * n / (1024.0**2)
+        suffix = "Mh" if anchor.memory_fraction <= 0.5 else "Mf"
+        label = f"HPL P{anchor.nprocs} {suffix}"
+    return ResourceDemand(
+        program=label,
+        nprocs=anchor.nprocs,
+        duration_s=100.0,
+        gflops=0.0,
+        memory_mb=memory_mb,
+        cpu_util=traits.cpu_util,
+        ipc=traits.ipc,
+        fp_intensity=traits.fp_intensity,
+        mem_intensity=traits.mem_intensity,
+        comm_intensity=traits.comm_intensity,
+        l1_locality=traits.l1_locality,
+        l2_locality=traits.l2_locality,
+        l3_locality=traits.l3_locality,
+        read_fraction=traits.read_fraction,
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Fit diagnostics returned alongside the coefficients."""
+
+    server: str
+    coefficients: PowerCoefficients
+    residuals_watts: tuple[float, ...]
+    rms_residual_watts: float
+    max_residual_watts: float
+
+    anchor_watts: tuple[float, ...] = ()
+
+    @property
+    def max_relative_error(self) -> float:
+        """Largest |residual| / anchor *total* watts across the anchor set.
+
+        Measured against total watts, not the above-idle delta: a 7 W
+        residual on EP.C.1's 11 W delta is a 5 % error on what the meter
+        reads, which is the quantity the tables report.
+        """
+        if not self.anchor_watts:
+            return 0.0
+        return max(
+            abs(r) / w for r, w in zip(self.residuals_watts, self.anchor_watts)
+        )
+
+
+def calibrate_server(
+    server: ServerSpec,
+    anchors: tuple[AnchorPoint, ...] | None = None,
+    idle_watts: float | None = None,
+    max_relative_error: float = 0.15,
+    ridge_lambda: float = 0.05,
+) -> CalibrationReport:
+    """Fit :class:`PowerCoefficients` for ``server`` from anchor watts.
+
+    Parameters
+    ----------
+    server:
+        Machine description.
+    anchors, idle_watts:
+        Measurement set; defaults to the paper's published values for the
+        built-in servers.
+    max_relative_error:
+        Reject the fit if any anchor's residual exceeds this fraction of
+        its measured total watts.  The published data is noisy (e.g. a
+        single EP process on the Opteron-8347 adds 81 W while eight add
+        165 W), so the tolerance allows for genuine lack of fit; the *rms*
+        residual is what the tests track.
+
+    Raises
+    ------
+    CalibrationError
+        If no anchors are known for the server or the fit is rejected.
+    """
+    if anchors is None or idle_watts is None:
+        try:
+            anchors = PAPER_POWER_ANCHORS[server.name]
+            idle_watts = PAPER_IDLE_WATTS[server.name]
+        except KeyError:
+            raise CalibrationError(
+                f"no published anchors for server {server.name!r}; "
+                "pass anchors= and idle_watts= explicitly or use "
+                "default_coefficients()"
+            ) from None
+    cpu = CpuSubsystem(server)
+    mem = MemorySubsystem(server)
+    rows = []
+    deltas = []
+    for anchor in anchors:
+        demand = anchor_demand(server, anchor)
+        cpu.bind(demand)
+        activity = cpu.activity()
+        traffic = mem.traffic(demand, cpu.placement)
+        rows.append(dynamic_feature_vector(demand, activity, traffic))
+        deltas.append(anchor.watts - idle_watts)
+    design = np.asarray(rows)
+    target = np.asarray(deltas)
+
+    # Pinned coefficients (mem_dyn, comm): subtract their contribution and
+    # fit the remaining four columns by non-negative least squares.
+    names = list(DELTA_FEATURES)
+    pinned_cols = {names.index(k): v for k, v in _PINNED.items()}
+    free_cols = [i for i in range(len(names)) if i not in pinned_cols]
+    target_free = target.astype(float).copy()
+    for col, value in pinned_cols.items():
+        target_free -= design[:, col] * value
+    design_free = design[:, free_cols]
+    scale = design_free.max(axis=0)
+    scale[scale == 0] = 1.0
+    scaled = design_free / scale
+
+    # Weak ridge-to-prior regularisation.  The anchor sets of the
+    # multi-chip servers are nearly flat in compute intensity (EP's
+    # per-core watts approach HPL's on the Opteron-8347), which lets NNLS
+    # park all the weight on the sqrt term and none on intensity — and a
+    # zero intensity coefficient would make *every* program draw the same
+    # dynamic power, contradicting the paper's EP-lowest/HPL-highest
+    # envelope (Section IV-D finding 4).  A light pull toward physical
+    # priors keeps each term alive without materially moving the anchors.
+    priors = np.array([_COEFF_PRIORS[names[i]] for i in free_cols])
+    priors_scaled = priors * scale
+    lam = (
+        ridge_lambda
+        * float(target_free @ target_free)
+        / max(float(priors_scaled @ priors_scaled), 1e-12)
+    )
+    stacked_a = np.vstack(
+        [scaled, np.sqrt(lam) * np.eye(len(free_cols))]
+    )
+    stacked_b = np.concatenate([target_free, np.sqrt(lam) * priors_scaled])
+    solution, _ = nnls(stacked_a, stacked_b)
+    coeff_values = np.empty(len(names))
+    coeff_values[free_cols] = solution / scale
+    for col, value in pinned_cols.items():
+        coeff_values[col] = value
+    coefficients = PowerCoefficients(
+        p_idle=idle_watts, **dict(zip(DELTA_FEATURES, coeff_values))
+    )
+    residuals = target - design @ coeff_values
+    report = CalibrationReport(
+        server=server.name,
+        coefficients=coefficients,
+        residuals_watts=tuple(float(r) for r in residuals),
+        rms_residual_watts=float(np.sqrt(np.mean(residuals**2))),
+        max_residual_watts=float(np.max(np.abs(residuals))),
+        anchor_watts=tuple(a.watts for a in anchors),
+    )
+    if report.max_relative_error > max_relative_error:
+        raise CalibrationError(
+            f"{server.name}: calibration residual "
+            f"{report.max_relative_error:.1%} exceeds {max_relative_error:.0%}"
+        )
+    return report
+
+
+def default_coefficients(server: ServerSpec) -> PowerCoefficients:
+    """Heuristic coefficients for a custom server without measurements.
+
+    Scales a generic mid-2010s server power envelope by chip and memory
+    counts; intended for the custom-server workflow in
+    ``examples/custom_server.py``, not for reproducing the paper's tables.
+    """
+    idle = 45.0 + 60.0 * server.chips + 0.9 * server.memory.total_gb
+    return PowerCoefficients(
+        p_idle=idle,
+        chip_uncore=10.0,
+        shared_sqrt=6.0,
+        core_active=3.0,
+        core_intensity=15.0,
+        mem_dyn=MEM_DYN_WATTS_PER_GBS,
+        comm=COMM_WATTS_PER_CORE,
+    )
+
+
+@lru_cache(maxsize=None)
+def _calibrated_builtin(name: str) -> SystemPowerModel:
+    server = get_server(name)
+    report = calibrate_server(server)
+    return SystemPowerModel(server, report.coefficients)
+
+
+def calibrated_power_model(server: ServerSpec) -> SystemPowerModel:
+    """Return a :class:`SystemPowerModel` for ``server``.
+
+    Built-in servers are calibrated against the paper's anchors (cached);
+    custom servers fall back to :func:`default_coefficients`.
+    """
+    if server.name in BUILTIN_SERVERS and BUILTIN_SERVERS[server.name] == server:
+        return _calibrated_builtin(server.name)
+    return SystemPowerModel(server, default_coefficients(server))

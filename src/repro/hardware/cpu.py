@@ -1,0 +1,103 @@
+"""Dynamic CPU subsystem state.
+
+Tracks which cores are busy during a simulated run and converts a
+:class:`~repro.demand.ResourceDemand` into per-chip activity figures the
+power model and PMU consume.  Placement is delegated to
+:mod:`repro.hardware.topology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.demand import ResourceDemand
+from repro.errors import SimulationError
+from repro.hardware.specs import ServerSpec
+from repro.hardware.topology import Placement, place_processes
+
+__all__ = ["CpuActivity", "CpuSubsystem"]
+
+
+@dataclass(frozen=True)
+class CpuActivity:
+    """Aggregate CPU activity for one simulated second.
+
+    Attributes
+    ----------
+    active_cores:
+        Cores running a process.
+    active_chips:
+        Chips with at least one active core.
+    utilisation:
+        Per-active-core utilisation in [0, 1].
+    instructions_per_s:
+        Retired instructions per second across all active cores.
+    cycles_per_s:
+        Elapsed core-cycles per second across all active cores.
+    """
+
+    active_cores: int
+    active_chips: int
+    utilisation: float
+    instructions_per_s: float
+    cycles_per_s: float
+
+    @property
+    def total_utilisation(self) -> float:
+        """Sum of per-core utilisations (``active_cores * utilisation``)."""
+        return self.active_cores * self.utilisation
+
+
+class CpuSubsystem:
+    """Core/chip state for one server during a run.
+
+    The subsystem assumes one single-threaded MPI process per core (the
+    configuration used throughout the paper), so ``nprocs`` equals the
+    number of active cores.
+
+    ``max_ipc`` is the machine's sustainable instructions-per-cycle per
+    core; a demand's normalized ``ipc`` attribute is scaled by it.
+    """
+
+    #: Sustainable IPC of an aggressively superscalar core; demand.ipc == 1
+    #: maps to this many retired instructions per cycle.
+    MAX_IPC: float = 2.0
+
+    def __init__(self, server: ServerSpec, placement_policy: str = "compact"):
+        self.server = server
+        self.placement_policy = placement_policy
+        self._placement: Placement | None = None
+
+    @property
+    def placement(self) -> Placement:
+        """Placement of the currently-bound demand."""
+        if self._placement is None:
+            raise SimulationError("no demand bound; call bind() first")
+        return self._placement
+
+    def bind(self, demand: ResourceDemand) -> None:
+        """Bind a demand, placing its processes onto cores."""
+        if demand.is_idle:
+            self._placement = Placement(
+                nprocs=0, cores_per_chip_used=(0,) * self.server.chips
+            )
+        else:
+            self._placement = place_processes(
+                self.server, demand.nprocs, self.placement_policy
+            )
+        self._demand = demand
+
+    def activity(self) -> CpuActivity:
+        """Activity of the bound demand for one steady-state second."""
+        placement = self.placement
+        demand = self._demand
+        freq_hz = self.server.processor.frequency_mhz * 1e6
+        cycles = placement.active_cores * demand.cpu_util * freq_hz
+        instructions = cycles * demand.ipc * self.MAX_IPC
+        return CpuActivity(
+            active_cores=placement.active_cores,
+            active_chips=placement.active_chips,
+            utilisation=demand.cpu_util,
+            instructions_per_s=instructions,
+            cycles_per_s=cycles,
+        )

@@ -1,0 +1,337 @@
+"""Static server descriptions (Table I of the paper).
+
+A :class:`ServerSpec` is a frozen, validated description of a multi-core
+server: its processors, cache hierarchy, and installed memory, plus the two
+performance anchors the paper reports per machine (theoretical peak and the
+measured HPL fraction of peak).
+
+The three built-in servers reproduce Table I:
+
+============  ===========  =============  ==========
+Model         Xeon-E5462   Opteron-8347   Xeon-4870
+============  ===========  =============  ==========
+Chips         1            4              4
+Cores/chip    4            4              10
+Freq (MHz)    2800         1900           2400
+GFLOPS/core   11.2         7.6            9.6
+Memory (GB)   8            32             128
+============  ===========  =============  ==========
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CacheLevelSpec",
+    "MemorySpec",
+    "ProcessorSpec",
+    "ServerSpec",
+    "XEON_E5462",
+    "OPTERON_8347",
+    "XEON_4870",
+    "BUILTIN_SERVERS",
+    "get_server",
+]
+
+
+@dataclass(frozen=True)
+class CacheLevelSpec:
+    """One cache level of a processor.
+
+    Attributes
+    ----------
+    level:
+        1, 2, or 3.
+    size_kb:
+        Capacity in KiB *per instance* of this cache.
+    associativity:
+        Number of ways.
+    line_bytes:
+        Cache line size in bytes.
+    instances_per_chip:
+        How many physical instances exist per chip (e.g. one L1 per core).
+    shared:
+        Whether one instance is shared by several cores.
+    """
+
+    level: int
+    size_kb: int
+    associativity: int
+    line_bytes: int = 64
+    instances_per_chip: int = 1
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.level not in (1, 2, 3):
+            raise ConfigurationError(f"cache level must be 1..3, got {self.level}")
+        if self.size_kb <= 0:
+            raise ConfigurationError(f"cache size must be positive, got {self.size_kb}")
+        if self.associativity <= 0:
+            raise ConfigurationError(
+                f"associativity must be positive, got {self.associativity}"
+            )
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ConfigurationError(
+                f"line size must be a positive power of two, got {self.line_bytes}"
+            )
+        if self.instances_per_chip <= 0:
+            raise ConfigurationError(
+                f"instances_per_chip must be positive, got {self.instances_per_chip}"
+            )
+        n_sets = self.size_kb * 1024 / (self.associativity * self.line_bytes)
+        if n_sets != int(n_sets) or int(n_sets) < 1:
+            raise ConfigurationError(
+                f"L{self.level}: {self.size_kb} KB / {self.associativity}-way / "
+                f"{self.line_bytes} B lines does not give an integral set count"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets in one instance of this cache."""
+        return self.size_kb * 1024 // (self.associativity * self.line_bytes)
+
+    @property
+    def total_kb_per_chip(self) -> int:
+        """Aggregate capacity of this level across a chip, in KiB."""
+        return self.size_kb * self.instances_per_chip
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Installed DRAM description."""
+
+    total_gb: float
+    technology: str = "DDR2"
+    channels: int = 4
+    bandwidth_gbs: float = 12.8
+
+    def __post_init__(self) -> None:
+        if self.total_gb <= 0:
+            raise ConfigurationError(f"memory must be positive, got {self.total_gb} GB")
+        if self.channels <= 0:
+            raise ConfigurationError(f"channels must be positive, got {self.channels}")
+        if self.bandwidth_gbs <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {self.bandwidth_gbs} GB/s"
+            )
+
+    @property
+    def total_mb(self) -> float:
+        """Installed capacity in MB."""
+        return self.total_gb * 1024.0
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """One processor (chip) model.
+
+    ``gflops_per_core`` is the theoretical per-core double-precision peak
+    (frequency x FLOPs/cycle), as quoted in Section II of the paper.
+    """
+
+    model: str
+    frequency_mhz: float
+    cores: int
+    flops_per_cycle: int
+    icache: CacheLevelSpec | None = None
+    dcache: CacheLevelSpec | None = None
+    l2: CacheLevelSpec | None = None
+    l3: CacheLevelSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0:
+            raise ConfigurationError(
+                f"frequency must be positive, got {self.frequency_mhz}"
+            )
+        if self.cores <= 0:
+            raise ConfigurationError(f"cores must be positive, got {self.cores}")
+        if self.flops_per_cycle <= 0:
+            raise ConfigurationError(
+                f"flops_per_cycle must be positive, got {self.flops_per_cycle}"
+            )
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Core clock in GHz."""
+        return self.frequency_mhz / 1e3
+
+    @property
+    def gflops_per_core(self) -> float:
+        """Theoretical per-core double-precision peak, GFLOPS."""
+        return self.frequency_ghz * self.flops_per_cycle
+
+    @property
+    def gflops_peak(self) -> float:
+        """Theoretical peak of the whole chip, GFLOPS."""
+        return self.gflops_per_core * self.cores
+
+    def cache_levels(self) -> list[CacheLevelSpec]:
+        """Unified data-path cache levels (dcache, L2, L3), lowest first."""
+        levels = []
+        for spec in (self.dcache, self.l2, self.l3):
+            if spec is not None:
+                levels.append(spec)
+        return levels
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A complete single-server description (one row of Table I)."""
+
+    name: str
+    processor: ProcessorSpec
+    chips: int
+    memory: MemorySpec
+    hpl_efficiency: float = 0.85
+    network_mbit: int = 1000
+    disk_gb: float = 400.0
+    power_supplies: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("server name must not be empty")
+        if self.chips <= 0:
+            raise ConfigurationError(f"chips must be positive, got {self.chips}")
+        if not 0.0 < self.hpl_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"hpl_efficiency must be in (0, 1], got {self.hpl_efficiency}"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """Cores enabled across all chips."""
+        return self.processor.cores * self.chips
+
+    @property
+    def cores_per_chip(self) -> int:
+        """Cores per chip."""
+        return self.processor.cores
+
+    @property
+    def gflops_peak(self) -> float:
+        """Theoretical peak server performance (Section II), GFLOPS."""
+        return self.processor.gflops_peak * self.chips
+
+    @property
+    def gflops_per_core(self) -> float:
+        """Theoretical per-core peak, GFLOPS."""
+        return self.processor.gflops_per_core
+
+    @property
+    def memory_mb(self) -> float:
+        """Installed DRAM, MB."""
+        return self.memory.total_mb
+
+    def half_cores(self) -> int:
+        """Core count used for the 'half CPU usage' evaluation state."""
+        return max(1, self.total_cores // 2)
+
+    def validate_core_count(self, nprocs: int) -> None:
+        """Raise :class:`ConfigurationError` unless ``1 <= nprocs <= cores``."""
+        if not 1 <= nprocs <= self.total_cores:
+            raise ConfigurationError(
+                f"{self.name}: process count {nprocs} outside 1..{self.total_cores}"
+            )
+
+    def hpl_problem_size(self, memory_fraction: float) -> int:
+        """HPL problem size N that fills ``memory_fraction`` of DRAM.
+
+        HPL stores an N x N double matrix (8 N^2 bytes); the paper varies Ns
+        to sweep memory utilisation (Fig. 5).
+        """
+        if not 0.0 < memory_fraction <= 1.0:
+            raise ConfigurationError(
+                f"memory fraction must be in (0, 1], got {memory_fraction}"
+            )
+        target_bytes = memory_fraction * self.memory.total_gb * 1024**3
+        return int(math.sqrt(target_bytes / 8.0))
+
+
+def _xeon_e5462() -> ServerSpec:
+    proc = ProcessorSpec(
+        model="Xeon E5462",
+        frequency_mhz=2800,
+        cores=4,
+        flops_per_cycle=4,
+        icache=CacheLevelSpec(1, 32, 8, instances_per_chip=4),
+        dcache=CacheLevelSpec(1, 32, 8, instances_per_chip=4),
+        l2=CacheLevelSpec(2, 6144, 24, instances_per_chip=2, shared=True),
+        l3=None,
+    )
+    return ServerSpec(
+        name="Xeon-E5462",
+        processor=proc,
+        chips=1,
+        memory=MemorySpec(total_gb=8, technology="DDR2", bandwidth_gbs=12.8),
+        hpl_efficiency=0.83,
+        disk_gb=400,
+        power_supplies=1,
+    )
+
+
+def _opteron_8347() -> ServerSpec:
+    proc = ProcessorSpec(
+        model="Opteron 8347",
+        frequency_mhz=1900,
+        cores=4,
+        flops_per_cycle=4,
+        icache=CacheLevelSpec(1, 64, 2, instances_per_chip=4),
+        dcache=CacheLevelSpec(1, 64, 2, instances_per_chip=4),
+        l2=CacheLevelSpec(2, 512, 8, instances_per_chip=4),
+        l3=CacheLevelSpec(3, 2048, 32, instances_per_chip=1, shared=True),
+    )
+    return ServerSpec(
+        name="Opteron-8347",
+        processor=proc,
+        chips=4,
+        memory=MemorySpec(total_gb=32, technology="DDR2", bandwidth_gbs=10.6),
+        hpl_efficiency=0.27,
+        disk_gb=444,
+        power_supplies=1,
+    )
+
+
+def _xeon_4870() -> ServerSpec:
+    proc = ProcessorSpec(
+        model="Xeon E7-4870",
+        frequency_mhz=2400,
+        cores=10,
+        flops_per_cycle=4,
+        icache=CacheLevelSpec(1, 32, 4, instances_per_chip=10),
+        dcache=CacheLevelSpec(1, 32, 8, instances_per_chip=10),
+        l2=CacheLevelSpec(2, 256, 8, instances_per_chip=10),
+        l3=CacheLevelSpec(3, 30720, 24, instances_per_chip=1, shared=True),
+    )
+    return ServerSpec(
+        name="Xeon-4870",
+        processor=proc,
+        chips=4,
+        memory=MemorySpec(total_gb=128, technology="DDR2", bandwidth_gbs=25.6),
+        hpl_efficiency=0.90,
+        disk_gb=152,
+        power_supplies=3,
+    )
+
+
+#: The three servers of Table I.
+XEON_E5462: ServerSpec = _xeon_e5462()
+OPTERON_8347: ServerSpec = _opteron_8347()
+XEON_4870: ServerSpec = _xeon_4870()
+
+BUILTIN_SERVERS: dict[str, ServerSpec] = {
+    s.name: s for s in (XEON_E5462, OPTERON_8347, XEON_4870)
+}
+
+
+def get_server(name: str) -> ServerSpec:
+    """Look up a built-in server by its Table-I name (case-insensitive)."""
+    for key, spec in BUILTIN_SERVERS.items():
+        if key.lower() == name.lower():
+            return spec
+    raise ConfigurationError(
+        f"unknown server {name!r}; built-ins: {sorted(BUILTIN_SERVERS)}"
+    )

@@ -1,0 +1,156 @@
+"""A miniature BT: coupled 5-component ADI time stepping.
+
+NPB BT advances the 3-D compressible Navier-Stokes equations with an
+Alternating Direction Implicit scheme whose line systems are
+block-tridiagonal with dense 5x5 blocks (the five conserved variables
+couple through the flux Jacobians).  This mini-kernel reproduces that
+numerical structure on a model problem — a linear 5-component
+diffusion-reaction system
+
+    u_t = lap(u) - K u + f,     u(x) in R^5,
+
+with a constant coupling matrix ``K``.  One ADI step factorises the
+implicit operator by axis; each axis solves a batch of block-tridiagonal
+systems via :func:`repro.kernels.block_tridiag.block_thomas_solve`,
+exactly BT's x/y/z sweep pattern.
+
+The tests verify the two properties that matter: with a diagonal
+coupling matrix the scheme reduces to five independent scalar ADI
+solves, and with a positive-semidefinite coupling it is unconditionally
+stable (the implicit treatment's selling point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kernels.block_tridiag import block_thomas_solve
+
+__all__ = ["BtMiniProblem", "bt_adi_step", "bt_solve"]
+
+N_COMPONENTS: int = 5
+
+
+@dataclass(frozen=True)
+class BtMiniProblem:
+    """A miniature BT configuration.
+
+    Attributes
+    ----------
+    n:
+        Grid points per side (Dirichlet walls at the boundary planes).
+    dt:
+        Implicit time step.
+    coupling:
+        The 5x5 reaction matrix ``K``; positive semidefinite keeps the
+        continuous problem dissipative.
+    """
+
+    n: int
+    dt: float
+    coupling: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.n < 5:
+            raise ConfigurationError(f"grid must have n >= 5, got {self.n}")
+        if self.dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {self.dt}")
+        k = np.asarray(self.coupling, dtype=float)
+        if k.shape != (N_COMPONENTS, N_COMPONENTS):
+            raise ConfigurationError(
+                f"coupling must be 5x5, got {k.shape}"
+            )
+        object.__setattr__(self, "coupling", k)
+
+    @property
+    def h(self) -> float:
+        """Grid spacing."""
+        return 1.0 / (self.n - 1)
+
+
+def _axis_solve(
+    u: np.ndarray, rhs: np.ndarray, problem: BtMiniProblem, axis: int
+) -> np.ndarray:
+    """Solve ``(I + dt/3 K - dt Dxx) u* = rhs`` along one axis.
+
+    Each grid line along ``axis`` becomes one block-tridiagonal system
+    with 5x5 blocks; all lines solve in a single batched call.
+    """
+    n = problem.n
+    r = problem.dt / problem.h**2
+    eye = np.eye(N_COMPONENTS)
+    diag_block = eye + problem.dt / 3.0 * problem.coupling + 2.0 * r * eye
+    off_block = -r * eye
+
+    moved = np.moveaxis(rhs, axis, -2)  # (..., n_line, 5)
+    lead_shape = moved.shape[:-2]
+    lines = moved.reshape(-1, n, N_COMPONENTS)
+    batch = lines.shape[0]
+
+    lower = np.broadcast_to(
+        off_block, (batch, n, N_COMPONENTS, N_COMPONENTS)
+    ).copy()
+    upper = lower.copy()
+    diag = np.broadcast_to(
+        diag_block, (batch, n, N_COMPONENTS, N_COMPONENTS)
+    ).copy()
+    # Dirichlet walls: pin the boundary values of the line.
+    boundary = np.eye(N_COMPONENTS)
+    diag[:, 0] = boundary
+    diag[:, -1] = boundary
+    upper[:, 0] = 0.0
+    lower[:, -1] = 0.0
+    pinned = lines.copy()
+    pinned[:, 0] = np.moveaxis(u, axis, -2).reshape(-1, n, N_COMPONENTS)[:, 0]
+    pinned[:, -1] = np.moveaxis(u, axis, -2).reshape(-1, n, N_COMPONENTS)[:, -1]
+
+    solved = block_thomas_solve(lower, diag, upper, pinned)
+    return np.moveaxis(
+        solved.reshape(*lead_shape, n, N_COMPONENTS), -2, axis
+    )
+
+
+def bt_adi_step(
+    u: np.ndarray, forcing: np.ndarray, problem: BtMiniProblem
+) -> np.ndarray:
+    """Advance the 5-component field one ADI step.
+
+    ``u`` and ``forcing`` have shape ``(n, n, n, 5)``.  The implicit
+    operator factorises as three one-dimensional block solves (x, then
+    y, then z), each absorbing a third of the reaction term — the BT
+    sweep structure.
+    """
+    n = problem.n
+    expected = (n, n, n, N_COMPONENTS)
+    if u.shape != expected or forcing.shape != expected:
+        raise ConfigurationError(
+            f"fields must have shape {expected}, got {u.shape} / "
+            f"{forcing.shape}"
+        )
+    state = u + problem.dt * forcing
+    for axis in range(3):
+        state = _axis_solve(u, state, problem, axis)
+    return state
+
+
+def bt_solve(
+    problem: BtMiniProblem,
+    forcing: np.ndarray,
+    steps: int = 10,
+    u0: np.ndarray | None = None,
+) -> np.ndarray:
+    """Run ``steps`` ADI steps from ``u0`` (zero by default)."""
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1, got {steps}")
+    n = problem.n
+    u = (
+        np.zeros((n, n, n, N_COMPONENTS))
+        if u0 is None
+        else np.array(u0, dtype=float, copy=True)
+    )
+    for _ in range(steps):
+        u = bt_adi_step(u, forcing, problem)
+    return u

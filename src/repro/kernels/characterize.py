@@ -1,0 +1,107 @@
+"""Cache characterisation of access patterns.
+
+Bridges the executable kernels to the trace-driven cache model: generates
+the address stream of an algorithm's access pattern at miniature scale,
+pushes it through a :class:`~repro.hardware.cache.CacheHierarchy`, and
+reports per-level hit rates.  The integration tests use this to confirm
+the *ordering* the trait registry asserts — blocked dense linear algebra
+reuses cache lines far better than streaming, which beats random access —
+so the workload traits are grounded in simulated microarchitecture, not
+just citation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.cache import CacheConfig, CacheHierarchy, CacheLevel
+
+__all__ = [
+    "AccessPattern",
+    "blocked_matmul_trace",
+    "streaming_trace",
+    "random_trace",
+    "characterize",
+]
+
+_WORD: int = 8  # bytes per double
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """Named synthetic address stream."""
+
+    name: str
+    addresses: np.ndarray
+
+
+def blocked_matmul_trace(n: int = 48, nb: int = 16) -> AccessPattern:
+    """Data addresses touched by a blocked ``C += A B`` (HPL/DGEMM style).
+
+    Walks block tiles in the blocked loop order; each tile's elements are
+    revisited across the k-panel loop, producing the reuse that blocked
+    codes are designed for.
+    """
+    if n <= 0 or nb <= 0 or nb > n:
+        raise ConfigurationError(f"need 0 < nb <= n, got n={n} nb={nb}")
+    a_base, b_base, c_base = 0, n * n * _WORD, 2 * n * n * _WORD
+    addresses: list[np.ndarray] = []
+    cols = np.arange(nb)
+    for i0 in range(0, n, nb):
+        for j0 in range(0, n, nb):
+            for k0 in range(0, n, nb):
+                for i in range(i0, min(i0 + nb, n)):
+                    a_row = a_base + (i * n + k0 + cols[: min(nb, n - k0)]) * _WORD
+                    c_row = c_base + (i * n + j0 + cols[: min(nb, n - j0)]) * _WORD
+                    addresses.append(a_row)
+                    addresses.append(c_row)
+                for k in range(k0, min(k0 + nb, n)):
+                    b_row = b_base + (k * n + j0 + cols[: min(nb, n - j0)]) * _WORD
+                    addresses.append(b_row)
+    return AccessPattern("blocked_matmul", np.concatenate(addresses))
+
+
+def streaming_trace(n_words: int = 200_000) -> AccessPattern:
+    """Sequential read of a large array (STREAM style)."""
+    if n_words <= 0:
+        raise ConfigurationError(f"n_words must be positive, got {n_words}")
+    return AccessPattern(
+        "streaming", np.arange(n_words, dtype=np.int64) * _WORD
+    )
+
+
+def random_trace(
+    n_accesses: int = 100_000, footprint_words: int = 1_000_000, seed: int = 0
+) -> AccessPattern:
+    """Uniform random accesses over a large footprint (GUPS style)."""
+    if n_accesses <= 0 or footprint_words <= 0:
+        raise ConfigurationError("accesses and footprint must be positive")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, footprint_words, size=n_accesses, dtype=np.int64)
+    return AccessPattern("random", idx * _WORD)
+
+
+def characterize(
+    pattern: AccessPattern,
+    l1_kb: int = 32,
+    l2_kb: int = 256,
+    associativity: int = 8,
+) -> dict[str, float]:
+    """Per-level hit rates of ``pattern`` on a small L1+L2 hierarchy."""
+    hierarchy = CacheHierarchy(
+        [
+            CacheLevel(CacheConfig(l1_kb * 1024, associativity)),
+            CacheLevel(CacheConfig(l2_kb * 1024, associativity)),
+        ]
+    )
+    result = hierarchy.simulate(pattern.addresses)
+    rates = result.hit_rates
+    return {
+        "pattern": pattern.name,
+        "l1_hit_rate": rates[0],
+        "l2_hit_rate": rates[1],
+        "dram_fraction": result.dram_accesses / result.accesses,
+    }

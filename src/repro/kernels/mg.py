@@ -1,0 +1,147 @@
+"""The MG kernel: multigrid V-cycles for the 3-D Poisson problem.
+
+Solves ``-laplacian(u) = f`` on the unit cube with periodic boundaries on
+a ``2^k`` grid, using the NPB MG structure: damped-Jacobi smoothing,
+full-weighting-style restriction, trilinear prolongation, recursive
+V-cycles.  The convergence test asserts the residual norm shrinks by a
+healthy factor per cycle — the property that makes MG bandwidth-bound yet
+algorithmically fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["poisson_rhs", "residual", "v_cycle_solve", "MgResult"]
+
+
+def _laplacian(u: np.ndarray, h: float) -> np.ndarray:
+    """7-point periodic Laplacian."""
+    lap = -6.0 * u
+    for axis in range(3):
+        lap += np.roll(u, 1, axis=axis) + np.roll(u, -1, axis=axis)
+    return lap / (h * h)
+
+
+def poisson_rhs(n: int, n_charges: int = 10, seed: int = 0) -> np.ndarray:
+    """A NAS-MG-style right-hand side: +/-1 point charges, zero mean."""
+    if n < 4 or n & (n - 1):
+        raise ConfigurationError(f"grid size must be a power of two >= 4, got {n}")
+    rng = np.random.default_rng(seed)
+    f = np.zeros((n, n, n))
+    idx = rng.integers(0, n, size=(2 * n_charges, 3))
+    for i, (x, y, z) in enumerate(idx):
+        f[x, y, z] += 1.0 if i < n_charges else -1.0
+    return f - f.mean()
+
+
+def residual(u: np.ndarray, f: np.ndarray, h: float) -> np.ndarray:
+    """``r = f - A u`` for the periodic Poisson operator ``A = -lap``."""
+    return f + _laplacian(u, h)
+
+
+def _smooth(u: np.ndarray, f: np.ndarray, h: float, sweeps: int) -> np.ndarray:
+    """Damped Jacobi smoothing (weight 2/3, the 3-D-safe choice)."""
+    omega = 2.0 / 3.0
+    diag = 6.0 / (h * h)
+    for _ in range(sweeps):
+        r = residual(u, f, h)
+        u = u + omega * r / diag
+    return u
+
+
+def _restrict(r: np.ndarray) -> np.ndarray:
+    """Coarsen by averaging 2x2x2 cells (full-weighting flavour)."""
+    return 0.125 * (
+        r[0::2, 0::2, 0::2]
+        + r[1::2, 0::2, 0::2]
+        + r[0::2, 1::2, 0::2]
+        + r[0::2, 0::2, 1::2]
+        + r[1::2, 1::2, 0::2]
+        + r[1::2, 0::2, 1::2]
+        + r[0::2, 1::2, 1::2]
+        + r[1::2, 1::2, 1::2]
+    )
+
+
+def _prolong(e: np.ndarray) -> np.ndarray:
+    """Refine by injection + nearest replication (trilinear flavour)."""
+    n = e.shape[0] * 2
+    fine = np.empty((n, n, n))
+    # Separable linear interpolation: inject, then interpolate midpoints
+    # along each axis in turn (periodic).
+    fine[0::2, 0::2, 0::2] = e
+    fine[1::2, 0::2, 0::2] = 0.5 * (e + np.roll(e, -1, axis=0))
+    fine[:, 1::2, 0::2] = 0.5 * (
+        fine[:, 0::2, 0::2] + np.roll(fine[:, 0::2, 0::2], -1, axis=1)
+    )
+    fine[:, :, 1::2] = 0.5 * (
+        fine[:, :, 0::2] + np.roll(fine[:, :, 0::2], -1, axis=2)
+    )
+    return fine
+
+
+def _v_cycle(
+    u: np.ndarray, f: np.ndarray, h: float, pre: int, post: int, min_n: int
+) -> np.ndarray:
+    n = u.shape[0]
+    u = _smooth(u, f, h, pre)
+    if n > min_n:
+        r = residual(u, f, h)
+        r_coarse = _restrict(r)
+        e_coarse = _v_cycle(
+            np.zeros_like(r_coarse), r_coarse, 2 * h, pre, post, min_n
+        )
+        u = u + _prolong(e_coarse)
+    else:
+        u = _smooth(u, f, h, 8 * (pre + post))
+    return _smooth(u, f, h, post)
+
+
+@dataclass(frozen=True)
+class MgResult:
+    """Outcome of a multigrid solve."""
+
+    u: np.ndarray
+    residual_norms: tuple[float, ...]
+
+    @property
+    def convergence_factor(self) -> float:
+        """Geometric-mean residual reduction per V-cycle."""
+        norms = self.residual_norms
+        if len(norms) < 2 or norms[0] == 0:
+            return 1.0
+        return (norms[-1] / norms[0]) ** (1.0 / (len(norms) - 1))
+
+
+def v_cycle_solve(
+    f: np.ndarray,
+    cycles: int = 4,
+    pre_sweeps: int = 2,
+    post_sweeps: int = 2,
+    min_grid: int = 4,
+) -> MgResult:
+    """Run ``cycles`` V-cycles on ``-lap(u) = f`` from a zero guess."""
+    n = f.shape[0]
+    if f.shape != (n, n, n):
+        raise ConfigurationError(f"rhs must be cubic, got {f.shape}")
+    if n < min_grid or n & (n - 1):
+        raise ConfigurationError(
+            f"grid size must be a power of two >= {min_grid}, got {n}"
+        )
+    if abs(float(f.mean())) > 1e-12 * (abs(f).max() or 1.0):
+        raise ConfigurationError(
+            "periodic Poisson needs a zero-mean right-hand side"
+        )
+    h = 1.0 / n
+    u = np.zeros_like(f)
+    norms = [float(np.linalg.norm(residual(u, f, h)))]
+    for _ in range(cycles):
+        u = _v_cycle(u, f, h, pre_sweeps, post_sweeps, min_grid)
+        u -= u.mean()  # fix the periodic null space
+        norms.append(float(np.linalg.norm(residual(u, f, h))))
+    return MgResult(u=u, residual_norms=tuple(norms))

@@ -1,0 +1,142 @@
+"""The NAS Parallel Benchmarks pseudorandom number generator.
+
+NPB defines the linear congruential generator
+
+    x_{k+1} = a * x_k  (mod 2^46),      a = 5^13,
+
+returning uniform doubles ``r_k = x_k * 2^-46``.  Its key property — the
+reason EP is embarrassingly parallel — is O(log n) *skip-ahead*: because
+``x_k = a^k x_0 (mod 2^46)``, any process can jump straight to its slice
+of the stream.
+
+All arithmetic here is vectorised 46-bit modular multiplication on uint64:
+operands are split into 23-bit halves so every partial product stays below
+2^46 and never overflows 64 bits (the same trick the Fortran reference
+uses with pairs of doubles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MODULUS_BITS", "DEFAULT_A", "DEFAULT_SEED", "lcg_modmul", "lcg_power", "NasRandom"]
+
+#: Modulus is 2**MODULUS_BITS.
+MODULUS_BITS: int = 46
+_MOD_MASK: int = (1 << MODULUS_BITS) - 1
+_HALF_BITS: int = 23
+_HALF_MASK: int = (1 << _HALF_BITS) - 1
+
+#: The NPB multiplier 5^13.
+DEFAULT_A: int = 5**13
+
+#: The NPB default seed (EP uses 271828183).
+DEFAULT_SEED: int = 271828183
+
+
+def lcg_modmul(a: "int | np.ndarray", b: "int | np.ndarray") -> np.ndarray:
+    """``(a * b) mod 2^46`` element-wise without 64-bit overflow.
+
+    Splits each operand into 23-bit halves: with ``a = a1*2^23 + a0`` and
+    ``b = b1*2^23 + b0``,
+
+        a*b mod 2^46 = (a0*b0 + ((a1*b0 + a0*b1 mod 2^23) << 23)) mod 2^46
+
+    every intermediate stays below 2^46.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    a0 = a & np.uint64(_HALF_MASK)
+    a1 = a >> np.uint64(_HALF_BITS)
+    b0 = b & np.uint64(_HALF_MASK)
+    b1 = b >> np.uint64(_HALF_BITS)
+    mid = (a1 * b0 + a0 * b1) & np.uint64(_HALF_MASK)
+    return (a0 * b0 + (mid << np.uint64(_HALF_BITS))) & np.uint64(_MOD_MASK)
+
+
+def lcg_power(a: int, n: int) -> int:
+    """``a**n mod 2^46`` by binary exponentiation (scalar)."""
+    if n < 0:
+        raise ConfigurationError(f"exponent must be >= 0, got {n}")
+    result = 1
+    base = a & _MOD_MASK
+    while n:
+        if n & 1:
+            result = int(lcg_modmul(result, base))
+        base = int(lcg_modmul(base, base))
+        n >>= 1
+    return result
+
+
+def _power_table(a: int, n: int) -> np.ndarray:
+    """Vector ``[a^0, a^1, ..., a^(n-1)] mod 2^46`` by array doubling.
+
+    Builds the table in O(log n) vectorised steps: if ``P`` holds the
+    first m powers, the next m are ``a^m * P``.
+    """
+    table = np.array([1], dtype=np.uint64)
+    a_pow = np.uint64(a & _MOD_MASK)
+    while table.shape[0] < n:
+        table = np.concatenate([table, lcg_modmul(table, a_pow)])
+        a_pow = lcg_modmul(a_pow, a_pow)
+    return table[:n]
+
+
+class NasRandom:
+    """A position-addressable NAS LCG stream.
+
+    >>> rng = NasRandom()
+    >>> r = rng.uniform(4)
+    >>> rng2 = NasRandom()
+    >>> rng2.skip(2)
+    >>> bool(np.allclose(rng2.uniform(2), r[2:]))
+    True
+    """
+
+    def __init__(self, seed: int = DEFAULT_SEED, a: int = DEFAULT_A):
+        if not 0 < seed < (1 << MODULUS_BITS):
+            raise ConfigurationError(
+                f"seed must be in (0, 2^{MODULUS_BITS}), got {seed}"
+            )
+        if seed % 2 == 0:
+            raise ConfigurationError("seed must be odd for full period")
+        self.a = a & _MOD_MASK
+        self._state = seed & _MOD_MASK
+
+    @property
+    def state(self) -> int:
+        """Current raw 46-bit state."""
+        return int(self._state)
+
+    def skip(self, n: int) -> None:
+        """Advance the stream by ``n`` positions in O(log n)."""
+        if n < 0:
+            raise ConfigurationError(f"cannot skip backwards ({n})")
+        self._state = int(lcg_modmul(lcg_power(self.a, n), self._state))
+
+    def raw(self, n: int) -> np.ndarray:
+        """The next ``n`` raw states ``x_1 .. x_n`` (advances the stream)."""
+        if n <= 0:
+            raise ConfigurationError(f"n must be positive, got {n}")
+        powers = _power_table(self.a, n + 1)[1:]
+        values = lcg_modmul(powers, np.uint64(self._state))
+        self._state = int(values[-1])
+        return values
+
+    def uniform(self, n: int) -> np.ndarray:
+        """The next ``n`` uniforms in (0, 1)."""
+        return self.raw(n).astype(np.float64) * 2.0**-MODULUS_BITS
+
+    def spawn(self, stream_index: int, stream_length: int) -> "NasRandom":
+        """An independent cursor positioned at slice ``stream_index``.
+
+        Gives process ``i`` of an EP-style decomposition its own stream
+        starting ``i * stream_length`` positions ahead — the NPB
+        skip-ahead pattern.
+        """
+        child = NasRandom(seed=self.state or DEFAULT_SEED, a=self.a)
+        child._state = self._state
+        child.skip(stream_index * stream_length)
+        return child

@@ -1,0 +1,71 @@
+"""The RandomAccess (GUPS) kernel — HPCC's cache-hostile corner.
+
+Applies xor updates ``T[idx] ^= value`` at pseudo-random table positions.
+Because xor is an involution, applying the same update stream twice
+restores the table exactly — the invariant HPCC's own verification uses
+and the one the tests here check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kernels.nas_rng import NasRandom
+
+__all__ = ["RandomAccessResult", "run_random_access"]
+
+
+@dataclass(frozen=True)
+class RandomAccessResult:
+    """Outcome of a GUPS run."""
+
+    table_bits: int
+    n_updates: int
+    table: np.ndarray
+    fingerprint: int
+
+    @property
+    def table_size(self) -> int:
+        """Number of 64-bit table words."""
+        return 1 << self.table_bits
+
+
+def run_random_access(
+    table_bits: int = 16, n_updates: int | None = None, seed: int = 1
+) -> RandomAccessResult:
+    """Run the update loop over a ``2^table_bits`` word table.
+
+    ``n_updates`` defaults to 4x the table size (the HPCC rule).
+
+    >>> first = run_random_access(table_bits=10)
+    >>> second = run_random_access(table_bits=10)
+    >>> first.fingerprint == second.fingerprint
+    True
+    """
+    if table_bits < 4 or table_bits > 26:
+        raise ConfigurationError(
+            f"table_bits must be in 4..26, got {table_bits}"
+        )
+    size = 1 << table_bits
+    if n_updates is None:
+        n_updates = 4 * size
+    if n_updates < 1:
+        raise ConfigurationError(f"n_updates must be >= 1, got {n_updates}")
+    table = np.arange(size, dtype=np.uint64)
+    rng = NasRandom(seed=seed)
+    raw = rng.raw(n_updates)
+    idx = (raw & np.uint64(size - 1)).astype(np.int64)
+    values = raw
+    # Sequential semantics matter when indices repeat; np.bitwise_xor.at
+    # applies unbuffered updates exactly like the scalar loop.
+    np.bitwise_xor.at(table, idx, values)
+    fingerprint = int(np.bitwise_xor.reduce(table))
+    return RandomAccessResult(
+        table_bits=table_bits,
+        n_updates=n_updates,
+        table=table,
+        fingerprint=fingerprint,
+    )

@@ -1,0 +1,137 @@
+"""Stencil solver kernels: SSOR sweeps (LU) and ADI line solves (BT/SP).
+
+* :func:`ssor_sweep` is the symmetric successive over-relaxation step at
+  the heart of NPB LU, applied here to a 3-D Poisson system with
+  Dirichlet boundaries.
+* :func:`thomas_solve` is a vectorised tridiagonal solver (the Thomas
+  algorithm) batched over lines, and :func:`adi_sweep` applies it along
+  each axis in turn — the Alternating Direction Implicit structure of
+  BT/SP (BT solves 5x5 block systems, SP scalar penta-diagonal ones; the
+  scalar tridiagonal line solve captures the shared access pattern and
+  numerical style at mini scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ssor_sweep", "thomas_solve", "adi_sweep"]
+
+
+def _check_cube(u: np.ndarray) -> None:
+    if u.ndim != 3:
+        raise ConfigurationError(f"expected a 3-D field, got {u.ndim}-D")
+
+
+def ssor_sweep(
+    u: np.ndarray, f: np.ndarray, h: float, omega: float = 1.2
+) -> np.ndarray:
+    """One forward + one backward SOR sweep on ``-lap(u) = f`` (Dirichlet).
+
+    Red-black ordering makes both half-sweeps vectorisable while keeping
+    the Gauss-Seidel character (each colour sees the other's fresh
+    values).
+    """
+    _check_cube(u)
+    if u.shape != f.shape:
+        raise ConfigurationError(f"shape mismatch {u.shape} vs {f.shape}")
+    if not 0.0 < omega < 2.0:
+        raise ConfigurationError(f"omega must be in (0, 2), got {omega}")
+    u = np.array(u, copy=True)
+    h2 = h * h
+    idx = np.indices(u.shape).sum(axis=0)
+    interior = np.zeros(u.shape, dtype=bool)
+    interior[1:-1, 1:-1, 1:-1] = True
+    for colours in ((0, 1), (1, 0)):  # forward, then backward
+        for colour in colours:
+            mask = interior & (idx % 2 == colour)
+            neighbours = (
+                np.roll(u, 1, 0)
+                + np.roll(u, -1, 0)
+                + np.roll(u, 1, 1)
+                + np.roll(u, -1, 1)
+                + np.roll(u, 1, 2)
+                + np.roll(u, -1, 2)
+            )
+            gauss = (neighbours + h2 * f) / 6.0
+            u[mask] = (1.0 - omega) * u[mask] + omega * gauss[mask]
+    return u
+
+
+def thomas_solve(
+    lower: np.ndarray,
+    diag: np.ndarray,
+    upper: np.ndarray,
+    rhs: np.ndarray,
+) -> np.ndarray:
+    """Batched Thomas algorithm for tridiagonal systems.
+
+    All arguments have shape ``(batch, n)``; ``lower[:, 0]`` and
+    ``upper[:, -1]`` are ignored.  Solves every system in the batch with
+    vectorised elimination along the line axis.
+    """
+    lower = np.asarray(lower, dtype=float)
+    diag = np.asarray(diag, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    rhs = np.asarray(rhs, dtype=float)
+    if not (lower.shape == diag.shape == upper.shape == rhs.shape):
+        raise ConfigurationError("all bands and rhs must share a shape")
+    if diag.ndim != 2:
+        raise ConfigurationError(f"expected (batch, n), got {diag.shape}")
+    batch, n = diag.shape
+    c_prime = np.zeros((batch, n))
+    d_prime = np.zeros((batch, n))
+    denom = diag[:, 0]
+    if np.any(denom == 0):
+        raise ConfigurationError("zero pivot in Thomas solve")
+    c_prime[:, 0] = upper[:, 0] / denom
+    d_prime[:, 0] = rhs[:, 0] / denom
+    for i in range(1, n):
+        denom = diag[:, i] - lower[:, i] * c_prime[:, i - 1]
+        if np.any(denom == 0):
+            raise ConfigurationError("zero pivot in Thomas solve")
+        c_prime[:, i] = upper[:, i] / denom
+        d_prime[:, i] = (rhs[:, i] - lower[:, i] * d_prime[:, i - 1]) / denom
+    x = np.zeros((batch, n))
+    x[:, -1] = d_prime[:, -1]
+    for i in range(n - 2, -1, -1):
+        x[:, i] = d_prime[:, i] - c_prime[:, i] * x[:, i + 1]
+    return x
+
+
+def adi_sweep(u: np.ndarray, f: np.ndarray, h: float, dt: float = 0.1) -> np.ndarray:
+    """One ADI time step of ``u_t = lap(u) + f`` (periodic-free, Dirichlet).
+
+    Splits the implicit operator by axis: each direction solves a batch
+    of tridiagonal systems ``(I - dt * d^2/dx^2) u* = rhs``.  This is the
+    line-solve structure BT/SP iterate.
+    """
+    _check_cube(u)
+    if u.shape != f.shape:
+        raise ConfigurationError(f"shape mismatch {u.shape} vs {f.shape}")
+    if dt <= 0:
+        raise ConfigurationError(f"dt must be positive, got {dt}")
+    r = dt / (h * h)
+    out = np.array(u, copy=True)
+    third = dt / 3.0
+    for axis in range(3):
+        moved = np.moveaxis(out, axis, -1)
+        shape = moved.shape
+        lines = moved.reshape(-1, shape[-1])
+        n = shape[-1]
+        lower = np.full_like(lines, -r)
+        upper = np.full_like(lines, -r)
+        diag = np.full_like(lines, 1.0 + 2.0 * r)
+        # Dirichlet walls: pin the end points.
+        diag[:, 0] = 1.0
+        diag[:, -1] = 1.0
+        upper[:, 0] = 0.0
+        lower[:, -1] = 0.0
+        rhs = lines + third * np.moveaxis(f, axis, -1).reshape(-1, n)
+        rhs[:, 0] = lines[:, 0]
+        rhs[:, -1] = lines[:, -1]
+        solved = thomas_solve(lower, diag, upper, rhs)
+        out = np.moveaxis(solved.reshape(shape), -1, axis)
+    return out

@@ -1,0 +1,89 @@
+"""The STREAM kernel (HPCC's memory-bandwidth corner).
+
+Runs the four canonical STREAM operations — Copy, Scale, Add, Triad —
+over arrays much larger than cache and reports achieved bytes/second per
+operation.  Used by the benchmarks to demonstrate the bandwidth-bound
+workload profile the power model assigns to ``hpcc_stream``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StreamResult", "run_stream"]
+
+#: Bytes moved per element per operation (reads + writes of float64).
+_BYTES_PER_ELEMENT: dict[str, int] = {
+    "copy": 16,
+    "scale": 16,
+    "add": 24,
+    "triad": 24,
+}
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Per-operation achieved bandwidth."""
+
+    n_elements: int
+    repeats: int
+    bandwidth_gbs: dict[str, float]
+    checksum: float
+
+    @property
+    def triad_gbs(self) -> float:
+        """The headline Triad figure."""
+        return self.bandwidth_gbs["triad"]
+
+
+def run_stream(
+    n_elements: int = 2_000_000, repeats: int = 3, scalar: float = 3.0
+) -> StreamResult:
+    """Run STREAM and return best-of-``repeats`` bandwidths.
+
+    >>> result = run_stream(n_elements=100_000, repeats=1)
+    >>> set(result.bandwidth_gbs) == {"copy", "scale", "add", "triad"}
+    True
+    """
+    if n_elements < 1000:
+        raise ConfigurationError(
+            f"n_elements must be >= 1000, got {n_elements}"
+        )
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    a = np.arange(n_elements, dtype=float) * 1e-6
+    b = np.zeros(n_elements)
+    c = np.zeros(n_elements)
+    best: dict[str, float] = {op: 0.0 for op in _BYTES_PER_ELEMENT}
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.copyto(c, a)
+        t1 = time.perf_counter()
+        np.multiply(c, scalar, out=b)
+        t2 = time.perf_counter()
+        np.add(a, b, out=c)
+        t3 = time.perf_counter()
+        np.multiply(b, scalar, out=c)
+        c += a  # triad: c = a + scalar * b
+        t4 = time.perf_counter()
+        durations = {
+            "copy": t1 - t0,
+            "scale": t2 - t1,
+            "add": t3 - t2,
+            "triad": t4 - t3,
+        }
+        for op, dt in durations.items():
+            if dt > 0:
+                gbs = _BYTES_PER_ELEMENT[op] * n_elements / dt / 1e9
+                best[op] = max(best[op], gbs)
+    return StreamResult(
+        n_elements=n_elements,
+        repeats=repeats,
+        bandwidth_gbs=best,
+        checksum=float(c.sum()),
+    )

@@ -1,0 +1,86 @@
+"""Post-processing of metered traces (Section V-C2, analysis steps 2-5).
+
+After a campaign the paper extracts each program's samples by its
+execution window, discards the initial 10 % and final 10 % (program
+start-up and tear-down transients, meter/clock misalignment), and takes
+the arithmetic mean.  The same trimming appears in the Green500 run rules
+("the first and last few samples can be ignored").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["extract_window", "trimmed_mean", "trimmed_stats", "TrimmedStats"]
+
+#: Default trim: drop this fraction of samples at each end.
+DEFAULT_TRIM: float = 0.10
+
+
+def extract_window(
+    times_s: np.ndarray,
+    values: np.ndarray,
+    start_s: float,
+    end_s: float,
+) -> np.ndarray:
+    """Samples whose timestamps fall in ``[start_s, end_s)``."""
+    times_s = np.asarray(times_s)
+    values = np.asarray(values)
+    if times_s.shape != values.shape:
+        raise ConfigurationError(
+            f"times and values must align: {times_s.shape} vs {values.shape}"
+        )
+    if end_s <= start_s:
+        raise ConfigurationError(
+            f"window must be non-empty: [{start_s}, {end_s})"
+        )
+    mask = (times_s >= start_s) & (times_s < end_s)
+    return values[mask]
+
+
+def trimmed_mean(values: np.ndarray, trim: float = DEFAULT_TRIM) -> float:
+    """Arithmetic mean after dropping ``trim`` of samples at each end.
+
+    Trimming is positional (first/last samples in time), not magnitude
+    based — the paper removes the *initial* and *final* 10 % of the data.
+    At least one sample always survives.
+    """
+    return trimmed_stats(values, trim).mean
+
+
+@dataclass(frozen=True)
+class TrimmedStats:
+    """Summary of a trimmed window."""
+
+    mean: float
+    std: float
+    n_total: int
+    n_used: int
+
+    @property
+    def n_trimmed(self) -> int:
+        """Samples dropped by the trim."""
+        return self.n_total - self.n_used
+
+
+def trimmed_stats(values: np.ndarray, trim: float = DEFAULT_TRIM) -> TrimmedStats:
+    """Positional-trim statistics of a sample window."""
+    if not 0.0 <= trim < 0.5:
+        raise ConfigurationError(f"trim must be in [0, 0.5), got {trim}")
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ConfigurationError("cannot summarise an empty window")
+    cut = int(values.size * trim)
+    kept = values[cut : values.size - cut] if cut else values
+    if kept.size == 0:
+        kept = values[values.size // 2 : values.size // 2 + 1]
+    return TrimmedStats(
+        mean=float(kept.mean()),
+        std=float(kept.std()),
+        n_total=int(values.size),
+        n_used=int(kept.size),
+    )

@@ -1,0 +1,95 @@
+"""WTViewer-style CSV logging.
+
+The paper's procedure (Section V-C2) shares a directory from the metering
+PC, copies the WTViewer CSV files to the server after the run, and merges
+them into one file before extracting per-program windows.  These helpers
+reproduce that file format and the merge step.
+
+Format: a header line, then ``timestamp_s,watts`` rows.  Timestamps are
+seconds relative to the campaign epoch (the paper synchronises server and
+PC clocks first; :mod:`repro.engine.experiment` models the residual
+offset).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import MeterError
+
+__all__ = ["write_power_csv", "read_power_csv", "merge_power_csvs", "HEADER"]
+
+HEADER: tuple[str, str] = ("time_s", "power_w")
+
+
+def write_power_csv(
+    path: "str | Path", times_s: np.ndarray, watts: np.ndarray
+) -> Path:
+    """Write one WTViewer-style CSV; returns the path."""
+    times_s = np.asarray(times_s, dtype=float)
+    watts = np.asarray(watts, dtype=float)
+    if times_s.shape != watts.shape:
+        raise MeterError(
+            f"times and watts must align: {times_s.shape} vs {watts.shape}"
+        )
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(HEADER)
+        for t, w in zip(times_s, watts):
+            writer.writerow([f"{t:.3f}", f"{w:.2f}"])
+    return path
+
+
+def read_power_csv(path: "str | Path") -> tuple[np.ndarray, np.ndarray]:
+    """Read one CSV; returns (times_s, watts) arrays."""
+    path = Path(path)
+    times: list[float] = []
+    watts: list[float] = []
+    try:
+        with path.open(newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header is None or tuple(header) != HEADER:
+                raise MeterError(
+                    f"{path}: not a power CSV (header {header!r})"
+                )
+            for lineno, row in enumerate(reader, start=2):
+                if len(row) != 2:
+                    raise MeterError(f"{path}:{lineno}: expected 2 columns")
+                try:
+                    times.append(float(row[0]))
+                    watts.append(float(row[1]))
+                except ValueError as exc:
+                    raise MeterError(f"{path}:{lineno}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise MeterError(f"{path}: not a text CSV file ({exc})") from exc
+    return np.asarray(times), np.asarray(watts)
+
+
+def merge_power_csvs(
+    paths: "list[str | Path]", out_path: "str | Path"
+) -> Path:
+    """Merge several CSVs into one, sorted by timestamp.
+
+    Duplicate timestamps (overlapping logger files) keep the first
+    occurrence, matching WTViewer's merge behaviour.
+    """
+    if not paths:
+        raise MeterError("no CSV files to merge")
+    all_times: list[np.ndarray] = []
+    all_watts: list[np.ndarray] = []
+    for path in paths:
+        t, w = read_power_csv(path)
+        all_times.append(t)
+        all_watts.append(w)
+    times = np.concatenate(all_times)
+    watts = np.concatenate(all_watts)
+    order = np.argsort(times, kind="stable")
+    times, watts = times[order], watts[order]
+    keep = np.ones(times.shape[0], dtype=bool)
+    keep[1:] = np.diff(times) > 0
+    return write_power_csv(out_path, times[keep], watts[keep])

@@ -1,0 +1,99 @@
+"""Simulated Yokogawa WT210 power meter.
+
+The WT210 is the meter the paper uses (Section V-C2).  The model covers
+the behaviours that matter to the evaluation pipeline:
+
+* 1 Hz sample logging (WTViewer's data logger),
+* a measurement range with over-range errors,
+* gaussian measurement noise plus 0.1 % gain error and display
+  quantisation, and
+* deterministic output given a seed, so every experiment is repeatable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MeterError
+
+__all__ = ["MeterSpec", "WT210", "Wt210Meter"]
+
+
+@dataclass(frozen=True)
+class MeterSpec:
+    """Accuracy and range description of a power meter."""
+
+    name: str
+    max_watts: float
+    noise_sigma_watts: float
+    gain_error: float
+    quantum_watts: float
+    sample_hz: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_watts <= 0:
+            raise ConfigurationError("max_watts must be positive")
+        if self.noise_sigma_watts < 0:
+            raise ConfigurationError("noise sigma must be non-negative")
+        if not 0.0 <= self.gain_error < 0.1:
+            raise ConfigurationError("gain error must be a small fraction")
+        if self.quantum_watts <= 0:
+            raise ConfigurationError("quantum must be positive")
+        if self.sample_hz <= 0:
+            raise ConfigurationError("sample rate must be positive")
+
+
+#: The paper's meter: 2 kW range covers all three servers (peak 1119.6 W).
+WT210 = MeterSpec(
+    name="WT210",
+    max_watts=2000.0,
+    noise_sigma_watts=0.5,
+    gain_error=0.001,
+    quantum_watts=0.01,
+    sample_hz=1.0,
+)
+
+
+class Wt210Meter:
+    """A seeded instance of a :class:`MeterSpec`.
+
+    The per-instance gain error is drawn once (a real meter's calibration
+    is fixed), while the additive noise varies per sample.
+    """
+
+    def __init__(self, spec: MeterSpec = WT210, seed: int = 0):
+        self.spec = spec
+        self._rng = np.random.default_rng(seed)
+        self._gain = 1.0 + spec.gain_error * float(
+            self._rng.standard_normal()
+        )
+
+    def sample_series(self, true_watts: np.ndarray) -> np.ndarray:
+        """Measure a 1 Hz series of true power values.
+
+        Raises
+        ------
+        MeterError
+            If any value exceeds the configured range (over-range).
+        """
+        true_watts = np.asarray(true_watts, dtype=float)
+        if true_watts.size and float(true_watts.max()) > self.spec.max_watts:
+            raise MeterError(
+                f"{self.spec.name}: {true_watts.max():.0f} W exceeds the "
+                f"{self.spec.max_watts:.0f} W range"
+            )
+        if np.any(true_watts < 0):
+            raise MeterError("negative power cannot be measured")
+        noisy = true_watts * self._gain + self.spec.noise_sigma_watts * (
+            self._rng.standard_normal(true_watts.shape)
+        )
+        quantised = np.round(noisy / self.spec.quantum_watts) * (
+            self.spec.quantum_watts
+        )
+        return np.maximum(quantised, 0.0)
+
+    def sample(self, true_watts: float) -> float:
+        """Measure a single value."""
+        return float(self.sample_series(np.array([true_watts]))[0])

@@ -1,0 +1,27 @@
+"""Statistics building blocks for the power regression model.
+
+Implemented from scratch on numpy (no statsmodels/sklearn available):
+
+* :mod:`repro.stats.linreg` — ordinary least squares with the summary
+  statistics the paper reports (Multiple R, R Square, Adjusted R Square,
+  Standard Error), plus forward stepwise selection with the F-to-enter
+  stopping rule the paper cites (Bendel & Afifi 1977).
+* :mod:`repro.stats.normalize` — the z-score normalisation the paper
+  applies "to unify the dimensions of different variables".
+"""
+
+from repro.stats.linreg import (
+    OlsModel,
+    fit_ols,
+    forward_stepwise,
+    StepwiseResult,
+)
+from repro.stats.normalize import ZScoreNormalizer
+
+__all__ = [
+    "OlsModel",
+    "fit_ols",
+    "forward_stepwise",
+    "StepwiseResult",
+    "ZScoreNormalizer",
+]

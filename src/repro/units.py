@@ -1,0 +1,96 @@
+"""Unit conversion helpers.
+
+The paper mixes watts, kilowatts, GFLOPS, MFLOPS, megabytes, and kilojoules
+(PPW in GFLOPS/Watt for HPL but MFLOPS/Watt for EP in Fig. 10).  Keeping the
+conversions in one module avoids scattering magic constants through the
+simulator and the benchmark harness.
+
+Internally the library standardises on:
+
+* power        — watts (W)
+* performance  — GFLOPS (or Gop/s for EP-style operation counts)
+* memory       — megabytes (MB)
+* time         — seconds (s)
+* energy       — kilojoules (KJ), matching Eq. (2) of the paper
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "gflops_to_mflops",
+    "mflops_to_gflops",
+    "watts_to_kilowatts",
+    "kilowatts_to_watts",
+    "mb_to_gb",
+    "gb_to_mb",
+    "bytes_to_mb",
+    "mb_to_bytes",
+    "energy_kj",
+    "mhz_to_ghz",
+]
+
+#: Bytes per kilobyte / megabyte / gigabyte (binary, as hardware specs use).
+KB: int = 1024
+MB: int = 1024 * 1024
+GB: int = 1024 * 1024 * 1024
+
+
+def gflops_to_mflops(gflops: float) -> float:
+    """Convert GFLOPS to MFLOPS."""
+    return gflops * 1e3
+
+
+def mflops_to_gflops(mflops: float) -> float:
+    """Convert MFLOPS to GFLOPS."""
+    return mflops / 1e3
+
+
+def watts_to_kilowatts(watts: float) -> float:
+    """Convert W to kW."""
+    return watts / 1e3
+
+
+def kilowatts_to_watts(kilowatts: float) -> float:
+    """Convert kW to W."""
+    return kilowatts * 1e3
+
+
+def mb_to_gb(mb: float) -> float:
+    """Convert megabytes to gigabytes."""
+    return mb / 1024.0
+
+
+def gb_to_mb(gb: float) -> float:
+    """Convert gigabytes to megabytes."""
+    return gb * 1024.0
+
+
+def bytes_to_mb(n: float) -> float:
+    """Convert a byte count to megabytes."""
+    return n / MB
+
+
+def mb_to_bytes(mb: float) -> float:
+    """Convert megabytes to a byte count."""
+    return mb * MB
+
+
+def energy_kj(power_watts: float, time_seconds: float) -> float:
+    """Energy in kilojoules per Eq. (2): ``Energy(KJ) = Power(KW) * Time(s)``.
+
+    >>> energy_kj(1000.0, 60.0)
+    60.0
+    """
+    if power_watts < 0:
+        raise ValueError(f"power must be non-negative, got {power_watts}")
+    if time_seconds < 0:
+        raise ValueError(f"time must be non-negative, got {time_seconds}")
+    return watts_to_kilowatts(power_watts) * time_seconds
+
+
+def mhz_to_ghz(mhz: float) -> float:
+    """Convert MHz to GHz."""
+    return mhz / 1e3

@@ -1,0 +1,17 @@
+"""Plain-text visualisation of the paper's figures.
+
+The benchmark harness and CLI render every figure as an ASCII chart so
+the reproduction is inspectable in any terminal or CI log — no plotting
+dependency required offline.
+
+* :func:`repro.viz.ascii.bar_chart` — horizontal bars with value labels
+  (the Fig. 3/4/9 power charts).
+* :func:`repro.viz.ascii.line_columns` — aligned multi-series columns
+  (the Fig. 5/6 sweeps).
+* :func:`repro.viz.ascii.paired_series` — measured-vs-regression pairs
+  (Figs. 12-13).
+"""
+
+from repro.viz.ascii import bar_chart, line_columns, paired_series
+
+__all__ = ["bar_chart", "line_columns", "paired_series"]

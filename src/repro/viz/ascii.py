@@ -1,0 +1,117 @@
+"""ASCII chart rendering.
+
+All functions return a string (no printing) so callers can route output
+to logs, files, or stdout.  Layout rules:
+
+* bars scale to ``width`` characters between the data minimum (or an
+  explicit ``floor``) and maximum, so small differences stay visible on
+  top of a large idle baseline — the same reason the paper's power plots
+  don't start at zero;
+* labels are never truncated; the chart column adapts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["bar_chart", "line_columns", "paired_series"]
+
+
+def _check_series(labels: Sequence[str], values: Sequence[float]) -> None:
+    if len(labels) != len(values):
+        raise ConfigurationError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if not labels:
+        raise ConfigurationError("nothing to plot")
+
+
+def bar_chart(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    floor: float | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with right-aligned value labels.
+
+    >>> print(bar_chart("t", ["a", "b"], [1.0, 2.0], width=4))  # doctest: +SKIP
+    """
+    _check_series(labels, values)
+    if width < 4:
+        raise ConfigurationError(f"width must be >= 4, got {width}")
+    lo = min(values) if floor is None else floor
+    hi = max(values)
+    span = hi - lo
+    label_w = max(len(l) for l in labels)
+    lines = [title]
+    for label, value in zip(labels, values):
+        frac = 1.0 if span == 0 else max(0.0, (value - lo) / span)
+        bar = "#" * max(int(round(frac * width)), 1 if value > lo else 0)
+        lines.append(f"{label:<{label_w}} |{bar:<{width}}| {value:.2f}{unit}")
+    lines.append(
+        f"{'':<{label_w}}  scale: {lo:.1f}{unit} .. {hi:.1f}{unit}"
+    )
+    return "\n".join(lines)
+
+
+def line_columns(
+    title: str,
+    x_labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    unit: str = "",
+) -> str:
+    """Aligned columns, one per series — the Fig. 5/6 sweep layout."""
+    if not series:
+        raise ConfigurationError("no series to plot")
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(x_labels)} x labels"
+            )
+    x_w = max(len(str(x)) for x in x_labels)
+    col_w = max(max(len(name) for name in series), 9)
+    header = " " * x_w + "  " + "  ".join(
+        f"{name:>{col_w}}" for name in series
+    )
+    lines = [title, header]
+    for i, x in enumerate(x_labels):
+        row = f"{x:<{x_w}}  " + "  ".join(
+            f"{series[name][i]:>{col_w}.2f}" for name in series
+        )
+        lines.append(row + (f" {unit}" if unit else ""))
+    return "\n".join(lines)
+
+
+def paired_series(
+    title: str,
+    labels: Sequence[str],
+    measured: Sequence[float],
+    predicted: Sequence[float],
+    width: int = 40,
+) -> str:
+    """Measured-vs-regression pairs with a difference sparkbar.
+
+    Reproduces Figs. 12-13 as text: each row shows both values and a
+    signed bar for the difference.
+    """
+    _check_series(labels, measured)
+    if len(predicted) != len(measured):
+        raise ConfigurationError("measured/predicted length mismatch")
+    diffs = [m - p for m, p in zip(measured, predicted)]
+    biggest = max((abs(d) for d in diffs), default=1.0) or 1.0
+    half = width // 2
+    label_w = max(len(l) for l in labels)
+    lines = [title, f"{'':<{label_w}}  {'meas':>7} {'regr':>7}  difference"]
+    for label, m, p, d in zip(labels, measured, predicted, diffs):
+        mag = int(round(abs(d) / biggest * half))
+        if d >= 0:
+            bar = " " * half + "|" + "+" * mag
+        else:
+            bar = " " * (half - mag) + "-" * mag + "|"
+        lines.append(f"{label:<{label_w}}  {m:>7.2f} {p:>7.2f}  {bar}")
+    return "\n".join(lines)

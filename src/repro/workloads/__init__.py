@@ -1,0 +1,53 @@
+"""Workload models for every benchmark the paper exercises.
+
+A workload model turns a program + configuration (process count, problem
+class, HPL parameters) into the :class:`~repro.demand.ResourceDemand` the
+hardware simulator consumes.  Performance (GFLOPS) comes from per-server
+anchor tables embedded from the paper's own results (Tables IV-VI), with
+log-log interpolation for unmeasured process counts; durations follow from
+operation counts; footprints follow from the published NPB problem sizes.
+
+Packages and modules:
+
+* :mod:`repro.workloads.base` — abstract workload, program registry, and
+  the per-program power-idiosyncrasy factor.
+* :mod:`repro.workloads.perfdata` — paper performance anchors and
+  interpolation.
+* :mod:`repro.workloads.hpl` — High-Performance Linpack (Ns/NBs/P/Q).
+* :mod:`repro.workloads.npb` — the eight NAS Parallel Benchmarks with
+  classes W/A/B/C and per-program process-count rules.
+* :mod:`repro.workloads.specpower` — SPECpower_ssj2008 graduated load.
+* :mod:`repro.workloads.hpcc` — the seven HPC Challenge components.
+"""
+
+from repro.workloads.base import Workload, power_idiosyncrasy
+from repro.workloads.hpl import HplConfig, HplWorkload, hpl_performance
+from repro.workloads.npb import (
+    NPB_PROGRAMS,
+    NpbClass,
+    NpbProgram,
+    NpbWorkload,
+    allowed_process_counts,
+    get_npb_program,
+)
+from repro.workloads.specpower import SpecPowerLevel, SpecPowerWorkload
+from repro.workloads.hpcc import HPCC_COMPONENTS, HpccComponent, HpccWorkload
+
+__all__ = [
+    "Workload",
+    "power_idiosyncrasy",
+    "HplConfig",
+    "HplWorkload",
+    "hpl_performance",
+    "NPB_PROGRAMS",
+    "NpbClass",
+    "NpbProgram",
+    "NpbWorkload",
+    "allowed_process_counts",
+    "get_npb_program",
+    "SpecPowerLevel",
+    "SpecPowerWorkload",
+    "HPCC_COMPONENTS",
+    "HpccComponent",
+    "HpccWorkload",
+]

@@ -1,0 +1,108 @@
+"""Workload abstraction and the power-idiosyncrasy factor.
+
+Every concrete workload implements :meth:`Workload.bind`, which validates
+the configuration against a server (process-count rules, memory fit) and
+returns the steady-state :class:`~repro.demand.ResourceDemand`.
+
+Idiosyncrasy
+------------
+
+The paper's regression study (Section VI) finds that a six-feature PMU
+model explains ~94 % of power variance on its HPCC training set but only
+~54-63 % on NPB verification: real programs carry microarchitectural power
+behaviour (port pressure, prefetcher friendliness, communication bursts)
+that the six counters do not capture.  The simulator reproduces that gap
+with a deterministic per-(program, class) multiplicative factor on dynamic
+power, :func:`power_idiosyncrasy`, derived from a hash of the program name
+— stable across runs, different across programs, and *absent* for the
+calibration programs (idle, EP, HPL) whose absolute watts the paper
+publishes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+
+from repro.demand import ResourceDemand
+from repro.errors import ConfigurationError
+from repro.hardware.specs import ServerSpec
+
+__all__ = ["Workload", "power_idiosyncrasy", "IDIOSYNCRASY_AMPLITUDE"]
+
+#: Default half-width of the idiosyncrasy band: factors lie in
+#: [1 - A, 1 + A].  Chosen so the regression verification R^2 lands in the
+#: paper's 0.5-0.7 band (see tests/core/test_regression_bands.py).
+IDIOSYNCRASY_AMPLITUDE: float = 0.30
+
+#: Programs whose dynamic power is anchored to published measurements and
+#: therefore carries no idiosyncrasy.
+_CALIBRATED_PROGRAMS: frozenset[str] = frozenset({"idle", "ep", "hpl"})
+
+
+def power_idiosyncrasy(
+    program_key: str, amplitude: float = IDIOSYNCRASY_AMPLITUDE
+) -> float:
+    """Deterministic dynamic-power factor for one (program, class) key.
+
+    Parameters
+    ----------
+    program_key:
+        Base program identity, e.g. ``"bt.B"`` or ``"hpcc_stream"`` —
+        *without* the process count, so ``bt.B.4`` and ``bt.B.9`` share a
+        factor (the paper's per-program fit quality is consistent across
+        core counts).
+    amplitude:
+        Half-width of the factor band.
+
+    Returns
+    -------
+    float
+        Factor in ``[1 - amplitude, 1 + amplitude]``; exactly 1.0 for the
+        calibration programs (idle, EP, HPL).
+    """
+    if not 0.0 <= amplitude < 1.0:
+        raise ConfigurationError(
+            f"amplitude must be in [0, 1), got {amplitude}"
+        )
+    base = program_key.split(".")[0].lower()
+    if base in _CALIBRATED_PROGRAMS or base.startswith("hpl"):
+        return 1.0
+    digest = hashlib.sha256(program_key.lower().encode()).digest()
+    unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return 1.0 + amplitude * (2.0 * unit - 1.0)
+
+
+class Workload(ABC):
+    """A benchmark program plus its configuration.
+
+    Subclasses validate configuration eagerly (in ``__init__``) where the
+    constraint is server-independent and lazily (in :meth:`bind`) where it
+    depends on the machine.
+    """
+
+    #: Base program identity used for traits and idiosyncrasy lookups,
+    #: e.g. ``"ep"`` or ``"hpcc_stream"``.  Set by subclasses.
+    program: str
+
+    @abstractmethod
+    def bind(self, server: ServerSpec) -> ResourceDemand:
+        """Validate against ``server`` and return the steady-state demand.
+
+        Raises
+        ------
+        repro.errors.WorkloadError
+            If the configuration cannot run on this server (invalid
+            process count, insufficient memory).
+        """
+
+    def idiosyncrasy_key(self) -> str:
+        """Key fed to :func:`power_idiosyncrasy`; override to add class."""
+        return self.program
+
+    def power_factor(self) -> float:
+        """Dynamic-power idiosyncrasy factor for this workload."""
+        return power_idiosyncrasy(self.idiosyncrasy_key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"<{type(self).__name__} {self.program}>"

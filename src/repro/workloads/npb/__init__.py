@@ -1,0 +1,46 @@
+"""The NAS Parallel Benchmarks workload models.
+
+Eight programs: five kernels (IS, EP, CG, MG, FT) and three
+pseudo-applications (BT, SP, LU), per the suite the paper uses as its
+control for "general HPC programs".
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.workloads.npb import bt, cg, ep, ft, is_, lu, mg, sp
+from repro.workloads.npb.common import (
+    MEMORY_OVERHEAD_PER_PROC,
+    NpbClass,
+    NpbProgram,
+    NpbWorkload,
+    ProcRule,
+    allowed_process_counts,
+)
+
+__all__ = [
+    "NPB_PROGRAMS",
+    "NpbClass",
+    "NpbProgram",
+    "NpbWorkload",
+    "ProcRule",
+    "allowed_process_counts",
+    "get_npb_program",
+    "MEMORY_OVERHEAD_PER_PROC",
+]
+
+#: All eight programs, in the paper's alphabetical figure order.
+NPB_PROGRAMS: dict[str, NpbProgram] = {
+    module.PROGRAM.name: module.PROGRAM
+    for module in (bt, cg, ep, ft, is_, lu, mg, sp)
+}
+
+
+def get_npb_program(name: str) -> NpbProgram:
+    """Look up an NPB program by its two-letter code (case-insensitive)."""
+    try:
+        return NPB_PROGRAMS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown NPB program {name!r}; known: {sorted(NPB_PROGRAMS)}"
+        ) from None

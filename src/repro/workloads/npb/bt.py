@@ -1,0 +1,38 @@
+"""BT — Block Tri-diagonal solver (pseudo-application).
+
+Solves three sets of uncoupled block-tridiagonal systems (5x5 blocks) from
+an ADI discretisation of 3-D Navier-Stokes on a ``N^3`` grid: 64^3 (A),
+102^3 (B), 162^3 (C).  Memory is ~42 double words per grid cell (solution,
+RHS, forcing, and LHS block storage); BT requires a square process count
+for its multi-partition decomposition.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.npb.common import NpbClass, NpbProgram, ProcRule
+
+__all__ = ["PROGRAM"]
+
+_WORDS_PER_CELL = 42
+_GRID = {NpbClass.W: 24, NpbClass.A: 64, NpbClass.B: 102, NpbClass.C: 162, NpbClass.D: 408, NpbClass.E: 1020}
+
+
+def _footprint(points: int) -> float:
+    return points**3 * _WORDS_PER_CELL * 8 / 1024.0**2
+
+
+PROGRAM = NpbProgram(
+    name="bt",
+    proc_rule=ProcRule.SQUARE,
+    footprint_mb={k: _footprint(g) for k, g in _GRID.items()},
+    gop={
+        NpbClass.W: 1.0,
+        NpbClass.A: 168.3,
+        NpbClass.B: 721.5,
+        NpbClass.C: 2881.0,
+        NpbClass.D: 58650.0,
+        NpbClass.E: 980000.0,
+    },
+    serial_rate_frac=0.22,
+    speedup_exponent=0.92,
+)

@@ -1,0 +1,40 @@
+"""EP — Embarrassingly Parallel kernel.
+
+Generates 2^28 / 2^30 / 2^32 (A/B/C) pairs of Gaussian deviates with the
+NAS linear congruential generator and tallies them by annulus.  No
+communication, a tiny scale-independent footprint, and any process count —
+the properties that make it the paper's low-power evaluation envelope.
+
+EP performance on the built-in servers uses the paper's published Gop/s
+anchors (:mod:`repro.workloads.perfdata`); an executable implementation of
+the actual kernel lives in :mod:`repro.kernels.ep`.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.npb.common import NpbClass, NpbProgram, ProcRule
+
+__all__ = ["PROGRAM"]
+
+PROGRAM = NpbProgram(
+    name="ep",
+    proc_rule=ProcRule.ANY,
+    footprint_mb={
+        NpbClass.W: 16.0,
+        NpbClass.A: 16.0,
+        NpbClass.B: 16.0,
+        NpbClass.C: 16.0,
+        NpbClass.D: 16.0,
+        NpbClass.E: 16.0,
+    },
+    gop={
+        NpbClass.W: float(1 << 26) / 1e9,
+        NpbClass.A: float(1 << 28) / 1e9,
+        NpbClass.B: float(1 << 30) / 1e9,
+        NpbClass.C: float(1 << 32) / 1e9,
+        NpbClass.D: float(1 << 36) / 1e9,
+        NpbClass.E: float(1 << 40) / 1e9,
+    },
+    serial_rate_frac=0.01,
+    speedup_exponent=1.0,
+)

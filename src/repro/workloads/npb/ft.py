@@ -1,0 +1,44 @@
+"""FT — discrete 3-D fast Fourier Transform kernel.
+
+Three complex grids of 256^2x128 (A), 512x256^2 (B), 512^3 (C); FT has the
+largest memory footprint of the suite and the fastest footprint growth
+with class — the paper highlights exactly this in Fig. 8.  All-to-all
+transposes make it communication-heavy; power-of-two process counts.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.npb.common import NpbClass, NpbProgram, ProcRule
+
+__all__ = ["PROGRAM"]
+
+# complex double = 16 bytes, ~3 resident grid-sized arrays.
+_POINTS = {
+    NpbClass.W: 128 * 128 * 32,
+    NpbClass.A: 256 * 256 * 128,
+    NpbClass.B: 512 * 256 * 256,
+    NpbClass.C: 512 * 512 * 512,
+    NpbClass.D: 2048 * 1024 * 1024,
+    NpbClass.E: 4096 * 2048 * 2048,
+}
+
+
+def _footprint(points: int) -> float:
+    return points * 16 * 3 / 1024.0**2
+
+
+PROGRAM = NpbProgram(
+    name="ft",
+    proc_rule=ProcRule.POWER_OF_TWO,
+    footprint_mb={k: _footprint(p) for k, p in _POINTS.items()},
+    gop={
+        NpbClass.W: 0.3,
+        NpbClass.A: 7.1,
+        NpbClass.B: 92.2,
+        NpbClass.C: 389.0,
+        NpbClass.D: 8000.0,
+        NpbClass.E: 140000.0,
+    },
+    serial_rate_frac=0.14,
+    speedup_exponent=0.84,
+)

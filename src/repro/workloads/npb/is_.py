@@ -1,0 +1,44 @@
+"""IS — Integer Sort kernel.
+
+Bucket sort of 2^23 / 2^25 / 2^27 integer keys (A/B/C).  Near-zero
+floating-point activity, bandwidth-bound scattered access; power-of-two
+process counts.  (Module named ``is_`` because ``is`` is a Python
+keyword.)
+"""
+
+from __future__ import annotations
+
+from repro.workloads.npb.common import NpbClass, NpbProgram, ProcRule
+
+__all__ = ["PROGRAM"]
+
+_KEYS = {
+    NpbClass.W: 1 << 20,
+    NpbClass.A: 1 << 23,
+    NpbClass.B: 1 << 25,
+    NpbClass.C: 1 << 27,
+    NpbClass.D: 1 << 31,
+    NpbClass.E: 1 << 35,
+}
+
+
+def _footprint(keys: int) -> float:
+    # key array + rank array + bucket counts, 4-byte ints, ~2.6x keys.
+    return keys * 4 * 2.6 / 1024.0**2
+
+
+PROGRAM = NpbProgram(
+    name="is",
+    proc_rule=ProcRule.POWER_OF_TWO,
+    footprint_mb={k: _footprint(n) for k, n in _KEYS.items()},
+    gop={
+        NpbClass.W: 0.02,
+        NpbClass.A: 0.78,
+        NpbClass.B: 3.15,
+        NpbClass.C: 13.4,
+        NpbClass.D: 215.0,
+        NpbClass.E: 3440.0,
+    },
+    serial_rate_frac=0.04,
+    speedup_exponent=0.72,
+)

@@ -1,0 +1,35 @@
+"""LU — Lower-Upper Gauss-Seidel solver (pseudo-application).
+
+SSOR sweeps over the same 3-D grids as BT/SP (~30 double words per cell);
+power-of-two process counts for its 2-D pencil decomposition.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.npb.common import NpbClass, NpbProgram, ProcRule
+
+__all__ = ["PROGRAM"]
+
+_WORDS_PER_CELL = 30
+_GRID = {NpbClass.W: 33, NpbClass.A: 64, NpbClass.B: 102, NpbClass.C: 162, NpbClass.D: 408, NpbClass.E: 1020}
+
+
+def _footprint(points: int) -> float:
+    return points**3 * _WORDS_PER_CELL * 8 / 1024.0**2
+
+
+PROGRAM = NpbProgram(
+    name="lu",
+    proc_rule=ProcRule.POWER_OF_TWO,
+    footprint_mb={k: _footprint(g) for k, g in _GRID.items()},
+    gop={
+        NpbClass.W: 0.6,
+        NpbClass.A: 119.3,
+        NpbClass.B: 544.7,
+        NpbClass.C: 2139.0,
+        NpbClass.D: 41100.0,
+        NpbClass.E: 720000.0,
+    },
+    serial_rate_frac=0.25,
+    speedup_exponent=0.91,
+)

@@ -1,0 +1,35 @@
+"""MG — Multi-Grid kernel.
+
+V-cycle multigrid on a 256^3 (A/B) or 512^3 (C) grid; ~3.4 double arrays
+of the full grid resident.  Bandwidth-hungry with mid-range locality;
+power-of-two process counts.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.npb.common import NpbClass, NpbProgram, ProcRule
+
+__all__ = ["PROGRAM"]
+
+PROGRAM = NpbProgram(
+    name="mg",
+    proc_rule=ProcRule.POWER_OF_TWO,
+    footprint_mb={
+        NpbClass.W: 8.0,
+        NpbClass.A: 450.0,
+        NpbClass.B: 450.0,
+        NpbClass.C: 3600.0,
+        NpbClass.D: 29000.0,
+        NpbClass.E: 232000.0,
+    },
+    gop={
+        NpbClass.W: 0.04,
+        NpbClass.A: 3.9,
+        NpbClass.B: 18.5,
+        NpbClass.C: 155.7,
+        NpbClass.D: 3100.0,
+        NpbClass.E: 62000.0,
+    },
+    serial_rate_frac=0.16,
+    speedup_exponent=0.84,
+)

@@ -1,0 +1,37 @@
+"""SP — Scalar Penta-diagonal solver (pseudo-application).
+
+Like BT but with scalar penta-diagonal systems; ~34 double words per cell
+on the same 64^3 / 102^3 / 162^3 grids, square process counts.  SP has the
+heaviest communication of the NPB suite — the paper singles it out (with
+EP) as the worst fit of the regression model (Section VI-C).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.npb.common import NpbClass, NpbProgram, ProcRule
+
+__all__ = ["PROGRAM"]
+
+_WORDS_PER_CELL = 34
+_GRID = {NpbClass.W: 24, NpbClass.A: 64, NpbClass.B: 102, NpbClass.C: 162, NpbClass.D: 408, NpbClass.E: 1020}
+
+
+def _footprint(points: int) -> float:
+    return points**3 * _WORDS_PER_CELL * 8 / 1024.0**2
+
+
+PROGRAM = NpbProgram(
+    name="sp",
+    proc_rule=ProcRule.SQUARE,
+    footprint_mb={k: _footprint(g) for k, g in _GRID.items()},
+    gop={
+        NpbClass.W: 0.7,
+        NpbClass.A: 102.0,
+        NpbClass.B: 447.1,
+        NpbClass.C: 1778.0,
+        NpbClass.D: 39100.0,
+        NpbClass.E: 660000.0,
+    },
+    serial_rate_frac=0.20,
+    speedup_exponent=0.88,
+)

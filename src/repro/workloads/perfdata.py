@@ -1,0 +1,134 @@
+"""Per-server performance anchors and interpolation.
+
+The paper publishes achieved performance for its two evaluation programs on
+each server (Tables IV-VI): HPL GFLOPS at half ("Mh") and full ("Mf")
+memory for three core counts, and EP Gop/s for three core counts.  Those
+anchors are embedded here; :func:`interp_loglog` provides piecewise
+log-log interpolation for unmeasured core counts (performance-vs-cores is
+close to a power law between adjacent anchors), clamped to the anchor
+slope beyond the measured range.
+
+Custom servers without anchors fall back to analytic models parameterized
+by the server spec (peak per core, ``hpl_efficiency``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.hardware.specs import ServerSpec
+
+__all__ = [
+    "interp_loglog",
+    "hpl_gflops",
+    "ep_gops",
+    "HPL_PERF_ANCHORS",
+    "EP_PERF_ANCHORS",
+]
+
+def _build_perf_anchors() -> tuple[
+    dict[str, dict[str, dict[int, float]]], dict[str, dict[int, float]]
+]:
+    """Derive the performance anchors from the Table IV-VI transcription."""
+    from repro.paperdata import PAPER_TABLES
+
+    hpl: dict[str, dict[str, dict[int, float]]] = {}
+    ep: dict[str, dict[int, float]] = {}
+    for server, rows in PAPER_TABLES.items():
+        hpl[server] = {"Mh": {}, "Mf": {}}
+        ep[server] = {}
+        for row in rows:
+            if row.label.startswith("ep."):
+                ep[server][int(row.label.rsplit(".", 1)[1])] = row.gflops
+            elif row.label.startswith("HPL "):
+                _, p_part, m_part = row.label.split()
+                hpl[server][m_part][int(p_part[1:])] = row.gflops
+    return hpl, ep
+
+
+#: HPL achieved GFLOPS (server -> "Mh"/"Mf" -> {nprocs: gflops}) and EP
+#: achieved Gop/s (server -> {nprocs: gops}), both from the paper's
+#: Tables IV-VI via :mod:`repro.paperdata`.
+HPL_PERF_ANCHORS, EP_PERF_ANCHORS = _build_perf_anchors()
+
+#: Fallback EP rate for custom servers: Gop/s per core per GHz, the rough
+#: mean of the three measured machines.
+_EP_GOPS_PER_CORE_PER_GHZ: float = 0.009
+
+
+def interp_loglog(anchors: dict[int, float], n: int) -> float:
+    """Piecewise log-log interpolation of ``anchors`` at process count ``n``.
+
+    Between adjacent anchors, performance follows the power law through
+    them; outside the anchor range the nearest segment's slope is extended.
+    Exact at every anchor.
+    """
+    if not anchors:
+        raise ConfigurationError("anchor table is empty")
+    if n <= 0:
+        raise ConfigurationError(f"process count must be positive, got {n}")
+    points = sorted(anchors.items())
+    if len(points) == 1:
+        # Single anchor: assume linear scaling through the origin.
+        n0, v0 = points[0]
+        return v0 * n / n0
+    xs = [math.log(p[0]) for p in points]
+    ys = [math.log(p[1]) for p in points]
+    x = math.log(n)
+    if x <= xs[0]:
+        i = 0
+    elif x >= xs[-1]:
+        i = len(xs) - 2
+    else:
+        i = next(j for j in range(len(xs) - 1) if xs[j] <= x <= xs[j + 1])
+    slope = (ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i])
+    # Clamp the exponent so extreme extrapolation of adversarial anchor
+    # sets neither overflows nor underflows to zero; the result stays a
+    # positive finite float either way.
+    exponent = max(min(ys[i] + slope * (x - xs[i]), 700.0), -700.0)
+    return math.exp(exponent)
+
+
+def _memory_key(memory_fraction: float) -> str:
+    """Map a memory fraction to the nearer anchor column."""
+    return "Mh" if memory_fraction <= 0.7 else "Mf"
+
+
+def hpl_gflops(server: ServerSpec, nprocs: int, memory_fraction: float) -> float:
+    """Achieved HPL GFLOPS for ``nprocs`` at ``memory_fraction`` of DRAM.
+
+    Built-in servers interpolate the paper's anchors; other servers use
+    ``peak_per_core * nprocs * hpl_efficiency`` with a mild parallel
+    efficiency decay normalized to reach ``hpl_efficiency`` at full cores.
+    Small problems (under ~30 % of memory) lose efficiency because O(N^2)
+    overheads stop amortising — the paper tunes Ns upward for exactly this
+    reason.
+    """
+    server.validate_core_count(nprocs)
+    if not 0.0 < memory_fraction <= 1.0:
+        raise ConfigurationError(
+            f"memory fraction must be in (0, 1], got {memory_fraction}"
+        )
+    small_problem_penalty = 1.0
+    if memory_fraction < 0.3:
+        small_problem_penalty = 0.75 + 0.25 * (memory_fraction / 0.3)
+    anchors = HPL_PERF_ANCHORS.get(server.name)
+    if anchors is not None:
+        base = interp_loglog(anchors[_memory_key(memory_fraction)], nprocs)
+        return base * small_problem_penalty
+    decay = (nprocs / server.total_cores) ** 0.06
+    eff = server.hpl_efficiency / decay if nprocs < server.total_cores else (
+        server.hpl_efficiency
+    )
+    eff = min(eff, 0.95)
+    return server.gflops_per_core * nprocs * eff * small_problem_penalty
+
+
+def ep_gops(server: ServerSpec, nprocs: int) -> float:
+    """Achieved EP Gop/s (random-pair rate) for ``nprocs`` processes."""
+    server.validate_core_count(nprocs)
+    anchors = EP_PERF_ANCHORS.get(server.name)
+    if anchors is not None:
+        return interp_loglog(anchors, nprocs)
+    return _EP_GOPS_PER_CORE_PER_GHZ * server.processor.frequency_ghz * nprocs

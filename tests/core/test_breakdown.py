@@ -1,0 +1,68 @@
+"""Power breakdown analysis."""
+
+import pytest
+
+from repro.core.breakdown import breakdown
+from repro.demand import ResourceDemand
+from repro.errors import ConfigurationError
+from repro.workloads.hpl import HplConfig, HplWorkload
+from repro.workloads.npb import NpbWorkload
+
+
+class TestStructure:
+    def test_components_sum_to_total(self, e5462):
+        b = breakdown(e5462, HplWorkload(HplConfig(4, 0.95)))
+        assert b.total_watts == pytest.approx(
+            b.idle_watts + sum(b.components.values())
+        )
+
+    def test_idle_point(self, e5462):
+        b = breakdown(e5462, ResourceDemand.idle())
+        assert b.components == {}
+        assert b.total_watts == pytest.approx(134.3727)
+        with pytest.raises(ConfigurationError):
+            b.dominant_component()
+
+    def test_fractions_sum_to_one(self, e5462):
+        b = breakdown(e5462, NpbWorkload("ep", "C", 4))
+        assert sum(b.fractions().values()) == pytest.approx(1.0)
+
+    def test_total_matches_calibrated_model(self, e5462):
+        """Breakdown total equals the model's pre-noise power."""
+        from repro.engine import Simulator
+
+        b = breakdown(e5462, HplWorkload(HplConfig(4, 0.95)))
+        run = Simulator(e5462).run(HplWorkload(HplConfig(4, 0.95)))
+        assert b.total_watts == pytest.approx(
+            run.average_power_watts(), rel=0.01
+        )
+
+    def test_format_renders(self, e5462):
+        text = breakdown(e5462, NpbWorkload("ep", "C", 4)).format()
+        assert "idle" in text
+        assert "total" in text
+
+
+class TestPaperClaims:
+    def test_idle_dominates_every_state(self, any_server):
+        """The paper's servers burn most of their power at idle — the
+        reason load states matter for a fair score."""
+        b = breakdown(any_server, NpbWorkload("ep", "C", 1))
+        assert b.fractions()["idle"] > 0.5
+
+    def test_intensity_separates_hpl_from_ep(self, e5462):
+        hpl = breakdown(e5462, HplWorkload(HplConfig(4, 0.95)))
+        ep = breakdown(e5462, NpbWorkload("ep", "C", 4))
+        assert (
+            hpl.components["core_intensity"]
+            > 3 * ep.components["core_intensity"]
+        )
+
+    def test_memory_term_is_small(self, e5462):
+        """Fig. 5's finding: memory traffic contributes little power."""
+        b = breakdown(e5462, HplWorkload(HplConfig(4, 0.95)))
+        assert b.components["mem_dyn"] < 0.1 * b.dynamic_watts
+
+    def test_comm_invisible_to_regression_is_nonzero_for_sp(self, x4870):
+        b = breakdown(x4870, NpbWorkload("sp", "C", 36))
+        assert b.components["comm"] > 0

@@ -1,0 +1,49 @@
+"""Energy-to-solution analysis."""
+
+import pytest
+
+from repro.core.energy import energy_scaling
+from repro.errors import ConfigurationError
+
+
+class TestEpFig11:
+    def test_ep_energy_decreases(self, e5462):
+        scaling = energy_scaling(e5462, "ep", "C")
+        energies = [p.energy_kj for p in scaling.points]
+        assert energies == sorted(energies, reverse=True)
+        assert scaling.parallelism_saves_energy()
+
+    def test_optimal_is_full_machine_for_ep(self, e5462):
+        scaling = energy_scaling(e5462, "ep", "C")
+        assert scaling.optimal.nprocs == e5462.total_cores
+
+    def test_saving_magnitude(self, e5462):
+        scaling = energy_scaling(e5462, "ep", "C")
+        assert scaling.max_saving > 0.5  # ~3x on this machine
+
+
+class TestGeneralisation:
+    @pytest.mark.parametrize("program", ["lu", "mg", "bt"])
+    def test_claim_holds_beyond_ep(self, e5462, program):
+        """The Fig.-11 conclusion generalises to other NPB programs on
+        the simulated machines."""
+        scaling = energy_scaling(e5462, program, "C")
+        assert scaling.parallelism_saves_energy()
+
+    def test_respects_proc_rules(self, x4870):
+        scaling = energy_scaling(x4870, "bt", "B")
+        assert [p.nprocs for p in scaling.points] == [1, 4, 9, 16, 25, 36]
+
+    def test_skips_oom_counts(self, e5462):
+        with pytest.raises(ConfigurationError):
+            energy_scaling(e5462, "cg", "C")  # cannot run at all
+
+    def test_explicit_counts_validated(self, e5462):
+        from repro.errors import InvalidProcessCountError
+
+        with pytest.raises(InvalidProcessCountError):
+            energy_scaling(e5462, "bt", "A", counts=(2,))
+
+    def test_serial_property(self, e5462):
+        scaling = energy_scaling(e5462, "ep", "A", counts=(1, 2, 4))
+        assert scaling.serial.nprocs == 1

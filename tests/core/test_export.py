@@ -1,0 +1,101 @@
+"""Exhibit data export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.export import export_exhibits
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    out = tmp_path_factory.mktemp("exhibits")
+    paths = export_exhibits(out, regression=True)
+    return out, paths
+
+
+EXPECTED_FILES = {
+    "table1_specs.csv",
+    "table2_normalized.csv",
+    "table4_e5462.csv",
+    "table5_opteron.csv",
+    "table6_4870.csv",
+    "fig1_2_specpower.csv",
+    "fig3_e5462.csv",
+    "fig4_opteron.csv",
+    "fig5_ns.json",
+    "fig6_nbs.json",
+    "fig7_pq.json",
+    "fig8_9_npb.csv",
+    "fig10_11_ep.csv",
+    "rankings.json",
+    "table7_8_regression.json",
+    "fig12_13_verification.csv",
+}
+
+
+def test_every_exhibit_file_written(exported):
+    out, paths = exported
+    assert {p.name for p in paths} == EXPECTED_FILES
+
+
+def test_evaluation_csv_parses(exported):
+    out, _ = exported
+    with (out / "table4_e5462.csv").open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 10
+    assert rows[0]["program"] == "Idle"
+    assert float(rows[-1]["watts"]) > 200
+
+
+def test_rankings_json_structure(exported):
+    out, _ = exported
+    data = json.loads((out / "rankings.json").read_text())
+    assert set(data) == {"Xeon-E5462", "Opteron-8347", "Xeon-4870"}
+    for scores in data.values():
+        assert set(scores) == {
+            "ours_mean_ppw",
+            "green500_ppw",
+            "specpower_ssj_ops_per_watt",
+        }
+
+
+def test_regression_json_has_verification(exported):
+    out, _ = exported
+    data = json.loads((out / "table7_8_regression.json").read_text())
+    assert 0.8 < data["r_square"] < 1.0
+    assert "npb_B_r_squared" in data
+    assert set(data["coefficients"]) == {
+        "working_core_num",
+        "instruction_num",
+        "l2_cache_hit",
+        "l3_cache_hit",
+        "memory_read_times",
+        "memory_write_times",
+    }
+
+
+def test_verification_csv_has_both_classes(exported):
+    out, _ = exported
+    with (out / "fig12_13_verification.csv").open() as fh:
+        rows = list(csv.DictReader(fh))
+    classes = {row["npb_class"] for row in rows}
+    assert classes == {"B", "C"}
+    assert len(rows) == 164  # 82 bars per class
+
+
+def test_export_is_deterministic(tmp_path):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    export_exhibits(a)
+    export_exhibits(b)
+    for path_a in sorted(a.iterdir()):
+        path_b = b / path_a.name
+        assert path_a.read_text() == path_b.read_text(), path_a.name
+
+
+def test_cannot_run_rows_marked(exported):
+    out, _ = exported
+    content = (out / "fig3_e5462.csv").read_text()
+    assert "cannot_run" in content  # CG class C on the 8 GB server

@@ -1,0 +1,69 @@
+"""The paper's formulas (Eqs. 1, 6-8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import ppw, r_squared, rss, tss
+from repro.errors import ConfigurationError
+
+
+class TestPpw:
+    def test_paper_value(self):
+        """Table VI: Xeon-4870 HPL P40 Mf."""
+        assert ppw(344.0, 1119.6) == pytest.approx(0.307, abs=0.001)
+
+    def test_idle_ppw_zero(self):
+        assert ppw(0.0, 134.37) == 0.0
+
+    def test_rejects_zero_power(self):
+        with pytest.raises(ConfigurationError):
+            ppw(1.0, 0.0)
+
+    def test_rejects_negative_performance(self):
+        with pytest.raises(ConfigurationError):
+            ppw(-1.0, 100.0)
+
+
+class TestFitFormulas:
+    def test_perfect_fit(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert r_squared(x, x) == pytest.approx(1.0)
+        assert rss(x, x) == 0.0
+
+    def test_mean_prediction_gives_zero(self):
+        x = np.array([1.0, 2.0, 3.0])
+        mean = np.full(3, 2.0)
+        assert r_squared(x, mean) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        x = np.array([1.0, 2.0, 3.0])
+        bad = np.array([3.0, 2.0, 1.0])
+        assert r_squared(x, bad) < 0
+
+    def test_rss_definition(self):
+        measured = np.array([1.0, 2.0])
+        regression = np.array([1.5, 1.0])
+        assert rss(measured, regression) == pytest.approx(0.25 + 1.0)
+
+    def test_tss_definition(self):
+        x = np.array([1.0, 3.0])
+        assert tss(x) == pytest.approx(2.0)
+
+    def test_identity_r2_equals_one_minus_ratio(self):
+        rng = np.random.default_rng(0)
+        measured = rng.normal(size=50)
+        regression = measured + rng.normal(0, 0.3, size=50)
+        expected = 1 - rss(measured, regression) / tss(measured)
+        assert r_squared(measured, regression) == pytest.approx(expected)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            rss(np.ones(3), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tss(np.array([]))
+
+    def test_constant_measured_rejected(self):
+        with pytest.raises(ConfigurationError):
+            r_squared(np.ones(5), np.ones(5))

@@ -1,0 +1,58 @@
+"""Energy-proportionality analysis."""
+
+import pytest
+
+from repro.core.proportionality import proportionality_report
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def reports():
+    from repro.hardware import OPTERON_8347, XEON_4870, XEON_E5462
+
+    return {
+        s.name: proportionality_report(s)
+        for s in (XEON_E5462, OPTERON_8347, XEON_4870)
+    }
+
+
+def test_no_paper_server_is_proportional(reports):
+    """All three machines idle above half their peak — the observation
+    that makes the method's idle state decisive."""
+    for report in reports.values():
+        assert report.idle_fraction > 0.5
+
+
+def test_dynamic_range_complements_idle_fraction(reports):
+    for report in reports.values():
+        assert report.dynamic_range == pytest.approx(
+            1.0 - report.idle_fraction
+        )
+
+
+def test_power_curve_monotone_in_load(reports):
+    for report in reports.values():
+        watts = list(report.watts_at_load)
+        assert watts == sorted(watts)
+
+
+def test_deviation_positive_for_unproportional_servers(reports):
+    """Power sits above the ideal proportional line at every load."""
+    for report in reports.values():
+        assert report.mean_linear_deviation > 0.05
+
+
+def test_dynamic_ranges_cluster_in_the_2008_2011_band(reports):
+    """All three machines have the ~0.4-0.5 dynamic range typical of the
+    pre-energy-proportional server generations Ryckbosch et al. survey."""
+    for report in reports.values():
+        assert 0.35 <= report.dynamic_range <= 0.55
+
+
+def test_load_validation(reports):
+    from repro.hardware import XEON_E5462
+
+    with pytest.raises(ConfigurationError):
+        proportionality_report(XEON_E5462, loads=(0.0, 0.5))
+    with pytest.raises(ConfigurationError):
+        proportionality_report(XEON_E5462, loads=())

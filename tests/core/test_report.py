@@ -1,0 +1,75 @@
+"""Table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import EvaluationResult, EvaluationRow
+from repro.core.regression import VerificationResult
+from repro.core.report import (
+    format_evaluation_table,
+    format_verification,
+)
+
+
+@pytest.fixture()
+def eval_result():
+    rows = (
+        EvaluationRow("Idle", 0.0, 134.37, 600.0, 120.0),
+        EvaluationRow("ep.C.4", 0.1237, 174.01, 664.0, 35.0),
+        EvaluationRow("HPL P4 Mf", 37.2, 235.32, 7800.0, 520.0),
+    )
+    return EvaluationResult(server="Xeon-E5462", rows=rows)
+
+
+def test_evaluation_table_contains_rows(eval_result):
+    text = format_evaluation_table(eval_result)
+    assert "Xeon-E5462" in text
+    assert "ep.C.4" in text
+    assert "HPL P4 Mf" in text
+    assert "(GFlops/Watt)/10" in text
+
+
+def test_evaluation_table_values_formatted(eval_result):
+    text = format_evaluation_table(eval_result)
+    assert "235.3200" in text
+    assert "0.1581" in text  # 37.2 / 235.32
+
+
+def test_verification_format():
+    result = VerificationResult(
+        server="Xeon-4870",
+        npb_class="B",
+        labels=("bt.B.1", "bt.B.4"),
+        measured=np.array([1.0, 2.0]),
+        predicted=np.array([0.5, 2.5]),
+    )
+    text = format_verification(result)
+    assert "bt.B.1" in text
+    assert "R^2" in text
+
+
+def test_verification_truncation():
+    result = VerificationResult(
+        server="S",
+        npb_class="B",
+        labels=tuple(f"ep.B.{i}" for i in range(1, 11)),
+        measured=np.arange(10.0),
+        predicted=np.arange(10.0) + 0.1,
+    )
+    text = format_verification(result, limit=3)
+    assert "more rows" in text
+
+
+def test_regression_summary_format(e5462):
+    from repro.core.regression import collect_hpcc_training, train_power_model
+    from repro.core.report import format_coefficients, format_regression_summary
+
+    model = train_power_model(
+        collect_hpcc_training(e5462), server_name="Xeon-E5462"
+    )
+    summary = format_regression_summary(model)
+    assert "R Square" in summary
+    assert "Observation" in summary
+    coeff = format_coefficients(model)
+    assert "b2[instruction_num]" in coeff
+    assert "C=" in coeff

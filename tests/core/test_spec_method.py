@@ -1,0 +1,71 @@
+"""The SPECpower comparison method."""
+
+import pytest
+
+from repro.core.spec_method import specpower_score
+
+
+@pytest.fixture(scope="module")
+def spec_e5462():
+    from repro.hardware import XEON_E5462
+
+    return specpower_score(XEON_E5462)
+
+
+class TestStructure:
+    def test_fourteen_levels(self, spec_e5462):
+        # Cal1-3, 100%..10%, ActiveIdle.
+        assert len(spec_e5462.levels) == 14
+
+    def test_ten_measured_levels(self, spec_e5462):
+        assert len(spec_e5462.measured_levels) == 10
+
+    def test_active_idle_present(self, spec_e5462):
+        assert spec_e5462.active_idle.load == 0.0
+
+
+class TestPaperScores:
+    @pytest.mark.parametrize(
+        "server_name, paper_score",
+        [
+            ("Xeon-E5462", 247.0),
+            ("Opteron-8347", 22.2),
+            ("Xeon-4870", 139.0),
+        ],
+    )
+    def test_overall_score(self, server_name, paper_score):
+        from repro.hardware import get_server
+
+        result = specpower_score(get_server(server_name))
+        assert result.overall_ssj_ops_per_watt == pytest.approx(
+            paper_score, rel=0.08
+        )
+
+    def test_spec_ranking_section_vc3(self):
+        """SPECpower ranks: E5462 > 4870 > Opteron."""
+        from repro.hardware import OPTERON_8347, XEON_4870, XEON_E5462
+
+        scores = {
+            s.name: specpower_score(s).overall_ssj_ops_per_watt
+            for s in (XEON_E5462, OPTERON_8347, XEON_4870)
+        }
+        assert scores["Xeon-E5462"] > scores["Xeon-4870"] > scores["Opteron-8347"]
+
+
+class TestFigures1And2:
+    def test_memory_stays_below_14_percent(self, spec_e5462, e5462):
+        """Fig. 1 on the Xeon-E5462."""
+        for level in spec_e5462.levels:
+            assert level.memory_mb / e5462.memory_mb < 0.14
+
+    def test_cpu_usage_tracks_load(self, spec_e5462):
+        """Fig. 2: utilisation declines with the load level."""
+        measured = spec_e5462.measured_levels
+        utils = [lv.cpu_util for lv in measured]
+        loads = [lv.load for lv in measured]
+        assert utils == loads
+
+    def test_power_declines_with_load(self, spec_e5462):
+        watts = [lv.watts for lv in spec_e5462.measured_levels]
+        assert watts[0] > watts[-1]
+        assert spec_e5462.active_idle.watts < watts[-1] + 30

@@ -1,0 +1,68 @@
+"""The Table III state matrix."""
+
+import pytest
+
+from repro.core.states import core_levels, evaluation_states
+from repro.errors import ConfigurationError
+
+
+def test_ten_rows(any_server):
+    assert len(evaluation_states(any_server)) == 10
+
+
+def test_first_row_is_idle(e5462):
+    states = evaluation_states(e5462)
+    assert states[0].label == "Idle"
+    assert states[0].is_idle
+    assert states[0].core_level == 0.0
+
+
+def test_core_levels_per_server(e5462, opteron, x4870):
+    assert core_levels(e5462) == (1, 2, 4)
+    assert core_levels(opteron) == (1, 8, 16)
+    assert core_levels(x4870) == (1, 20, 40)
+
+
+def test_table_iv_row_labels(e5462):
+    labels = [s.label for s in evaluation_states(e5462)]
+    assert labels == [
+        "Idle",
+        "ep.C.1",
+        "ep.C.2",
+        "ep.C.4",
+        "HPL P1 Mh",
+        "HPL P2 Mh",
+        "HPL P4 Mh",
+        "HPL P1 Mf",
+        "HPL P2 Mf",
+        "HPL P4 Mf",
+    ]
+
+
+def test_table_vi_row_labels(x4870):
+    labels = [s.label for s in evaluation_states(x4870)]
+    assert "ep.C.20" in labels
+    assert "HPL P40 Mf" in labels
+
+
+def test_memory_levels(e5462):
+    states = evaluation_states(e5462)
+    mh = [s for s in states if "Mh" in s.label]
+    mf = [s for s in states if "Mf" in s.label]
+    assert all(s.memory_level == 0.5 for s in mh)
+    assert all(s.memory_level > 0.9 for s in mf)
+
+
+def test_ep_rows_use_c_scale(e5462):
+    states = evaluation_states(e5462)
+    ep_rows = [s for s in states if s.label.startswith("ep.")]
+    assert len(ep_rows) == 3
+    for s in ep_rows:
+        assert ".C." in s.label
+
+
+def test_workloads_bind(any_server):
+    for state in evaluation_states(any_server):
+        if not state.is_idle:
+            demand = state.workload.bind(any_server)
+            assert demand.nprocs >= 1

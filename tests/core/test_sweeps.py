@@ -1,0 +1,96 @@
+"""The canonical figure sweeps."""
+
+import pytest
+
+from repro.core import sweeps
+from repro.engine import Simulator
+
+
+@pytest.fixture(scope="module")
+def sim(e5462_mod):
+    return Simulator(e5462_mod)
+
+
+@pytest.fixture(scope="module")
+def e5462_mod():
+    from repro.hardware import XEON_E5462
+
+    return XEON_E5462
+
+
+class TestSpecpowerSweep:
+    def test_thirteen_levels(self, sim):
+        rows = sweeps.specpower_usage_sweep(sim)
+        assert len(rows) == 13
+
+    def test_columns(self, sim):
+        name, mem, cpu, watts = sweeps.specpower_usage_sweep(sim)[0]
+        assert name == "Cal1"
+        assert 0 < mem < 14
+        assert cpu == 100.0
+        assert watts > 100
+
+
+class TestMixedPowerSweep:
+    def test_labels_follow_paper(self, sim):
+        labels = [p.label for p in sweeps.mixed_power_sweep(sim, (4, 1))]
+        assert labels[0] == "SPECPower.4"
+        assert "HPL.4" in labels
+        assert "ep.C.4" in labels
+        assert "ep.C.1" in labels
+
+    def test_proc_rules_respected(self, sim):
+        labels = [p.label for p in sweeps.mixed_power_sweep(sim, (2,))]
+        assert "bt.C.2" not in labels  # square rule
+        assert "lu.C.2" in labels
+
+    def test_unrunnable_marked_not_dropped(self, sim):
+        points = sweeps.mixed_power_sweep(sim, (1,), include_specpower=False)
+        cg = next(p for p in points if p.label == "cg.C.1")
+        assert not cg.runnable
+
+    def test_specpower_optional(self, sim):
+        points = sweeps.mixed_power_sweep(sim, (1,), include_specpower=False)
+        assert not any(p.label.startswith("SPEC") for p in points)
+
+
+class TestHplSweeps:
+    def test_ns_sweep_shape(self, sim):
+        table = sweeps.hpl_ns_sweep(sim, (1, 4), (0.2, 0.8))
+        assert set(table) == {1, 4}
+        assert len(table[1]) == 2
+
+    def test_nb_sweep_shape(self, sim):
+        table = sweeps.hpl_nb_sweep(sim, (4,), (100, 200))
+        assert len(table[4]) == 2
+
+    def test_pq_sweep_shape(self, sim):
+        table = sweeps.hpl_pq_sweep(sim, ((2, 2),), (200,))
+        assert list(table) == [(2, 2)]
+
+
+class TestNpbClassSweep:
+    def test_power_and_memory_quantities(self, sim):
+        power = sweeps.npb_class_sweep(sim, (1,), ("A",), "power")
+        memory = sweeps.npb_class_sweep(sim, (1,), ("A",), "memory")
+        assert power["ep.1"][0] < memory["lu.1"][0]  # watts vs MB scales
+
+    def test_bad_quantity(self, sim):
+        with pytest.raises(ValueError):
+            sweeps.npb_class_sweep(sim, (1,), ("A",), "voltage")
+
+    def test_oom_is_none(self, sim):
+        table = sweeps.npb_class_sweep(sim, (1,), ("C",), "power")
+        assert table["cg.1"][0] is None
+
+
+class TestEpProfile:
+    def test_defaults_to_one_half_full(self, sim, e5462_mod):
+        rows = sweeps.ep_profile(sim)
+        assert [r[0] for r in rows] == [1, 2, 4]
+
+    def test_row_contents(self, sim):
+        n, t, watts, ppw, energy = sweeps.ep_profile(sim, (4,))[0]
+        assert n == 4
+        assert watts == pytest.approx(174.0, rel=0.05)
+        assert energy == pytest.approx(watts / 1000 * t, rel=0.01)

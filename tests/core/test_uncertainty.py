@@ -1,0 +1,53 @@
+"""Score uncertainty quantification."""
+
+import pytest
+
+from repro.core.uncertainty import score_distribution
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def dist():
+    from repro.hardware import XEON_E5462
+
+    return score_distribution(XEON_E5462, n_repeats=4)
+
+
+def test_repeats_counted(dist):
+    assert len(dist.scores) == 4
+    assert len(dist.results) == 4
+
+
+def test_scores_differ_across_streams(dist):
+    assert len(set(dist.scores)) > 1
+
+
+def test_spread_is_small(dist):
+    """The method is stable: measurement noise moves the score < 2 %."""
+    assert dist.relative_spread < 0.02
+
+
+def test_mean_matches_single_run(dist):
+    from repro import XEON_E5462, evaluate_server
+
+    single = evaluate_server(XEON_E5462).score
+    assert dist.mean == pytest.approx(single, rel=0.02)
+
+
+def test_interval_contains_all_scores(dist):
+    lo, hi = dist.interval(k=3.0)
+    assert all(lo <= s <= hi for s in dist.scores)
+
+
+def test_deterministic(dist):
+    from repro.hardware import XEON_E5462
+
+    again = score_distribution(XEON_E5462, n_repeats=4)
+    assert again.scores == dist.scores
+
+
+def test_requires_two_repeats():
+    from repro.hardware import XEON_E5462
+
+    with pytest.raises(ConfigurationError):
+        score_distribution(XEON_E5462, n_repeats=1)

@@ -1,0 +1,139 @@
+"""Trace-driven cache simulator and the analytic hit-rate model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    CacheLevel,
+    analytic_hit_rate,
+    hierarchy_for_processor,
+)
+from repro.hardware.specs import XEON_4870, XEON_E5462
+
+
+def small_cache(size=1024, assoc=2, line=64):
+    return CacheLevel(CacheConfig(size, assoc, line))
+
+
+class TestCacheLevel:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        first = cache.access(np.array([0]))
+        second = cache.access(np.array([0]))
+        assert not first[0]
+        assert second[0]
+
+    def test_same_line_hits(self):
+        cache = small_cache()
+        cache.access(np.array([0]))
+        assert cache.access(np.array([63]))[0]  # same 64 B line
+        assert not cache.access(np.array([64]))[0]  # next line
+
+    def test_lru_eviction(self):
+        # 2-way, so a third distinct line in one set evicts the LRU.
+        cache = small_cache(size=1024, assoc=2)
+        n_sets = cache.config.n_sets
+        stride = n_sets * 64  # same set, different tags
+        cache.access(np.array([0, stride, 2 * stride]))
+        # Line 0 was LRU and must be gone; 2*stride resident.
+        assert not cache.access(np.array([0]))[0]
+        assert cache.access(np.array([2 * stride]))[0]
+
+    def test_lru_refresh_on_hit(self):
+        cache = small_cache(size=1024, assoc=2)
+        stride = cache.config.n_sets * 64
+        cache.access(np.array([0, stride]))
+        cache.access(np.array([0]))  # refresh 0 to MRU
+        cache.access(np.array([2 * stride]))  # evicts `stride`, not 0
+        assert cache.access(np.array([0]))[0]
+        assert not cache.access(np.array([stride]))[0]
+
+    def test_hit_rate_counters(self):
+        cache = small_cache()
+        cache.access(np.array([0, 0, 0, 0]))
+        assert cache.hits == 3
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.75)
+
+    def test_reset(self):
+        cache = small_cache()
+        cache.access(np.array([0]))
+        cache.reset()
+        assert cache.hits == 0
+        assert not cache.access(np.array([0]))[0]
+
+    def test_working_set_within_capacity_all_hits_second_pass(self):
+        cache = small_cache(size=8192, assoc=8)
+        addrs = np.arange(0, 4096, 64)
+        cache.access(addrs)
+        assert cache.access(addrs).all()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(0, 2)
+        with pytest.raises(ConfigurationError):
+            CacheConfig(1024, 2, line_bytes=48)
+        with pytest.raises(ConfigurationError):
+            CacheConfig(1000, 3, line_bytes=64)
+
+
+class TestHierarchy:
+    def test_miss_cascades_to_next_level(self):
+        h = CacheHierarchy(
+            [small_cache(1024, 2), small_cache(16384, 8)]
+        )
+        addrs = np.arange(0, 8192, 64)
+        first = h.simulate(addrs)
+        assert first.hits_per_level == (0, 0)
+        assert first.dram_accesses == addrs.shape[0]
+        second = h.simulate(addrs)
+        # Working set exceeds L1 but fits L2: second pass hits mostly L2.
+        assert second.hits_per_level[1] > 0
+        assert second.dram_accesses == 0
+
+    def test_hit_rates_are_local(self):
+        h = CacheHierarchy([small_cache(65536, 8)])
+        addrs = np.zeros(10, dtype=np.int64)
+        result = h.simulate(addrs)
+        assert result.hit_rates[0] == pytest.approx(0.9)
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy([])
+
+    def test_hierarchy_for_processor(self):
+        h = hierarchy_for_processor(XEON_4870.processor)
+        assert len(h.levels) == 3  # L1d, L2, L3
+        h2 = hierarchy_for_processor(XEON_E5462.processor)
+        assert len(h2.levels) == 2  # no L3
+
+
+class TestAnalyticHitRate:
+    def test_fits_in_cache(self):
+        assert analytic_hit_rate(1.0, 2.0, 0.5) == pytest.approx(0.999)
+
+    def test_pure_random_is_residency_probability(self):
+        assert analytic_hit_rate(100.0, 10.0, 0.0) == pytest.approx(0.1)
+
+    def test_locality_floor(self):
+        # Fully blocked code keeps hitting regardless of footprint.
+        assert analytic_hit_rate(1e6, 1.0, 0.98) >= 0.98
+
+    def test_monotone_in_capacity(self):
+        rates = [analytic_hit_rate(100.0, c, 0.5) for c in (1, 10, 50, 100)]
+        assert rates == sorted(rates)
+
+    def test_monotone_in_locality(self):
+        rates = [analytic_hit_rate(100.0, 5.0, l) for l in (0.0, 0.3, 0.6, 0.9)]
+        assert rates == sorted(rates)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            analytic_hit_rate(-1.0, 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            analytic_hit_rate(1.0, 0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            analytic_hit_rate(1.0, 1.0, 1.0)

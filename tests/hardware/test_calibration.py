@@ -1,0 +1,159 @@
+"""Calibration against the paper's published watts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.hardware.calibration import (
+    PAPER_IDLE_WATTS,
+    PAPER_POWER_ANCHORS,
+    anchor_demand,
+    calibrate_server,
+    calibrated_power_model,
+    default_coefficients,
+)
+from repro.hardware.specs import (
+    MemorySpec,
+    ProcessorSpec,
+    ServerSpec,
+    XEON_4870,
+    XEON_E5462,
+)
+
+
+class TestAnchors:
+    def test_every_builtin_has_nine_anchors(self):
+        for name, anchors in PAPER_POWER_ANCHORS.items():
+            assert len(anchors) == 9, name
+
+    def test_idle_watts_match_tables(self):
+        assert PAPER_IDLE_WATTS["Xeon-E5462"] == pytest.approx(134.3727)
+        assert PAPER_IDLE_WATTS["Opteron-8347"] == pytest.approx(311.5214)
+        assert PAPER_IDLE_WATTS["Xeon-4870"] == pytest.approx(642.23)
+
+    def test_anchor_demand_labels(self, e5462):
+        anchors = PAPER_POWER_ANCHORS["Xeon-E5462"]
+        labels = {anchor_demand(e5462, a).program for a in anchors}
+        assert "ep.C.4" in labels
+        assert "HPL P4 Mf" in labels
+        assert "HPL P2 Mh" in labels
+
+    def test_hpl_anchor_memory_scales_with_fraction(self, e5462):
+        anchors = [a for a in PAPER_POWER_ANCHORS["Xeon-E5462"] if a.program == "hpl"]
+        mh = next(a for a in anchors if a.memory_fraction == 0.5)
+        mf = next(a for a in anchors if a.memory_fraction > 0.5)
+        assert anchor_demand(e5462, mf).memory_mb > anchor_demand(
+            e5462, mh
+        ).memory_mb
+
+
+class TestFit:
+    @pytest.mark.parametrize(
+        "name, rms_limit",
+        [("Xeon-E5462", 10.0), ("Opteron-8347", 40.0), ("Xeon-4870", 45.0)],
+    )
+    def test_rms_residual_bounded(self, name, rms_limit):
+        from repro.hardware.specs import get_server
+
+        report = calibrate_server(get_server(name))
+        assert report.rms_residual_watts < rms_limit
+
+    def test_max_relative_error_bounded(self, any_server):
+        report = calibrate_server(any_server)
+        assert report.max_relative_error < 0.12
+
+    def test_idle_coefficient_is_published_idle(self, any_server):
+        report = calibrate_server(any_server)
+        assert report.coefficients.p_idle == pytest.approx(
+            PAPER_IDLE_WATTS[any_server.name]
+        )
+
+    def test_coefficients_nonnegative(self, any_server):
+        c = calibrate_server(any_server).coefficients
+        assert np.all(c.as_delta_vector() >= 0)
+
+    def test_unknown_server_without_anchors_raises(self):
+        custom = ServerSpec(
+            name="Custom-1",
+            processor=XEON_E5462.processor,
+            chips=2,
+            memory=MemorySpec(total_gb=16),
+        )
+        with pytest.raises(CalibrationError):
+            calibrate_server(custom)
+
+    def test_custom_server_with_explicit_anchors(self):
+        custom = ServerSpec(
+            name="Custom-2",
+            processor=XEON_E5462.processor,
+            chips=1,
+            memory=MemorySpec(total_gb=8),
+        )
+        report = calibrate_server(
+            custom,
+            anchors=PAPER_POWER_ANCHORS["Xeon-E5462"],
+            idle_watts=PAPER_IDLE_WATTS["Xeon-E5462"],
+        )
+        assert report.coefficients.p_idle > 0
+
+
+class TestModelAccess:
+    def test_builtin_model_cached(self):
+        a = calibrated_power_model(XEON_4870)
+        b = calibrated_power_model(XEON_4870)
+        assert a is b
+
+    def test_custom_server_gets_defaults(self):
+        custom = ServerSpec(
+            name="MyBox",
+            processor=ProcessorSpec(
+                model="Generic", frequency_mhz=2000, cores=8, flops_per_cycle=4
+            ),
+            chips=2,
+            memory=MemorySpec(total_gb=64),
+        )
+        model = calibrated_power_model(custom)
+        assert model.coefficients.p_idle == pytest.approx(
+            default_coefficients(custom).p_idle
+        )
+
+    def test_default_coefficients_scale_with_size(self):
+        small = ServerSpec(
+            name="S",
+            processor=XEON_E5462.processor,
+            chips=1,
+            memory=MemorySpec(total_gb=8),
+        )
+        big = ServerSpec(
+            name="B",
+            processor=XEON_E5462.processor,
+            chips=4,
+            memory=MemorySpec(total_gb=128),
+        )
+        assert (
+            default_coefficients(big).p_idle > default_coefficients(small).p_idle
+        )
+
+
+class TestAnchorReproduction:
+    """The calibrated model reproduces each published anchor within 12 %."""
+
+    @pytest.mark.parametrize("server_name", list(PAPER_POWER_ANCHORS))
+    def test_anchor_watts(self, server_name):
+        from repro.hardware.calibration import anchor_demand
+        from repro.hardware.cpu import CpuSubsystem
+        from repro.hardware.memory import MemorySubsystem
+        from repro.hardware.specs import get_server
+
+        server = get_server(server_name)
+        model = calibrated_power_model(server)
+        cpu = CpuSubsystem(server)
+        mem = MemorySubsystem(server)
+        for anchor in PAPER_POWER_ANCHORS[server_name]:
+            d = anchor_demand(server, anchor)
+            cpu.bind(d)
+            traffic = mem.traffic(d, cpu.placement)
+            predicted = model.power_watts(d, cpu.activity(), traffic)
+            assert predicted == pytest.approx(anchor.watts, rel=0.12), (
+                f"{server_name} {d.program}"
+            )

@@ -1,0 +1,76 @@
+"""CPU subsystem activity."""
+
+import pytest
+
+from repro.demand import ResourceDemand
+from repro.errors import SimulationError
+from repro.hardware.cpu import CpuSubsystem
+
+
+def demand(nprocs=4, util=1.0, ipc=0.5):
+    return ResourceDemand(
+        program="t",
+        nprocs=nprocs,
+        duration_s=10.0,
+        gflops=1.0,
+        memory_mb=100.0,
+        cpu_util=util,
+        ipc=ipc,
+    )
+
+
+def test_requires_bind(e5462):
+    cpu = CpuSubsystem(e5462)
+    with pytest.raises(SimulationError):
+        cpu.activity()
+
+
+def test_activity_counts(e5462):
+    cpu = CpuSubsystem(e5462)
+    cpu.bind(demand(nprocs=4))
+    act = cpu.activity()
+    assert act.active_cores == 4
+    assert act.active_chips == 1
+    assert act.utilisation == 1.0
+
+
+def test_instruction_rate_scales_with_ipc(e5462):
+    cpu = CpuSubsystem(e5462)
+    cpu.bind(demand(ipc=0.5))
+    low = cpu.activity().instructions_per_s
+    cpu.bind(demand(ipc=1.0))
+    high = cpu.activity().instructions_per_s
+    assert high == pytest.approx(2 * low)
+
+
+def test_instruction_rate_formula(e5462):
+    cpu = CpuSubsystem(e5462)
+    cpu.bind(demand(nprocs=2, util=1.0, ipc=1.0))
+    act = cpu.activity()
+    # 2 cores * 2.8e9 Hz * max IPC 2.0
+    assert act.instructions_per_s == pytest.approx(2 * 2.8e9 * 2.0)
+    assert act.cycles_per_s == pytest.approx(2 * 2.8e9)
+
+
+def test_partial_utilisation(e5462):
+    cpu = CpuSubsystem(e5462)
+    cpu.bind(demand(util=0.5))
+    act = cpu.activity()
+    assert act.total_utilisation == pytest.approx(2.0)  # 4 cores * 0.5
+
+
+def test_idle_demand(e5462):
+    cpu = CpuSubsystem(e5462)
+    cpu.bind(ResourceDemand.idle())
+    act = cpu.activity()
+    assert act.active_cores == 0
+    assert act.active_chips == 0
+    assert act.instructions_per_s == 0.0
+
+
+def test_multichip_activity(opteron):
+    cpu = CpuSubsystem(opteron)
+    cpu.bind(demand(nprocs=6))
+    act = cpu.activity()
+    assert act.active_cores == 6
+    assert act.active_chips == 2

@@ -1,0 +1,107 @@
+"""Memory subsystem: capacity checks and DRAM traffic."""
+
+import pytest
+
+from repro.demand import ResourceDemand
+from repro.errors import InsufficientMemoryError
+from repro.hardware.memory import OS_BASELINE_MB, MemorySubsystem
+from repro.hardware.topology import place_processes
+
+
+def demand(nprocs=4, memory_mb=1000.0, mem_intensity=0.5, util=1.0):
+    return ResourceDemand(
+        program="t",
+        nprocs=nprocs,
+        duration_s=10.0,
+        gflops=1.0,
+        memory_mb=memory_mb,
+        mem_intensity=mem_intensity,
+        cpu_util=util,
+    )
+
+
+class TestCapacity:
+    def test_usable_excludes_os(self, e5462):
+        mem = MemorySubsystem(e5462)
+        assert mem.usable_mb == pytest.approx(8 * 1024 - OS_BASELINE_MB)
+
+    def test_oversized_workload_rejected(self, e5462):
+        mem = MemorySubsystem(e5462)
+        with pytest.raises(InsufficientMemoryError):
+            mem.check_fit(demand(memory_mb=8000.0))
+
+    def test_cg_class_c_paper_case(self, e5462, opteron):
+        """CG.C (8.4 GB) fails on the 8 GB server, runs on the 32 GB one."""
+        big = demand(memory_mb=8400.0)
+        with pytest.raises(InsufficientMemoryError):
+            MemorySubsystem(e5462).check_fit(big)
+        MemorySubsystem(opteron).check_fit(big)  # no raise
+
+
+class TestTraffic:
+    def test_traffic_scales_with_cores(self, x4870):
+        mem = MemorySubsystem(x4870)
+        t1 = mem.traffic(demand(nprocs=1), place_processes(x4870, 1))
+        t4 = mem.traffic(demand(nprocs=4), place_processes(x4870, 4))
+        assert t4.bandwidth_gbs == pytest.approx(4 * t1.bandwidth_gbs)
+
+    def test_bandwidth_saturates(self, e5462):
+        mem = MemorySubsystem(e5462)
+        full = demand(nprocs=4, mem_intensity=1.0)
+        t = mem.traffic(full, place_processes(e5462, 4))
+        capacity = e5462.memory.bandwidth_gbs * e5462.chips
+        assert t.bandwidth_gbs <= capacity + 1e-9
+
+    def test_saturation_flag(self, e5462):
+        mem = MemorySubsystem(e5462)
+        # 4 cores each demanding the full per-core share exactly fills the
+        # socket; it takes intensity 1.0 on every core to reach the cap.
+        t = mem.traffic(demand(nprocs=4, mem_intensity=1.0), place_processes(e5462, 4))
+        assert not t.saturated  # exactly at cap, not above
+        assert t.bandwidth_gbs == pytest.approx(e5462.memory.bandwidth_gbs)
+
+    def test_read_write_split(self, e5462):
+        mem = MemorySubsystem(e5462)
+        d = demand().with_(read_fraction=0.75)
+        t = mem.traffic(d, place_processes(e5462, 4))
+        assert t.reads_per_s == pytest.approx(3 * t.writes_per_s)
+        assert t.accesses_per_s == pytest.approx(t.reads_per_s + t.writes_per_s)
+
+    def test_resident_includes_os(self, e5462):
+        mem = MemorySubsystem(e5462)
+        t = mem.traffic(demand(memory_mb=1000.0), place_processes(e5462, 4))
+        assert t.resident_mb == pytest.approx(1000.0 + OS_BASELINE_MB)
+
+    def test_idle_traffic_zero(self, e5462):
+        mem = MemorySubsystem(e5462)
+        from repro.hardware.topology import Placement
+
+        t = mem.traffic(
+            ResourceDemand.idle(), Placement(nprocs=0, cores_per_chip_used=(0,))
+        )
+        assert t.bandwidth_gbs == 0.0
+        assert t.accesses_per_s == 0.0
+
+    def test_utilisation_scales_traffic(self, e5462):
+        mem = MemorySubsystem(e5462)
+        full = mem.traffic(demand(util=1.0), place_processes(e5462, 4))
+        half = mem.traffic(demand(util=0.5), place_processes(e5462, 4))
+        assert half.bandwidth_gbs == pytest.approx(0.5 * full.bandwidth_gbs)
+
+
+class TestHplProblemSize:
+    def test_fits_usable_memory(self, any_server):
+        mem = MemorySubsystem(any_server)
+        n = mem.hpl_problem_size(0.95)
+        footprint_mb = 8 * n * n / 1024**2
+        assert footprint_mb <= mem.usable_mb
+
+    def test_half_is_sqrt_half(self, e5462):
+        mem = MemorySubsystem(e5462)
+        assert mem.hpl_problem_size(0.5) == pytest.approx(
+            mem.hpl_problem_size(1.0) / 2**0.5, rel=0.01
+        )
+
+    def test_rejects_bad_fraction(self, e5462):
+        with pytest.raises(InsufficientMemoryError):
+            MemorySubsystem(e5462).hpl_problem_size(0.0)

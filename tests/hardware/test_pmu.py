@@ -1,0 +1,102 @@
+"""PMU counter synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.demand import ResourceDemand
+from repro.hardware.cpu import CpuSubsystem
+from repro.hardware.memory import MemorySubsystem
+from repro.hardware.pmu import REGRESSION_FEATURES, Pmu
+
+
+def sample_for(server, demand, interval=10.0):
+    cpu = CpuSubsystem(server)
+    cpu.bind(demand)
+    traffic = MemorySubsystem(server).traffic(demand, cpu.placement)
+    return Pmu(server).sample(demand, cpu.activity(), traffic, 0.0, interval)
+
+
+def demand(nprocs=4, **kw):
+    base = dict(
+        program="t",
+        nprocs=nprocs,
+        duration_s=100.0,
+        gflops=1.0,
+        memory_mb=2000.0,
+        ipc=0.6,
+        mem_intensity=0.5,
+    )
+    base.update(kw)
+    return ResourceDemand(**base)
+
+
+def test_feature_order_is_the_papers():
+    assert REGRESSION_FEATURES == (
+        "working_core_num",
+        "instruction_num",
+        "l2_cache_hit",
+        "l3_cache_hit",
+        "memory_read_times",
+        "memory_write_times",
+    )
+
+
+def test_vector_matches_fields(e5462):
+    s = sample_for(e5462, demand())
+    vec = s.as_vector()
+    assert vec.shape == (6,)
+    assert vec[0] == s.working_core_num
+    assert vec[1] == s.instruction_num
+
+
+def test_working_core_num(e5462):
+    assert sample_for(e5462, demand(nprocs=3)).working_core_num == 3
+
+
+def test_instructions_scale_with_interval(e5462):
+    short = sample_for(e5462, demand(), interval=10.0)
+    long = sample_for(e5462, demand(), interval=20.0)
+    assert long.instruction_num == pytest.approx(2 * short.instruction_num)
+
+
+def test_no_l3_counter_on_e5462(e5462):
+    """The Xeon-E5462 has no L3, so X4 must be zero there."""
+    assert sample_for(e5462, demand()).l3_cache_hit == 0.0
+
+
+def test_l3_counter_on_4870(x4870):
+    assert sample_for(x4870, demand()).l3_cache_hit > 0.0
+
+
+def test_cache_cascade_conservation(x4870):
+    """L2 hits can never exceed the accesses that reached L2."""
+    s = sample_for(x4870, demand())
+    assert s.l2_cache_hit >= 0
+    assert s.l3_cache_hit >= 0
+    # L3 sees only L2 misses, so L3 hits < L2 accesses - L2 hits is
+    # guaranteed by construction; check sanity against instructions.
+    assert s.l2_cache_hit < s.instruction_num
+
+
+def test_memory_counters_track_traffic(e5462):
+    low = sample_for(e5462, demand(mem_intensity=0.1))
+    high = sample_for(e5462, demand(mem_intensity=0.8))
+    assert high.memory_read_times > low.memory_read_times
+
+
+def test_idle_sample_is_quiet(e5462):
+    s = sample_for(e5462, ResourceDemand.idle())
+    assert s.instruction_num == 0.0
+    assert s.memory_read_times == 0.0
+
+
+def test_hit_rates_degrade_with_footprint(x4870):
+    pmu = Pmu(x4870)
+    small = pmu.hit_rates(demand(memory_mb=100.0))
+    large = pmu.hit_rates(demand(memory_mb=100_000.0))
+    assert large[1] <= small[1]
+    assert large[2] <= small[2]
+
+
+def test_hit_rates_idle(x4870):
+    assert Pmu(x4870).hit_rates(ResourceDemand.idle()) == (1.0, 1.0, 1.0)

@@ -1,0 +1,150 @@
+"""Component power model."""
+
+import numpy as np
+import pytest
+
+from repro.demand import ResourceDemand
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import CpuSubsystem
+from repro.hardware.memory import MemorySubsystem
+from repro.hardware.power import (
+    DELTA_FEATURES,
+    INTENSITY_WEIGHTS,
+    PowerCoefficients,
+    SystemPowerModel,
+    compute_intensity,
+    dynamic_feature_vector,
+)
+
+
+def coeffs(**overrides):
+    base = dict(
+        p_idle=100.0,
+        chip_uncore=5.0,
+        shared_sqrt=4.0,
+        core_active=1.0,
+        core_intensity=20.0,
+        mem_dyn=0.15,
+        comm=2.5,
+    )
+    base.update(overrides)
+    return PowerCoefficients(**base)
+
+
+def power_of(server, demand, c=None, factor=1.0):
+    cpu = CpuSubsystem(server)
+    cpu.bind(demand)
+    traffic = MemorySubsystem(server).traffic(demand, cpu.placement)
+    model = SystemPowerModel(server, c or coeffs())
+    return model.power_watts(demand, cpu.activity(), traffic, factor)
+
+
+def demand(nprocs=4, **kw):
+    base = dict(
+        program="t",
+        nprocs=nprocs,
+        duration_s=10.0,
+        gflops=1.0,
+        memory_mb=500.0,
+        ipc=0.6,
+        fp_intensity=0.5,
+        mem_intensity=0.4,
+    )
+    base.update(kw)
+    return ResourceDemand(**base)
+
+
+class TestCoefficients:
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            coeffs(core_intensity=-1.0)
+
+    def test_rejects_zero_idle(self):
+        with pytest.raises(ConfigurationError):
+            coeffs(p_idle=0.0)
+
+    def test_delta_vector_order(self):
+        c = coeffs()
+        vec = c.as_delta_vector()
+        assert vec.shape == (len(DELTA_FEATURES),)
+        assert vec[0] == c.chip_uncore
+        assert vec[-1] == c.comm
+
+
+class TestIntensity:
+    def test_weights_sum_to_one(self):
+        assert sum(INTENSITY_WEIGHTS) == pytest.approx(1.0)
+
+    def test_intensity_bounds(self):
+        lo = demand(ipc=0.0, fp_intensity=0.0, mem_intensity=0.0)
+        hi = demand(ipc=1.0, fp_intensity=1.0, mem_intensity=1.0)
+        assert compute_intensity(lo) == 0.0
+        assert compute_intensity(hi) == pytest.approx(1.0)
+
+    def test_fp_dominates(self):
+        """FP units are the biggest per-core power lever."""
+        w_ipc, w_fp, w_mem = INTENSITY_WEIGHTS
+        assert w_fp > w_ipc
+        assert w_fp > w_mem
+
+
+class TestPower:
+    def test_idle_is_exactly_p_idle(self, e5462):
+        assert power_of(e5462, ResourceDemand.idle()) == pytest.approx(100.0)
+
+    def test_power_increases_with_cores(self, e5462):
+        powers = [power_of(e5462, demand(nprocs=n)) for n in (1, 2, 4)]
+        assert powers[0] < powers[1] < powers[2]
+
+    def test_power_increases_with_intensity(self, e5462):
+        low = power_of(e5462, demand(fp_intensity=0.1))
+        high = power_of(e5462, demand(fp_intensity=0.9))
+        assert high > low
+
+    def test_uncore_steps_with_chips(self, opteron):
+        # 4 procs on one chip vs 5 procs on two chips: the 5th core also
+        # wakes a second uncore.
+        p4 = power_of(opteron, demand(nprocs=4))
+        p5 = power_of(opteron, demand(nprocs=5))
+        assert p5 - p4 > coeffs().chip_uncore * 0.9
+
+    def test_idiosyncrasy_scales_dynamic_only(self, e5462):
+        base = power_of(e5462, demand())
+        boosted = power_of(e5462, demand(), factor=1.5)
+        dynamic = base - 100.0
+        assert boosted == pytest.approx(100.0 + 1.5 * dynamic)
+
+    def test_idiosyncrasy_no_effect_on_idle(self, e5462):
+        assert power_of(e5462, ResourceDemand.idle(), factor=1.5) == pytest.approx(
+            100.0
+        )
+
+    def test_rejects_nonpositive_factor(self, e5462):
+        with pytest.raises(ConfigurationError):
+            power_of(e5462, demand(), factor=0.0)
+
+    def test_comm_term(self, e5462):
+        quiet = power_of(e5462, demand(comm_intensity=0.0))
+        chatty = power_of(e5462, demand(comm_intensity=1.0))
+        assert chatty - quiet == pytest.approx(coeffs().comm * 4)
+
+
+class TestFeatureVector:
+    def test_matches_manual_dot_product(self, e5462):
+        d = demand()
+        cpu = CpuSubsystem(e5462)
+        cpu.bind(d)
+        traffic = MemorySubsystem(e5462).traffic(d, cpu.placement)
+        vec = dynamic_feature_vector(d, cpu.activity(), traffic)
+        c = coeffs()
+        expected = c.p_idle + float(vec @ c.as_delta_vector())
+        assert power_of(e5462, d) == pytest.approx(expected)
+
+    def test_feature_vector_length(self, e5462):
+        d = demand()
+        cpu = CpuSubsystem(e5462)
+        cpu.bind(d)
+        traffic = MemorySubsystem(e5462).traffic(d, cpu.placement)
+        assert dynamic_feature_vector(d, cpu.activity(), traffic).shape == (
+            len(DELTA_FEATURES),
+        )

@@ -1,0 +1,141 @@
+"""Server specifications (Table I)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.specs import (
+    BUILTIN_SERVERS,
+    CacheLevelSpec,
+    MemorySpec,
+    OPTERON_8347,
+    ProcessorSpec,
+    ServerSpec,
+    XEON_4870,
+    XEON_E5462,
+    get_server,
+)
+
+
+class TestTableI:
+    """The three built-in servers match the paper's Table I."""
+
+    def test_e5462_topology(self):
+        assert XEON_E5462.chips == 1
+        assert XEON_E5462.cores_per_chip == 4
+        assert XEON_E5462.total_cores == 4
+        assert XEON_E5462.processor.frequency_mhz == 2800
+
+    def test_opteron_topology(self):
+        assert OPTERON_8347.chips == 4
+        assert OPTERON_8347.cores_per_chip == 4
+        assert OPTERON_8347.total_cores == 16
+        assert OPTERON_8347.processor.frequency_mhz == 1900
+
+    def test_4870_topology(self):
+        assert XEON_4870.chips == 4
+        assert XEON_4870.cores_per_chip == 10
+        assert XEON_4870.total_cores == 40
+        assert XEON_4870.processor.frequency_mhz == 2400
+
+    def test_peak_performance_section_ii(self):
+        """Section II quotes 44.8 / 121.6 / 384 GFLOPS peaks."""
+        assert XEON_E5462.gflops_peak == pytest.approx(44.8)
+        assert OPTERON_8347.gflops_peak == pytest.approx(121.6)
+        assert XEON_4870.gflops_peak == pytest.approx(384.0)
+
+    def test_per_core_peaks(self):
+        assert XEON_E5462.gflops_per_core == pytest.approx(11.2)
+        assert OPTERON_8347.gflops_per_core == pytest.approx(7.6)
+        assert XEON_4870.gflops_per_core == pytest.approx(9.6)
+
+    def test_memory_sizes(self):
+        assert XEON_E5462.memory.total_gb == 8
+        assert OPTERON_8347.memory.total_gb == 32
+        assert XEON_4870.memory.total_gb == 128
+
+    def test_cache_hierarchies(self):
+        assert XEON_E5462.processor.l3 is None
+        assert OPTERON_8347.processor.l3 is not None
+        assert XEON_4870.processor.l3.size_kb == 30720
+
+    def test_half_cores(self):
+        assert XEON_E5462.half_cores() == 2
+        assert OPTERON_8347.half_cores() == 8
+        assert XEON_4870.half_cores() == 20
+
+
+class TestLookup:
+    def test_get_server_case_insensitive(self):
+        assert get_server("xeon-e5462") is XEON_E5462
+
+    def test_get_server_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_server("cray-1")
+
+    def test_builtin_registry_complete(self):
+        assert set(BUILTIN_SERVERS) == {
+            "Xeon-E5462",
+            "Opteron-8347",
+            "Xeon-4870",
+        }
+
+
+class TestValidation:
+    def test_cache_rejects_non_integral_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevelSpec(level=2, size_kb=100, associativity=24)
+
+    def test_cache_rejects_bad_level(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevelSpec(level=4, size_kb=256, associativity=8)
+
+    def test_cache_n_sets(self):
+        spec = CacheLevelSpec(level=2, size_kb=256, associativity=8)
+        assert spec.n_sets == 256 * 1024 // (8 * 64)
+
+    def test_cache_total_per_chip(self):
+        spec = CacheLevelSpec(
+            level=1, size_kb=32, associativity=8, instances_per_chip=4
+        )
+        assert spec.total_kb_per_chip == 128
+
+    def test_memory_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec(total_gb=0)
+
+    def test_processor_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorSpec(model="x", frequency_mhz=1000, cores=0, flops_per_cycle=4)
+
+    def test_server_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            ServerSpec(
+                name="x",
+                processor=XEON_E5462.processor,
+                chips=1,
+                memory=XEON_E5462.memory,
+                hpl_efficiency=1.5,
+            )
+
+    def test_validate_core_count_bounds(self):
+        XEON_E5462.validate_core_count(1)
+        XEON_E5462.validate_core_count(4)
+        with pytest.raises(ConfigurationError):
+            XEON_E5462.validate_core_count(0)
+        with pytest.raises(ConfigurationError):
+            XEON_E5462.validate_core_count(5)
+
+
+class TestHplProblemSize:
+    def test_full_memory_fits_installed(self):
+        n = XEON_E5462.hpl_problem_size(1.0)
+        assert 8 * n * n <= 8 * 1024**3
+
+    def test_scales_with_sqrt_of_fraction(self):
+        n_full = XEON_E5462.hpl_problem_size(1.0)
+        n_quarter = XEON_E5462.hpl_problem_size(0.25)
+        assert n_quarter == pytest.approx(n_full / 2, rel=0.01)
+
+    def test_rejects_zero_fraction(self):
+        with pytest.raises(ConfigurationError):
+            XEON_E5462.hpl_problem_size(0.0)

@@ -1,0 +1,68 @@
+"""Process placement."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.topology import Placement, place_processes
+
+
+class TestCompact:
+    def test_fills_first_chip_first(self, opteron):
+        p = place_processes(opteron, 4, "compact")
+        assert p.cores_per_chip_used == (4, 0, 0, 0)
+        assert p.active_chips == 1
+
+    def test_spills_to_second_chip(self, opteron):
+        p = place_processes(opteron, 6, "compact")
+        assert p.cores_per_chip_used == (4, 2, 0, 0)
+        assert p.active_chips == 2
+
+    def test_full_machine(self, opteron):
+        p = place_processes(opteron, 16, "compact")
+        assert p.cores_per_chip_used == (4, 4, 4, 4)
+        assert p.active_chips == 4
+
+    def test_single_chip_server(self, e5462):
+        p = place_processes(e5462, 3, "compact")
+        assert p.cores_per_chip_used == (3,)
+
+    def test_4870_twenty_cores_two_chips(self, x4870):
+        p = place_processes(x4870, 20, "compact")
+        assert p.active_chips == 2
+
+
+class TestScatter:
+    def test_round_robin(self, opteron):
+        p = place_processes(opteron, 6, "scatter")
+        assert p.cores_per_chip_used == (2, 2, 1, 1)
+        assert p.active_chips == 4
+
+    def test_scatter_wakes_more_chips_than_compact(self, opteron):
+        compact = place_processes(opteron, 4, "compact")
+        scatter = place_processes(opteron, 4, "scatter")
+        assert scatter.active_chips > compact.active_chips
+
+
+class TestValidation:
+    def test_active_cores_equals_nprocs(self, any_server):
+        for n in (1, any_server.half_cores(), any_server.total_cores):
+            p = place_processes(any_server, n)
+            assert p.active_cores == n
+
+    def test_rejects_zero(self, e5462):
+        with pytest.raises(ConfigurationError):
+            place_processes(e5462, 0)
+
+    def test_rejects_oversubscription(self, e5462):
+        with pytest.raises(ConfigurationError):
+            place_processes(e5462, 5)
+
+    def test_rejects_unknown_policy(self, e5462):
+        with pytest.raises(ConfigurationError):
+            place_processes(e5462, 2, "spiral")
+
+    def test_placement_dataclass(self):
+        p = Placement(nprocs=3, cores_per_chip_used=(2, 1))
+        assert p.active_cores == 3
+        assert p.active_chips == 2
+        assert p.max_chip_load == 2

@@ -1,0 +1,124 @@
+"""Failure injection: the pipeline fails loudly, not silently.
+
+A measurement pipeline's worst failure mode is producing a plausible
+number from corrupted input.  These tests inject the realistic faults —
+meter over-range, truncated/corrupted CSVs, undersized meters, impossible
+configurations — and assert each one raises a typed error instead of
+degrading the result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.demand import ResourceDemand
+from repro.engine import Campaign, Simulator
+from repro.errors import (
+    ConfigurationError,
+    InsufficientMemoryError,
+    InvalidProcessCountError,
+    MeterError,
+    RegressionError,
+)
+from repro.hardware import XEON_4870, XEON_E5462
+from repro.metering.csvlog import read_power_csv, write_power_csv
+from repro.metering.meter import MeterSpec
+from repro.workloads.hpl import HplConfig, HplWorkload
+from repro.workloads.npb import NpbWorkload
+
+
+class TestMeterFaults:
+    def test_undersized_meter_range_fails_campaign(self):
+        """A 800 W meter cannot measure the Xeon-4870 under HPL."""
+        small_meter = MeterSpec(
+            name="small",
+            max_watts=800.0,
+            noise_sigma_watts=0.5,
+            gain_error=0.001,
+            quantum_watts=0.01,
+        )
+        sim = Simulator(XEON_4870, meter_spec=small_meter)
+        with pytest.raises(MeterError):
+            sim.run(HplWorkload(HplConfig(40, 0.95)))
+
+    def test_undersized_meter_still_measures_idle(self):
+        small_meter = MeterSpec(
+            name="small",
+            max_watts=800.0,
+            noise_sigma_watts=0.5,
+            gain_error=0.001,
+            quantum_watts=0.01,
+        )
+        sim = Simulator(XEON_4870, meter_spec=small_meter)
+        run = sim.run(ResourceDemand.idle())
+        assert run.average_power_watts() == pytest.approx(642.2, abs=2.0)
+
+
+class TestCsvCorruption:
+    def test_truncated_file(self, tmp_path):
+        path = write_power_csv(
+            tmp_path / "a.csv", np.arange(5.0), np.full(5, 100.0)
+        )
+        content = path.read_text()
+        path.write_text(content[: len(content) // 2].rsplit("\n", 1)[0] + "\n1.0\n")
+        with pytest.raises(MeterError):
+            read_power_csv(path)
+
+    def test_binary_garbage(self, tmp_path):
+        path = tmp_path / "junk.csv"
+        path.write_bytes(b"time_s,power_w\n\x00\xff\x13,garbage\n")
+        with pytest.raises(MeterError):
+            read_power_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(MeterError):
+            read_power_csv(path)
+
+
+class TestImpossibleConfigurations:
+    def test_campaign_with_unrunnable_workload_fails_loudly(self, tmp_path):
+        sim = Simulator(XEON_E5462)
+        campaign = Campaign(sim)
+        with pytest.raises(InsufficientMemoryError):
+            campaign.run([NpbWorkload("cg", "C", 1)], csv_dir=tmp_path)
+
+    def test_proc_rule_violation_fails_before_any_simulation(self):
+        sim = Simulator(XEON_E5462)
+        with pytest.raises(InvalidProcessCountError):
+            sim.run(NpbWorkload("bt", "C", 3))
+
+    def test_oversubscription_fails(self):
+        sim = Simulator(XEON_E5462)
+        with pytest.raises(ConfigurationError):
+            sim.run(HplWorkload(HplConfig(8, 0.5)))
+
+
+class TestRegressionInputFaults:
+    def test_degenerate_training_target_rejected(self):
+        from repro.core.regression import RegressionDataset, train_power_model
+
+        rng = np.random.default_rng(0)
+        features = rng.uniform(1, 2, size=(50, 6))
+        constant_power = np.full(50, 500.0)
+        dataset = RegressionDataset(
+            features=features,
+            power=constant_power,
+            labels=("x",) * 50,
+        )
+        with pytest.raises(RegressionError):
+            train_power_model(dataset)
+
+    def test_nonfinite_features_rejected(self):
+        from repro.core.regression import RegressionDataset, train_power_model
+
+        rng = np.random.default_rng(1)
+        features = rng.uniform(1, 2, size=(50, 6))
+        features[3, 2] = np.nan
+        dataset = RegressionDataset(
+            features=features,
+            power=rng.uniform(400, 600, 50),
+            labels=("x",) * 50,
+        )
+        with pytest.raises(RegressionError):
+            train_power_model(dataset)

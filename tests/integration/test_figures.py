@@ -1,0 +1,180 @@
+"""Paper-vs-measured: the figures (shape checks).
+
+Each test reproduces the qualitative content of one figure on the
+simulated servers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import Simulator
+from repro.hardware import OPTERON_8347, XEON_4870, XEON_E5462
+from repro.workloads.hpl import HplConfig, HplWorkload
+from repro.workloads.npb import NPB_PROGRAMS, NpbClass, NpbWorkload
+from repro.workloads.specpower import SpecPowerWorkload, full_run_levels
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return Simulator(XEON_E5462)
+
+
+class TestFig5NsSweep:
+    """Power vs memory utilisation: cores decide power, memory barely."""
+
+    def test_memory_fraction_barely_moves_power(self, sim):
+        watts = [
+            sim.run(
+                HplWorkload(HplConfig(4, fraction))
+            ).average_power_watts()
+            for fraction in (0.2, 0.5, 0.8, 0.95)
+        ]
+        assert max(watts) - min(watts) < 12.0
+
+    def test_core_curves_do_not_intersect(self, sim):
+        """Fig. 5/6: curves for different core counts never cross."""
+        fractions = (0.2, 0.5, 0.8, 0.95)
+        by_cores = {
+            n: [
+                sim.run(HplWorkload(HplConfig(n, f))).average_power_watts()
+                for f in fractions
+            ]
+            for n in (1, 2, 4)
+        }
+        assert max(by_cores[1]) < min(by_cores[2])
+        assert max(by_cores[2]) < min(by_cores[4])
+
+
+class TestFig6NbSweep:
+    def test_nb_50_draws_less(self, sim):
+        normal = sim.run(
+            HplWorkload(HplConfig(4, 0.5, nb=200))
+        ).average_power_watts()
+        small = sim.run(
+            HplWorkload(HplConfig(4, 0.5, nb=50))
+        ).average_power_watts()
+        assert 3.0 < normal - small < 20.0
+
+    def test_nb_above_150_flat(self, sim):
+        watts = [
+            sim.run(
+                HplWorkload(HplConfig(4, 0.5, nb=nb))
+            ).average_power_watts()
+            for nb in (150, 200, 300, 400)
+        ]
+        assert max(watts) - min(watts) < 3.0
+
+
+class TestFig7PqGrid:
+    def test_grid_influence_minimal(self, sim):
+        watts = [
+            sim.run(
+                HplWorkload(HplConfig(4, 0.5, nb=200, p=p, q=q))
+            ).average_power_watts()
+            for p, q in ((1, 4), (2, 2), (4, 1))
+        ]
+        assert max(watts) - min(watts) < 8.0
+
+
+class TestFig9NpbScales:
+    def test_power_grows_with_cores_not_class(self, sim):
+        """Power rises with core count; problem class barely matters."""
+        by_class = {
+            k: sim.run(NpbWorkload("lu", k, 4)).average_power_watts()
+            for k in ("A", "B", "C")
+        }
+        assert max(by_class.values()) - min(by_class.values()) < 25.0
+        one = sim.run(NpbWorkload("lu", "C", 1)).average_power_watts()
+        four = sim.run(NpbWorkload("lu", "C", 4)).average_power_watts()
+        assert four > one + 20.0
+
+    def test_ep_minimum_power_at_equal_cores(self, sim):
+        ep = sim.run(NpbWorkload("ep", "C", 4)).average_power_watts()
+        for name in ("bt", "ft", "is", "lu", "mg", "sp"):
+            other = sim.run(NpbWorkload(name, "C", 4)).average_power_watts()
+            assert ep <= other + 1.0, name
+
+
+class TestFig10And11Ep:
+    def test_power_and_ppw_increase_with_cores(self, sim):
+        runs = {n: sim.run(NpbWorkload("ep", "C", n)) for n in (1, 2, 4)}
+        watts = [runs[n].average_power_watts() for n in (1, 2, 4)]
+        ppws = [runs[n].ppw() for n in (1, 2, 4)]
+        assert watts == sorted(watts)
+        assert ppws == sorted(ppws)
+
+    def test_energy_decreases_with_cores(self, sim):
+        """Fig. 11: parallelism saves energy despite higher power."""
+        energies = [
+            sim.run(NpbWorkload("ep", "C", n)).energy_kilojoules()
+            for n in (1, 2, 4)
+        ]
+        assert energies[0] > energies[1] > energies[2]
+
+
+class TestTableII:
+    """Normalized power on the Xeon-4870 across process counts."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        sim = Simulator(XEON_4870)
+        rows = {}
+        counts = (1, 2, 4, 8, 9, 16, 25, 32, 36, 39, 40)
+        for n in counts:
+            row = {}
+            row["hpl"] = sim.run(
+                HplWorkload(HplConfig(n, 0.95))
+            ).average_power_watts()
+            for name, prog in NPB_PROGRAMS.items():
+                if prog.proc_rule.allows(n):
+                    row[name] = sim.run(
+                        NpbWorkload(name, NpbClass.C, n)
+                    ).average_power_watts()
+            rows[n] = row
+        return rows
+
+    def test_sparsity_pattern(self, table):
+        assert set(table[39]) == {"hpl", "ep"}
+        assert "bt" in table[25] and "sp" in table[25] and "ft" not in table[25]
+        assert "mg" in table[32] and "bt" not in table[32]
+
+    def test_hpl_tops_every_full_row(self, table):
+        for n in (16, 32, 40):
+            row = table[n]
+            assert row["hpl"] == max(row.values())
+
+    def test_ep_bottoms_every_row(self, table):
+        for n, row in table.items():
+            assert row["ep"] == min(row.values())
+
+    def test_normalized_power_monotone_like_paper(self, table):
+        """HPL normalized power grows 0.45 -> 0.74 over 1 -> 40 procs."""
+        peak = table[40]["hpl"]
+        series = [table[n]["hpl"] / peak for n in (1, 4, 16, 40)]
+        assert series == sorted(series)
+        assert series[0] > 0.4  # idle floor keeps the ratio high
+
+
+class TestFig4Opteron:
+    def test_power_ordering_on_opteron(self):
+        sim = Simulator(OPTERON_8347)
+        ep = sim.run(NpbWorkload("ep", "C", 16)).average_power_watts()
+        hpl = sim.run(HplWorkload(HplConfig(16, 0.95))).average_power_watts()
+        cg = sim.run(NpbWorkload("cg", "C", 16)).average_power_watts()
+        # The envelope cap keeps cg near (at most ~5 % above) the HPL
+        # point; the paper's own Table II likewise shows MG above HPL at
+        # 16 processes.
+        assert ep < cg < hpl * 1.06
+
+
+class TestFigs1And2SpecPower:
+    def test_calibration_then_descending_loads(self):
+        sim = Simulator(XEON_E5462)
+        levels = full_run_levels()
+        watts = [
+            sim.run(SpecPowerWorkload(level)).average_power_watts()
+            for level in levels
+        ]
+        # Cal1-3 and 100% draw the most; 10% the least.
+        assert max(watts[:4]) == max(watts)
+        assert watts[-1] == min(watts)

@@ -1,0 +1,60 @@
+"""Golden-value regression tests.
+
+The simulation is deterministic for a given seed, so key outputs are
+frozen in ``tests/data/golden.json``.  A failure here means the model's
+behaviour changed — which is fine when intentional (re-freeze with the
+snippet in the file's git history / EXPERIMENTS.md workflow), and a bug
+when not.
+
+Paper-band correctness lives in test_paper_tables.py; this file guards
+against *silent drift* at much tighter tolerance.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN = json.loads(
+    (Path(__file__).parent.parent / "data" / "golden.json").read_text()
+)
+
+
+class TestEvaluationGolden:
+    @pytest.mark.parametrize(
+        "server_name", ["Xeon-E5462", "Opteron-8347", "Xeon-4870"]
+    )
+    def test_scores_frozen(self, server_name):
+        from repro import evaluate_server, get_server
+
+        result = evaluate_server(get_server(server_name))
+        frozen = GOLDEN[server_name]
+        assert result.score == pytest.approx(frozen["score"], abs=1e-6)
+        assert result.average_watts == pytest.approx(
+            frozen["average_watts"], abs=1e-3
+        )
+
+    def test_every_row_frozen_e5462(self):
+        from repro import XEON_E5462, evaluate_server
+
+        result = evaluate_server(XEON_E5462)
+        for row in result.rows:
+            assert row.watts == pytest.approx(
+                GOLDEN["Xeon-E5462"]["rows"][row.label], abs=1e-3
+            ), row.label
+
+
+class TestKernelGolden:
+    def test_ep_sums_frozen(self):
+        from repro.kernels.ep import run_ep
+
+        result = run_ep(16)
+        frozen = GOLDEN["ep_m16"]
+        assert result.sx == pytest.approx(frozen["sx"], abs=1e-9)
+        assert result.sy == pytest.approx(frozen["sy"], abs=1e-9)
+        assert list(result.counts) == frozen["counts"]
+
+    def test_lcg_stream_frozen(self):
+        from repro.kernels.nas_rng import NasRandom
+
+        assert [int(v) for v in NasRandom().raw(10)] == GOLDEN["lcg_first_10"]

@@ -1,0 +1,161 @@
+"""Paper-vs-measured: the evaluation tables and method rankings.
+
+These are the headline reproduction checks: every band corresponds to a
+number or ordering printed in the paper.  EXPERIMENTS.md records the
+exact measured values.
+"""
+
+import pytest
+
+from repro.core.evaluation import evaluate_server
+from repro.core.green500 import green500_score
+from repro.core.spec_method import specpower_score
+from repro.hardware import OPTERON_8347, XEON_4870, XEON_E5462
+
+
+@pytest.fixture(scope="module")
+def evaluations():
+    return {
+        s.name: evaluate_server(s)
+        for s in (XEON_E5462, OPTERON_8347, XEON_4870)
+    }
+
+
+class TestTableIVtoVI:
+    @pytest.mark.parametrize(
+        "server_name, paper_score",
+        [
+            ("Xeon-E5462", 0.0639),  # printed as 0.639 = the PPW sum
+            ("Opteron-8347", 0.0251),
+            ("Xeon-4870", 0.0975),
+        ],
+    )
+    def test_scores(self, evaluations, server_name, paper_score):
+        assert evaluations[server_name].score == pytest.approx(
+            paper_score, rel=0.05
+        )
+
+    @pytest.mark.parametrize(
+        "server_name, paper_avg_watts",
+        [
+            ("Xeon-E5462", 182.2896),
+            ("Opteron-8347", 446.5118),
+            ("Xeon-4870", 826.7030),
+        ],
+    )
+    def test_average_power(self, evaluations, server_name, paper_avg_watts):
+        assert evaluations[server_name].average_watts == pytest.approx(
+            paper_avg_watts, rel=0.04
+        )
+
+    @pytest.mark.parametrize(
+        "server_name, paper_avg_gflops",
+        [
+            ("Xeon-E5462", 13.5),
+            ("Opteron-8347", 12.6),
+            ("Xeon-4870", 103.0),
+        ],
+    )
+    def test_average_performance(self, evaluations, server_name, paper_avg_gflops):
+        assert evaluations[server_name].average_gflops == pytest.approx(
+            paper_avg_gflops, rel=0.04
+        )
+
+    def test_table_v_sample_rows(self, evaluations):
+        result = evaluations["Opteron-8347"]
+        assert result.row("Idle").watts == pytest.approx(311.5, abs=2.0)
+        assert result.row("HPL P16 Mf").watts == pytest.approx(529.5, rel=0.08)
+        assert result.row("HPL P16 Mf").gflops == pytest.approx(32.7, rel=0.01)
+
+    def test_table_vi_sample_rows(self, evaluations):
+        result = evaluations["Xeon-4870"]
+        assert result.row("Idle").watts == pytest.approx(642.2, abs=3.0)
+        assert result.row("HPL P40 Mf").watts == pytest.approx(1119.6, rel=0.06)
+        assert result.row("ep.C.40").gflops == pytest.approx(0.759, rel=0.01)
+
+
+class TestSectionVC3Rankings:
+    def test_consistent_score_ranking(self, evaluations):
+        """With a consistently-computed score (mean PPW), the large
+        Xeon-4870 leads.  The paper's printed ordering (E5462 first)
+        relies on Table IV showing the PPW *sum* where Tables V/VI show
+        sum/10 — see EXPERIMENTS.md."""
+        scores = {name: r.score for name, r in evaluations.items()}
+        assert scores["Xeon-4870"] > scores["Xeon-E5462"] > scores["Opteron-8347"]
+
+    def test_paper_printed_ordering_with_paper_scalings(self, evaluations):
+        """Reproducing the exact printed comparison: Table IV's value is
+        the sum (x10 the mean); Tables V and VI use the mean."""
+        printed = {
+            "Xeon-E5462": evaluations["Xeon-E5462"].score * 10,
+            "Opteron-8347": evaluations["Opteron-8347"].score,
+            "Xeon-4870": evaluations["Xeon-4870"].score,
+        }
+        assert (
+            printed["Xeon-E5462"]
+            > printed["Xeon-4870"]
+            > printed["Opteron-8347"]
+        )
+
+    def test_green500_ranking_differs_from_printed_ours(self):
+        g500 = {
+            s.name: green500_score(s).ppw
+            for s in (XEON_E5462, OPTERON_8347, XEON_4870)
+        }
+        assert g500["Xeon-4870"] > g500["Xeon-E5462"] > g500["Opteron-8347"]
+
+    def test_specpower_ranking(self):
+        spec = {
+            s.name: specpower_score(s).overall_ssj_ops_per_watt
+            for s in (XEON_E5462, OPTERON_8347, XEON_4870)
+        }
+        assert spec["Xeon-E5462"] > spec["Xeon-4870"] > spec["Opteron-8347"]
+
+
+class TestFindingsSectionIVD:
+    """The four findings that motivate the method."""
+
+    @pytest.fixture(scope="class")
+    def xeon_powers(self):
+        from repro.engine import Simulator
+        from repro.workloads.hpl import HplConfig, HplWorkload
+        from repro.workloads.npb import NPB_PROGRAMS, NpbWorkload
+
+        sim = Simulator(XEON_E5462)
+        powers = {}
+        for n in (1, 2, 4):
+            powers[("hpl", n)] = sim.run(
+                HplWorkload(HplConfig(n, 0.95))
+            ).average_power_watts()
+            for name, prog in NPB_PROGRAMS.items():
+                if not prog.proc_rule.allows(n):
+                    continue
+                try:
+                    powers[(name, n)] = sim.run(
+                        NpbWorkload(name, "C", n)
+                    ).average_power_watts()
+                except Exception:
+                    continue
+        return powers
+
+    def test_finding_1_hpl_power_grows_fastest(self, xeon_powers):
+        hpl_growth = xeon_powers[("hpl", 4)] - xeon_powers[("hpl", 1)]
+        ep_growth = xeon_powers[("ep", 4)] - xeon_powers[("ep", 1)]
+        assert hpl_growth > 2 * ep_growth
+
+    def test_finding_2_ep_is_lowest(self, xeon_powers):
+        for n in (2, 4):
+            competitors = [
+                w for (name, procs), w in xeon_powers.items()
+                if procs == n and name != "ep"
+            ]
+            assert xeon_powers[("ep", n)] <= min(competitors) + 1.0
+
+    def test_finding_4_programs_between_ep_and_hpl(self, xeon_powers):
+        for n in (2, 4):
+            low = xeon_powers[("ep", n)]
+            high = xeon_powers[("hpl", n)]
+            for (name, procs), w in xeon_powers.items():
+                if procs != n or name in ("ep", "hpl"):
+                    continue
+                assert low - 5 <= w <= high + 20, (name, n, w)

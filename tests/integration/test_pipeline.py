@@ -1,0 +1,79 @@
+"""End-to-end pipeline: the paper's full test procedure (Section V-C2).
+
+Runs a complete campaign — idle, EP sweep, HPL sweep — through the meter,
+CSV logging, merge, clock-sync, window extraction, and trim pipeline, and
+checks the derived table against the direct simulator results and the
+paper's rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import evaluate_server
+from repro.core.states import evaluation_states
+from repro.demand import ResourceDemand
+from repro.engine import Campaign, Simulator
+from repro.hardware import XEON_E5462
+from repro.metering.csvlog import read_power_csv
+
+
+@pytest.fixture(scope="module")
+def full_campaign(tmp_path_factory):
+    csv_dir = tmp_path_factory.mktemp("power_csv")
+    sim = Simulator(XEON_E5462, seed=99)
+    workloads = [
+        state.workload
+        for state in evaluation_states(XEON_E5462)
+        if not state.is_idle
+    ]
+    campaign = Campaign(sim, gap_s=30.0, clock_offset_s=0.7)
+    return campaign.run(workloads, csv_dir=csv_dir), csv_dir
+
+
+class TestCampaignEndToEnd:
+    def test_nine_loaded_measurements(self, full_campaign):
+        result, _ = full_campaign
+        assert len(result.measurements) == 9
+
+    def test_merged_csv_well_formed(self, full_campaign):
+        result, _ = full_campaign
+        times, watts = read_power_csv(result.merged_csv)
+        assert np.all(np.diff(times) > 0)
+        assert np.all(watts > 100.0)
+
+    def test_csv_duration_matches_runs(self, full_campaign):
+        result, _ = full_campaign
+        times, _ = read_power_csv(result.merged_csv)
+        total_run_seconds = sum(
+            int(np.ceil(r.duration_s)) for r in result.runs
+        )
+        assert times.shape[0] == total_run_seconds
+
+    def test_table_iv_from_pipeline(self, full_campaign):
+        """The campaign-derived rows land on the paper's Table IV."""
+        result, _ = full_campaign
+        hpl4 = result.by_label("HPL P4 Mf")
+        assert hpl4.average_watts == pytest.approx(235.3, rel=0.08)
+        assert hpl4.ppw == pytest.approx(0.158, rel=0.08)
+        ep4 = result.by_label("ep.C.4")
+        assert ep4.average_watts == pytest.approx(174.0, rel=0.08)
+
+    def test_pipeline_agrees_with_evaluate_server(self, full_campaign):
+        """The convenience API and the full CSV pipeline agree."""
+        result, _ = full_campaign
+        direct = evaluate_server(XEON_E5462, Simulator(XEON_E5462, seed=99))
+        for row in direct.rows:
+            if row.label == "Idle":
+                continue
+            pipeline_row = result.by_label(row.label)
+            assert pipeline_row.average_watts == pytest.approx(
+                row.watts, rel=0.02
+            ), row.label
+
+
+class TestIdleMeasurement:
+    def test_idle_window(self):
+        sim = Simulator(XEON_E5462, seed=5)
+        run = sim.run(ResourceDemand.idle(120.0))
+        assert run.average_power_watts() == pytest.approx(134.4, abs=1.0)
+        assert run.average_memory_mb() == pytest.approx(600.0, abs=20.0)

@@ -1,0 +1,158 @@
+"""Paper-vs-measured: the Section VI regression study.
+
+Runs the full pipeline on the Xeon-4870 exactly as the paper describes
+and checks every published property: observation count, training fit,
+the dominant coefficients, the near-zero intercept, the verification R²
+band, and the identity of the worst-fit programs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.regression import (
+    collect_hpcc_training,
+    train_power_model,
+    verify_on_npb,
+)
+from repro.hardware import XEON_4870
+from repro.hardware.pmu import REGRESSION_FEATURES
+
+
+@pytest.fixture(scope="module")
+def training():
+    return collect_hpcc_training(XEON_4870)
+
+
+@pytest.fixture(scope="module")
+def model(training):
+    return train_power_model(training, server_name="Xeon-4870")
+
+
+@pytest.fixture(scope="module")
+def verification_b(model):
+    return verify_on_npb(XEON_4870, model, "B")
+
+
+@pytest.fixture(scope="module")
+def verification_c(model):
+    return verify_on_npb(XEON_4870, model, "C")
+
+
+class TestTableVII:
+    def test_observation_count_near_6056(self, training):
+        assert 5500 <= training.n_observations <= 6500
+
+    def test_r_square_band(self, model):
+        """Paper: 0.9403 ('close to 1, strong correlation')."""
+        assert 0.85 <= model.r_square <= 0.97
+
+    def test_adjusted_tracks_r_square(self, model):
+        assert model.ols.adjusted_r_square == pytest.approx(
+            model.r_square, abs=0.002
+        )
+
+    def test_standard_error_band(self, model):
+        """Paper: 0.2444 (normalised units)."""
+        assert 0.15 <= model.ols.standard_error <= 0.40
+
+
+class TestTableVIII:
+    def test_intercept_near_zero(self, model):
+        """Paper: C = 2.37e-14 after normalisation."""
+        assert abs(model.intercept) < 1e-10
+
+    def test_instructions_is_largest_coefficient(self, model):
+        """Paper: b2 = 0.837 dominates."""
+        b = model.coefficients_full()
+        instr = b[REGRESSION_FEATURES.index("instruction_num")]
+        assert instr > 0
+        assert instr == max(b)
+
+    def test_core_count_positive(self, model):
+        b = model.coefficients_full()
+        assert b[REGRESSION_FEATURES.index("working_core_num")] > 0
+
+    def test_cache_hit_coefficients_small(self, model):
+        """Paper: b3, b4 are small (|b| < 0.2 of the dominant one)."""
+        b = model.coefficients_full()
+        instr = b[REGRESSION_FEATURES.index("instruction_num")]
+        l2 = abs(b[REGRESSION_FEATURES.index("l2_cache_hit")])
+        assert l2 < 0.5 * instr
+
+    def test_stepwise_selects_instructions_first(self, model):
+        assert model.selected[0] == REGRESSION_FEATURES.index(
+            "instruction_num"
+        )
+
+
+class TestVerification:
+    def test_class_b_r2_band(self, verification_b):
+        """Paper: 0.634 — 'greater than 0.5, satisfactory'."""
+        assert 0.45 <= verification_b.r_squared <= 0.72
+
+    def test_class_c_r2_band(self, verification_c):
+        """Paper: 0.543."""
+        assert 0.40 <= verification_c.r_squared <= 0.72
+
+    def test_verification_well_below_training(self, model, verification_b):
+        assert verification_b.r_squared < model.r_square - 0.15
+
+    def test_82_bars_like_fig12(self, verification_b):
+        assert len(verification_b.labels) == 82
+
+    def test_ep_and_sp_among_worst_fits(self, verification_b):
+        """Section VI-C: 'EP and SP have unsatisfactory results'."""
+        rms = verification_b.per_program_rms()
+        worst_three = sorted(rms, key=rms.get, reverse=True)[:4]
+        assert "ep" in worst_three
+        assert "sp" in worst_three
+
+    def test_differences_centered(self, verification_b):
+        """Fig. 13: differences scatter around zero, not biased to one
+        side by more than half a normalised unit."""
+        assert abs(float(verification_b.difference.mean())) < 0.5
+
+    def test_measured_dimensionless_range(self, verification_b):
+        """Fig. 12's y-axis spans roughly -2..6 normalised units."""
+        assert verification_b.measured.min() > -3.0
+        assert verification_b.measured.max() < 7.0
+
+
+class TestFutureWorkExtension:
+    """Section VI-C suggests adding EP and SP to the training set to
+    reinforce the forecast.  The library supports exactly that."""
+
+    def test_augmented_training_improves_ep_sp_fit(self, training, model):
+        from repro.core.regression import RegressionDataset
+        from repro.engine import Simulator
+        from repro.engine.simulator import PMU_INTERVAL_S
+        from repro.workloads.npb import NpbWorkload
+
+        sim = Simulator(XEON_4870)
+        rows, power, labels = [], [], []
+        for name in ("ep", "sp"):
+            for n in (1, 4, 16, 36) if name == "sp" else (1, 10, 20, 40):
+                run = sim.run(NpbWorkload(name, "B", n))
+                interval = int(PMU_INTERVAL_S)
+                for k, sample in enumerate(run.pmu_samples):
+                    window = run.measured_watts[k * interval : (k + 1) * interval]
+                    if window.size == 0:
+                        window = run.measured_watts
+                    rows.append(sample.as_vector())
+                    power.append(float(window.mean()))
+                    labels.append(run.demand.program)
+        augmented = RegressionDataset(
+            features=np.vstack([training.features] + rows),
+            power=np.concatenate([training.power, np.array(power)]),
+            labels=training.labels + tuple(labels),
+        )
+        from repro.core.regression import train_power_model
+
+        model2 = train_power_model(augmented, server_name="Xeon-4870+npb")
+        v1 = verify_on_npb(XEON_4870, model, "B")
+        v2 = verify_on_npb(XEON_4870, model2, "B")
+        rms1 = v1.per_program_rms()
+        rms2 = v2.per_program_rms()
+        # The reinforced training set fits EP and SP at least as well.
+        assert rms2["ep"] <= rms1["ep"] * 1.05
+        assert rms2["sp"] <= rms1["sp"] * 1.10

@@ -1,0 +1,108 @@
+"""Block-tridiagonal solver (BT's inner kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.block_tridiag import (
+    block_thomas_solve,
+    random_block_tridiagonal,
+)
+
+
+def assemble_dense(lower, diag, upper):
+    """Dense matrix of one block-tridiagonal system (batch index 0)."""
+    _, n, b, _ = diag.shape
+    a = np.zeros((n * b, n * b))
+    for i in range(n):
+        a[i * b : (i + 1) * b, i * b : (i + 1) * b] = diag[0, i]
+        if i > 0:
+            a[i * b : (i + 1) * b, (i - 1) * b : i * b] = lower[0, i]
+        if i < n - 1:
+            a[i * b : (i + 1) * b, (i + 1) * b : (i + 2) * b] = upper[0, i]
+    return a
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("block", [1, 2, 5])
+    def test_matches_dense_solve(self, block):
+        lower, diag, upper = random_block_tridiagonal(1, 8, block, seed=1)
+        rng = np.random.default_rng(2)
+        rhs = rng.standard_normal((1, 8, block))
+        x = block_thomas_solve(lower, diag, upper, rhs)
+        dense = assemble_dense(lower, diag, upper)
+        expected = np.linalg.solve(dense, rhs[0].ravel()).reshape(8, block)
+        assert np.allclose(x[0], expected, atol=1e-9)
+
+    def test_residual_small(self):
+        lower, diag, upper = random_block_tridiagonal(3, 12, 5, seed=3)
+        rng = np.random.default_rng(4)
+        rhs = rng.standard_normal((3, 12, 5))
+        x = block_thomas_solve(lower, diag, upper, rhs)
+        for k in range(3):
+            dense = assemble_dense(lower[k : k + 1], diag[k : k + 1], upper[k : k + 1])
+            residual = dense @ x[k].ravel() - rhs[k].ravel()
+            assert np.abs(residual).max() < 1e-9
+
+    def test_batch_independence(self):
+        lower, diag, upper = random_block_tridiagonal(4, 6, 3, seed=5)
+        rng = np.random.default_rng(6)
+        rhs = rng.standard_normal((4, 6, 3))
+        full = block_thomas_solve(lower, diag, upper, rhs)
+        single = block_thomas_solve(
+            lower[2:3], diag[2:3], upper[2:3], rhs[2:3]
+        )
+        assert np.allclose(full[2], single[0])
+
+    def test_scalar_blocks_match_thomas(self):
+        """b=1 reduces to the scalar Thomas algorithm."""
+        from repro.kernels.stencil import thomas_solve
+
+        lower, diag, upper = random_block_tridiagonal(2, 10, 1, seed=7)
+        rng = np.random.default_rng(8)
+        rhs = rng.standard_normal((2, 10, 1))
+        block = block_thomas_solve(lower, diag, upper, rhs)
+        scalar = thomas_solve(
+            lower[..., 0, 0], diag[..., 0, 0], upper[..., 0, 0], rhs[..., 0]
+        )
+        assert np.allclose(block[..., 0], scalar)
+
+    def test_block_identity_system(self):
+        n, b = 6, 5
+        diag = np.broadcast_to(np.eye(b), (1, n, b, b)).copy()
+        zero = np.zeros((1, n, b, b))
+        rhs = np.arange(n * b, dtype=float).reshape(1, n, b)
+        x = block_thomas_solve(zero, diag, zero, rhs)
+        assert np.allclose(x, rhs)
+
+
+class TestValidation:
+    def test_singular_pivot_rejected(self):
+        n, b = 4, 3
+        diag = np.zeros((1, n, b, b))
+        zero = np.zeros((1, n, b, b))
+        rhs = np.ones((1, n, b))
+        with pytest.raises(ConfigurationError):
+            block_thomas_solve(zero, diag, zero, rhs)
+
+    def test_shape_mismatches(self):
+        lower, diag, upper = random_block_tridiagonal(1, 4, 2)
+        with pytest.raises(ConfigurationError):
+            block_thomas_solve(lower, diag, upper, np.ones((1, 4, 3)))
+        with pytest.raises(ConfigurationError):
+            block_thomas_solve(lower[:, :3], diag, upper, np.ones((1, 4, 2)))
+
+    def test_non_square_blocks(self):
+        with pytest.raises(ConfigurationError):
+            block_thomas_solve(
+                np.ones((1, 4, 2, 3)),
+                np.ones((1, 4, 2, 3)),
+                np.ones((1, 4, 2, 3)),
+                np.ones((1, 4, 2)),
+            )
+
+    def test_generator_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_block_tridiagonal(0, 4)
+        with pytest.raises(ConfigurationError):
+            random_block_tridiagonal(1, 1)

@@ -1,0 +1,67 @@
+"""Conjugate gradient kernel."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import ConfigurationError
+from repro.kernels.cg import conjugate_gradient, random_spd_matrix
+
+
+class TestMatrix:
+    def test_symmetric(self):
+        a = random_spd_matrix(200, seed=1)
+        assert abs(a - a.T).max() < 1e-12
+
+    def test_positive_definite_by_diagonal_dominance(self):
+        a = random_spd_matrix(200, seed=2).toarray()
+        off = np.abs(a).sum(axis=1) - np.abs(np.diag(a))
+        assert np.all(np.diag(a) > off - 1e-9)
+
+    def test_sparse(self):
+        a = random_spd_matrix(500, nonzeros_per_row=5, seed=3)
+        assert a.nnz < 0.1 * 500 * 500
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_spd_matrix(1)
+        with pytest.raises(ConfigurationError):
+            random_spd_matrix(10, nonzeros_per_row=10)
+
+
+class TestSolve:
+    def test_converges(self):
+        a = random_spd_matrix(300, seed=4)
+        b = np.ones(300)
+        result = conjugate_gradient(a, b)
+        assert result.converged
+        assert result.residual_norm < 1e-9
+
+    def test_solution_solves_system(self):
+        a = random_spd_matrix(150, seed=5)
+        rng = np.random.default_rng(5)
+        b = rng.standard_normal(150)
+        result = conjugate_gradient(a, b)
+        assert np.allclose(a @ result.x, b, atol=1e-6)
+
+    def test_iterations_bounded_for_well_conditioned(self):
+        """Heavy diagonal shift means rapid convergence."""
+        a = random_spd_matrix(400, shift=50.0, seed=6)
+        result = conjugate_gradient(a, np.ones(400))
+        assert result.iterations < 30
+
+    def test_zero_rhs_instant(self):
+        a = random_spd_matrix(50, seed=7)
+        result = conjugate_gradient(a, np.zeros(50))
+        assert result.iterations == 0
+        assert np.allclose(result.x, 0)
+
+    def test_max_iterations_respected(self):
+        a = random_spd_matrix(200, shift=0.5, seed=8)
+        result = conjugate_gradient(a, np.ones(200), max_iterations=2)
+        assert result.iterations <= 2
+
+    def test_rhs_shape_checked(self):
+        a = random_spd_matrix(50, seed=9)
+        with pytest.raises(ConfigurationError):
+            conjugate_gradient(a, np.ones(49))

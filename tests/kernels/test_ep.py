@@ -1,0 +1,86 @@
+"""The EP kernel."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.ep import N_BINS, EpResult, run_ep
+
+
+class TestSerial:
+    def test_acceptance_near_pi_over_4(self):
+        result = run_ep(16)
+        assert result.acceptance_rate == pytest.approx(math.pi / 4, abs=0.01)
+
+    def test_counts_sum_to_accepted(self):
+        result = run_ep(14)
+        assert sum(result.counts) == result.n_accepted
+
+    def test_deterministic(self):
+        assert run_ep(12) == run_ep(12)
+
+    def test_gaussian_moments(self):
+        """sx/n and sy/n estimate the (zero) Gaussian mean."""
+        result = run_ep(18)
+        n = result.n_accepted
+        assert abs(result.sx / n) < 0.01
+        assert abs(result.sy / n) < 0.01
+
+    def test_annulus_counts_decay(self):
+        """Nearly all Gaussian deviates fall in the first few annuli."""
+        result = run_ep(16)
+        assert result.counts[0] > result.counts[2] > result.counts[4]
+        assert sum(result.counts[:4]) > 0.999 * result.n_accepted
+
+    def test_m_bounds(self):
+        with pytest.raises(ConfigurationError):
+            run_ep(0)
+        with pytest.raises(ConfigurationError):
+            run_ep(40)
+
+
+class TestParallelDecomposition:
+    """The paper's reason for choosing EP: any worker count works and
+    produces the same answer."""
+
+    @pytest.mark.parametrize("workers", [2, 3, 5, 8, 16])
+    def test_sums_match_serial(self, workers):
+        serial = run_ep(14)
+        parallel = run_ep(14, n_workers=workers)
+        assert parallel.sx == pytest.approx(serial.sx, abs=1e-7)
+        assert parallel.sy == pytest.approx(serial.sy, abs=1e-7)
+
+    @pytest.mark.parametrize("workers", [2, 7, 13])
+    def test_counts_match_serial_exactly(self, workers):
+        assert run_ep(13, n_workers=workers).counts == run_ep(13).counts
+
+    def test_uneven_split(self):
+        # 2^10 pairs over 3 workers: 342 + 341 + 341.
+        assert run_ep(10, n_workers=3).counts == run_ep(10).counts
+
+    def test_worker_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_ep(10, n_workers=0)
+        with pytest.raises(ConfigurationError):
+            run_ep(2, n_workers=8)
+
+
+class TestResult:
+    def test_combine(self):
+        a = EpResult(m=5, sx=1.0, sy=2.0, counts=(1,) * N_BINS)
+        b = EpResult(m=5, sx=0.5, sy=-1.0, counts=(2,) * N_BINS)
+        c = a.combine(b)
+        assert c.sx == 1.5
+        assert c.sy == 1.0
+        assert c.counts == (3,) * N_BINS
+
+    def test_combine_rejects_mismatched_m(self):
+        a = EpResult(m=5, sx=0, sy=0, counts=(0,) * N_BINS)
+        b = EpResult(m=6, sx=0, sy=0, counts=(0,) * N_BINS)
+        with pytest.raises(ConfigurationError):
+            a.combine(b)
+
+    def test_n_pairs(self):
+        assert run_ep(10).n_pairs == 1024

@@ -1,0 +1,68 @@
+"""IS kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.is_ import generate_keys, run_is
+
+
+class TestKeys:
+    def test_range(self):
+        keys = generate_keys(10_000, 2048)
+        assert keys.min() >= 0
+        assert keys.max() < 2048
+
+    def test_binomialish_distribution(self):
+        """Sum of four uniforms concentrates keys around the middle."""
+        keys = generate_keys(100_000, 2048)
+        mid = ((keys > 512) & (keys < 1536)).mean()
+        assert mid > 0.9
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            generate_keys(1000, 256), generate_keys(1000, 256)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_keys(0, 256)
+        with pytest.raises(ConfigurationError):
+            generate_keys(10, 1)
+
+
+class TestSort:
+    def test_full_verification(self):
+        assert run_is(m=12).verify()
+
+    def test_sorted_keys_are_permutation(self):
+        result = run_is(m=10)
+        original = generate_keys(result.n_keys, result.max_key)
+        assert np.array_equal(np.sort(original), result.sorted_keys)
+
+    def test_ranks_are_a_permutation(self):
+        result = run_is(m=10)
+        assert np.array_equal(np.sort(result.ranks), np.arange(result.n_keys))
+
+    def test_ranks_order_keys(self):
+        result = run_is(m=10)
+        keys = generate_keys(result.n_keys, result.max_key)
+        reordered = np.empty_like(keys)
+        reordered[result.ranks] = keys
+        assert np.array_equal(reordered, result.sorted_keys)
+
+    def test_stability(self):
+        """Equal keys keep their input order (stable ranking)."""
+        result = run_is(m=8, key_bits=3)  # many duplicates
+        keys = generate_keys(result.n_keys, result.max_key)
+        same = keys == keys  # all positions
+        # For any two equal keys, the earlier one gets the smaller rank.
+        order = np.argsort(result.ranks)
+        restored = keys[order]
+        assert np.all(np.diff(restored) >= 0)
+
+    def test_bounds(self):
+        with pytest.raises(ConfigurationError):
+            run_is(m=2)
+        with pytest.raises(ConfigurationError):
+            run_is(m=10, key_bits=1)

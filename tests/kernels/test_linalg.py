@@ -1,0 +1,94 @@
+"""Blocked LU and DGEMM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.linalg import blocked_dgemm, blocked_lu, hpl_residual, lu_solve
+
+
+@pytest.fixture()
+def system():
+    rng = np.random.default_rng(7)
+    n = 96
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal(n)
+    return a, b
+
+
+class TestLu:
+    @pytest.mark.parametrize("nb", [1, 8, 32, 96, 200])
+    def test_factorisation_reconstructs(self, system, nb):
+        a, _ = system
+        lu, piv = blocked_lu(a, nb=nb)
+        l = np.tril(lu, -1) + np.eye(a.shape[0])
+        u = np.triu(lu)
+        assert np.allclose(l @ u, a[piv], atol=1e-9)
+
+    def test_block_size_does_not_change_answer(self, system):
+        a, b = system
+        x8 = lu_solve(*blocked_lu(a, nb=8), b)
+        x64 = lu_solve(*blocked_lu(a, nb=64), b)
+        assert np.allclose(x8, x64)
+
+    def test_solve_accuracy(self, system):
+        a, b = system
+        x = lu_solve(*blocked_lu(a, nb=16), b)
+        assert np.allclose(a @ x, b, atol=1e-8)
+
+    def test_hpl_residual_passes_acceptance(self, system):
+        """HPL accepts residuals below 16."""
+        a, b = system
+        x = lu_solve(*blocked_lu(a, nb=32), b)
+        assert hpl_residual(a, x, b) < 16.0
+
+    def test_hpl_residual_detects_garbage(self, system):
+        a, b = system
+        assert hpl_residual(a, np.zeros_like(b), b) > 16.0
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        x = lu_solve(*blocked_lu(a, nb=2), np.array([2.0, 3.0]))
+        assert np.allclose(a @ x, [2.0, 3.0])
+
+    def test_singular_matrix_rejected(self):
+        a = np.ones((4, 4))
+        with pytest.raises(ConfigurationError):
+            blocked_lu(a)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            blocked_lu(np.ones((3, 4)))
+
+    def test_rejects_bad_nb(self, system):
+        with pytest.raises(ConfigurationError):
+            blocked_lu(system[0], nb=0)
+
+    def test_input_not_mutated(self, system):
+        a, _ = system
+        before = a.copy()
+        blocked_lu(a)
+        assert np.array_equal(a, before)
+
+    def test_rhs_length_checked(self, system):
+        a, _ = system
+        lu, piv = blocked_lu(a)
+        with pytest.raises(ConfigurationError):
+            lu_solve(lu, piv, np.ones(3))
+
+
+class TestDgemm:
+    @pytest.mark.parametrize("nb", [1, 7, 16, 64, 200])
+    def test_matches_numpy(self, nb):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((37, 53))
+        b = rng.standard_normal((53, 29))
+        assert np.allclose(blocked_dgemm(a, b, nb=nb), a @ b)
+
+    def test_rejects_incompatible_shapes(self):
+        with pytest.raises(ConfigurationError):
+            blocked_dgemm(np.ones((3, 4)), np.ones((3, 4)))
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ConfigurationError):
+            blocked_dgemm(np.ones((4, 4)), np.ones((4, 4)), nb=0)

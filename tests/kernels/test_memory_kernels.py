@@ -1,0 +1,101 @@
+"""STREAM, RandomAccess, PTRANS."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.ptrans import run_ptrans
+from repro.kernels.random_access import run_random_access
+from repro.kernels.stream import run_stream
+
+
+class TestStream:
+    def test_reports_all_four_operations(self):
+        result = run_stream(n_elements=50_000, repeats=1)
+        assert set(result.bandwidth_gbs) == {"copy", "scale", "add", "triad"}
+
+    def test_bandwidths_positive(self):
+        result = run_stream(n_elements=50_000, repeats=1)
+        assert all(v > 0 for v in result.bandwidth_gbs.values())
+
+    def test_triad_property(self):
+        result = run_stream(n_elements=50_000, repeats=1)
+        assert result.triad_gbs == result.bandwidth_gbs["triad"]
+
+    def test_checksum_is_triad_result(self):
+        # c = a + 3*b where b = 3*a, so c = 10*a elementwise.
+        n = 10_000
+        result = run_stream(n_elements=n, repeats=1, scalar=3.0)
+        a = np.arange(n) * 1e-6
+        assert result.checksum == pytest.approx(float((10 * a).sum()), rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_stream(n_elements=10)
+        with pytest.raises(ConfigurationError):
+            run_stream(repeats=0)
+
+
+class TestRandomAccess:
+    def test_deterministic_fingerprint(self):
+        assert (
+            run_random_access(table_bits=10).fingerprint
+            == run_random_access(table_bits=10).fingerprint
+        )
+
+    def test_xor_involution(self):
+        """Applying the same update stream twice restores the table."""
+        once = run_random_access(table_bits=10, seed=5)
+        from repro.kernels.nas_rng import NasRandom
+
+        table = once.table.copy()
+        rng = NasRandom(seed=5)
+        raw = rng.raw(once.n_updates)
+        idx = (raw & np.uint64(once.table_size - 1)).astype(np.int64)
+        np.bitwise_xor.at(table, idx, raw)
+        assert np.array_equal(table, np.arange(once.table_size, dtype=np.uint64))
+
+    def test_default_update_count_is_4x(self):
+        result = run_random_access(table_bits=8)
+        assert result.n_updates == 4 * 256
+
+    def test_updates_actually_modify(self):
+        result = run_random_access(table_bits=10)
+        assert not np.array_equal(
+            result.table, np.arange(1024, dtype=np.uint64)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_random_access(table_bits=2)
+        with pytest.raises(ConfigurationError):
+            run_random_access(table_bits=10, n_updates=0)
+
+
+class TestPtrans:
+    def test_transpose_add(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        assert np.allclose(run_ptrans(a, b, block=16), a.T + b)
+
+    def test_non_divisible_block(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((50, 50))
+        b = rng.standard_normal((50, 50))
+        assert np.allclose(run_ptrans(a, b, block=16), a.T + b)
+
+    def test_involution_identity(self):
+        """(A^T + 0)^T == A."""
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((32, 32))
+        z = np.zeros_like(a)
+        assert np.allclose(run_ptrans(run_ptrans(a, z), z), a)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_ptrans(np.ones((3, 4)), np.ones((3, 4)))
+        with pytest.raises(ConfigurationError):
+            run_ptrans(np.ones((4, 4)), np.ones((3, 3)))
+        with pytest.raises(ConfigurationError):
+            run_ptrans(np.ones((4, 4)), np.ones((4, 4)), block=0)

@@ -1,0 +1,61 @@
+"""Multigrid kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.mg import poisson_rhs, residual, v_cycle_solve
+
+
+class TestRhs:
+    def test_zero_mean(self):
+        f = poisson_rhs(16)
+        assert abs(f.mean()) < 1e-12
+
+    def test_deterministic(self):
+        assert np.array_equal(poisson_rhs(16, seed=3), poisson_rhs(16, seed=3))
+
+    def test_shape(self):
+        assert poisson_rhs(8).shape == (8, 8, 8)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            poisson_rhs(12)
+
+
+class TestSolve:
+    def test_residual_decreases_every_cycle(self):
+        f = poisson_rhs(32)
+        result = v_cycle_solve(f, cycles=4)
+        norms = result.residual_norms
+        assert all(b < a for a, b in zip(norms, norms[1:]))
+
+    def test_convergence_factor_healthy(self):
+        """A working V-cycle reduces the residual by >40 % per cycle."""
+        result = v_cycle_solve(poisson_rhs(32), cycles=5)
+        assert result.convergence_factor < 0.6
+
+    def test_grid_independent_convergence(self):
+        """Multigrid's defining property: the rate does not degrade much
+        with resolution."""
+        small = v_cycle_solve(poisson_rhs(16), cycles=4).convergence_factor
+        large = v_cycle_solve(poisson_rhs(64), cycles=4).convergence_factor
+        assert large < max(2.5 * small, 0.6)
+
+    def test_solution_zero_mean(self):
+        result = v_cycle_solve(poisson_rhs(16), cycles=2)
+        assert abs(result.u.mean()) < 1e-10
+
+    def test_residual_operator_consistent(self):
+        """r(0, f) == f: the zero guess leaves the full right-hand side."""
+        f = poisson_rhs(8)
+        assert np.allclose(residual(np.zeros_like(f), f, 1 / 8), f)
+
+    def test_rejects_nonzero_mean_rhs(self):
+        f = np.ones((8, 8, 8))
+        with pytest.raises(ConfigurationError):
+            v_cycle_solve(f)
+
+    def test_rejects_non_cube(self):
+        with pytest.raises(ConfigurationError):
+            v_cycle_solve(np.zeros((8, 8, 4)))

@@ -1,0 +1,115 @@
+"""The NAS 46-bit LCG."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.nas_rng import (
+    DEFAULT_A,
+    DEFAULT_SEED,
+    MODULUS_BITS,
+    NasRandom,
+    lcg_modmul,
+    lcg_power,
+)
+
+MOD = 1 << MODULUS_BITS
+
+
+class TestModMul:
+    def test_matches_python_bigints(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, MOD, size=200, dtype=np.int64).astype(np.uint64)
+        b = rng.integers(0, MOD, size=200, dtype=np.int64).astype(np.uint64)
+        ours = lcg_modmul(a, b)
+        expected = [(int(x) * int(y)) % MOD for x, y in zip(a, b)]
+        assert [int(v) for v in ours] == expected
+
+    def test_identity(self):
+        assert int(lcg_modmul(1, DEFAULT_A)) == DEFAULT_A
+
+    def test_zero(self):
+        assert int(lcg_modmul(0, 12345)) == 0
+
+
+class TestPower:
+    def test_matches_python_pow(self):
+        for n in (0, 1, 2, 17, 1000, 1 << 20):
+            assert lcg_power(DEFAULT_A, n) == pow(DEFAULT_A, n, MOD)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            lcg_power(DEFAULT_A, -1)
+
+
+class TestStream:
+    def test_matches_scalar_recurrence(self):
+        rng = NasRandom()
+        ours = rng.raw(50)
+        state = DEFAULT_SEED
+        expected = []
+        for _ in range(50):
+            state = (DEFAULT_A * state) % MOD
+            expected.append(state)
+        assert [int(v) for v in ours] == expected
+
+    def test_uniform_in_unit_interval(self):
+        u = NasRandom().uniform(10_000)
+        assert np.all(u > 0)
+        assert np.all(u < 1)
+
+    def test_uniform_mean_near_half(self):
+        u = NasRandom().uniform(100_000)
+        assert abs(u.mean() - 0.5) < 0.005
+
+    def test_skip_equals_draw(self):
+        a = NasRandom()
+        b = NasRandom()
+        reference = a.uniform(100)
+        b.skip(60)
+        assert np.allclose(b.uniform(40), reference[60:])
+
+    def test_skip_zero_is_noop(self):
+        a = NasRandom()
+        a.skip(0)
+        assert np.allclose(a.uniform(5), NasRandom().uniform(5))
+
+    def test_skip_is_o_log_n(self):
+        """Skipping 2^40 positions must be instant (log-time jump)."""
+        rng = NasRandom()
+        rng.skip(1 << 40)
+        assert rng.state == int(
+            lcg_modmul(lcg_power(DEFAULT_A, 1 << 40), DEFAULT_SEED)
+        )
+
+    def test_spawn_partitions_stream(self):
+        base = NasRandom()
+        reference = NasRandom().uniform(90)
+        chunks = []
+        for i in range(3):
+            child = base.spawn(i, 30)
+            chunks.append(child.uniform(30))
+        assert np.allclose(np.concatenate(chunks), reference)
+
+    def test_state_advances(self):
+        rng = NasRandom()
+        s0 = rng.state
+        rng.uniform(3)
+        assert rng.state != s0
+
+    def test_seed_validation(self):
+        with pytest.raises(ConfigurationError):
+            NasRandom(seed=0)
+        with pytest.raises(ConfigurationError):
+            NasRandom(seed=2)  # even seeds shorten the period
+        with pytest.raises(ConfigurationError):
+            NasRandom(seed=MOD + 1)
+
+    def test_raw_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            NasRandom().raw(0)
+
+    def test_full_46_bit_states(self):
+        """States use the full modulus width (not stuck in low bits)."""
+        raw = NasRandom().raw(1000)
+        assert int(raw.max()) > (1 << 45)

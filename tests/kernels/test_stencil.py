@@ -1,0 +1,154 @@
+"""Stencil kernels: SSOR and ADI."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.stencil import adi_sweep, ssor_sweep, thomas_solve
+
+
+def tridiag_dense(lower, diag, upper):
+    n = diag.shape[0]
+    a = np.diag(diag)
+    a += np.diag(lower[1:], -1)
+    a += np.diag(upper[:-1], 1)
+    return a
+
+
+class TestThomas:
+    def test_matches_dense_solve(self):
+        rng = np.random.default_rng(1)
+        n = 20
+        lower = rng.uniform(-1, 0, n)
+        upper = rng.uniform(-1, 0, n)
+        diag = 4.0 + rng.uniform(0, 1, n)  # diagonally dominant
+        rhs = rng.standard_normal(n)
+        x = thomas_solve(
+            lower[None, :], diag[None, :], upper[None, :], rhs[None, :]
+        )[0]
+        dense = tridiag_dense(lower, diag, upper)
+        assert np.allclose(x, np.linalg.solve(dense, rhs), atol=1e-10)
+
+    def test_batch_independence(self):
+        rng = np.random.default_rng(2)
+        n, batch = 16, 5
+        lower = rng.uniform(-1, 0, (batch, n))
+        upper = rng.uniform(-1, 0, (batch, n))
+        diag = 4.0 + rng.uniform(0, 1, (batch, n))
+        rhs = rng.standard_normal((batch, n))
+        full = thomas_solve(lower, diag, upper, rhs)
+        for i in range(batch):
+            single = thomas_solve(
+                lower[i : i + 1], diag[i : i + 1], upper[i : i + 1], rhs[i : i + 1]
+            )
+            assert np.allclose(full[i], single[0])
+
+    def test_identity_system(self):
+        n = 8
+        x = thomas_solve(
+            np.zeros((1, n)), np.ones((1, n)), np.zeros((1, n)), np.full((1, n), 3.0)
+        )
+        assert np.allclose(x, 3.0)
+
+    def test_zero_pivot_rejected(self):
+        n = 4
+        with pytest.raises(ConfigurationError):
+            thomas_solve(
+                np.zeros((1, n)), np.zeros((1, n)), np.zeros((1, n)), np.ones((1, n))
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            thomas_solve(
+                np.zeros((1, 4)), np.ones((1, 5)), np.zeros((1, 4)), np.ones((1, 4))
+            )
+
+
+class TestSsor:
+    def _setup(self, n=17):
+        h = 1.0 / (n - 1)
+        u = np.zeros((n, n, n))
+        f = np.ones((n, n, n))
+        return u, f, h
+
+    def test_converges_to_direct_solution(self):
+        """Enough SSOR sweeps reproduce the exact interior solution of
+        the 7-point Dirichlet Poisson system."""
+        n = 9
+        h = 1.0 / (n - 1)
+        u = np.zeros((n, n, n))
+        f = np.ones((n, n, n))
+        # Assemble the dense interior operator (-lap with zero walls).
+        m = n - 2
+        idx = np.arange(m**3).reshape(m, m, m)
+        a = np.zeros((m**3, m**3))
+        for i in range(m):
+            for j in range(m):
+                for k in range(m):
+                    row = idx[i, j, k]
+                    a[row, row] = 6.0
+                    for di, dj, dk in (
+                        (1, 0, 0),
+                        (-1, 0, 0),
+                        (0, 1, 0),
+                        (0, -1, 0),
+                        (0, 0, 1),
+                        (0, 0, -1),
+                    ):
+                        ni, nj, nk = i + di, j + dj, k + dk
+                        if 0 <= ni < m and 0 <= nj < m and 0 <= nk < m:
+                            a[row, idx[ni, nj, nk]] = -1.0
+        exact = np.linalg.solve(a / (h * h), np.ones(m**3)).reshape(m, m, m)
+        for _ in range(400):
+            u = ssor_sweep(u, f, h)
+        assert np.allclose(u[1:-1, 1:-1, 1:-1], exact, atol=1e-4)
+
+    def test_boundary_fixed(self):
+        u, f, h = self._setup()
+        u2 = ssor_sweep(u, f, h)
+        assert np.all(u2[0] == 0) and np.all(u2[-1] == 0)
+        assert np.all(u2[:, 0] == 0) and np.all(u2[:, :, -1] == 0)
+
+    def test_omega_validated(self):
+        u, f, h = self._setup(9)
+        with pytest.raises(ConfigurationError):
+            ssor_sweep(u, f, h, omega=2.5)
+
+    def test_shape_mismatch(self):
+        u, f, h = self._setup(9)
+        with pytest.raises(ConfigurationError):
+            ssor_sweep(u, f[:-1], h)
+
+
+class TestAdi:
+    def test_smooths_toward_steady_state(self):
+        n = 17
+        h = 1.0 / (n - 1)
+        u = np.zeros((n, n, n))
+        f = np.zeros((n, n, n))
+        f[n // 2, n // 2, n // 2] = 1.0
+        u1 = adi_sweep(u, f, h)
+        u2 = adi_sweep(u1, f, h)
+        # The heat deposits spread: the centre grows, then diffuses.
+        assert u1[n // 2, n // 2, n // 2] > 0
+        assert np.abs(u2).sum() > np.abs(u1).sum()
+
+    def test_zero_forcing_keeps_zero(self):
+        n = 9
+        u = np.zeros((n, n, n))
+        out = adi_sweep(u, u, 1.0 / (n - 1))
+        assert np.allclose(out, 0)
+
+    def test_dt_validated(self):
+        n = 9
+        u = np.zeros((n, n, n))
+        with pytest.raises(ConfigurationError):
+            adi_sweep(u, u, 0.1, dt=0)
+
+    def test_stability_large_dt(self):
+        """Implicit line solves stay bounded even for large dt."""
+        n = 17
+        rng = np.random.default_rng(0)
+        u = rng.standard_normal((n, n, n))
+        out = adi_sweep(u, np.zeros_like(u), 1.0 / (n - 1), dt=10.0)
+        assert np.abs(out).max() <= np.abs(u).max() * 1.5

@@ -1,0 +1,72 @@
+"""Window extraction and 10 % trimming (Section V-C2 analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metering.analysis import (
+    extract_window,
+    trimmed_mean,
+    trimmed_stats,
+)
+
+
+class TestExtract:
+    def test_half_open_window(self):
+        t = np.arange(10.0)
+        v = np.arange(10.0) * 2
+        out = extract_window(t, v, 2.0, 5.0)
+        assert np.array_equal(out, [4.0, 6.0, 8.0])
+
+    def test_empty_window_outside_range(self):
+        t = np.arange(10.0)
+        assert extract_window(t, t, 100.0, 200.0).size == 0
+
+    def test_rejects_inverted_window(self):
+        t = np.arange(10.0)
+        with pytest.raises(ConfigurationError):
+            extract_window(t, t, 5.0, 5.0)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ConfigurationError):
+            extract_window(np.arange(3.0), np.arange(4.0), 0, 1)
+
+
+class TestTrim:
+    def test_drops_10_percent_each_end(self):
+        values = np.arange(100.0)
+        stats = trimmed_stats(values, trim=0.10)
+        assert stats.n_used == 80
+        assert stats.n_trimmed == 20
+        assert stats.mean == pytest.approx(np.arange(10.0, 90.0).mean())
+
+    def test_positional_not_magnitude(self):
+        """Start-up transient at the head is removed even though its
+        values are extreme."""
+        values = np.concatenate([np.full(10, 1000.0), np.full(90, 200.0)])
+        assert trimmed_mean(values, trim=0.10) == pytest.approx(200.0)
+
+    def test_zero_trim_keeps_everything(self):
+        values = np.arange(10.0)
+        assert trimmed_mean(values, trim=0.0) == pytest.approx(4.5)
+
+    def test_tiny_window_keeps_a_sample(self):
+        assert trimmed_mean(np.array([5.0]), trim=0.4) == 5.0
+
+    def test_two_samples_heavy_trim(self):
+        # trim of 0.49 on 2 samples: cut = 0 -> keeps both.
+        assert trimmed_mean(np.array([1.0, 3.0]), trim=0.49) == 2.0
+
+    def test_std_reported(self):
+        stats = trimmed_stats(np.array([1.0, 2.0, 3.0, 4.0]), trim=0.0)
+        assert stats.std == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_rejects_bad_trim(self):
+        with pytest.raises(ConfigurationError):
+            trimmed_mean(np.arange(10.0), trim=0.5)
+        with pytest.raises(ConfigurationError):
+            trimmed_mean(np.arange(10.0), trim=-0.1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            trimmed_mean(np.array([]))

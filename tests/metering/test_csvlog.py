@@ -1,0 +1,67 @@
+"""WTViewer-style CSV read/write/merge."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeterError
+from repro.metering.csvlog import merge_power_csvs, read_power_csv, write_power_csv
+
+
+def test_roundtrip(tmp_path):
+    times = np.arange(10.0)
+    watts = 200.0 + np.sin(times)
+    path = write_power_csv(tmp_path / "a.csv", times, watts)
+    t2, w2 = read_power_csv(path)
+    assert np.allclose(t2, times)
+    assert np.allclose(w2, watts, atol=0.01)  # 2-decimal format
+
+
+def test_write_rejects_mismatched_shapes(tmp_path):
+    with pytest.raises(MeterError):
+        write_power_csv(tmp_path / "a.csv", np.arange(3.0), np.arange(4.0))
+
+
+def test_read_rejects_wrong_header(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b\n1,2\n")
+    with pytest.raises(MeterError):
+        read_power_csv(path)
+
+
+def test_read_rejects_bad_row(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("time_s,power_w\n1.0,oops\n")
+    with pytest.raises(MeterError):
+        read_power_csv(path)
+
+
+def test_read_rejects_wrong_column_count(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("time_s,power_w\n1.0,2.0,3.0\n")
+    with pytest.raises(MeterError):
+        read_power_csv(path)
+
+
+def test_merge_sorts_by_time(tmp_path):
+    p1 = write_power_csv(tmp_path / "late.csv", np.arange(5.0, 10.0), np.full(5, 2.0))
+    p2 = write_power_csv(tmp_path / "early.csv", np.arange(0.0, 5.0), np.full(5, 1.0))
+    merged = merge_power_csvs([p1, p2], tmp_path / "merged.csv")
+    t, w = read_power_csv(merged)
+    assert np.array_equal(t, np.arange(10.0))
+    assert np.array_equal(w[:5], np.full(5, 1.0))
+
+
+def test_merge_deduplicates_overlap(tmp_path):
+    p1 = write_power_csv(tmp_path / "a.csv", np.arange(0.0, 6.0), np.full(6, 1.0))
+    p2 = write_power_csv(tmp_path / "b.csv", np.arange(4.0, 10.0), np.full(6, 2.0))
+    merged = merge_power_csvs([p1, p2], tmp_path / "m.csv")
+    t, w = read_power_csv(merged)
+    assert np.array_equal(t, np.arange(10.0))
+    # First occurrence wins at the overlapping 4.0 and 5.0 stamps.
+    assert w[4] == 1.0
+    assert w[5] == 1.0
+
+
+def test_merge_rejects_empty_list(tmp_path):
+    with pytest.raises(MeterError):
+        merge_power_csvs([], tmp_path / "m.csv")

@@ -1,0 +1,71 @@
+"""The simulated WT210."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MeterError
+from repro.metering.meter import WT210, MeterSpec, Wt210Meter
+
+
+class TestSpec:
+    def test_wt210_covers_all_servers(self):
+        """Peak measured power in the paper is 1119.6 W."""
+        assert WT210.max_watts >= 1200
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            MeterSpec("x", max_watts=0, noise_sigma_watts=1, gain_error=0, quantum_watts=0.01)
+        with pytest.raises(ConfigurationError):
+            MeterSpec("x", max_watts=100, noise_sigma_watts=-1, gain_error=0, quantum_watts=0.01)
+        with pytest.raises(ConfigurationError):
+            MeterSpec("x", max_watts=100, noise_sigma_watts=1, gain_error=0.5, quantum_watts=0.01)
+
+
+class TestSampling:
+    def test_deterministic_for_seed(self):
+        series = np.full(100, 200.0)
+        a = Wt210Meter(seed=7).sample_series(series)
+        b = Wt210Meter(seed=7).sample_series(series)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        series = np.full(100, 200.0)
+        a = Wt210Meter(seed=1).sample_series(series)
+        b = Wt210Meter(seed=2).sample_series(series)
+        assert not np.array_equal(a, b)
+
+    def test_unbiased_within_accuracy(self):
+        series = np.full(10_000, 500.0)
+        readings = Wt210Meter(seed=3).sample_series(series)
+        # Gain error is 0.1 %, additive noise 0.5 W.
+        assert readings.mean() == pytest.approx(500.0, rel=0.005)
+
+    def test_noise_magnitude(self):
+        series = np.full(10_000, 500.0)
+        readings = Wt210Meter(seed=3).sample_series(series)
+        assert 0.1 < readings.std() < 2.0
+
+    def test_quantisation(self):
+        readings = Wt210Meter(seed=1).sample_series(np.full(100, 123.456))
+        scaled = readings / WT210.quantum_watts
+        assert np.allclose(scaled, np.round(scaled))
+
+    def test_over_range_raises(self):
+        with pytest.raises(MeterError):
+            Wt210Meter().sample_series(np.array([2500.0]))
+
+    def test_negative_power_raises(self):
+        with pytest.raises(MeterError):
+            Wt210Meter().sample_series(np.array([-1.0]))
+
+    def test_readings_never_negative(self):
+        readings = Wt210Meter(seed=5).sample_series(np.full(1000, 0.1))
+        assert np.all(readings >= 0)
+
+    def test_single_sample(self):
+        value = Wt210Meter(seed=9).sample(300.0)
+        assert value == pytest.approx(300.0, rel=0.01)
+
+    def test_empty_series(self):
+        out = Wt210Meter().sample_series(np.array([]))
+        assert out.shape == (0,)

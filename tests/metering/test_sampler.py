@@ -1,0 +1,42 @@
+"""The 1 s memory sampler."""
+
+import numpy as np
+import pytest
+
+from repro.metering.sampler import MemorySampler
+
+
+def test_deterministic(e5462):
+    series = np.full(50, 2000.0)
+    a = MemorySampler(e5462, seed=1).sample_series(series)
+    b = MemorySampler(e5462, seed=1).sample_series(series)
+    assert np.array_equal(a, b)
+
+
+def test_tracks_true_value(e5462):
+    series = np.full(1000, 2000.0)
+    observed = MemorySampler(e5462, seed=2).sample_series(series)
+    assert observed.mean() == pytest.approx(2000.0, rel=0.01)
+
+
+def test_clipped_to_installed_memory(e5462):
+    series = np.full(100, e5462.memory_mb)
+    observed = MemorySampler(e5462, seed=3).sample_series(series)
+    assert np.all(observed <= e5462.memory_mb)
+
+
+def test_never_negative(e5462):
+    observed = MemorySampler(e5462, seed=4).sample_series(np.full(100, 1.0))
+    assert np.all(observed >= 0)
+
+
+def test_usage_percent(e5462):
+    series = np.full(200, e5462.memory_mb / 2)
+    pct = MemorySampler(e5462, seed=5).usage_percent(series)
+    assert pct.mean() == pytest.approx(50.0, abs=1.0)
+
+
+def test_zero_jitter_is_exact(e5462):
+    series = np.full(10, 1234.0)
+    observed = MemorySampler(e5462, jitter_mb=0.0).sample_series(series)
+    assert np.array_equal(observed, series)

@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.metrics import r_squared, rss, tss
+from repro.hardware.cache import analytic_hit_rate
+from repro.hardware.specs import XEON_4870
+from repro.hardware.topology import place_processes
+from repro.kernels.nas_rng import MODULUS_BITS, lcg_modmul, lcg_power
+from repro.metering.analysis import trimmed_mean, trimmed_stats
+from repro.stats.normalize import ZScoreNormalizer
+from repro.units import energy_kj
+from repro.workloads.base import power_idiosyncrasy
+from repro.workloads.hpl import best_grid
+from repro.workloads.perfdata import interp_loglog
+
+MOD = 1 << MODULUS_BITS
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestLcgProperties:
+    @given(
+        st.integers(min_value=0, max_value=MOD - 1),
+        st.integers(min_value=0, max_value=MOD - 1),
+    )
+    def test_modmul_matches_bigint(self, a, b):
+        assert int(lcg_modmul(a, b)) == (a * b) % MOD
+
+    @given(
+        st.integers(min_value=0, max_value=MOD - 1),
+        st.integers(min_value=0, max_value=MOD - 1),
+        st.integers(min_value=0, max_value=MOD - 1),
+    )
+    def test_modmul_associative(self, a, b, c):
+        left = lcg_modmul(lcg_modmul(a, b), c)
+        right = lcg_modmul(a, lcg_modmul(b, c))
+        assert int(left) == int(right)
+
+    @given(
+        st.integers(min_value=1, max_value=MOD - 1),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_power_homomorphism(self, a, m, n):
+        assert lcg_power(a, m + n) == int(
+            lcg_modmul(lcg_power(a, m), lcg_power(a, n))
+        )
+
+
+class TestTrimProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=200),
+            elements=finite_floats,
+        ),
+        st.floats(min_value=0.0, max_value=0.49),
+    )
+    def test_trimmed_mean_within_range(self, values, trim):
+        mean = trimmed_mean(values, trim)
+        assert values.min() - 1e-9 <= mean <= values.max() + 1e-9
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=200),
+            elements=finite_floats,
+        ),
+        st.floats(min_value=0.0, max_value=0.49),
+    )
+    def test_trim_counts_consistent(self, values, trim):
+        stats = trimmed_stats(values, trim)
+        assert 1 <= stats.n_used <= stats.n_total
+        assert stats.n_trimmed == stats.n_total - stats.n_used
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=100),
+            elements=finite_floats,
+        )
+    )
+    def test_constant_shift_equivariance(self, values):
+        shifted = trimmed_mean(values + 10.0)
+        assert shifted == pytest.approx(trimmed_mean(values) + 10.0, abs=1e-6)
+
+
+class TestFitFormulaProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=2, max_value=100),
+            elements=finite_floats,
+        )
+    )
+    def test_r2_of_self_is_one(self, measured):
+        assume(np.std(measured) > 1e-6)
+        assert r_squared(measured, measured) == pytest.approx(1.0)
+
+    @given(
+        hnp.arrays(np.float64, 50, elements=finite_floats),
+        hnp.arrays(np.float64, 50, elements=finite_floats),
+    )
+    def test_r2_never_exceeds_one(self, measured, predicted):
+        assume(np.std(measured) > 1e-6)
+        assert r_squared(measured, predicted) <= 1.0 + 1e-12
+
+    @given(
+        hnp.arrays(np.float64, 30, elements=finite_floats),
+        hnp.arrays(np.float64, 30, elements=finite_floats),
+    )
+    def test_rss_tss_identity(self, measured, predicted):
+        assume(np.std(measured) > 1e-6)
+        r2 = r_squared(measured, predicted)
+        assert r2 == pytest.approx(1 - rss(measured, predicted) / tss(measured))
+
+
+class TestNormalizerProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(
+                st.integers(min_value=2, max_value=50),
+                st.integers(min_value=1, max_value=5),
+            ),
+            elements=finite_floats,
+        )
+    )
+    def test_roundtrip(self, data):
+        norm = ZScoreNormalizer().fit(data)
+        restored = norm.inverse_transform(norm.transform(data))
+        assert np.allclose(restored, data, atol=1e-6)
+
+
+class TestPlacementProperties:
+    @given(st.integers(min_value=1, max_value=40))
+    def test_compact_conserves_processes(self, n):
+        p = place_processes(XEON_4870, n, "compact")
+        assert p.active_cores == n
+        assert all(0 <= used <= 10 for used in p.cores_per_chip_used)
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_scatter_conserves_processes(self, n):
+        p = place_processes(XEON_4870, n, "scatter")
+        assert p.active_cores == n
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_compact_uses_minimal_chips(self, n):
+        p = place_processes(XEON_4870, n, "compact")
+        assert p.active_chips == math.ceil(n / 10)
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_scatter_never_fewer_chips_than_compact(self, n):
+        compact = place_processes(XEON_4870, n, "compact")
+        scatter = place_processes(XEON_4870, n, "scatter")
+        assert scatter.active_chips >= compact.active_chips
+
+
+class TestInterpProperties:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=64),
+            st.floats(min_value=0.01, max_value=1e4),
+            min_size=2,
+            max_size=6,
+        ),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_interp_positive(self, anchors, n):
+        assert interp_loglog(anchors, n) > 0
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=64),
+            st.floats(min_value=0.01, max_value=1e4),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_exact_at_every_anchor(self, anchors):
+        for n, value in anchors.items():
+            assert interp_loglog(anchors, n) == pytest.approx(value, rel=1e-9)
+
+
+class TestMiscProperties:
+    @given(
+        st.floats(min_value=0, max_value=1e5),
+        st.floats(min_value=0, max_value=1e5),
+    )
+    def test_energy_nonnegative(self, watts, seconds):
+        assert energy_kj(watts, seconds) >= 0
+
+    @given(
+        st.floats(min_value=0, max_value=1e4),
+        st.floats(min_value=1e-3, max_value=1e4),
+        st.floats(min_value=0, max_value=0.999),
+    )
+    def test_hit_rate_bounded(self, working_set, capacity, locality):
+        rate = analytic_hit_rate(working_set, capacity, locality)
+        assert 0.0 <= rate <= 0.999
+
+    @given(st.text(min_size=1, max_size=30))
+    def test_idiosyncrasy_band(self, key):
+        factor = power_idiosyncrasy(key)
+        assert 0.7 <= factor <= 1.3
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_best_grid_factorises(self, n):
+        p, q = best_grid(n)
+        assert p * q == n
+        assert p <= q

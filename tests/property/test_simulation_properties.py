@@ -1,0 +1,145 @@
+"""Property-based tests on the simulation stack.
+
+Strategies generate arbitrary *valid* workload configurations; the
+properties assert the physical invariants every run must satisfy,
+regardless of configuration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.demand import ResourceDemand
+from repro.engine import Simulator
+from repro.errors import InsufficientMemoryError
+from repro.hardware import XEON_4870, XEON_E5462
+from repro.hardware.calibration import calibrated_power_model
+from repro.workloads.hpl import HplConfig, HplWorkload
+from repro.workloads.npb import NPB_PROGRAMS, NpbClass, NpbWorkload
+
+_SIM_SMALL = Simulator(XEON_E5462)
+_SIM_BIG = Simulator(XEON_4870)
+
+npb_names = st.sampled_from(sorted(NPB_PROGRAMS))
+small_classes = st.sampled_from(["W", "A", "B"])
+
+
+def _bindable(sim, workload):
+    try:
+        return sim.run(workload)
+    except InsufficientMemoryError:
+        return None
+
+
+valid_counts = {
+    name: [
+        n
+        for n in range(1, 41)
+        if NPB_PROGRAMS[name].proc_rule.allows(n)
+    ]
+    for name in NPB_PROGRAMS
+}
+
+
+@st.composite
+def npb_workloads(draw):
+    name = draw(npb_names)
+    klass = draw(small_classes)
+    nprocs = draw(st.sampled_from(valid_counts[name]))
+    return NpbWorkload(name, klass, nprocs)
+
+
+class TestRunInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(npb_workloads())
+    def test_power_bounded_by_idle_and_envelope(self, workload):
+        run = _bindable(_SIM_BIG, workload)
+        if run is None:
+            return
+        idle = calibrated_power_model(XEON_4870).coefficients.p_idle
+        assert run.true_watts.min() >= idle - 1e-9
+        # No single-server workload can triple the idle power on this
+        # machine (HPL full-out reaches ~1.8x).
+        assert run.true_watts.max() < 2.5 * idle
+
+    @settings(max_examples=25, deadline=None)
+    @given(npb_workloads())
+    def test_memory_trace_within_installed(self, workload):
+        run = _bindable(_SIM_BIG, workload)
+        if run is None:
+            return
+        assert np.all(run.memory_mb >= 0)
+        assert np.all(run.memory_mb <= XEON_4870.memory_mb)
+
+    @settings(max_examples=25, deadline=None)
+    @given(npb_workloads())
+    def test_pmu_counters_nonnegative(self, workload):
+        run = _bindable(_SIM_BIG, workload)
+        if run is None:
+            return
+        assert np.all(run.pmu_matrix() >= 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(npb_workloads())
+    def test_deterministic_under_fixed_seed(self, workload):
+        a = _bindable(Simulator(XEON_4870, seed=7), workload)
+        b = _bindable(Simulator(XEON_4870, seed=7), workload)
+        if a is None or b is None:
+            assert (a is None) == (b is None)
+            return
+        assert np.array_equal(a.measured_watts, b.measured_watts)
+
+    @settings(max_examples=20, deadline=None)
+    @given(npb_workloads())
+    def test_energy_consistent_with_power_and_time(self, workload):
+        run = _bindable(_SIM_BIG, workload)
+        if run is None:
+            return
+        expected = run.average_power_watts() / 1000.0 * run.duration_s
+        assert run.energy_kilojoules() == pytest.approx(expected, rel=1e-9)
+
+
+class TestHplInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0.05, max_value=0.95),
+        st.sampled_from([64, 128, 200, 256]),
+    )
+    def test_hpl_power_increases_with_cores(self, nprocs, fraction, nb):
+        if nprocs > 1:
+            lo = _SIM_SMALL.run(
+                HplWorkload(HplConfig(nprocs - 1, fraction, nb=nb))
+            ).average_power_watts()
+            hi = _SIM_SMALL.run(
+                HplWorkload(HplConfig(nprocs, fraction, nb=nb))
+            ).average_power_watts()
+            assert hi > lo - 1.5  # meter noise tolerance
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_hpl_footprint_tracks_fraction(self, fraction):
+        demand = HplWorkload(HplConfig(4, fraction)).bind(XEON_E5462)
+        from repro.hardware.memory import MemorySubsystem
+
+        usable = MemorySubsystem(XEON_E5462).usable_mb
+        assert demand.memory_mb <= fraction * usable * 1.01
+
+
+class TestDemandInvariants:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    @given(npb_workloads())
+    def test_bound_demand_is_self_consistent(self, workload):
+        try:
+            demand = workload.bind(XEON_4870)
+        except InsufficientMemoryError:
+            return
+        assert demand.nprocs == workload.nprocs
+        assert demand.duration_s > 0
+        assert demand.gflops > 0
+        assert demand.program == workload.label

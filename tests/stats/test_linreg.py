@@ -1,0 +1,127 @@
+"""OLS and forward stepwise selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RegressionError
+from repro.stats.linreg import fit_ols, forward_stepwise
+
+
+@pytest.fixture()
+def linear_data():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(500, 3))
+    y = 2.0 * x[:, 0] - 1.0 * x[:, 1] + 0.5 + rng.normal(0, 0.1, 500)
+    return x, y
+
+
+class TestOls:
+    def test_recovers_coefficients(self, linear_data):
+        x, y = linear_data
+        model = fit_ols(x, y)
+        assert model.coefficients[0] == pytest.approx(2.0, abs=0.02)
+        assert model.coefficients[1] == pytest.approx(-1.0, abs=0.02)
+        assert model.coefficients[2] == pytest.approx(0.0, abs=0.02)
+        assert model.intercept == pytest.approx(0.5, abs=0.02)
+
+    def test_r_square_near_one_for_clean_data(self, linear_data):
+        x, y = linear_data
+        assert fit_ols(x, y).r_square > 0.99
+
+    def test_r_square_zero_for_noise(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(500, 2))
+        y = rng.normal(size=500)
+        assert fit_ols(x, y).r_square < 0.05
+
+    def test_multiple_r_is_sqrt(self, linear_data):
+        x, y = linear_data
+        model = fit_ols(x, y)
+        assert model.multiple_r == pytest.approx(np.sqrt(model.r_square))
+
+    def test_adjusted_below_r_square(self, linear_data):
+        x, y = linear_data
+        model = fit_ols(x, y)
+        assert model.adjusted_r_square <= model.r_square
+
+    def test_standard_error_matches_noise(self, linear_data):
+        x, y = linear_data
+        assert fit_ols(x, y).standard_error == pytest.approx(0.1, abs=0.02)
+
+    def test_predict_single_row(self, linear_data):
+        x, y = linear_data
+        model = fit_ols(x, y)
+        pred = model.predict(np.array([1.0, 0.0, 0.0]))
+        assert pred == pytest.approx(2.5, abs=0.05)
+
+    def test_predict_shape_checked(self, linear_data):
+        x, y = linear_data
+        model = fit_ols(x, y)
+        with pytest.raises(RegressionError):
+            model.predict(np.ones((3, 5)))
+
+    def test_no_intercept(self):
+        x = np.arange(10.0)[:, None]
+        y = 3.0 * x[:, 0]
+        model = fit_ols(x, y, intercept=False)
+        assert model.intercept == 0.0
+        assert model.coefficients[0] == pytest.approx(3.0)
+
+    def test_needs_more_rows_than_params(self):
+        with pytest.raises(RegressionError):
+            fit_ols(np.ones((3, 3)), np.ones(3))
+
+    def test_rejects_nonfinite(self):
+        x = np.ones((10, 1)) * np.arange(10)[:, None]
+        y = np.arange(10.0)
+        y[3] = np.nan
+        with pytest.raises(RegressionError):
+            fit_ols(x, y)
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(RegressionError):
+            fit_ols(np.ones((10, 2)), np.ones(9))
+
+
+class TestStepwise:
+    def test_picks_informative_features_in_order(self, linear_data):
+        x, y = linear_data
+        result = forward_stepwise(x, y)
+        # Strongest predictor (|b|=2) enters first, then the second.
+        assert result.selected[0] == 0
+        assert result.selected[1] == 1
+
+    def test_excludes_pure_noise_feature(self, linear_data):
+        x, y = linear_data
+        result = forward_stepwise(x, y, alpha_enter=0.001)
+        assert 2 not in result.selected
+
+    def test_f_values_recorded(self, linear_data):
+        x, y = linear_data
+        result = forward_stepwise(x, y)
+        assert len(result.f_to_enter) == len(result.selected)
+        assert all(f > 0 for f in result.f_to_enter)
+
+    def test_max_features_cap(self, linear_data):
+        x, y = linear_data
+        result = forward_stepwise(x, y, max_features=1)
+        assert len(result.selected) == 1
+
+    def test_selected_names(self, linear_data):
+        x, y = linear_data
+        result = forward_stepwise(x, y, max_features=2)
+        names = result.selected_names(["a", "b", "c"])
+        assert names == ["a", "b"]
+
+    def test_model_refit_on_selection(self, linear_data):
+        x, y = linear_data
+        result = forward_stepwise(x, y)
+        assert result.model.n_features == len(result.selected)
+        assert result.model.r_square > 0.99
+
+    def test_no_signal_raises(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(200, 2))
+        y = rng.normal(size=200)
+        with pytest.raises(RegressionError):
+            forward_stepwise(x, y, alpha_enter=1e-9)

@@ -1,0 +1,60 @@
+"""Z-score normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RegressionError
+from repro.stats.normalize import ZScoreNormalizer
+
+
+def test_zero_mean_unit_std():
+    rng = np.random.default_rng(0)
+    data = rng.normal(50.0, 7.0, size=(1000, 3))
+    z = ZScoreNormalizer().fit_transform(data)
+    assert np.allclose(z.mean(axis=0), 0.0, atol=1e-12)
+    assert np.allclose(z.std(axis=0), 1.0, atol=1e-12)
+
+
+def test_roundtrip():
+    rng = np.random.default_rng(1)
+    data = rng.normal(10, 3, size=(100, 4))
+    norm = ZScoreNormalizer().fit(data)
+    assert np.allclose(norm.inverse_transform(norm.transform(data)), data)
+
+
+def test_transform_new_data_uses_stored_stats():
+    train = np.array([[0.0], [10.0]])
+    norm = ZScoreNormalizer().fit(train)
+    out = norm.transform(np.array([[5.0]]))
+    assert out[0, 0] == pytest.approx(0.0)
+
+
+def test_one_dimensional_input():
+    data = np.array([1.0, 2.0, 3.0])
+    norm = ZScoreNormalizer().fit(data)
+    z = norm.transform(data)
+    assert z.shape == (3,)
+    assert z[1] == pytest.approx(0.0)
+
+
+def test_constant_column_maps_to_zero():
+    data = np.column_stack([np.ones(10), np.arange(10.0)])
+    z = ZScoreNormalizer().fit_transform(data)
+    assert np.all(z[:, 0] == 0.0)
+    assert z[:, 1].std() == pytest.approx(1.0)
+
+
+def test_requires_fit_before_transform():
+    with pytest.raises(RegressionError):
+        ZScoreNormalizer().transform(np.ones((3, 2)))
+
+
+def test_requires_two_rows():
+    with pytest.raises(RegressionError):
+        ZScoreNormalizer().fit(np.ones((1, 2)))
+
+
+def test_column_count_checked():
+    norm = ZScoreNormalizer().fit(np.ones((5, 2)) * np.arange(5)[:, None])
+    with pytest.raises(RegressionError):
+        norm.transform(np.ones((3, 4)))

@@ -1,0 +1,91 @@
+"""Program trait registry."""
+
+import pytest
+
+from repro.characteristics import TRAITS, get_traits
+from repro.errors import ConfigurationError
+
+
+def test_all_npb_programs_have_traits():
+    for name in ("bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"):
+        assert name in TRAITS
+
+
+def test_all_hpcc_components_have_traits():
+    for name in (
+        "hpcc_dgemm",
+        "hpcc_stream",
+        "hpcc_ptrans",
+        "hpcc_randomaccess",
+        "hpcc_fft",
+        "hpcc_beff",
+    ):
+        assert name in TRAITS
+
+
+def test_lookup_case_insensitive():
+    assert get_traits("EP") is TRAITS["ep"]
+
+
+def test_hpcc_hpl_aliases_to_hpl():
+    assert get_traits("hpcc_hpl") is TRAITS["hpl"]
+
+
+def test_unknown_program_raises():
+    with pytest.raises(ConfigurationError):
+        get_traits("nosuch")
+
+
+def test_hpl_is_the_compute_extreme():
+    hpl = get_traits("hpl")
+    assert hpl.ipc == 1.0
+    assert hpl.fp_intensity == 1.0
+
+
+def test_ep_is_the_low_power_extreme():
+    """EP: CPU-bound but almost no memory traffic or communication."""
+    ep = get_traits("ep")
+    assert ep.cpu_util == 1.0
+    assert ep.mem_intensity <= 0.05
+    assert ep.comm_intensity == 0.0
+
+
+def test_sp_has_most_npb_communication():
+    """Section VI-C: SP has the most communication of the suite."""
+    sp = get_traits("sp")
+    for other in ("bt", "cg", "ep", "ft", "is", "lu", "mg"):
+        assert sp.comm_intensity >= get_traits(other).comm_intensity
+
+
+def test_stream_is_the_bandwidth_extreme():
+    assert get_traits("hpcc_stream").mem_intensity == 1.0
+
+
+def test_beff_is_the_communication_extreme():
+    assert get_traits("hpcc_beff").comm_intensity == 1.0
+
+
+def test_randomaccess_has_worst_locality():
+    ra = get_traits("hpcc_randomaccess")
+    for other in TRAITS.values():
+        assert ra.l1_locality <= other.l1_locality
+
+
+def test_is_has_negligible_fp():
+    assert get_traits("is").fp_intensity <= 0.05
+
+
+def test_all_traits_within_unit_interval():
+    for traits in TRAITS.values():
+        for attr in (
+            "ipc",
+            "fp_intensity",
+            "mem_intensity",
+            "comm_intensity",
+            "l1_locality",
+            "l2_locality",
+            "l3_locality",
+            "read_fraction",
+            "cpu_util",
+        ):
+            assert 0.0 <= getattr(traits, attr) <= 1.0

@@ -1,0 +1,184 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestServers:
+    def test_lists_all_builtins(self, capsys):
+        code, out, _ = run_cli(capsys, "servers")
+        assert code == 0
+        for name in ("Xeon-E5462", "Opteron-8347", "Xeon-4870"):
+            assert name in out
+
+
+class TestEvaluate:
+    def test_prints_table(self, capsys):
+        code, out, _ = run_cli(capsys, "evaluate", "Xeon-E5462")
+        assert code == 0
+        assert "HPL P4 Mf" in out
+        assert "(GFlops/Watt)/10" in out
+
+    def test_json_export(self, capsys, tmp_path):
+        path = tmp_path / "result.json"
+        code, out, _ = run_cli(capsys, "evaluate", "Xeon-E5462", "--json", str(path))
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["kind"] == "evaluation"
+        assert len(data["rows"]) == 10
+
+    def test_unknown_server_is_an_error(self, capsys):
+        code, _out, err = run_cli(capsys, "evaluate", "Cray-1")
+        assert code == 2
+        assert "unknown server" in err
+
+
+class TestOtherMethods:
+    def test_green500(self, capsys):
+        code, out, _ = run_cli(capsys, "green500", "Xeon-4870")
+        assert code == 0
+        assert "GFLOPS/W" in out
+        assert "344" in out
+
+    def test_specpower(self, capsys):
+        code, out, _ = run_cli(capsys, "specpower", "Xeon-E5462")
+        assert code == 0
+        assert "ssj_ops/W" in out
+        assert "ActiveIdle" in out
+
+
+class TestRegression:
+    def test_runs_on_small_server(self, capsys, tmp_path):
+        model_path = tmp_path / "model.json"
+        code, out, _ = run_cli(
+            capsys,
+            "regression",
+            "--server",
+            "Xeon-E5462",
+            "--classes",
+            "B",
+            "--save-model",
+            str(model_path),
+        )
+        assert code == 0
+        assert "R Square" in out
+        assert "NPB class B" in out
+        data = json.loads(model_path.read_text())
+        assert data["kind"] == "power_regression_model"
+
+
+class TestFigure:
+    @pytest.mark.parametrize("name", ["fig1", "fig2", "fig5", "fig10", "fig11"])
+    def test_renders(self, capsys, name):
+        code, out, _ = run_cli(capsys, "figure", name)
+        assert code == 0
+        assert name.replace("fig", "Fig. ") in out
+
+    def test_fig3_on_small_server(self, capsys):
+        code, out, _ = run_cli(capsys, "figure", "fig3", "--server", "Xeon-E5462")
+        assert code == 0
+        assert "HPL.4" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestAnalysisCommands:
+    def test_breakdown_npb(self, capsys):
+        code, out, _ = run_cli(capsys, "breakdown", "Xeon-E5462", "ep.C.4")
+        assert code == 0
+        assert "idle" in out and "total" in out
+
+    def test_breakdown_hpl_shorthand(self, capsys):
+        code, out, _ = run_cli(capsys, "breakdown", "Xeon-E5462", "hpl")
+        assert code == 0
+        assert "core_intensity" in out
+
+    def test_breakdown_bad_spec(self, capsys):
+        code, _out, err = run_cli(capsys, "breakdown", "Xeon-E5462", "nonsense")
+        assert code == 2
+        assert "workload" in err
+
+    def test_energy(self, capsys):
+        code, out, _ = run_cli(capsys, "energy", "Xeon-E5462", "ep")
+        assert code == 0
+        assert "energy-optimal" in out
+
+    def test_uncertainty(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "uncertainty", "Xeon-E5462", "--repeats", "2"
+        )
+        assert code == 0
+        assert "spread" in out
+
+
+class TestCompare:
+    def test_compare_report(self, capsys):
+        code, out, _ = run_cli(capsys, "compare")
+        assert code == 0
+        assert "Evaluation tables" in out
+        assert "Green500" in out
+        assert "SPECpower" in out
+        assert "paper" in out and "measured" in out
+        # Regression section only with the flag.
+        assert "Tables VII-VIII" not in out
+
+
+class TestSpecFile:
+    def test_green500_from_spec_file(self, capsys, tmp_path):
+        import dataclasses
+
+        from repro import io as repro_io
+        from repro.hardware import XEON_E5462
+
+        custom = dataclasses.replace(XEON_E5462, name="FileServer")
+        path = repro_io.save_json(
+            repro_io.server_to_dict(custom), tmp_path / "server.json"
+        )
+        code, out, _ = run_cli(capsys, "green500", str(path))
+        assert code == 0
+        assert "FileServer" in out
+
+    def test_bad_spec_file_is_an_error(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "something_else", "schema_version": 1}')
+        code, _out, err = run_cli(capsys, "green500", str(path))
+        assert code == 2
+
+
+class TestRegressionFigures:
+    def test_fig12_renders(self, capsys):
+        code, out, _ = run_cli(capsys, "figure", "fig12")
+        assert code == 0
+        assert "R^2" in out
+        assert "ep.B.40" in out
+
+    def test_fig13_renders(self, capsys):
+        code, out, _ = run_cli(capsys, "figure", "fig13")
+        assert code == 0
+        assert "sp" in out
+
+
+class TestExport:
+    def test_export_writes_files(self, capsys, tmp_path):
+        out = tmp_path / "exhibits"
+        code, stdout, _ = run_cli(capsys, "export", str(out))
+        assert code == 0
+        assert (out / "table4_e5462.csv").exists()
+        assert "rankings.json" in stdout

@@ -1,0 +1,46 @@
+"""Runs the usage examples embedded in docstrings.
+
+The ``>>>`` examples double as documentation and as tests; this module
+executes them so the docs cannot silently rot.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.green500
+import repro.core.metrics
+import repro.core.spec_method
+import repro.kernels.ep
+import repro.kernels.is_
+import repro.kernels.nas_rng
+import repro.kernels.random_access
+import repro.kernels.stream
+import repro.units
+import repro.workloads.hpcc
+import repro.workloads.hpl
+import repro.workloads.npb.common
+import repro.workloads.specpower
+
+MODULES = [
+    repro.units,
+    repro.core.metrics,
+    repro.core.green500,
+    repro.core.spec_method,
+    repro.kernels.nas_rng,
+    repro.kernels.ep,
+    repro.kernels.is_,
+    repro.kernels.stream,
+    repro.kernels.random_access,
+    repro.workloads.hpl,
+    repro.workloads.hpcc,
+    repro.workloads.specpower,
+    repro.workloads.npb.common,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failed"
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

@@ -1,0 +1,37 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for name in errors.__all__:
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError)
+
+
+def test_configuration_error_is_value_error():
+    assert issubclass(errors.ConfigurationError, ValueError)
+
+
+def test_invalid_process_count_payload():
+    exc = errors.InvalidProcessCountError("bt", 3, "a square number")
+    assert exc.program == "bt"
+    assert exc.nprocs == 3
+    assert "bt" in str(exc)
+    assert "3" in str(exc)
+    assert isinstance(exc, errors.WorkloadError)
+    assert isinstance(exc, ValueError)
+
+
+def test_insufficient_memory_payload():
+    exc = errors.InsufficientMemoryError("cg.C.1", 8400.0, 7592.0)
+    assert exc.required_mb == 8400.0
+    assert exc.available_mb == 7592.0
+    assert "cg.C.1" in str(exc)
+
+
+def test_catch_all_via_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.MeterError("over range")

@@ -1,0 +1,82 @@
+"""The transcribed paper constants."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.paperdata import (
+    PAPER_GREEN500_PPW,
+    PAPER_REGRESSION_COEFFICIENTS,
+    PAPER_REGRESSION_SUMMARY,
+    PAPER_SCORES,
+    PAPER_SPECPOWER_SCORES,
+    PAPER_TABLES,
+    PAPER_VERIFICATION_R2,
+    paper_table,
+)
+
+
+class TestInternalConsistency:
+    """Checks the paper's own arithmetic (documenting the one slip)."""
+
+    def test_ppw_columns_recompute(self):
+        """Each published PPW is GFLOPS/W of the same row (4 d.p.)."""
+        for server, rows in PAPER_TABLES.items():
+            for row in rows:
+                if row.watts == 0:
+                    continue
+                assert row.ppw == pytest.approx(
+                    row.gflops / row.watts, abs=6e-4
+                ), (server, row.label)
+
+    def test_opteron_and_4870_scores_are_sum_over_ten(self):
+        for server in ("Opteron-8347", "Xeon-4870"):
+            total = sum(r.ppw for r in PAPER_TABLES[server])
+            assert PAPER_SCORES[server] == pytest.approx(total / 10, abs=2e-4)
+
+    def test_e5462_score_is_the_sum_not_sum_over_ten(self):
+        """The documented paper inconsistency: Table IV prints the sum."""
+        total = sum(r.ppw for r in PAPER_TABLES["Xeon-E5462"])
+        assert PAPER_SCORES["Xeon-E5462"] == pytest.approx(total, abs=2e-3)
+        assert PAPER_SCORES["Xeon-E5462"] != pytest.approx(total / 10, rel=0.5)
+
+    def test_green500_values_match_hpl_full_rows(self):
+        """Section V-C3's Green500 numbers are the HPL P<full> Mf PPWs."""
+        full_rows = {
+            "Xeon-E5462": "HPL P4 Mf",
+            "Opteron-8347": "HPL P16 Mf",
+            "Xeon-4870": "HPL P40 Mf",
+        }
+        for server, label in full_rows.items():
+            row = next(
+                r for r in PAPER_TABLES[server] if r.label == label
+            )
+            assert PAPER_GREEN500_PPW[server] == pytest.approx(
+                row.ppw, abs=5e-4
+            )
+
+    def test_every_table_has_ten_rows(self):
+        for rows in PAPER_TABLES.values():
+            assert len(rows) == 10
+
+    def test_regression_summary_multiple_r_squares_to_r_square(self):
+        s = PAPER_REGRESSION_SUMMARY
+        assert s["multiple_r"] ** 2 == pytest.approx(s["r_square"], abs=1e-6)
+
+    def test_coefficient_count(self):
+        assert len(PAPER_REGRESSION_COEFFICIENTS) == 7  # b1..b6 + C
+
+    def test_verification_classes(self):
+        assert set(PAPER_VERIFICATION_R2) == {"B", "C"}
+        assert PAPER_VERIFICATION_R2["B"] > PAPER_VERIFICATION_R2["C"] > 0.5
+
+
+class TestLookup:
+    def test_paper_table_lookup(self):
+        assert paper_table("Xeon-4870")[0].label == "Idle"
+
+    def test_unknown_server(self):
+        with pytest.raises(ConfigurationError):
+            paper_table("Cray-1")
+
+    def test_spec_scores_cover_all_servers(self):
+        assert set(PAPER_SPECPOWER_SCORES) == set(PAPER_TABLES)

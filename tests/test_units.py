@@ -1,0 +1,55 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_byte_constants():
+    assert units.KB == 1024
+    assert units.MB == 1024**2
+    assert units.GB == 1024**3
+
+
+def test_gflops_mflops_roundtrip():
+    assert units.gflops_to_mflops(1.5) == 1500.0
+    assert units.mflops_to_gflops(1500.0) == 1.5
+    assert units.mflops_to_gflops(units.gflops_to_mflops(0.123)) == pytest.approx(0.123)
+
+
+def test_watts_kilowatts_roundtrip():
+    assert units.watts_to_kilowatts(1500.0) == 1.5
+    assert units.kilowatts_to_watts(1.5) == 1500.0
+
+
+def test_mb_gb_roundtrip():
+    assert units.gb_to_mb(8) == 8192.0
+    assert units.mb_to_gb(8192.0) == 8.0
+
+
+def test_bytes_mb_roundtrip():
+    assert units.bytes_to_mb(units.mb_to_bytes(3.5)) == pytest.approx(3.5)
+
+
+def test_energy_kj_matches_eq2():
+    # 1 kW for 60 s is 60 KJ.
+    assert units.energy_kj(1000.0, 60.0) == pytest.approx(60.0)
+
+
+def test_energy_kj_paper_scale():
+    # EP.C.1 on the Xeon-E5462: ~145 W for ~135 s is ~19.6 KJ.
+    assert units.energy_kj(145.4889, 134.6) == pytest.approx(19.58, abs=0.05)
+
+
+def test_energy_rejects_negative_power():
+    with pytest.raises(ValueError):
+        units.energy_kj(-1.0, 10.0)
+
+
+def test_energy_rejects_negative_time():
+    with pytest.raises(ValueError):
+        units.energy_kj(1.0, -10.0)
+
+
+def test_mhz_to_ghz():
+    assert units.mhz_to_ghz(2800) == pytest.approx(2.8)

@@ -1,0 +1,85 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viz import bar_chart, line_columns, paired_series
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = bar_chart("Power", ["ep.C.4", "HPL.4"], [174.0, 235.3])
+        assert "ep.C.4" in text
+        assert "235.30" in text
+        assert "Power" in text
+
+    def test_max_value_gets_full_bar(self):
+        text = bar_chart("t", ["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert "##########" in lines[2]  # b's bar
+
+    def test_floor_scales_from_zero(self):
+        with_floor = bar_chart("t", ["a"], [50.0], width=10, floor=0.0)
+        assert "#" in with_floor
+
+    def test_equal_values_render(self):
+        text = bar_chart("t", ["a", "b"], [5.0, 5.0])
+        assert text.count("#") > 0
+
+    def test_unit_appended(self):
+        text = bar_chart("t", ["a"], [5.0], unit=" W")
+        assert "5.00 W" in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart("t", ["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart("t", [], [])
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart("t", ["a"], [1.0], width=2)
+
+
+class TestLineColumns:
+    def test_layout(self):
+        text = line_columns(
+            "Fig5", ["10%", "50%"], {"1 core": [170.0, 170.5], "4 cores": [233.0, 233.2]}
+        )
+        assert "1 core" in text
+        assert "4 cores" in text
+        assert "170.00" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            line_columns("t", ["a", "b"], {"s": [1.0]})
+
+    def test_empty_series(self):
+        with pytest.raises(ConfigurationError):
+            line_columns("t", ["a"], {})
+
+
+class TestPairedSeries:
+    def test_renders_both_columns(self):
+        text = paired_series(
+            "Fig12", ["bt.B.1", "ep.B.1"], [1.0, -1.0], [0.5, -1.2]
+        )
+        assert "bt.B.1" in text
+        assert "1.00" in text
+        assert "-1.20" in text
+
+    def test_signed_bars(self):
+        text = paired_series("t", ["pos", "neg"], [1.0, 0.0], [0.0, 1.0])
+        lines = text.splitlines()
+        assert "+" in lines[2]  # over-measured -> positive bar
+        assert "-" in lines[3]  # under-measured -> negative bar
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paired_series("t", ["a"], [1.0], [1.0, 2.0])
+
+    def test_zero_differences(self):
+        text = paired_series("t", ["a"], [1.0], [1.0])
+        assert "|" in text

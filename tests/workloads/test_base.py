@@ -1,0 +1,72 @@
+"""Workload base class and the idiosyncrasy factor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import IDIOSYNCRASY_AMPLITUDE, power_idiosyncrasy
+
+
+class TestIdiosyncrasy:
+    def test_calibrated_programs_are_exactly_one(self):
+        assert power_idiosyncrasy("ep.C") == 1.0
+        assert power_idiosyncrasy("hpl") == 1.0
+        assert power_idiosyncrasy("HPL P4 Mf") == 1.0
+        assert power_idiosyncrasy("idle") == 1.0
+
+    def test_deterministic(self):
+        assert power_idiosyncrasy("bt.B") == power_idiosyncrasy("bt.B")
+
+    def test_different_programs_differ(self):
+        values = {
+            power_idiosyncrasy(key)
+            for key in ("bt.B", "cg.B", "ft.B", "mg.B", "is.B", "sp.B")
+        }
+        assert len(values) == 6
+
+    def test_class_changes_the_draw(self):
+        assert power_idiosyncrasy("bt.B") != power_idiosyncrasy("bt.C")
+
+    def test_within_band(self):
+        for key in ("bt.B", "cg.C", "hpcc_stream", "ft.A", "mg.W"):
+            factor = power_idiosyncrasy(key)
+            assert 1 - IDIOSYNCRASY_AMPLITUDE <= factor <= 1 + IDIOSYNCRASY_AMPLITUDE
+
+    def test_custom_amplitude(self):
+        wide = power_idiosyncrasy("bt.B", amplitude=0.6)
+        narrow = power_idiosyncrasy("bt.B", amplitude=0.1)
+        assert abs(wide - 1) == pytest.approx(6 * abs(narrow - 1))
+
+    def test_amplitude_validation(self):
+        with pytest.raises(ConfigurationError):
+            power_idiosyncrasy("bt.B", amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            power_idiosyncrasy("bt.B", amplitude=-0.1)
+
+    def test_nprocs_not_part_of_key(self):
+        """bt.B.4 and bt.B.9 must share a factor — callers pass bt.B."""
+        from repro.workloads.npb import NpbWorkload
+
+        a = NpbWorkload("bt", "B", 4).power_factor()
+        b = NpbWorkload("bt", "B", 9).power_factor()
+        assert a == b
+
+
+class TestWorkloadProtocol:
+    def test_npb_power_factor_class_c_wider(self):
+        from repro.workloads.npb import NpbWorkload
+
+        b = NpbWorkload("mg", "B", 4).power_factor()
+        c = NpbWorkload("mg", "C", 4).power_factor()
+        # Class C uses a wider amplitude; with different hash draws the
+        # factors differ, and neither is 1 (mg is not a calibration
+        # program).
+        assert b != 1.0
+        assert c != 1.0
+        assert b != c
+
+    def test_hpl_and_ep_factors_are_one(self):
+        from repro.workloads.hpl import HplConfig, HplWorkload
+        from repro.workloads.npb import NpbWorkload
+
+        assert HplWorkload(HplConfig(4)).power_factor() == 1.0
+        assert NpbWorkload("ep", "C", 4).power_factor() == 1.0

@@ -1,0 +1,80 @@
+"""HPCC workload models (the regression training set)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.hpcc import HPCC_COMPONENTS, HpccWorkload
+
+
+class TestComponents:
+    def test_seven_components(self):
+        assert len(HPCC_COMPONENTS) == 7
+        names = [c.name for c in HPCC_COMPONENTS]
+        assert names == [
+            "hpl",
+            "dgemm",
+            "stream",
+            "ptrans",
+            "randomaccess",
+            "fft",
+            "beff",
+        ]
+
+    def test_lookup_by_name(self, x4870):
+        wl = HpccWorkload("STREAM", 8)
+        assert wl.component.name == "stream"
+
+    def test_unknown_component(self):
+        with pytest.raises(ConfigurationError):
+            HpccWorkload("linpack2", 4)
+
+    def test_rejects_nonpositive_nprocs(self):
+        with pytest.raises(ConfigurationError):
+            HpccWorkload("stream", 0)
+
+
+class TestBinding:
+    def test_label(self):
+        assert HpccWorkload("fft", 16).label == "hpcc_fft.16"
+
+    def test_stream_is_bandwidth_saturating(self, x4870):
+        d = HpccWorkload("stream", 40).bind(x4870)
+        assert d.mem_intensity == 1.0
+
+    def test_beff_is_communication(self, x4870):
+        d = HpccWorkload("beff", 40).bind(x4870)
+        assert d.comm_intensity == 1.0
+
+    def test_hpl_component_uses_hpl_traits(self, x4870):
+        d = HpccWorkload("hpl", 40).bind(x4870)
+        assert d.fp_intensity == 1.0
+        assert d.gflops > 0
+
+    def test_dgemm_near_peak(self, x4870):
+        wl = HpccWorkload("dgemm", 40)
+        assert wl.performance_gflops(x4870) == pytest.approx(
+            0.92 * x4870.gflops_peak
+        )
+
+    def test_memory_kernels_report_no_flops(self, x4870):
+        for name in ("stream", "ptrans", "randomaccess", "fft", "beff"):
+            assert HpccWorkload(name, 4).performance_gflops(x4870) == 0.0
+
+    def test_footprint_fits_usable(self, any_server):
+        from repro.hardware.memory import MemorySubsystem
+
+        usable = MemorySubsystem(any_server).usable_mb
+        for component in HPCC_COMPONENTS:
+            d = HpccWorkload(component, 1).bind(any_server)
+            assert d.memory_mb <= usable
+
+    def test_rejects_oversubscription(self, e5462):
+        with pytest.raises(ConfigurationError):
+            HpccWorkload("stream", 5).bind(e5462)
+
+    def test_observation_budget(self, x4870):
+        """Total per-10s samples across the full sweep lands near the
+        paper's 6056 observations."""
+        per_count = sum(int(c.duration_s // 10) for c in HPCC_COMPONENTS)
+        total = per_count * x4870.total_cores
+        assert 5500 <= total <= 6500

@@ -1,0 +1,118 @@
+"""HPL workload model (Figs. 5-7 behaviour)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.hpl import (
+    HplConfig,
+    HplWorkload,
+    best_grid,
+    block_efficiency,
+    grid_efficiency,
+    hpl_performance,
+)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = HplConfig(nprocs=4)
+        assert cfg.memory_fraction == 0.95
+        assert cfg.nb == 200
+
+    def test_grid_default_most_square(self):
+        assert HplConfig(4).grid() == (2, 2)
+        assert HplConfig(6).grid() == (2, 3)
+        assert HplConfig(7).grid() == (1, 7)
+        assert HplConfig(16).grid() == (4, 4)
+
+    def test_explicit_grid(self):
+        assert HplConfig(4, p=4, q=1).grid() == (4, 1)
+
+    def test_grid_must_factor_nprocs(self):
+        with pytest.raises(ConfigurationError):
+            HplConfig(4, p=3, q=2)
+
+    def test_grid_given_together(self):
+        with pytest.raises(ConfigurationError):
+            HplConfig(4, p=2)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            HplConfig(4, memory_fraction=1.5)
+
+    def test_rejects_bad_nb(self):
+        with pytest.raises(ConfigurationError):
+            HplConfig(4, nb=0)
+
+
+class TestBlockEfficiency:
+    def test_large_nb_is_free(self):
+        assert block_efficiency(200) == 1.0
+        assert block_efficiency(150) == 1.0
+
+    def test_nb_50_pays_the_fig6_penalty(self):
+        assert block_efficiency(50) == pytest.approx(0.90)
+
+    def test_monotone(self):
+        values = [block_efficiency(nb) for nb in (50, 100, 150, 200)]
+        assert values == sorted(values)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            block_efficiency(0)
+
+
+class TestGridEfficiency:
+    def test_best_grid_is_free(self):
+        assert grid_efficiency(2, 2) == 1.0
+        assert grid_efficiency(1, 7) == 1.0  # prime count: only grid
+
+    def test_elongated_grid_small_penalty(self):
+        eff = grid_efficiency(4, 1)
+        assert 0.96 <= eff < 1.0
+
+    def test_best_grid_factorisation(self):
+        assert best_grid(12) == (3, 4)
+        assert best_grid(1) == (1, 1)
+        assert best_grid(36) == (6, 6)
+
+
+class TestBinding:
+    def test_paper_performance_values(self, e5462):
+        d = HplWorkload(HplConfig(4, 0.95)).bind(e5462)
+        assert d.gflops == pytest.approx(37.2)
+        assert d.program == "HPL P4 Mf"
+
+    def test_mh_label(self, e5462):
+        assert HplWorkload(HplConfig(2, 0.5)).label == "HPL P2 Mh"
+
+    def test_memory_tracks_fraction(self, e5462):
+        mh = HplWorkload(HplConfig(4, 0.5)).bind(e5462)
+        mf = HplWorkload(HplConfig(4, 0.95)).bind(e5462)
+        assert mf.memory_mb > 1.8 * mh.memory_mb
+
+    def test_duration_from_flop_count(self, e5462):
+        d = HplWorkload(HplConfig(4, 0.95)).bind(e5462)
+        n = round((d.memory_mb * 1024**2 / 8) ** 0.5)
+        expected = (2 / 3 * n**3 + 2 * n**2) / (d.gflops * 1e9)
+        assert d.duration_s == pytest.approx(expected, rel=1e-6)
+
+    def test_more_cores_shorter_run(self, e5462):
+        t1 = HplWorkload(HplConfig(1, 0.95)).bind(e5462).duration_s
+        t4 = HplWorkload(HplConfig(4, 0.95)).bind(e5462).duration_s
+        assert t4 < t1
+
+    def test_small_nb_reduces_intensity(self, e5462):
+        full = HplWorkload(HplConfig(4, 0.95, nb=200)).bind(e5462)
+        small = HplWorkload(HplConfig(4, 0.95, nb=50)).bind(e5462)
+        assert small.fp_intensity < full.fp_intensity
+        assert small.gflops < full.gflops
+
+    def test_rejects_oversubscription(self, e5462):
+        with pytest.raises(ConfigurationError):
+            HplWorkload(HplConfig(5)).bind(e5462)
+
+    def test_hpl_performance_returns_n(self, e5462):
+        gflops, n = hpl_performance(e5462, HplConfig(4, 0.5))
+        assert gflops > 0
+        assert 8 * n * n <= 0.51 * e5462.memory_mb * 1024**2

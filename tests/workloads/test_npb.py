@@ -1,0 +1,209 @@
+"""NPB workload models: rules, footprints, durations."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    InsufficientMemoryError,
+    InvalidProcessCountError,
+)
+from repro.workloads.npb import (
+    NPB_PROGRAMS,
+    NpbClass,
+    NpbWorkload,
+    ProcRule,
+    allowed_process_counts,
+    get_npb_program,
+)
+
+
+class TestRegistry:
+    def test_eight_programs(self):
+        assert set(NPB_PROGRAMS) == {"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_npb_program("EP").name == "ep"
+
+    def test_unknown_program(self):
+        with pytest.raises(ConfigurationError):
+            get_npb_program("zz")
+
+
+class TestProcRules:
+    def test_bt_sp_square(self):
+        for name in ("bt", "sp"):
+            assert NPB_PROGRAMS[name].proc_rule is ProcRule.SQUARE
+
+    def test_five_programs_power_of_two(self):
+        for name in ("cg", "ft", "is", "lu", "mg"):
+            assert NPB_PROGRAMS[name].proc_rule is ProcRule.POWER_OF_TWO
+
+    def test_ep_any(self):
+        assert NPB_PROGRAMS["ep"].proc_rule is ProcRule.ANY
+
+    def test_square_counts_to_40(self):
+        assert allowed_process_counts(ProcRule.SQUARE, 40) == [1, 4, 9, 16, 25, 36]
+
+    def test_pow2_counts_to_40(self):
+        assert allowed_process_counts(ProcRule.POWER_OF_TWO, 40) == [
+            1,
+            2,
+            4,
+            8,
+            16,
+            32,
+        ]
+
+    def test_any_counts(self):
+        assert allowed_process_counts(ProcRule.ANY, 5) == [1, 2, 3, 4, 5]
+
+    def test_table_ii_empty_cells(self):
+        """The paper's Table II rows: e.g. 39 procs runs only HPL/EP."""
+        runnable_at_39 = [
+            name
+            for name, prog in NPB_PROGRAMS.items()
+            if prog.proc_rule.allows(39)
+        ]
+        assert runnable_at_39 == ["ep"]
+        runnable_at_25 = sorted(
+            name
+            for name, prog in NPB_PROGRAMS.items()
+            if prog.proc_rule.allows(25)
+        )
+        assert runnable_at_25 == ["bt", "ep", "sp"]
+
+    def test_invalid_count_error(self, e5462):
+        with pytest.raises(InvalidProcessCountError) as err:
+            NpbWorkload("bt", "C", 2).bind(e5462)
+        assert err.value.program == "bt"
+
+
+class TestClasses:
+    def test_parse(self):
+        assert NpbClass.parse("c") is NpbClass.C
+        assert NpbClass.parse(NpbClass.A) is NpbClass.A
+
+    def test_parse_unknown(self):
+        with pytest.raises(ConfigurationError):
+            NpbClass.parse("F")
+
+    def test_d_and_e_defined(self):
+        assert NpbClass.parse("D") is NpbClass.D
+        assert NpbClass.parse("e") is NpbClass.E
+
+
+class TestFootprints:
+    def test_ep_smallest_and_flat(self):
+        """Fig. 8: EP has the minimal footprint with the slowest growth."""
+        ep = NPB_PROGRAMS["ep"]
+        for name, prog in NPB_PROGRAMS.items():
+            if name == "ep":
+                continue
+            assert prog.footprint_mb[NpbClass.C] > ep.footprint_mb[NpbClass.C]
+        growth = ep.footprint_mb[NpbClass.C] / ep.footprint_mb[NpbClass.A]
+        assert growth == pytest.approx(1.0)
+
+    def test_ft_largest_class_c_excluding_cg(self):
+        """Fig. 8: FT has the largest footprint (CG.C is the paper's
+        out-of-memory outlier, tracked separately)."""
+        ft = NPB_PROGRAMS["ft"].footprint_mb[NpbClass.C]
+        for name in ("bt", "ep", "is", "lu", "mg", "sp"):
+            assert ft > NPB_PROGRAMS[name].footprint_mb[NpbClass.C]
+
+    def test_ft_fastest_growth(self):
+        """Fig. 8: FT's footprint grows fastest with scale.
+
+        BT/SP/LU scale on the same grids as FT (within a percent of the
+        same growth factor), so the discriminating comparison is against
+        the kernels with sub-grid scaling.
+        """
+        def growth(name):
+            prog = NPB_PROGRAMS[name]
+            return prog.footprint_mb[NpbClass.C] / prog.footprint_mb[NpbClass.A]
+
+        for name in ("ep", "mg", "is"):
+            assert growth("ft") >= growth(name)
+        assert growth("ft") == pytest.approx(growth("bt"), rel=0.05)
+
+    def test_footprints_monotone_in_class(self):
+        for prog in NPB_PROGRAMS.values():
+            a = prog.footprint_mb[NpbClass.A]
+            b = prog.footprint_mb[NpbClass.B]
+            c = prog.footprint_mb[NpbClass.C]
+            assert a <= b <= c
+
+    def test_mpi_overhead(self):
+        prog = NPB_PROGRAMS["bt"]
+        assert prog.memory_mb(NpbClass.C, 4) > prog.memory_mb(NpbClass.C, 1)
+
+
+class TestMemoryGate:
+    def test_cg_c_fails_on_8gb(self, e5462):
+        """Section IV-C: CG.C cannot run on the Xeon-E5462."""
+        with pytest.raises(InsufficientMemoryError):
+            NpbWorkload("cg", "C", 1).bind(e5462)
+
+    def test_cg_c_runs_on_32gb(self, opteron):
+        NpbWorkload("cg", "C", 16).bind(opteron)
+
+    def test_cg_b_runs_on_8gb(self, e5462):
+        NpbWorkload("cg", "B", 1).bind(e5462)
+
+    def test_ft_c_runs_on_8gb(self, e5462):
+        NpbWorkload("ft", "C", 1).bind(e5462)
+
+    def test_class_d_excluded_from_small_servers(self, e5462, opteron):
+        """Section III-C: D 'consume[s] excessive memory and [is] not
+        intended for single servers' — every non-EP program exceeds the
+        paper's 8 GB machine, and the heavyweight kernels exceed the
+        32 GB one too."""
+        for name in ("bt", "cg", "ft", "is", "lu", "mg", "sp"):
+            with pytest.raises(InsufficientMemoryError):
+                NpbWorkload(name, "D", 1).bind(e5462)
+        for name in ("cg", "ft"):
+            with pytest.raises(InsufficientMemoryError):
+                NpbWorkload(name, "D", 1).bind(opteron)
+
+    def test_class_e_exceeds_even_128gb(self, x4870):
+        for name in ("bt", "cg", "ft", "is", "lu", "mg", "sp"):
+            with pytest.raises(InsufficientMemoryError):
+                NpbWorkload(name, "E", 1).bind(x4870)
+
+    def test_ep_runs_at_any_class(self, e5462):
+        """EP's footprint is scale-independent, so even class E binds."""
+        demand = NpbWorkload("ep", "E", 4).bind(e5462)
+        assert demand.duration_s > NpbWorkload("ep", "C", 4).bind(e5462).duration_s
+
+
+class TestBinding:
+    def test_label(self):
+        assert NpbWorkload("lu", "C", 8).label == "lu.C.8"
+
+    def test_ep_performance_uses_anchors(self, e5462):
+        d = NpbWorkload("ep", "C", 4).bind(e5462)
+        assert d.gflops == pytest.approx(0.1237)
+
+    def test_ep_duration_from_pair_count(self, e5462):
+        d = NpbWorkload("ep", "C", 1).bind(e5462)
+        assert d.duration_s == pytest.approx((1 << 32) / 1e9 / 0.0319, rel=1e-3)
+
+    def test_class_a_runs_short(self, e5462):
+        """Section V-B1: class-A runs finish in seconds (LU.A.2 = 1.01 s)."""
+        a = NpbWorkload("lu", "A", 2).bind(e5462)
+        c = NpbWorkload("lu", "C", 2).bind(e5462)
+        assert a.duration_s < 60
+        assert c.duration_s > 3 * a.duration_s
+
+    def test_speedup_reduces_duration(self, x4870):
+        t1 = NpbWorkload("mg", "C", 1).bind(x4870).duration_s
+        t16 = NpbWorkload("mg", "C", 16).bind(x4870).duration_s
+        assert t16 < t1
+
+    def test_rejects_nonpositive_nprocs(self):
+        with pytest.raises(ConfigurationError):
+            NpbWorkload("ep", "C", 0)
+
+    def test_traits_flow_into_demand(self, e5462):
+        d = NpbWorkload("is", "B", 4).bind(e5462)
+        assert d.fp_intensity <= 0.05  # integer sort
+        assert d.mem_intensity >= 0.5

@@ -1,0 +1,134 @@
+"""Performance anchors and log-log interpolation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.specs import (
+    MemorySpec,
+    ProcessorSpec,
+    ServerSpec,
+    XEON_4870,
+    XEON_E5462,
+    OPTERON_8347,
+)
+from repro.workloads.perfdata import (
+    EP_PERF_ANCHORS,
+    HPL_PERF_ANCHORS,
+    ep_gops,
+    hpl_gflops,
+    interp_loglog,
+)
+
+
+class TestInterp:
+    def test_exact_at_anchors(self):
+        anchors = {1: 10.0, 4: 36.0}
+        assert interp_loglog(anchors, 1) == pytest.approx(10.0)
+        assert interp_loglog(anchors, 4) == pytest.approx(36.0)
+
+    def test_power_law_between(self):
+        # y = 5 * n^1.5 through (1, 5) and (4, 40).
+        anchors = {1: 5.0, 4: 40.0}
+        assert interp_loglog(anchors, 2) == pytest.approx(5 * 2**1.5)
+
+    def test_extends_slope_beyond_range(self):
+        anchors = {1: 1.0, 2: 2.0}  # slope 1 (linear)
+        assert interp_loglog(anchors, 8) == pytest.approx(8.0)
+
+    def test_monotone_for_monotone_anchors(self):
+        anchors = HPL_PERF_ANCHORS["Xeon-4870"]["Mf"]
+        values = [interp_loglog(anchors, n) for n in range(1, 41)]
+        assert values == sorted(values)
+
+    def test_single_anchor_linear(self):
+        assert interp_loglog({4: 8.0}, 8) == pytest.approx(16.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            interp_loglog({}, 1)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            interp_loglog({1: 1.0}, 0)
+
+
+class TestHplAnchors:
+    @pytest.mark.parametrize(
+        "server, n, key, expected",
+        [
+            (XEON_E5462, 4, 0.95, 37.2),
+            (XEON_E5462, 2, 0.5, 20.2),
+            (OPTERON_8347, 16, 0.95, 32.7),
+            (XEON_4870, 40, 0.95, 344.0),
+            (XEON_4870, 20, 0.5, 162.0),
+        ],
+    )
+    def test_published_values_exact(self, server, n, key, expected):
+        assert hpl_gflops(server, n, key) == pytest.approx(expected)
+
+    def test_interpolated_counts_monotone(self):
+        values = [hpl_gflops(XEON_4870, n, 0.95) for n in range(1, 41)]
+        assert values == sorted(values)
+
+    def test_never_exceeds_peak(self, any_server):
+        for n in (1, any_server.half_cores(), any_server.total_cores):
+            assert hpl_gflops(any_server, n, 0.95) <= any_server.gflops_peak
+
+    def test_small_problem_penalty(self, e5462):
+        small = hpl_gflops(e5462, 4, 0.1)
+        large = hpl_gflops(e5462, 4, 0.95)
+        assert small < large
+
+    def test_custom_server_fallback(self):
+        custom = ServerSpec(
+            name="Custom",
+            processor=ProcessorSpec(
+                model="G", frequency_mhz=2000, cores=8, flops_per_cycle=4
+            ),
+            chips=2,
+            memory=MemorySpec(total_gb=32),
+            hpl_efficiency=0.8,
+        )
+        full = hpl_gflops(custom, 16, 0.95)
+        assert full == pytest.approx(0.8 * custom.gflops_peak, rel=0.01)
+        # Fewer cores keep slightly higher efficiency.
+        one = hpl_gflops(custom, 1, 0.95)
+        assert one / custom.gflops_per_core > 0.8
+
+    def test_rejects_bad_fraction(self, e5462):
+        with pytest.raises(ConfigurationError):
+            hpl_gflops(e5462, 4, 0.0)
+
+
+class TestEpAnchors:
+    @pytest.mark.parametrize(
+        "server, n, expected",
+        [
+            (XEON_E5462, 1, 0.0319),
+            (XEON_E5462, 4, 0.1237),
+            (OPTERON_8347, 8, 0.1394),
+            (XEON_4870, 40, 0.759),
+        ],
+    )
+    def test_published_values_exact(self, server, n, expected):
+        assert ep_gops(server, n) == pytest.approx(expected)
+
+    def test_all_forty_counts_defined(self, x4870):
+        values = [ep_gops(x4870, n) for n in range(1, 41)]
+        assert all(v > 0 for v in values)
+        assert values == sorted(values)
+
+    def test_custom_server_fallback_linear(self):
+        custom = ServerSpec(
+            name="Custom",
+            processor=ProcessorSpec(
+                model="G", frequency_mhz=2000, cores=8, flops_per_cycle=4
+            ),
+            chips=1,
+            memory=MemorySpec(total_gb=16),
+        )
+        assert ep_gops(custom, 8) == pytest.approx(8 * ep_gops(custom, 1))
+
+    def test_anchor_tables_cover_all_builtins(self):
+        assert set(HPL_PERF_ANCHORS) == set(EP_PERF_ANCHORS)
+        assert "Xeon-4870" in HPL_PERF_ANCHORS

@@ -1,0 +1,87 @@
+"""SPECpower workload model (Figs. 1-2 behaviour)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.specpower import (
+    SpecPowerLevel,
+    SpecPowerWorkload,
+    full_run_levels,
+    ssj_peak_ops,
+)
+
+
+class TestLevels:
+    def test_sequence_structure(self):
+        levels = full_run_levels()
+        assert [lv.name for lv in levels[:3]] == ["Cal1", "Cal2", "Cal3"]
+        assert levels[3].name == "100%"
+        assert levels[-1].name == "10%"
+        assert len(levels) == 13
+
+    def test_loads_descend(self):
+        loads = [lv.load for lv in full_run_levels()[3:]]
+        assert loads == sorted(loads, reverse=True)
+
+    def test_level_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpecPowerLevel("bad", 1.5)
+
+
+class TestCpuUsageTracksLoad:
+    """Fig. 2: per-core CPU usage declines with workload level."""
+
+    def test_util_equals_load(self, e5462):
+        for load in (1.0, 0.5, 0.1):
+            d = SpecPowerWorkload(SpecPowerLevel("x", load)).bind(e5462)
+            assert d.cpu_util == pytest.approx(load)
+
+    def test_uses_all_cores(self, any_server):
+        d = SpecPowerWorkload(SpecPowerLevel("100%", 1.0)).bind(any_server)
+        assert d.nprocs == any_server.total_cores
+
+
+class TestMemoryStaysLow:
+    """Fig. 1: memory usage below 14 % and nearly flat across loads."""
+
+    def test_under_14_percent_with_os(self, e5462):
+        from repro.hardware.memory import OS_BASELINE_MB
+
+        for load in (1.0, 0.5, 0.1):
+            d = SpecPowerWorkload(SpecPowerLevel("x", load)).bind(e5462)
+            usage = (d.memory_mb + OS_BASELINE_MB) / e5462.memory_mb
+            assert usage < 0.14
+
+    def test_nearly_flat(self, e5462):
+        full = SpecPowerWorkload(SpecPowerLevel("x", 1.0)).bind(e5462)
+        idle = SpecPowerWorkload(SpecPowerLevel("x", 0.0)).bind(e5462)
+        assert full.memory_mb - idle.memory_mb < 0.02 * e5462.memory_mb
+
+
+class TestThroughput:
+    def test_anchored_peaks(self, e5462, opteron, x4870):
+        assert ssj_peak_ops(e5462) == pytest.approx(80_000)
+        assert ssj_peak_ops(opteron) == pytest.approx(20_000)
+        assert ssj_peak_ops(x4870) == pytest.approx(200_000)
+
+    def test_ops_proportional_to_load(self, e5462):
+        full = SpecPowerWorkload(SpecPowerLevel("100%", 1.0))
+        half = SpecPowerWorkload(SpecPowerLevel("50%", 0.5))
+        assert half.ssj_ops(e5462) == pytest.approx(0.5 * full.ssj_ops(e5462))
+
+    def test_custom_server_fallback(self):
+        from repro.hardware.specs import MemorySpec, ProcessorSpec, ServerSpec
+
+        custom = ServerSpec(
+            name="Custom",
+            processor=ProcessorSpec(
+                model="G", frequency_mhz=2000, cores=8, flops_per_cycle=4
+            ),
+            chips=1,
+            memory=MemorySpec(total_gb=16),
+        )
+        assert ssj_peak_ops(custom) == pytest.approx(2000 * 8 * 2.0)
+
+
+def test_label(e5462):
+    assert SpecPowerWorkload(SpecPowerLevel("50%", 0.5)).label == "SPECpower.50%"
