@@ -6,6 +6,9 @@ through WTViewer-style CSV files; then merge the CSVs, correct the
 meter-PC clock offset, extract each program's window by execution time,
 trim 10 % at both ends, and average.
 
+The same workload list runs as a parallel, cached batch job in
+``fleet_campaign.py`` (the ``repro.fleet`` service).
+
 Run:  python examples/campaign_pipeline.py
 """
 

@@ -13,7 +13,10 @@ Every reproduction entry point, runnable without writing Python::
     python -m repro breakdown <server> <workload>
     python -m repro energy <server> <program> [--npb-class C]
     python -m repro uncertainty <server> [--repeats 5]
-    python -m repro compare [--regression]
+    python -m repro compare [--regression] [--json out.json]
+    python -m repro fleet init campaign.json [--matrix]
+    python -m repro fleet run campaign.json [--workers 4] [--out res.json]
+    python -m repro fleet status|report [events.jsonl]
 
 ``figure`` renders ASCII versions of the paper's figure sweeps; the full
 table/figure harness with assertions lives in ``benchmarks/``.  Commands
@@ -84,9 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
                 "--json", metavar="PATH", help="save the result as JSON"
             )
 
-    sub.add_parser(
+    rank = sub.add_parser(
         "rankings", help="all three methods on all three servers (§V-C3)"
     )
+    rank.add_argument("--json", metavar="PATH", help="save the result as JSON")
 
     reg = sub.add_parser(
         "regression", help="train on HPCC, verify on NPB (Section VI)"
@@ -150,6 +154,69 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include the Section-VI regression study (slower)",
     )
+    cmp_.add_argument("--json", metavar="PATH", help="save the result as JSON")
+
+    flt = sub.add_parser(
+        "fleet",
+        help="batch evaluation service: parallel, cached campaign runs",
+    )
+    fsub = flt.add_subparsers(dest="fleet_command", required=True)
+
+    fini = fsub.add_parser(
+        "init", help="write a campaign spec JSON to start from"
+    )
+    fini.add_argument("out", help="path for the campaign spec")
+    fini.add_argument(
+        "--matrix",
+        action="store_true",
+        help="full Tables IV-VI matrix on every builtin server "
+        "(default: the Section V-C2 demo campaign)",
+    )
+    fini.add_argument("--seed", type=int, default=0)
+
+    frun = fsub.add_parser("run", help="execute a campaign spec")
+    frun.add_argument("campaign", help="campaign spec JSON (see 'fleet init')")
+    frun.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: auto)"
+    )
+    frun.add_argument(
+        "--serial",
+        action="store_true",
+        help="run inline without a pool (baseline)",
+    )
+    frun.add_argument(
+        "--cache-dir",
+        default=".repro-fleet/cache",
+        help="result cache directory ('' disables caching)",
+    )
+    frun.add_argument(
+        "--events",
+        default=".repro-fleet/events.jsonl",
+        help="JSONL event log ('' disables logging)",
+    )
+    frun.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="attempts per job before it is reported failed",
+    )
+    frun.add_argument(
+        "--out", metavar="PATH", help="save per-job results + report as JSON"
+    )
+
+    fstat = fsub.add_parser(
+        "status", help="progress of the latest campaign in an event log"
+    )
+    fstat.add_argument(
+        "events", nargs="?", default=".repro-fleet/events.jsonl"
+    )
+
+    frep = fsub.add_parser(
+        "report", help="aggregate report of the latest campaign in a log"
+    )
+    frep.add_argument(
+        "events", nargs="?", default=".repro-fleet/events.jsonl"
+    )
 
     return parser
 
@@ -173,15 +240,19 @@ def _cmd_servers(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _save_json_report(document: dict, path: "str | None") -> None:
+    """Shared ``--json PATH`` behaviour: write and confirm."""
+    if not path:
+        return
+    saved = repro_io.save_json(document, path)
+    print(f"\nsaved: {saved}")
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     server = _load_server(args.server)
     result = evaluate_server(server, Simulator(server, seed=args.seed))
     print(format_evaluation_table(result))
-    if args.json:
-        path = repro_io.save_json(
-            repro_io.evaluation_to_dict(result), args.json
-        )
-        print(f"\nsaved: {path}")
+    _save_json_report(repro_io.evaluation_to_dict(result), args.json)
     return 0
 
 
@@ -210,7 +281,7 @@ def _cmd_specpower(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_rankings(_args: argparse.Namespace) -> int:
+def _cmd_rankings(args: argparse.Namespace) -> int:
     rows = []
     for name in BUILTIN_SERVERS:
         server = get_server(name)
@@ -225,13 +296,32 @@ def _cmd_rankings(_args: argparse.Namespace) -> int:
     print(f"{'Server':<14} {'Ours':>8} {'Green500':>9} {'SPECpower':>10}")
     for name, ours, g500, spec in rows:
         print(f"{name:<14} {ours:>8.4f} {g500:>9.4f} {spec:>10.1f}")
+    orderings: dict[str, list[str]] = {}
     for title, key in (
         ("ours (mean PPW)", 1),
         ("Green500", 2),
         ("SPECpower", 3),
     ):
         ordered = sorted(rows, key=lambda r: r[key], reverse=True)
-        print(f"{title}: " + " > ".join(r[0] for r in ordered))
+        orderings[title] = [r[0] for r in ordered]
+        print(f"{title}: " + " > ".join(orderings[title]))
+    _save_json_report(
+        {
+            "kind": "rankings",
+            "schema_version": 1,
+            "rows": [
+                {
+                    "server": name,
+                    "ours": ours,
+                    "green500": g500,
+                    "specpower": spec,
+                }
+                for name, ours, g500, spec in rows
+            ],
+            "orderings": orderings,
+        },
+        getattr(args, "json", None),
+    )
     return 0
 
 
@@ -435,7 +525,24 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro import paperdata
-    from repro.core.metrics import ppw as ppw_of
+
+    entries: list[dict] = []
+
+    def record(
+        section: str, label: str, paper: float, measured: float, fmt: str = "{:.4f}"
+    ) -> None:
+        entries.append(
+            {
+                "section": section,
+                "label": label,
+                "paper": paper,
+                "measured": measured,
+                "delta_pct": (
+                    (measured - paper) / paper * 100 if paper else 0.0
+                ),
+            }
+        )
+        print(_delta_line(label, paper, measured, fmt))
 
     print("== Evaluation tables (IV-VI) ==")
     for name in BUILTIN_SERVERS:
@@ -452,25 +559,36 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                     "1/half/full method matrix)"
                 )
                 continue
-            print(_delta_line(paper_row.label, paper_row.watts, ours.watts, "{:.2f}"))
+            record(
+                f"evaluation/{name}",
+                paper_row.label,
+                paper_row.watts,
+                ours.watts,
+                "{:.2f}",
+            )
         paper_score = paperdata.PAPER_SCORES[name]
         # Table IV prints the PPW sum; compare like with like.
         measured_score = (
             result.score * 10 if name == "Xeon-E5462" else result.score
         )
-        print(_delta_line("score (as printed)", paper_score, measured_score))
+        record(
+            f"evaluation/{name}",
+            "score (as printed)",
+            paper_score,
+            measured_score,
+        )
 
     print("\n== Green500 (Section V-C3) ==")
     for name, paper_value in paperdata.PAPER_GREEN500_PPW.items():
         measured = green500_score(get_server(name)).ppw
-        print(_delta_line(name, paper_value, measured))
+        record("green500", name, paper_value, measured)
 
     print("\n== SPECpower (Section V-C3) ==")
     for name, paper_value in paperdata.PAPER_SPECPOWER_SCORES.items():
         measured = specpower_score(
             get_server(name)
         ).overall_ssj_ops_per_watt
-        print(_delta_line(name, paper_value, measured, "{:.1f}"))
+        record("specpower", name, paper_value, measured, "{:.1f}")
 
     if args.regression:
         print("\n== Regression (Tables VII-VIII, Figs. 12-13) ==")
@@ -478,18 +596,157 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         dataset = collect_hpcc_training(server)
         model = train_power_model(dataset, server_name=server.name)
         summary = paperdata.PAPER_REGRESSION_SUMMARY
-        print(_delta_line("R Square", summary["r_square"], model.r_square))
-        print(
-            _delta_line(
-                "Observations",
-                summary["observations"],
-                model.n_observations,
-                "{:.0f}",
-            )
+        record("regression", "R Square", summary["r_square"], model.r_square)
+        record(
+            "regression",
+            "Observations",
+            summary["observations"],
+            model.n_observations,
+            "{:.0f}",
         )
         for klass, paper_r2 in paperdata.PAPER_VERIFICATION_R2.items():
             measured = verify_on_npb(server, model, klass).r_squared
-            print(_delta_line(f"NPB-{klass} R^2", paper_r2, measured))
+            record("regression", f"NPB-{klass} R^2", paper_r2, measured)
+    _save_json_report(
+        {"kind": "comparison", "schema_version": 1, "entries": entries},
+        getattr(args, "json", None),
+    )
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro import fleet
+
+    if args.fleet_command == "init":
+        spec = (
+            fleet.evaluation_campaign(seed=args.seed)
+            if args.matrix
+            else fleet.demo_campaign()
+        )
+        if not args.matrix and args.seed:
+            import dataclasses
+
+            spec = dataclasses.replace(spec, seed=args.seed)
+        path = repro_io.save_json(fleet.campaign_to_dict(spec), args.out)
+        print(
+            f"wrote campaign {spec.name!r} ({len(spec.jobs())} jobs): {path}"
+        )
+        return 0
+
+    if args.fleet_command == "run":
+        if args.workers is not None and args.workers < 1:
+            raise ReproError(f"--workers must be >= 1, got {args.workers}")
+        campaign = fleet.campaign_from_dict(repro_io.load_json(args.campaign))
+        cache = fleet.ResultCache(args.cache_dir) if args.cache_dir else None
+        events = fleet.EventLog(args.events) if args.events else None
+        runner = fleet.FleetRunner(
+            workers=1 if args.serial else args.workers,
+            cache=cache,
+            retry=fleet.RetryPolicy(max_attempts=args.retries),
+            events=events,
+        )
+        try:
+            outcome = runner.run(campaign)
+        finally:
+            if events is not None:
+                events.close()
+        print(
+            f"{'Job':<36} {'GFLOPS':>9} {'Power W':>9} {'PPW':>8} "
+            f"{'src':>6} {'wall s':>7}"
+        )
+        rows = []
+        for record in outcome.records:
+            job = record.job
+            shown = f"{job.server.name}/{job.label}"
+            if record.result is None:
+                print(f"{shown:<36} {'FAILED':>9}  {record.error}")
+                continue
+            run = record.result
+            gflops = run.demand.gflops
+            watts = run.average_power_watts()
+            ppw = gflops / watts if watts else 0.0
+            src = "cache" if record.cached else "run"
+            print(
+                f"{shown:<36} {gflops:>9.4f} {watts:>9.2f} "
+                f"{ppw:>8.4f} {src:>6} {record.wall_s:>7.3f}"
+            )
+            rows.append(
+                {
+                    "job_id": job.job_id,
+                    "server": job.server.name,
+                    "label": job.label,
+                    "gflops": gflops,
+                    "watts": watts,
+                    "memory_mb": run.average_memory_mb(),
+                    "duration_s": run.duration_s,
+                    "ppw": ppw,
+                    "energy_kj": run.energy_kilojoules(),
+                    "cached": record.cached,
+                    "attempts": record.attempts,
+                    "wall_s": record.wall_s,
+                }
+            )
+        report = outcome.report()
+        if outcome.failures:
+            print("\nfailures:")
+            for failure in outcome.failures:
+                print(
+                    f"  {failure.job_id}: {failure.error} "
+                    f"(after {failure.attempts} attempts)"
+                )
+        print()
+        print(report.format())
+        _save_json_report(
+            {
+                "kind": "fleet_results",
+                "schema_version": 1,
+                "campaign": campaign.name,
+                "rows": rows,
+                "failures": [
+                    {
+                        "job_id": f.job_id,
+                        "label": f.label,
+                        "server": f.server,
+                        "attempts": f.attempts,
+                        "error": f.error,
+                    }
+                    for f in outcome.failures
+                ],
+                "report": report.to_dict(),
+            },
+            args.out,
+        )
+        return 0 if outcome.ok else 1
+
+    from pathlib import Path
+
+    events = (
+        fleet.last_campaign_events(args.events)
+        if Path(args.events).exists()
+        else []
+    )
+    if not events:
+        print(f"no campaign events in {args.events}", file=sys.stderr)
+        return 2
+
+    if args.fleet_command == "status":
+        start = events[0]
+        total = int(start.get("jobs", 0))
+        done = sum(
+            1 for e in events if e["kind"] in ("job_finish", "cache_hit")
+        )
+        failed = sum(1 for e in events if e["kind"] == "job_failed")
+        retries = sum(1 for e in events if e["kind"] == "job_retry")
+        finished = any(e["kind"] == "campaign_finish" for e in events)
+        state = "finished" if finished else "running"
+        print(
+            f"campaign {start.get('campaign', '?')!r}: {state}  "
+            f"{done}/{total} jobs done  {failed} failed  {retries} retries"
+        )
+        return 0
+
+    # fleet report
+    print(fleet.FleetReport.from_events(events).format())
     return 0
 
 
@@ -506,6 +763,7 @@ _HANDLERS = {
     "uncertainty": _cmd_uncertainty,
     "compare": _cmd_compare,
     "export": _cmd_export,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -77,15 +77,15 @@ class EvaluationResult:
         raise ConfigurationError(f"no row labelled {label!r}")
 
 
-def _measure_state(
-    simulator: Simulator, state: EvaluationState, trim: float
-) -> EvaluationRow:
+def _state_runnable(state: EvaluationState):
+    """The object the simulator executes for one state."""
     if state.is_idle:
-        result = simulator.run(ResourceDemand.idle(IDLE_WINDOW_S))
-        gflops = 0.0
-    else:
-        result = simulator.run(state.workload)
-        gflops = result.demand.gflops
+        return ResourceDemand.idle(IDLE_WINDOW_S)
+    return state.workload
+
+
+def _row_from_run(state: EvaluationState, result, trim: float) -> EvaluationRow:
+    gflops = 0.0 if state.is_idle else result.demand.gflops
     return EvaluationRow(
         label=state.label,
         gflops=gflops,
@@ -99,8 +99,15 @@ def evaluate_server(
     server: ServerSpec,
     simulator: Simulator | None = None,
     trim: float = DEFAULT_TRIM,
+    backend=None,
 ) -> EvaluationResult:
     """Run the full proposed method on ``server``.
+
+    ``backend`` optionally routes the ten runs through a batch executor
+    such as :class:`repro.fleet.FleetBackend` (parallel and/or cached);
+    the default executes serially.  Either path yields bit-identical
+    rows — the simulator seeds each run from ``(seed, program label)``,
+    never from execution order.
 
     >>> from repro.hardware import XEON_E5462
     >>> result = evaluate_server(XEON_E5462)
@@ -110,11 +117,18 @@ def evaluate_server(
     simulator = simulator or Simulator(server)
     if simulator.server != server:
         raise ConfigurationError("simulator is bound to a different server")
-    rows = tuple(
-        _measure_state(simulator, state, trim)
-        for state in evaluation_states(server)
-    )
-    return EvaluationResult(server=server.name, rows=rows)
+    states = evaluation_states(server)
+    items = [_state_runnable(state) for state in states]
+    if backend is None:
+        runs = [simulator.run(item) for item in items]
+    else:
+        runs = backend.map_runs(simulator, items)
+    rows = []
+    for state, run in zip(states, runs):
+        if isinstance(run, Exception):
+            raise run
+        rows.append(_row_from_run(state, run, trim))
+    return EvaluationResult(server=server.name, rows=tuple(rows))
 
 
 def rank_servers(

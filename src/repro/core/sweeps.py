@@ -5,6 +5,18 @@ returns plain data (labels + values) that the benchmark harness, the CLI,
 and the examples all render.  Keeping the sweep definitions here — rather
 than duplicated in each consumer — makes "which runs make up Fig. X" a
 single-sourced, testable fact.
+
+Every sweep is structured as *build the run list, execute, assemble*, and
+takes an optional ``backend`` implementing::
+
+    map_runs(simulator, workloads) -> list[RunResult | WorkloadError]
+
+(positionally aligned with the input; unrunnable configurations come
+back as the error instance).  ``backend=None`` executes serially in this
+process.  :class:`repro.fleet.FleetBackend` provides the parallel/cached
+implementation; results are bit-identical either way because the
+simulator seeds runs from ``(seed, program label)``, not from execution
+order.
 """
 
 from __future__ import annotations
@@ -12,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.engine.simulator import Simulator
-from repro.errors import InsufficientMemoryError
+from repro.errors import InsufficientMemoryError, WorkloadError
 from repro.workloads.hpl import HplConfig, HplWorkload
 from repro.workloads.npb import NPB_PROGRAMS, NpbClass, NpbWorkload
 from repro.workloads.specpower import (
@@ -50,13 +62,41 @@ class PowerPoint:
         return self.watts is not None
 
 
+def _map_runs(simulator: Simulator, workloads: list, backend=None) -> list:
+    """Execute ``workloads`` in order, serially or through ``backend``.
+
+    Workload errors (memory fit, process-count rules) are returned in
+    place of the run so callers decide whether a point is skippable.
+    """
+    if backend is not None:
+        return backend.map_runs(simulator, workloads)
+    out = []
+    for workload in workloads:
+        try:
+            out.append(simulator.run(workload))
+        except WorkloadError as exc:
+            out.append(exc)
+    return out
+
+
+def _unwrap(run):
+    """A run that must have succeeded; re-raises captured errors."""
+    if isinstance(run, Exception):
+        raise run
+    return run
+
+
 def specpower_usage_sweep(
-    simulator: Simulator,
+    simulator: Simulator, backend=None
 ) -> list[tuple[str, float, float, float]]:
     """Figs. 1-2 data: (level, memory %, cpu %, watts) per load level."""
+    levels = full_run_levels()
+    runs = _map_runs(
+        simulator, [SpecPowerWorkload(level) for level in levels], backend
+    )
     rows = []
-    for level in full_run_levels():
-        run = simulator.run(SpecPowerWorkload(level))
+    for level, run in zip(levels, runs):
+        run = _unwrap(run)
         memory_pct = (
             100.0 * run.average_memory_mb() / simulator.server.memory_mb
         )
@@ -76,6 +116,7 @@ def mixed_power_sweep(
     counts: "tuple[int, ...]",
     npb_class: "NpbClass | str" = "C",
     include_specpower: bool = True,
+    backend=None,
 ) -> list[PowerPoint]:
     """Figs. 3-4 data: SPECpower, HPL, and every runnable NPB program.
 
@@ -83,53 +124,54 @@ def mixed_power_sweep(
     are listed in the order given (the paper descends).
     """
     klass = NpbClass.parse(npb_class)
-    points: list[PowerPoint] = []
+    plan: list[tuple[str, object]] = []
     if include_specpower:
-        run = simulator.run(SpecPowerWorkload(SpecPowerLevel("100%", 1.0)))
-        points.append(
-            PowerPoint(
+        plan.append(
+            (
                 f"SPECPower.{simulator.server.total_cores}",
-                run.average_power_watts(),
+                SpecPowerWorkload(SpecPowerLevel("100%", 1.0)),
             )
         )
     for n in counts:
-        run = simulator.run(HplWorkload(HplConfig(n, _FULL)))
-        points.append(PowerPoint(f"HPL.{n}", run.average_power_watts()))
+        plan.append((f"HPL.{n}", HplWorkload(HplConfig(n, _FULL))))
         for name, program in sorted(NPB_PROGRAMS.items()):
             if not program.proc_rule.allows(n):
                 continue
-            label = f"{name}.{klass.value}.{n}"
-            try:
-                run = simulator.run(NpbWorkload(program, klass, n))
-            except InsufficientMemoryError:
-                points.append(PowerPoint(label, None))
-                continue
-            points.append(PowerPoint(label, run.average_power_watts()))
+            plan.append(
+                (f"{name}.{klass.value}.{n}", NpbWorkload(program, klass, n))
+            )
+    runs = _map_runs(simulator, [w for _, w in plan], backend)
+    points: list[PowerPoint] = []
+    for (label, _), run in zip(plan, runs):
+        if isinstance(run, InsufficientMemoryError):
+            points.append(PowerPoint(label, None))
+            continue
+        points.append(PowerPoint(label, _unwrap(run).average_power_watts()))
     return points
 
 
 def table2_power_matrix(
     simulator: Simulator,
     counts: "tuple[int, ...]" = (1, 2, 4, 8, 9, 16, 25, 32, 36, 39, 40),
+    backend=None,
 ) -> dict[int, dict[str, float]]:
     """Table II data: program -> watts per process count (CG omitted,
     as in the paper's table)."""
-    table: dict[int, dict[str, float]] = {}
+    plan: list[tuple[int, str, object]] = []
     for n in counts:
-        row: dict[str, float] = {}
-        run = simulator.run(HplWorkload(HplConfig(n, _FULL)))
-        row["hpl"] = run.average_power_watts()
+        plan.append((n, "hpl", HplWorkload(HplConfig(n, _FULL))))
         for name, program in NPB_PROGRAMS.items():
             if name == "cg" or not program.proc_rule.allows(n):
                 continue
-            row[name] = simulator.run(
-                NpbWorkload(program, "C", n)
-            ).average_power_watts()
+            plan.append((n, name, NpbWorkload(program, "C", n)))
         if n == simulator.server.total_cores:
-            row["spec"] = simulator.run(
-                SpecPowerWorkload(SpecPowerLevel("100%", 1.0))
-            ).average_power_watts()
-        table[n] = row
+            plan.append(
+                (n, "spec", SpecPowerWorkload(SpecPowerLevel("100%", 1.0)))
+            )
+    runs = _map_runs(simulator, [w for *_, w in plan], backend)
+    table: dict[int, dict[str, float]] = {n: {} for n in counts}
+    for (n, name, _), run in zip(plan, runs):
+        table[n][name] = _unwrap(run).average_power_watts()
     return table
 
 
@@ -139,51 +181,57 @@ def hpl_ns_sweep(
     fractions: "tuple[float, ...]" = (
         0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95,
     ),
+    backend=None,
 ) -> dict[int, list[float]]:
     """Fig. 5 data: watts per memory fraction, one series per core count."""
-    return {
-        n: [
-            simulator.run(
-                HplWorkload(HplConfig(n, fraction))
-            ).average_power_watts()
-            for fraction in fractions
-        ]
+    plan = [
+        (n, HplWorkload(HplConfig(n, fraction)))
         for n in core_counts
-    }
+        for fraction in fractions
+    ]
+    runs = _map_runs(simulator, [w for _, w in plan], backend)
+    series: dict[int, list[float]] = {n: [] for n in core_counts}
+    for (n, _), run in zip(plan, runs):
+        series[n].append(_unwrap(run).average_power_watts())
+    return series
 
 
 def hpl_nb_sweep(
     simulator: Simulator,
     core_counts: "tuple[int, ...]" = (1, 2, 3, 4),
     nbs: "tuple[int, ...]" = (50, 100, 150, 200, 250, 300, 350, 400),
+    backend=None,
 ) -> dict[int, list[float]]:
     """Fig. 6 data: watts per NB, one series per core count."""
-    return {
-        n: [
-            simulator.run(
-                HplWorkload(HplConfig(n, 0.5, nb=nb))
-            ).average_power_watts()
-            for nb in nbs
-        ]
+    plan = [
+        (n, HplWorkload(HplConfig(n, 0.5, nb=nb)))
         for n in core_counts
-    }
+        for nb in nbs
+    ]
+    runs = _map_runs(simulator, [w for _, w in plan], backend)
+    series: dict[int, list[float]] = {n: [] for n in core_counts}
+    for (n, _), run in zip(plan, runs):
+        series[n].append(_unwrap(run).average_power_watts())
+    return series
 
 
 def hpl_pq_sweep(
     simulator: Simulator,
     grids: "tuple[tuple[int, int], ...]" = ((1, 4), (2, 2), (4, 1)),
     nbs: "tuple[int, ...]" = (50, 100, 150, 200, 250, 300, 350, 400),
+    backend=None,
 ) -> dict[tuple[int, int], list[float]]:
     """Fig. 7 data: watts per NB, one series per P x Q grid."""
-    return {
-        (p, q): [
-            simulator.run(
-                HplWorkload(HplConfig(p * q, 0.5, nb=nb, p=p, q=q))
-            ).average_power_watts()
-            for nb in nbs
-        ]
+    plan = [
+        ((p, q), HplWorkload(HplConfig(p * q, 0.5, nb=nb, p=p, q=q)))
         for p, q in grids
-    }
+        for nb in nbs
+    ]
+    runs = _map_runs(simulator, [w for _, w in plan], backend)
+    series: dict[tuple[int, int], list[float]] = {grid: [] for grid in grids}
+    for (grid, _), run in zip(plan, runs):
+        series[grid].append(_unwrap(run).average_power_watts())
+    return series
 
 
 def npb_class_sweep(
@@ -191,6 +239,7 @@ def npb_class_sweep(
     counts: "tuple[int, ...]" = (1, 2, 4),
     classes: "tuple[str, ...]" = ("A", "B", "C"),
     quantity: str = "power",
+    backend=None,
 ) -> dict[str, list[float | None]]:
     """Figs. 8-9 data: per (program, count) row, one value per class.
 
@@ -199,38 +248,47 @@ def npb_class_sweep(
     """
     if quantity not in ("power", "memory"):
         raise ValueError(f"quantity must be power|memory, got {quantity!r}")
-    table: dict[str, list[float | None]] = {}
+    plan: list[tuple[str, object]] = []
+    keys: list[str] = []
     for name, program in sorted(NPB_PROGRAMS.items()):
         for n in counts:
             if not program.proc_rule.allows(n):
                 continue
-            entry: list[float | None] = []
+            keys.append(f"{name}.{n}")
             for klass in classes:
-                try:
-                    run = simulator.run(NpbWorkload(program, klass, n))
-                except InsufficientMemoryError:
-                    entry.append(None)
-                    continue
-                entry.append(
-                    run.average_power_watts()
-                    if quantity == "power"
-                    else run.average_memory_mb()
+                plan.append(
+                    (f"{name}.{n}", NpbWorkload(program, klass, n))
                 )
-            table[f"{name}.{n}"] = entry
+    runs = _map_runs(simulator, [w for _, w in plan], backend)
+    table: dict[str, list[float | None]] = {key: [] for key in keys}
+    for (key, _), run in zip(plan, runs):
+        if isinstance(run, InsufficientMemoryError):
+            table[key].append(None)
+            continue
+        run = _unwrap(run)
+        table[key].append(
+            run.average_power_watts()
+            if quantity == "power"
+            else run.average_memory_mb()
+        )
     return table
 
 
 def ep_profile(
     simulator: Simulator,
     counts: "tuple[int, ...] | None" = None,
+    backend=None,
 ) -> list[tuple[int, float, float, float, float]]:
     """Figs. 10-11 data: (cores, time s, watts, PPW, energy KJ) for EP.C."""
     if counts is None:
         server = simulator.server
         counts = (1, server.half_cores(), server.total_cores)
+    runs = _map_runs(
+        simulator, [NpbWorkload("ep", "C", n) for n in counts], backend
+    )
     rows = []
-    for n in counts:
-        run = simulator.run(NpbWorkload("ep", "C", n))
+    for n, run in zip(counts, runs):
+        run = _unwrap(run)
         rows.append(
             (
                 n,

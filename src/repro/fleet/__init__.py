@@ -1,0 +1,89 @@
+"""repro.fleet — parallel, cached, fault-tolerant batch evaluation.
+
+The scaling substrate for campaign-sized work: a *campaign spec* (servers
+x workloads, JSON-loadable) executes over a process pool with a
+content-addressed result cache, per-job retry with exponential backoff,
+a JSONL event log, and an aggregate report.  Results are bit-identical
+to serial execution because the simulator seeds every run from
+``(seed, program label)``.
+
+Quickstart::
+
+    from repro.fleet import (
+        FleetRunner, ResultCache, demo_campaign, evaluation_campaign,
+    )
+
+    runner = FleetRunner(workers=4, cache=ResultCache("fleet-cache"))
+    outcome = runner.run(evaluation_campaign())
+    print(outcome.report().format())
+
+CLI: ``python -m repro fleet init|run|status|report``.  See
+``docs/fleet.md`` for the campaign-spec format, cache layout, and
+event-log schema.
+"""
+
+from repro.fleet.backend import FleetBackend
+from repro.fleet.cache import (
+    CACHE_SALT,
+    ResultCache,
+    canonical_json,
+    job_cache_key,
+    runresult_from_dict,
+    runresult_to_dict,
+)
+from repro.fleet.events import EVENT_KINDS, EventLog, last_campaign_events, read_events
+from repro.fleet.report import FleetReport
+from repro.fleet.runner import (
+    FleetOutcome,
+    FleetRunner,
+    JobFailure,
+    JobRecord,
+    RetryPolicy,
+    default_workers,
+)
+from repro.fleet.spec import (
+    CampaignSpec,
+    FleetJob,
+    campaign_from_dict,
+    campaign_to_dict,
+    demo_campaign,
+    evaluation_campaign,
+    make_job,
+    workload_from_dict,
+    workload_label,
+    workload_to_dict,
+)
+from repro.fleet.worker import FaultInjection, InjectedFaultError
+
+__all__ = [
+    "CACHE_SALT",
+    "EVENT_KINDS",
+    "CampaignSpec",
+    "EventLog",
+    "FaultInjection",
+    "FleetBackend",
+    "FleetJob",
+    "FleetOutcome",
+    "FleetReport",
+    "FleetRunner",
+    "InjectedFaultError",
+    "JobFailure",
+    "JobRecord",
+    "ResultCache",
+    "RetryPolicy",
+    "campaign_from_dict",
+    "campaign_to_dict",
+    "canonical_json",
+    "default_workers",
+    "demo_campaign",
+    "evaluation_campaign",
+    "job_cache_key",
+    "last_campaign_events",
+    "make_job",
+    "read_events",
+    "runresult_from_dict",
+    "runresult_to_dict",
+    "workload_from_dict",
+    "workload_label",
+    "workload_to_dict",
+]

@@ -1,0 +1,313 @@
+"""Content-addressed on-disk cache of fleet run results.
+
+The simulator guarantees that a run is fully determined by ``(server,
+workload configuration, seed, placement)`` — random streams derive from
+``(seed, program label)`` and never from execution order (see
+:mod:`repro.engine.simulator`).  That makes results content-addressable:
+the cache key is the SHA-256 of the canonical JSON of exactly those
+inputs plus a code-version salt, and a hit can be substituted for a run
+bit-for-bit.
+
+Entries live under ``<root>/<key[:2]>/`` as two files: ``<key>.json``
+(salt, wall time, demand, and array offsets) and ``<key>.bin`` (every
+sample array concatenated as raw little-endian float64).  Power traces
+can run to hundreds of thousands of 1 Hz samples (a full-memory HPL
+run), and reading raw float64 back through ``np.frombuffer`` is an
+order of magnitude faster than parsing digits out of JSON — which is
+what makes a warm campaign run >= 10x faster than re-simulating.  Both
+files are written atomically (temp + rename, blob before metadata, so
+the metadata's existence implies a complete entry).
+
+:func:`runresult_to_dict` / :func:`runresult_from_dict` remain the
+self-contained JSON converters (arrays as base64 float64) for callers
+that want a single portable document.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.demand import ResourceDemand
+from repro.engine.trace import RunResult
+from repro.fleet.spec import FleetJob
+from repro.hardware.pmu import PmuSample
+
+__all__ = [
+    "CACHE_SALT",
+    "canonical_json",
+    "job_cache_key",
+    "runresult_to_dict",
+    "runresult_from_dict",
+    "ResultCache",
+]
+
+#: Bump when a simulator or entry-format change invalidates previously
+#: cached results.
+CACHE_SALT = "repro-fleet-cache-v2"
+
+_ENTRY_KIND = "fleet_cache_entry"
+
+
+def _normalise(value: Any) -> Any:
+    """Collapse representation differences between equal values.
+
+    Python compares ``400 == 400.0`` but JSON spells them differently,
+    so an integral float is folded to int; dict/list contents are
+    normalised recursively.  Bools are left alone (``True`` is an int
+    subclass but must stay ``true``).
+    """
+    if isinstance(value, dict):
+        return {k: _normalise(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalise(v) for v in value]
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def canonical_json(document: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, normalised numbers.
+
+    Two structurally equal documents serialise identically regardless of
+    the order their dicts were built in or whether a number arrived as
+    ``400`` or ``400.0`` — the property the cache-key contract depends
+    on.
+    """
+    return json.dumps(
+        _normalise(document),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def job_cache_key(job: FleetJob) -> str:
+    """SHA-256 cache key of one fleet job."""
+    from repro import io as repro_io
+
+    payload = {
+        "salt": CACHE_SALT,
+        "server": repro_io.server_to_dict(job.server),
+        "workload": job.workload,
+        "seed": job.seed,
+        "placement": job.placement,
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def _demand_to_dict(demand: ResourceDemand) -> dict[str, Any]:
+    return {
+        "program": demand.program,
+        "nprocs": demand.nprocs,
+        "duration_s": demand.duration_s,
+        "gflops": demand.gflops,
+        "memory_mb": demand.memory_mb,
+        "cpu_util": demand.cpu_util,
+        "ipc": demand.ipc,
+        "fp_intensity": demand.fp_intensity,
+        "mem_intensity": demand.mem_intensity,
+        "comm_intensity": demand.comm_intensity,
+        "l1_locality": demand.l1_locality,
+        "l2_locality": demand.l2_locality,
+        "l3_locality": demand.l3_locality,
+        "read_fraction": demand.read_fraction,
+    }
+
+
+_PMU_FIELDS = (
+    "time_s",
+    "interval_s",
+    "working_core_num",
+    "instruction_num",
+    "l2_cache_hit",
+    "l3_cache_hit",
+    "memory_read_times",
+    "memory_write_times",
+)
+
+#: Array layout of one result: the four trace arrays, then one column
+#: per PMU counter (every PmuSample field is a float, so float64 round
+#: trips are exact).
+_TRACE_ARRAYS = ("times_s", "true_watts", "measured_watts", "memory_mb")
+
+
+def _result_arrays(result: RunResult) -> "dict[str, np.ndarray]":
+    """Every sample array of a result as little-endian float64."""
+    arrays = {
+        name: np.ascontiguousarray(getattr(result, name), dtype="<f8")
+        for name in _TRACE_ARRAYS
+    }
+    n = len(result.pmu_samples)
+    for f in _PMU_FIELDS:
+        arrays[f"pmu.{f}"] = np.fromiter(
+            (getattr(s, f) for s in result.pmu_samples), dtype="<f8", count=n
+        )
+    return arrays
+
+
+def _result_from_arrays(
+    meta: dict[str, Any], arrays: "dict[str, np.ndarray]"
+) -> RunResult:
+    """Rebuild a result from its metadata and sample arrays."""
+    rows = zip(*(arrays[f"pmu.{f}"].tolist() for f in _PMU_FIELDS))
+    samples = []
+    for row in rows:
+        # Bypass the frozen-dataclass __init__ (eight object.__setattr__
+        # calls per sample adds up over 10^5 samples); the instances
+        # compare equal to normally built ones.
+        sample = object.__new__(PmuSample)
+        sample.__dict__.update(zip(_PMU_FIELDS, row))
+        samples.append(sample)
+    return RunResult(
+        demand=ResourceDemand(**meta["demand"]),
+        t_start_s=float(meta["t_start_s"]),
+        times_s=arrays["times_s"].astype(float, copy=True),
+        true_watts=arrays["true_watts"].astype(float, copy=True),
+        measured_watts=arrays["measured_watts"].astype(float, copy=True),
+        memory_mb=arrays["memory_mb"].astype(float, copy=True),
+        pmu_samples=tuple(samples),
+        power_factor=float(meta["power_factor"]),
+    )
+
+
+def _result_meta(result: RunResult) -> dict[str, Any]:
+    return {
+        "demand": _demand_to_dict(result.demand),
+        "t_start_s": result.t_start_s,
+        "power_factor": result.power_factor,
+    }
+
+
+def runresult_to_dict(result: RunResult) -> dict[str, Any]:
+    """Serialise a :class:`~repro.engine.trace.RunResult` losslessly to a
+    self-contained JSON document (arrays as base64 float64)."""
+    document = _result_meta(result)
+    document["arrays"] = {
+        name: base64.b64encode(values.tobytes()).decode("ascii")
+        for name, values in _result_arrays(result).items()
+    }
+    return document
+
+
+def runresult_from_dict(data: dict[str, Any]) -> RunResult:
+    """Inverse of :func:`runresult_to_dict`."""
+    arrays = {
+        name: np.frombuffer(base64.b64decode(blob), dtype="<f8")
+        for name, blob in data["arrays"].items()
+    }
+    return _result_from_arrays(data, arrays)
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache handle's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+
+@dataclass
+class CacheHit:
+    """A cache lookup that found a usable entry."""
+
+    result: RunResult
+    wall_s: float  # original execution wall time, for speedup accounting
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of run results under one directory."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> "CacheHit | None":
+        """Look up a key; corrupt or foreign files count as misses."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        if data.get("kind") != _ENTRY_KIND or data.get("salt") != CACHE_SALT:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        try:
+            blob = path.with_suffix(".bin").read_bytes()
+            arrays: dict[str, np.ndarray] = {}
+            for name, (offset, count) in data["result"]["arrays"].items():
+                arrays[name] = np.frombuffer(
+                    blob, dtype="<f8", count=count, offset=offset
+                )
+            hit = CacheHit(
+                result=_result_from_arrays(data["result"], arrays),
+                wall_s=float(data.get("wall_s", 0.0)),
+            )
+        except (OSError, KeyError, TypeError, ValueError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return hit
+
+    def put(self, key: str, result: RunResult, wall_s: float) -> Path:
+        """Store a result atomically and return its metadata path.
+
+        The blob is renamed into place before the metadata, so a
+        ``<key>.json`` that exists always refers to a complete entry.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = _result_meta(result)
+        offsets: dict[str, tuple[int, int]] = {}
+        chunks = []
+        offset = 0
+        for name, values in _result_arrays(result).items():
+            raw = values.tobytes()
+            offsets[name] = (offset, len(values))
+            chunks.append(raw)
+            offset += len(raw)
+        meta["arrays"] = offsets
+        document = {
+            "kind": _ENTRY_KIND,
+            "salt": CACHE_SALT,
+            "key": key,
+            "wall_s": wall_s,
+            "result": meta,
+        }
+        bin_path = path.with_suffix(".bin")
+        tmp_bin = bin_path.with_suffix(f".tmpb.{os.getpid()}")
+        tmp_bin.write_bytes(b"".join(chunks))
+        tmp_bin.replace(bin_path)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(document))
+        tmp.replace(path)
+        self.stats.writes += 1
+        return path
+
+    def __len__(self) -> int:
+        """Number of entries on disk (walks the directory)."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

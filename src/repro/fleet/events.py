@@ -1,0 +1,93 @@
+"""JSONL event log for fleet campaigns.
+
+Every observable moment of a campaign — job start, finish, retry, cache
+hit, failure — is appended as one JSON object per line, so a campaign
+can be monitored while it runs (``python -m repro fleet status``) and
+audited after it ends (``... fleet report``).  Events carry wall-clock
+timestamps, the worker's process id, and per-job wall times.
+
+Event schema (flat; absent fields are omitted)::
+
+    {"ts": 1754390000.123, "kind": "job_finish", "campaign": "demo",
+     "job_id": "Xeon-E5462/ep.C.4/s2015", "label": "ep.C.4",
+     "server": "Xeon-E5462", "attempt": 1, "worker": 4242,
+     "wall_s": 0.041}
+
+Kinds: ``campaign_start``, ``cache_hit``, ``job_start``, ``job_finish``,
+``job_retry``, ``job_failed``, ``campaign_finish``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = ["EVENT_KINDS", "EventLog", "read_events", "last_campaign_events"]
+
+EVENT_KINDS = (
+    "campaign_start",
+    "cache_hit",
+    "job_start",
+    "job_finish",
+    "job_retry",
+    "job_failed",
+    "campaign_finish",
+)
+
+
+class EventLog:
+    """Append-only JSONL writer (one file may hold many campaigns)."""
+
+    def __init__(self, path: "str | Path"):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a")
+
+    def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
+        """Append one event; returns the record written."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        record = {"ts": time.time(), "kind": kind}
+        record.update({k: v for k, v in fields.items() if v is not None})
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        return record
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_events(path: "str | Path") -> list[dict[str, Any]]:
+    """Read every event in a JSONL file, skipping malformed lines."""
+    out: list[dict[str, Any]] = []
+    text = Path(path).read_text()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and "kind" in record:
+            out.append(record)
+    return out
+
+
+def last_campaign_events(path: "str | Path") -> list[dict[str, Any]]:
+    """Events of the most recent campaign in a (possibly shared) log."""
+    events = read_events(path)
+    start = 0
+    for i, record in enumerate(events):
+        if record["kind"] == "campaign_start":
+            start = i
+    return events[start:]

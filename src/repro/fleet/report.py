@@ -1,0 +1,142 @@
+"""Aggregate observability report over one fleet campaign.
+
+A :class:`FleetReport` condenses a campaign into the numbers an operator
+acts on: how many jobs ran, failed, retried, or came from cache; the
+wall time; throughput; and the estimated speedup against running the
+same jobs serially (the sum of per-job execution costs over the
+campaign's wall time — cache hits contribute the wall time recorded
+when their entry was first computed).
+
+Reports can be built from a live :class:`~repro.fleet.runner.FleetOutcome`
+or reconstructed after the fact from the JSONL event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["FleetReport"]
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Aggregate statistics of one campaign."""
+
+    campaign: str
+    workers: int
+    n_jobs: int
+    n_ok: int
+    n_failed: int
+    n_cache_hits: int
+    n_retries: int
+    wall_s: float
+    serial_wall_s: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of jobs served from cache."""
+        return self.n_cache_hits / self.n_jobs if self.n_jobs else 0.0
+
+    @property
+    def throughput_jobs_per_s(self) -> float:
+        """Completed jobs per wall-clock second."""
+        return self.n_ok / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Serial-equivalent execution time over actual wall time."""
+        return self.serial_wall_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    @classmethod
+    def from_outcome(cls, outcome: Any) -> "FleetReport":
+        """Build from a :class:`~repro.fleet.runner.FleetOutcome`."""
+        records = outcome.records
+        return cls(
+            campaign=outcome.campaign,
+            workers=outcome.workers,
+            n_jobs=len(records),
+            n_ok=sum(1 for r in records if r.ok),
+            n_failed=sum(1 for r in records if not r.ok),
+            n_cache_hits=sum(1 for r in records if r.cached),
+            n_retries=sum(max(r.attempts - 1, 0) for r in records),
+            wall_s=outcome.wall_s,
+            serial_wall_s=sum(r.wall_s for r in records),
+        )
+
+    @classmethod
+    def from_events(cls, events: "list[dict[str, Any]]") -> "FleetReport":
+        """Rebuild from one campaign's event records (JSONL log)."""
+        campaign = "unknown"
+        workers = 0
+        n_jobs = 0
+        n_ok = n_failed = n_hits = n_retries = 0
+        wall_s = 0.0
+        serial_wall_s = 0.0
+        start_ts = finish_ts = None
+        for record in events:
+            kind = record["kind"]
+            if kind == "campaign_start":
+                campaign = record.get("campaign", campaign)
+                workers = int(record.get("workers", 0))
+                n_jobs = int(record.get("jobs", 0))
+                start_ts = record.get("ts")
+            elif kind == "cache_hit":
+                n_hits += 1
+                n_ok += 1
+                serial_wall_s += float(record.get("wall_s", 0.0))
+            elif kind == "job_finish":
+                n_ok += 1
+                serial_wall_s += float(record.get("wall_s", 0.0))
+            elif kind == "job_retry":
+                n_retries += 1
+            elif kind == "job_failed":
+                n_failed += 1
+            elif kind == "campaign_finish":
+                wall_s = float(record.get("wall_s", 0.0))
+                finish_ts = record.get("ts")
+        if wall_s == 0.0 and start_ts is not None and finish_ts is not None:
+            wall_s = max(float(finish_ts) - float(start_ts), 0.0)
+        return cls(
+            campaign=campaign,
+            workers=workers,
+            n_jobs=n_jobs or (n_ok + n_failed),
+            n_ok=n_ok,
+            n_failed=n_failed,
+            n_cache_hits=n_hits,
+            n_retries=n_retries,
+            wall_s=wall_s,
+            serial_wall_s=serial_wall_s,
+        )
+
+    def format(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"campaign {self.campaign!r}: {self.n_jobs} jobs on "
+            f"{self.workers} worker(s)",
+            f"  ok {self.n_ok}  failed {self.n_failed}  "
+            f"cache hits {self.n_cache_hits} "
+            f"({self.cache_hit_rate:.0%})  retries {self.n_retries}",
+            f"  wall {self.wall_s:.2f} s  "
+            f"serial-equivalent {self.serial_wall_s:.2f} s  "
+            f"speedup {self.speedup_vs_serial:.1f}x  "
+            f"throughput {self.throughput_jobs_per_s:.1f} jobs/s",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (for ``fleet run --out``)."""
+        return {
+            "campaign": self.campaign,
+            "workers": self.workers,
+            "n_jobs": self.n_jobs,
+            "n_ok": self.n_ok,
+            "n_failed": self.n_failed,
+            "n_cache_hits": self.n_cache_hits,
+            "n_retries": self.n_retries,
+            "wall_s": self.wall_s,
+            "serial_wall_s": self.serial_wall_s,
+            "cache_hit_rate": self.cache_hit_rate,
+            "throughput_jobs_per_s": self.throughput_jobs_per_s,
+            "speedup_vs_serial": self.speedup_vs_serial,
+        }

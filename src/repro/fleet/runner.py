@@ -1,0 +1,420 @@
+"""The fleet runner: parallel, cached, fault-tolerant campaign execution.
+
+Jobs fan out over a ``ProcessPoolExecutor`` (fork start method where the
+platform has it, so workers inherit the imported simulator).  Before a
+job is submitted its content-addressed cache key is consulted; hits are
+returned without touching the pool, which is what makes repeated sweeps
+and benchmarks near-free.  Failed attempts are retried with exponential
+backoff up to the retry policy's budget; jobs that exhaust it are
+recorded in the outcome's failure report while the rest of the campaign
+completes — a campaign never aborts because one point misbehaved.
+
+Determinism: the simulator derives every random stream from ``(seed,
+program label)``, so fleet execution order, worker count, and cache hits
+cannot change results — a 2-worker run is bit-identical to a serial one
+(see ``tests/fleet/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.engine.trace import RunResult
+from repro.errors import ConfigurationError
+from repro.fleet.cache import ResultCache, job_cache_key
+from repro.fleet.events import EventLog
+from repro.fleet.spec import CampaignSpec, FleetJob
+from repro.fleet.worker import FaultInjection, execute_job, job_payload
+
+__all__ = [
+    "RetryPolicy",
+    "JobFailure",
+    "JobRecord",
+    "FleetOutcome",
+    "FleetRunner",
+    "default_workers",
+]
+
+
+def default_workers() -> int:
+    """Default pool size: up to 4, bounded by the machine."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry budget for one job."""
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0 or self.multiplier < 1.0:
+            raise ConfigurationError(
+                "backoff must be >= 0 s with multiplier >= 1"
+            )
+
+    def delay_s(self, attempt: int) -> float:
+        """Sleep before re-submitting after failed ``attempt`` (1-based)."""
+        return self.backoff_s * self.multiplier ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One job that exhausted its retry budget."""
+
+    job_id: str
+    label: str
+    server: str
+    attempts: int
+    error: str
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Outcome of one job in a campaign.
+
+    ``wall_s`` is the job's *execution* cost: the worker's measured wall
+    time, or — for cache hits — the wall time recorded when the entry
+    was first computed.  Summed over records it estimates the serial
+    cost of the campaign.
+    """
+
+    job: FleetJob
+    result: "RunResult | None"
+    cached: bool
+    attempts: int
+    wall_s: float
+    error: "str | None" = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a result."""
+        return self.result is not None
+
+
+@dataclass(frozen=True)
+class FleetOutcome:
+    """Everything a campaign produced, including partial results."""
+
+    campaign: str
+    records: tuple[JobRecord, ...]
+    wall_s: float
+    workers: int
+
+    @property
+    def ok(self) -> bool:
+        """True when every job delivered a result."""
+        return all(r.ok for r in self.records)
+
+    @property
+    def failures(self) -> tuple[JobFailure, ...]:
+        """The failure report: jobs that exhausted their retries."""
+        return tuple(
+            JobFailure(
+                job_id=r.job.job_id,
+                label=r.job.label,
+                server=r.job.server.name,
+                attempts=r.attempts,
+                error=r.error or "unknown error",
+            )
+            for r in self.records
+            if not r.ok
+        )
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of jobs served from the result cache."""
+        return sum(1 for r in self.records if r.cached)
+
+    def results(self) -> dict[str, RunResult]:
+        """Successful results keyed by job id."""
+        return {
+            r.job.job_id: r.result for r in self.records if r.result is not None
+        }
+
+    def run_for(self, server: str, label: str) -> RunResult:
+        """Look up one run by server name and job label."""
+        for r in self.records:
+            if r.job.server.name == server and r.job.label == label:
+                if r.result is None:
+                    raise ConfigurationError(
+                        f"job {r.job.job_id} failed: {r.error}"
+                    )
+                return r.result
+        raise ConfigurationError(f"no job {label!r} on {server!r} in outcome")
+
+    def report(self):
+        """Aggregate :class:`~repro.fleet.report.FleetReport`."""
+        from repro.fleet.report import FleetReport
+
+        return FleetReport.from_outcome(self)
+
+
+def _pool_context():
+    """Fork where available (cheap workers); platform default otherwise."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+@dataclass
+class FleetRunner:
+    """Executes campaigns through a worker pool with cache and retries.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None`` for :func:`default_workers`.  ``1`` runs
+        jobs inline (no pool) — the serial baseline.
+    cache:
+        Optional :class:`~repro.fleet.cache.ResultCache`; ``None``
+        disables caching.
+    retry:
+        Per-job :class:`RetryPolicy`.
+    events:
+        Optional :class:`~repro.fleet.events.EventLog` sink.
+    fault:
+        Optional :class:`~repro.fleet.worker.FaultInjection` hook.
+    """
+
+    workers: "int | None" = None
+    cache: "ResultCache | None" = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    events: "EventLog | None" = None
+    fault: "FaultInjection | None" = None
+
+    def run(self, campaign: CampaignSpec) -> FleetOutcome:
+        """Execute a campaign spec; never raises for per-job failures."""
+        return self.run_jobs(campaign.jobs(), campaign.name)
+
+    def run_jobs(
+        self, jobs: "tuple[FleetJob, ...]", name: str = "ad-hoc"
+    ) -> FleetOutcome:
+        """Execute an explicit job list (the backend entry point)."""
+        if not jobs:
+            raise ConfigurationError("campaign expanded to zero jobs")
+        workers = self.workers if self.workers is not None else default_workers()
+        self._emit(
+            "campaign_start", campaign=name, jobs=len(jobs), workers=workers
+        )
+        t0 = time.perf_counter()
+
+        records: dict[str, JobRecord] = {}
+        pending: list[FleetJob] = []
+        for job in jobs:
+            hit = self.cache.get(job_cache_key(job)) if self.cache else None
+            if hit is not None:
+                self._emit(
+                    "cache_hit",
+                    campaign=name,
+                    job_id=job.job_id,
+                    label=job.label,
+                    server=job.server.name,
+                    wall_s=hit.wall_s,
+                )
+                records[job.job_id] = JobRecord(
+                    job=job,
+                    result=hit.result,
+                    cached=True,
+                    attempts=0,
+                    wall_s=hit.wall_s,
+                )
+            else:
+                pending.append(job)
+
+        if pending:
+            if workers <= 1:
+                self._run_inline(pending, name, records)
+            else:
+                self._run_pool(pending, name, workers, records)
+
+        wall_s = time.perf_counter() - t0
+        outcome = FleetOutcome(
+            campaign=name,
+            records=tuple(records[j.job_id] for j in jobs),
+            wall_s=wall_s,
+            workers=workers,
+        )
+        self._emit(
+            "campaign_finish",
+            campaign=name,
+            jobs=len(jobs),
+            ok=sum(1 for r in outcome.records if r.ok),
+            failed=len(outcome.failures),
+            cache_hits=outcome.cache_hits,
+            wall_s=wall_s,
+        )
+        return outcome
+
+    # -- execution strategies -------------------------------------------
+
+    def _run_inline(
+        self,
+        pending: "list[FleetJob]",
+        name: str,
+        records: "dict[str, JobRecord]",
+    ) -> None:
+        """Serial execution in this process (workers=1 / baseline)."""
+        for job in pending:
+            attempt = 1
+            while True:
+                self._emit_start(name, job, attempt)
+                try:
+                    out = execute_job(job_payload(job, attempt, self.fault))
+                except Exception as exc:  # noqa: BLE001 - fault barrier
+                    if attempt < self.retry.max_attempts:
+                        self._emit_retry(name, job, attempt, exc)
+                        time.sleep(self.retry.delay_s(attempt))
+                        attempt += 1
+                        continue
+                    records[job.job_id] = self._failed(name, job, attempt, exc)
+                    break
+                records[job.job_id] = self._finished(name, job, attempt, out)
+                break
+
+    def _run_pool(
+        self,
+        pending: "list[FleetJob]",
+        name: str,
+        workers: int,
+        records: "dict[str, JobRecord]",
+    ) -> None:
+        """Parallel execution with per-job retry and graceful degradation."""
+        ctx = _pool_context()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=ctx
+            ) as pool:
+                futures: dict[Future, tuple[FleetJob, int]] = {}
+                for job in pending:
+                    self._emit_start(name, job, 1)
+                    futures[
+                        pool.submit(execute_job, job_payload(job, 1, self.fault))
+                    ] = (job, 1)
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        job, attempt = futures.pop(future)
+                        try:
+                            out = future.result()
+                        except BrokenProcessPool:
+                            raise
+                        except Exception as exc:  # noqa: BLE001
+                            if attempt < self.retry.max_attempts:
+                                self._emit_retry(name, job, attempt, exc)
+                                time.sleep(self.retry.delay_s(attempt))
+                                next_attempt = attempt + 1
+                                self._emit_start(name, job, next_attempt)
+                                futures[
+                                    pool.submit(
+                                        execute_job,
+                                        job_payload(
+                                            job, next_attempt, self.fault
+                                        ),
+                                    )
+                                ] = (job, next_attempt)
+                            else:
+                                records[job.job_id] = self._failed(
+                                    name, job, attempt, exc
+                                )
+                        else:
+                            records[job.job_id] = self._finished(
+                                name, job, attempt, out
+                            )
+        except BrokenProcessPool as exc:
+            # A worker died hard (segfault/OOM).  Degrade gracefully:
+            # every job still unaccounted for becomes a failure record.
+            for job in pending:
+                if job.job_id not in records:
+                    records[job.job_id] = self._failed(name, job, 0, exc)
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _finished(
+        self, name: str, job: FleetJob, attempt: int, out: dict
+    ) -> JobRecord:
+        result: RunResult = out["result"]
+        if self.cache is not None:
+            self.cache.put(job_cache_key(job), result, out["wall_s"])
+        self._emit(
+            "job_finish",
+            campaign=name,
+            job_id=job.job_id,
+            label=job.label,
+            server=job.server.name,
+            attempt=attempt,
+            worker=out["worker"],
+            wall_s=out["wall_s"],
+        )
+        return JobRecord(
+            job=job,
+            result=result,
+            cached=False,
+            attempts=attempt,
+            wall_s=out["wall_s"],
+        )
+
+    def _failed(
+        self, name: str, job: FleetJob, attempts: int, exc: BaseException
+    ) -> JobRecord:
+        self._emit(
+            "job_failed",
+            campaign=name,
+            job_id=job.job_id,
+            label=job.label,
+            server=job.server.name,
+            attempt=attempts,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        return JobRecord(
+            job=job,
+            result=None,
+            cached=False,
+            attempts=attempts,
+            wall_s=0.0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+    def _emit_start(self, name: str, job: FleetJob, attempt: int) -> None:
+        self._emit(
+            "job_start",
+            campaign=name,
+            job_id=job.job_id,
+            label=job.label,
+            server=job.server.name,
+            attempt=attempt,
+        )
+
+    def _emit_retry(
+        self, name: str, job: FleetJob, attempt: int, exc: BaseException
+    ) -> None:
+        self._emit(
+            "job_retry",
+            campaign=name,
+            job_id=job.job_id,
+            label=job.label,
+            server=job.server.name,
+            attempt=attempt,
+            error=f"{type(exc).__name__}: {exc}",
+            backoff_s=self.retry.delay_s(attempt),
+        )
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(kind, **fields)

@@ -1,0 +1,118 @@
+"""The fleet worker: executes one job inside a pool process.
+
+Everything here must be picklable and importable from a bare worker
+process.  Jobs arrive as plain dicts (server spec JSON, tagged workload
+dict, seed), the worker reconstructs the simulator — memoised per
+process, since a campaign typically reuses a handful of servers — runs
+the workload, and returns the full :class:`~repro.engine.trace.RunResult`
+(small: a few KB of pickled arrays).
+
+Fault injection for tests and chaos drills is deterministic: a
+:class:`FaultInjection` names jobs by label substring and the number of
+attempts to fail, and the *attempt index travels with the job*, so the
+decision to fail does not depend on which worker process gets the retry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any
+
+from repro.engine.simulator import Simulator
+from repro.engine.trace import RunResult
+from repro.errors import SimulationError
+from repro.fleet.spec import workload_from_dict
+
+__all__ = [
+    "FaultInjection",
+    "InjectedFaultError",
+    "job_payload",
+    "execute_job",
+]
+
+
+class InjectedFaultError(SimulationError):
+    """Raised by the fault-injection hook; never by real simulation."""
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """Deterministically fail selected job attempts (test/chaos hook).
+
+    Attempts ``1..fail_attempts`` of every job whose label contains
+    ``label_substring`` raise :class:`InjectedFaultError`; with
+    ``fail_attempts`` at least the retry policy's ``max_attempts`` the
+    job fails permanently and must surface in the failure report.
+    """
+
+    label_substring: str
+    fail_attempts: int = 1
+
+    def should_fail(self, label: str, attempt: int) -> bool:
+        """Whether this (job, attempt) pair is selected to fail."""
+        return (
+            self.label_substring in label and attempt <= self.fail_attempts
+        )
+
+
+@lru_cache(maxsize=32)
+def _simulator_for(server_json: str, seed: int, placement: str) -> Simulator:
+    """Per-process simulator cache (campaigns reuse few servers)."""
+    from repro import io as repro_io
+
+    server = repro_io.server_from_dict(json.loads(server_json))
+    return Simulator(server, seed=seed, placement_policy=placement)
+
+
+def job_payload(
+    job: "Any", attempt: int, fault: "FaultInjection | None"
+) -> dict[str, Any]:
+    """Build the picklable payload for one job attempt.
+
+    ``job`` is a :class:`~repro.fleet.spec.FleetJob`; typed loosely to
+    keep this module import-light for worker processes.
+    """
+    from repro import io as repro_io
+    from repro.fleet.cache import canonical_json
+
+    return {
+        "job_id": job.job_id,
+        "label": job.label,
+        "server_json": canonical_json(repro_io.server_to_dict(job.server)),
+        "workload": job.workload,
+        "seed": job.seed,
+        "placement": job.placement,
+        "attempt": attempt,
+        "fault": fault,
+    }
+
+
+def execute_job(payload: dict[str, Any]) -> dict[str, Any]:
+    """Run one job attempt; the pool's target function.
+
+    Returns ``{"job_id", "result": RunResult, "wall_s", "worker"}``.
+    Exceptions propagate to the parent, which applies the retry policy.
+    """
+    fault: "FaultInjection | None" = payload["fault"]
+    if fault is not None and fault.should_fail(
+        payload["label"], payload["attempt"]
+    ):
+        raise InjectedFaultError(
+            f"injected fault: {payload['job_id']} attempt {payload['attempt']}"
+        )
+    t0 = time.perf_counter()
+    simulator = _simulator_for(
+        payload["server_json"], payload["seed"], payload["placement"]
+    )
+    workload = workload_from_dict(payload["workload"])
+    result: RunResult = simulator.run(workload)
+    return {
+        "job_id": payload["job_id"],
+        "result": result,
+        "wall_s": time.perf_counter() - t0,
+        "worker": os.getpid(),
+    }

@@ -25,6 +25,8 @@ from repro.stats.normalize import ZScoreNormalizer
 __all__ = [
     "evaluation_to_dict",
     "evaluation_from_dict",
+    "campaign_to_dict",
+    "campaign_from_dict",
     "verification_to_dict",
     "verification_from_dict",
     "model_to_dict",
@@ -230,6 +232,24 @@ def server_from_dict(data: dict[str, Any]):
     )
 
 
+def campaign_to_dict(spec) -> dict[str, Any]:
+    """Serialise a :class:`~repro.fleet.spec.CampaignSpec`.
+
+    Delegates to :mod:`repro.fleet.spec` (imported lazily — the fleet
+    package imports this module for server serialisation).
+    """
+    from repro.fleet.spec import campaign_to_dict as _impl
+
+    return _impl(spec)
+
+
+def campaign_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`campaign_to_dict`."""
+    from repro.fleet.spec import campaign_from_dict as _impl
+
+    return _impl(data)
+
+
 def _expect_kind(data: dict[str, Any], kind: str) -> None:
     found = data.get("kind")
     if found != kind:
@@ -253,4 +273,9 @@ def save_json(document: dict[str, Any], path: "str | Path") -> Path:
 
 def load_json(path: "str | Path") -> dict[str, Any]:
     """Read a serialised document from ``path``."""
-    return json.loads(Path(path).read_text())
+    try:
+        return json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path} is not valid JSON: {exc}") from exc

@@ -1,0 +1,137 @@
+"""Content-addressed result cache: keys, round trips, resilience."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import io as repro_io
+from repro.demand import ResourceDemand
+from repro.engine.simulator import Simulator
+from repro.fleet.cache import (
+    ResultCache,
+    canonical_json,
+    job_cache_key,
+    runresult_from_dict,
+    runresult_to_dict,
+)
+from repro.fleet.spec import FleetJob, make_job
+from repro.hardware import XEON_E5462, OPTERON_8347
+from repro.workloads.hpl import HplConfig, HplWorkload
+from repro.workloads.npb import NpbWorkload
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    return Simulator(XEON_E5462, seed=3).run(NpbWorkload("ep", "C", 4))
+
+
+class TestRunResultSerialisation:
+    def test_bit_identical_round_trip(self, run_result):
+        clone = runresult_from_dict(
+            json.loads(json.dumps(runresult_to_dict(run_result)))
+        )
+        assert clone.demand == run_result.demand
+        assert np.array_equal(clone.times_s, run_result.times_s)
+        assert np.array_equal(clone.true_watts, run_result.true_watts)
+        assert np.array_equal(clone.measured_watts, run_result.measured_watts)
+        assert np.array_equal(clone.memory_mb, run_result.memory_mb)
+        assert clone.pmu_samples == run_result.pmu_samples
+        assert clone.power_factor == run_result.power_factor
+        # Derived analysis quantities are consequently exact too.
+        assert clone.average_power_watts() == run_result.average_power_watts()
+
+
+class TestCacheKey:
+    def test_stable_under_dict_build_order(self):
+        """The dict-ordering hazard: structurally equal specs built in
+        different orders must hash identically."""
+        job = make_job(XEON_E5462, HplWorkload(HplConfig(4, 0.5)), seed=1)
+        reordered_workload = dict(reversed(list(job.workload.items())))
+        reordered = FleetJob(
+            server=XEON_E5462,
+            workload=reordered_workload,
+            label=job.label,
+            seed=1,
+        )
+        assert job.workload == reordered_workload
+        assert job_cache_key(job) == job_cache_key(reordered)
+        assert job.job_id == reordered.job_id
+
+    def test_stable_across_equal_server_objects(self):
+        # A server round-tripped through JSON is a distinct but equal
+        # object; the key must not depend on object identity.
+        clone = repro_io.server_from_dict(repro_io.server_to_dict(XEON_E5462))
+        assert clone == XEON_E5462
+        a = make_job(XEON_E5462, NpbWorkload("ep", "C", 2), seed=5)
+        b = make_job(clone, NpbWorkload("ep", "C", 2), seed=5)
+        assert job_cache_key(a) == job_cache_key(b)
+
+    def test_canonical_json_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_key_distinguishes_inputs(self):
+        base = make_job(XEON_E5462, NpbWorkload("ep", "C", 2), seed=0)
+        keys = {
+            job_cache_key(base),
+            job_cache_key(
+                make_job(XEON_E5462, NpbWorkload("ep", "C", 2), seed=1)
+            ),
+            job_cache_key(
+                make_job(XEON_E5462, NpbWorkload("ep", "C", 4), seed=0)
+            ),
+            job_cache_key(
+                make_job(OPTERON_8347, NpbWorkload("ep", "C", 2), seed=0)
+            ),
+            job_cache_key(
+                make_job(
+                    XEON_E5462, NpbWorkload("ep", "C", 2), seed=0,
+                    placement="scatter",
+                )
+            ),
+        }
+        assert len(keys) == 5
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path, run_result):
+        cache = ResultCache(tmp_path / "cache")
+        key = "ab" + "0" * 62
+        assert cache.get(key) is None
+        cache.put(key, run_result, wall_s=0.25)
+        hit = cache.get(key)
+        assert hit is not None
+        assert hit.wall_s == 0.25
+        assert np.array_equal(
+            hit.result.measured_watts, run_result.measured_watts
+        )
+        assert len(cache) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, run_result):
+        cache = ResultCache(tmp_path / "cache")
+        key = "cd" + "1" * 62
+        path = cache.put(key, run_result, wall_s=0.1)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_foreign_document_is_a_miss(self, tmp_path, run_result):
+        cache = ResultCache(tmp_path / "cache")
+        key = "ef" + "2" * 62
+        path = cache.put(key, run_result, wall_s=0.1)
+        path.write_text(json.dumps({"kind": "something_else"}))
+        assert cache.get(key) is None
+
+    def test_salt_mismatch_is_a_miss(self, tmp_path, run_result):
+        cache = ResultCache(tmp_path / "cache")
+        key = "0a" + "3" * 62
+        path = cache.put(key, run_result, wall_s=0.1)
+        data = json.loads(path.read_text())
+        data["salt"] = "repro-fleet-cache-v0"
+        path.write_text(json.dumps(data))
+        assert cache.get(key) is None

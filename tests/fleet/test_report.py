@@ -1,0 +1,114 @@
+"""FleetReport aggregation from outcomes and from event logs."""
+
+import pytest
+
+from repro.fleet import (
+    EventLog,
+    FaultInjection,
+    FleetReport,
+    FleetRunner,
+    ResultCache,
+    RetryPolicy,
+    demo_campaign,
+    last_campaign_events,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return demo_campaign()
+
+
+class TestFromOutcome:
+    def test_clean_run_numbers(self, campaign):
+        outcome = FleetRunner(workers=2).run(campaign)
+        report = outcome.report()
+        n = len(campaign.jobs())
+        assert report.campaign == campaign.name
+        assert report.workers == 2
+        assert (report.n_jobs, report.n_ok, report.n_failed) == (n, n, 0)
+        assert report.n_cache_hits == 0
+        assert report.n_retries == 0
+        assert report.cache_hit_rate == 0.0
+        assert report.wall_s > 0
+        assert report.serial_wall_s > 0
+        assert report.throughput_jobs_per_s == pytest.approx(
+            n / report.wall_s
+        )
+        assert report.speedup_vs_serial == pytest.approx(
+            report.serial_wall_s / report.wall_s
+        )
+
+    def test_warm_cache_reports_full_hit_rate(self, tmp_path, campaign):
+        cache = ResultCache(tmp_path / "cache")
+        runner = FleetRunner(workers=2, cache=cache)
+        runner.run(campaign)
+        report = runner.run(campaign).report()
+        assert report.cache_hit_rate == 1.0
+        # Cache hits carry their original execution wall, so a warm run
+        # still reports a meaningful (and large) speedup-vs-serial.
+        assert report.serial_wall_s > report.wall_s
+
+    def test_failure_and_retry_counts(self, campaign):
+        outcome = FleetRunner(
+            workers=1,
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+            fault=FaultInjection("ep.C.2", fail_attempts=99),
+        ).run(campaign)
+        report = outcome.report()
+        assert report.n_failed == 1
+        assert report.n_ok == len(campaign.jobs()) - 1
+        assert report.n_retries == 1
+
+
+class TestFromEvents:
+    def test_reconstruction_matches_live_report(self, tmp_path, campaign):
+        log_path = tmp_path / "events.jsonl"
+        with EventLog(log_path) as events:
+            live = FleetRunner(workers=2, events=events).run(campaign).report()
+        rebuilt = FleetReport.from_events(last_campaign_events(log_path))
+        assert rebuilt.campaign == live.campaign
+        assert rebuilt.workers == live.workers
+        assert rebuilt.n_jobs == live.n_jobs
+        assert rebuilt.n_ok == live.n_ok
+        assert rebuilt.n_failed == live.n_failed
+        assert rebuilt.n_cache_hits == live.n_cache_hits
+        assert rebuilt.n_retries == live.n_retries
+        assert rebuilt.wall_s == pytest.approx(live.wall_s, rel=0.25)
+        assert rebuilt.serial_wall_s == pytest.approx(
+            live.serial_wall_s, rel=1e-6
+        )
+
+    def test_last_campaign_slices_most_recent(self, tmp_path, campaign):
+        log_path = tmp_path / "events.jsonl"
+        cache = ResultCache(tmp_path / "cache")
+        with EventLog(log_path) as events:
+            FleetRunner(workers=1, cache=cache, events=events).run(campaign)
+            FleetRunner(workers=1, cache=cache, events=events).run(campaign)
+        tail = last_campaign_events(log_path)
+        assert tail[0]["kind"] == "campaign_start"
+        report = FleetReport.from_events(tail)
+        assert report.n_cache_hits == len(campaign.jobs())
+
+    def test_empty_events(self):
+        report = FleetReport.from_events([])
+        assert report.n_jobs == 0
+        assert report.cache_hit_rate == 0.0
+        assert report.throughput_jobs_per_s == 0.0
+
+
+class TestFormatting:
+    def test_format_mentions_key_numbers(self, campaign):
+        report = FleetRunner(workers=2).run(campaign).report()
+        text = report.format()
+        assert campaign.name in text
+        assert "cache hits" in text
+        assert "speedup" in text
+
+    def test_to_dict_round_trips_through_json(self, campaign):
+        import json
+
+        report = FleetRunner(workers=1).run(campaign).report()
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["n_jobs"] == report.n_jobs
+        assert data["speedup_vs_serial"] == report.speedup_vs_serial

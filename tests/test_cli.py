@@ -139,6 +139,113 @@ class TestCompare:
         # Regression section only with the flag.
         assert "Tables VII-VIII" not in out
 
+    def test_compare_json_export(self, capsys, tmp_path):
+        path = tmp_path / "compare.json"
+        code, out, _ = run_cli(capsys, "compare", "--json", str(path))
+        assert code == 0
+        assert "saved:" in out
+        data = json.loads(path.read_text())
+        assert data["kind"] == "comparison"
+        assert data["entries"]
+        entry = data["entries"][0]
+        assert {"section", "label", "paper", "measured", "delta_pct"} <= set(
+            entry
+        )
+        sections = {e["section"] for e in data["entries"]}
+        assert any(s.startswith("evaluation/") for s in sections)
+        assert any(s == "green500" for s in sections)
+
+
+class TestRankingsJson:
+    def test_rankings_json_export(self, capsys, tmp_path):
+        path = tmp_path / "rankings.json"
+        code, out, _ = run_cli(capsys, "rankings", "--json", str(path))
+        assert code == 0
+        assert "saved:" in out
+        data = json.loads(path.read_text())
+        assert data["kind"] == "rankings"
+        assert set(data["orderings"]) == {
+            "ours (mean PPW)",
+            "Green500",
+            "SPECpower",
+        }
+        assert len(data["rows"]) == 3
+
+
+class TestFleet:
+    def test_init_run_status_report_flow(self, capsys, tmp_path):
+        spec_path = tmp_path / "campaign.json"
+        cache_dir = tmp_path / "cache"
+        events = tmp_path / "events.jsonl"
+        out_path = tmp_path / "results.json"
+
+        code, out, _ = run_cli(capsys, "fleet", "init", str(spec_path))
+        assert code == 0
+        assert "demo-e5462" in out
+        assert json.loads(spec_path.read_text())["kind"] == "fleet_campaign"
+
+        run_args = (
+            "fleet", "run", str(spec_path),
+            "--workers", "2",
+            "--cache-dir", str(cache_dir),
+            "--events", str(events),
+            "--out", str(out_path),
+        )
+        code, out, _ = run_cli(capsys, *run_args)
+        assert code == 0
+        assert "ep.C.4" in out
+        assert "speedup" in out
+        data = json.loads(out_path.read_text())
+        assert data["kind"] == "fleet_results"
+        assert len(data["rows"]) == 5
+        assert data["failures"] == []
+        assert data["report"]["n_cache_hits"] == 0
+
+        # Warm re-run: every job must come from the cache.
+        code, out, _ = run_cli(capsys, *run_args)
+        assert code == 0
+        assert "cache" in out
+        data = json.loads(out_path.read_text())
+        assert data["report"]["n_cache_hits"] == 5
+        assert all(row["cached"] for row in data["rows"])
+
+        code, out, _ = run_cli(capsys, "fleet", "status", str(events))
+        assert code == 0
+        assert "finished" in out
+        assert "5/5 jobs done" in out
+
+        code, out, _ = run_cli(capsys, "fleet", "report", str(events))
+        assert code == 0
+        assert "cache hits 5 (100%)" in out
+
+    def test_init_matrix_campaign(self, capsys, tmp_path):
+        spec_path = tmp_path / "matrix.json"
+        code, out, _ = run_cli(
+            capsys, "fleet", "init", str(spec_path), "--matrix", "--seed", "7"
+        )
+        assert code == 0
+        data = json.loads(spec_path.read_text())
+        assert data["evaluation_matrix"] is True
+        assert data["seed"] == 7
+
+    def test_serial_flag_runs_inline(self, capsys, tmp_path):
+        spec_path = tmp_path / "campaign.json"
+        run_cli(capsys, "fleet", "init", str(spec_path))
+        code, out, _ = run_cli(
+            capsys,
+            "fleet", "run", str(spec_path),
+            "--serial", "--cache-dir", "", "--events", "",
+        )
+        assert code == 0
+        assert "1 worker(s)" in out
+
+    def test_status_without_events_is_an_error(self, capsys, tmp_path):
+        code, _out, err = run_cli(
+            capsys, "fleet", "status", str(tmp_path / "missing.jsonl")
+        )
+        assert code == 2
+        assert "no campaign events" in err
+
 
 class TestSpecFile:
     def test_green500_from_spec_file(self, capsys, tmp_path):
