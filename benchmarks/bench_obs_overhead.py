@@ -1,0 +1,61 @@
+"""Observability overhead — the disabled path must cost ~nothing.
+
+Every hook in the engine and fleet layers guards on one boolean, so a
+run with ``REPRO_OBS`` unset should be indistinguishable from a build
+that predates ``repro.obs``; with tracing on, each simulator run adds
+one span and two registry writes.  The pair of benchmarks below puts a
+number on both, and the closing test pins the real invariant: identical
+bits either way.
+"""
+
+import numpy as np
+from conftest import print_series
+
+from repro import obs
+from repro.engine import Simulator
+from repro.hardware import XEON_E5462
+from repro.workloads.npb import NpbWorkload
+
+ITERATIONS = 20
+
+
+def _run_batch():
+    simulator = Simulator(XEON_E5462, seed=2015)
+    workload = NpbWorkload("ep", "C", 4)
+    for _ in range(ITERATIONS):
+        simulator.run(workload)
+
+
+def test_obs_disabled(benchmark):
+    obs.disable()
+    try:
+        benchmark(_run_batch)
+    finally:
+        obs.reset()
+
+
+def test_obs_enabled(benchmark):
+    def run():
+        with obs.capture():
+            _run_batch()
+
+    benchmark(run)
+    rows = [
+        ("spans per batch", ITERATIONS),
+        ("registry writes per run", 4),  # count, seconds, 2 sample counters
+    ]
+    print_series("Observability instrumentation volume", rows, ("What", "N"))
+
+
+def test_results_identical_either_way():
+    workload = NpbWorkload("ep", "C", 4)
+    obs.disable()
+    try:
+        plain = Simulator(XEON_E5462, seed=2015).run(workload)
+    finally:
+        obs.reset()
+    with obs.capture():
+        traced = Simulator(XEON_E5462, seed=2015).run(workload)
+    assert np.array_equal(plain.measured_watts, traced.measured_watts)
+    assert np.array_equal(plain.times_s, traced.times_s)
+    assert plain.pmu_samples == traced.pmu_samples

@@ -17,19 +17,28 @@ Every reproduction entry point, runnable without writing Python::
     python -m repro fleet init campaign.json [--matrix]
     python -m repro fleet run campaign.json [--workers 4] [--out res.json]
     python -m repro fleet status|report [events.jsonl]
+    python -m repro bench [--quick] [--json out.json] [--baseline base.json]
+    python -m repro trace tree run.jsonl
 
 ``figure`` renders ASCII versions of the paper's figure sweeps; the full
 table/figure harness with assertions lives in ``benchmarks/``.  Commands
 taking a server accept a built-in name or a ``.json`` spec file written
 by :func:`repro.io.server_to_dict`.
+
+Exit codes: ``0`` success, ``1`` completed with failures (``fleet
+run``/``status``/``report`` with failed jobs), ``2`` usage or input
+error, ``3`` bench baseline regression.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
+from contextlib import contextmanager
 
+from repro import __version__, obs
 from repro import io as repro_io
 from repro.core.evaluation import evaluate_server
 from repro.core.green500 import green500_score
@@ -67,6 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
             "(ICPP 2015)"
         ),
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("servers", help="list the built-in server models")
@@ -85,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "evaluate":
             cmd.add_argument(
                 "--json", metavar="PATH", help="save the result as JSON"
+            )
+            cmd.add_argument(
+                "--trace",
+                metavar="PATH",
+                help="enable observability and export a span JSONL trace",
             )
 
     rank = sub.add_parser(
@@ -203,6 +222,11 @@ def build_parser() -> argparse.ArgumentParser:
     frun.add_argument(
         "--out", metavar="PATH", help="save per-job results + report as JSON"
     )
+    frun.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="enable observability and export a span JSONL trace",
+    )
 
     fstat = fsub.add_parser(
         "status", help="progress of the latest campaign in an event log"
@@ -217,6 +241,56 @@ def build_parser() -> argparse.ArgumentParser:
     frep.add_argument(
         "events", nargs="?", default=".repro-fleet/events.jsonl"
     )
+
+    bnc = sub.add_parser(
+        "bench",
+        help="self-measurement harness: run the perf scenario suite",
+    )
+    bnc.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced iteration counts (what CI runs)",
+    )
+    bnc.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="list the scenarios and exit",
+    )
+    bnc.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="run only the named scenario (repeatable)",
+    )
+    bnc.add_argument(
+        "--repeat",
+        type=int,
+        default=None,
+        help="repetitions per scenario, best-of (default 3)",
+    )
+    bnc.add_argument("--seed", type=int, default=None)
+    bnc.add_argument(
+        "--json", metavar="PATH", help="save the bench document as JSON"
+    )
+    bnc.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="compare against a baseline document; exit 3 on regression",
+    )
+    bnc.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="tolerated calibrated-throughput drop (default 0.25)",
+    )
+
+    trc = sub.add_parser("trace", help="inspect exported trace files")
+    tsub = trc.add_subparsers(dest="trace_command", required=True)
+    ttree = tsub.add_parser(
+        "tree", help="pretty-print a span JSONL file as a tree"
+    )
+    ttree.add_argument("file", help="JSONL trace written by --trace")
 
     return parser
 
@@ -248,9 +322,22 @@ def _save_json_report(document: dict, path: "str | None") -> None:
     print(f"\nsaved: {saved}")
 
 
+@contextmanager
+def _maybe_trace(path: "str | None"):
+    """Shared ``--trace PATH`` behaviour: capture spans, export, confirm."""
+    if not path:
+        yield
+        return
+    with obs.capture() as tracer:
+        yield
+    saved = tracer.export_jsonl(path)
+    print(f"trace: {saved} ({len(tracer.records())} spans)", file=sys.stderr)
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     server = _load_server(args.server)
-    result = evaluate_server(server, Simulator(server, seed=args.seed))
+    with _maybe_trace(args.trace):
+        result = evaluate_server(server, Simulator(server, seed=args.seed))
     print(format_evaluation_table(result))
     _save_json_report(repro_io.evaluation_to_dict(result), args.json)
     return 0
@@ -646,7 +733,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             events=events,
         )
         try:
-            outcome = runner.run(campaign)
+            with _maybe_trace(args.trace):
+                outcome = runner.run(campaign)
         finally:
             if events is not None:
                 events.close()
@@ -743,10 +831,57 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             f"campaign {start.get('campaign', '?')!r}: {state}  "
             f"{done}/{total} jobs done  {failed} failed  {retries} retries"
         )
-        return 0
+        # Failed jobs surface in the exit code, matching `fleet run`.
+        return 1 if failed else 0
 
     # fleet report
-    print(fleet.FleetReport.from_events(events).format())
+    report = fleet.FleetReport.from_events(events)
+    print(report.format())
+    return 1 if report.n_failed else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import bench as obs_bench
+
+    if args.list_scenarios:
+        print(f"{'scenario':<16} {'quick':>5} {'full':>5} {'unit':<9} description")
+        for scenario in obs_bench.available_scenarios():
+            print(
+                f"{scenario.name:<16} {scenario.iterations_quick:>5} "
+                f"{scenario.iterations_full:>5} {scenario.unit:<9} "
+                f"{scenario.description}"
+            )
+        return 0
+    repeat = obs_bench.DEFAULT_REPEAT if args.repeat is None else args.repeat
+    seed = obs_bench.DEFAULT_SEED if args.seed is None else args.seed
+    document = obs_bench.run_bench(
+        quick=args.quick, repeat=repeat, seed=seed, only=args.scenario
+    )
+    print(obs_bench.format_document(document))
+    _save_json_report(document, args.json)
+    if args.baseline:
+        tolerance = (
+            obs_bench.DEFAULT_TOLERANCE
+            if args.tolerance is None
+            else args.tolerance
+        )
+        baseline = obs_bench.load_bench_document(args.baseline)
+        report = obs_bench.compare_benchmarks(
+            baseline, document, tolerance=tolerance
+        )
+        print()
+        print(obs_bench.format_comparison(report))
+        if not report["ok"]:
+            return 3
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    records = obs.load_jsonl(args.file)
+    if not records:
+        print(f"no spans in {args.file}", file=sys.stderr)
+        return 2
+    print(obs.format_tree(records))
     return 0
 
 
@@ -764,6 +899,8 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "export": _cmd_export,
     "fleet": _cmd_fleet,
+    "bench": _cmd_bench,
+    "trace": _cmd_trace,
 }
 
 
@@ -776,6 +913,13 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed early (`repro ... | head`); not our error,
+        # but don't let a traceback outlive the pipe.  Point stdout at
+        # /dev/null so the interpreter's exit-time flush stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,6 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.engine.simulator import Simulator
 from repro.engine.trace import RunResult
 from repro.errors import ConfigurationError
@@ -121,40 +122,50 @@ class Campaign:
             runs: list[RunResult] = []
             csv_paths: list[Path] = []
             t = 0.0
-            for i, workload in enumerate(workloads):
-                result = self.simulator.run(workload, t_start_s=t)
-                runs.append(result)
-                # The meter PC's clock leads the server's by the offset.
-                csv_paths.append(
-                    write_power_csv(
-                        out_dir / f"segment_{i:03d}.csv",
-                        result.times_s + self.clock_offset_s,
-                        result.measured_watts,
-                    )
-                )
-                t = result.t_end_s + self.gap_s
+            with obs.timed(
+                "campaign.run",
+                server=self.simulator.server.name,
+                programs=len(workloads),
+            ):
+                for i, workload in enumerate(workloads):
+                    with obs.span("campaign.segment", index=i):
+                        result = self.simulator.run(workload, t_start_s=t)
+                        runs.append(result)
+                        # The meter PC's clock leads the server's by the
+                        # offset.
+                        csv_paths.append(
+                            write_power_csv(
+                                out_dir / f"segment_{i:03d}.csv",
+                                result.times_s + self.clock_offset_s,
+                                result.measured_watts,
+                            )
+                        )
+                        t = result.t_end_s + self.gap_s
 
-            merged = merge_power_csvs(csv_paths, out_dir / "merged.csv")
-            times, watts = read_power_csv(merged)
-            # Clock-sync correction (procedure step 3): map meter time back
-            # to server time before window extraction.
-            times = times - self.clock_offset_s
+                with obs.span("campaign.analysis"):
+                    merged = merge_power_csvs(csv_paths, out_dir / "merged.csv")
+                    times, watts = read_power_csv(merged)
+                    # Clock-sync correction (procedure step 3): map meter
+                    # time back to server time before window extraction.
+                    times = times - self.clock_offset_s
 
-            measurements = []
-            for result in runs:
-                window = extract_window(
-                    times, watts, result.t_start_s, result.t_end_s
-                )
-                stats = trimmed_stats(window, self.trim)
-                measurements.append(
-                    ProgramMeasurement(
-                        label=result.demand.program,
-                        gflops=result.demand.gflops,
-                        average_watts=stats.mean,
-                        average_memory_mb=result.average_memory_mb(self.trim),
-                        duration_s=result.duration_s,
-                    )
-                )
+                    measurements = []
+                    for result in runs:
+                        window = extract_window(
+                            times, watts, result.t_start_s, result.t_end_s
+                        )
+                        stats = trimmed_stats(window, self.trim)
+                        measurements.append(
+                            ProgramMeasurement(
+                                label=result.demand.program,
+                                gflops=result.demand.gflops,
+                                average_watts=stats.mean,
+                                average_memory_mb=result.average_memory_mb(
+                                    self.trim
+                                ),
+                                duration_s=result.duration_s,
+                            )
+                        )
             return CampaignResult(
                 server=self.simulator.server.name,
                 measurements=tuple(measurements),

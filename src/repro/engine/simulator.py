@@ -17,6 +17,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.demand import ResourceDemand
 from repro.engine.trace import RunResult
 from repro.errors import SimulationError
@@ -117,6 +118,22 @@ class Simulator:
             Dynamic-power idiosyncrasy override; defaults to the
             workload's own factor (1.0 for a bare demand).
         """
+        label = getattr(workload, "label", None) or getattr(
+            workload, "program", type(workload).__name__
+        )
+        with obs.timed("sim.run", server=self.server.name, program=label):
+            result = self._run(workload, t_start_s, power_factor)
+        obs.inc("sim.run.samples", float(result.times_s.size))
+        obs.inc("sim.pmu.samples", float(len(result.pmu_samples)))
+        return result
+
+    def _run(
+        self,
+        workload: "Workload | ResourceDemand",
+        t_start_s: float,
+        power_factor: "float | None",
+    ) -> RunResult:
+        """The uninstrumented simulation (the body of :meth:`run`)."""
         if isinstance(workload, ResourceDemand):
             demand = workload
             factor = 1.0 if power_factor is None else power_factor

@@ -35,6 +35,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import obs
 from repro.demand import ResourceDemand
 from repro.engine.trace import RunResult
 from repro.fleet.spec import FleetJob
@@ -243,15 +244,13 @@ class ResultCache:
         try:
             data = json.loads(path.read_text())
         except FileNotFoundError:
-            self.stats.misses += 1
+            self._miss()
             return None
         except (OSError, json.JSONDecodeError):
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            self._corrupt()
             return None
         if data.get("kind") != _ENTRY_KIND or data.get("salt") != CACHE_SALT:
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            self._corrupt()
             return None
         try:
             blob = path.with_suffix(".bin").read_bytes()
@@ -265,11 +264,20 @@ class ResultCache:
                 wall_s=float(data.get("wall_s", 0.0)),
             )
         except (OSError, KeyError, TypeError, ValueError):
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            self._corrupt()
             return None
         self.stats.hits += 1
+        obs.inc("fleet.cache.hit")
         return hit
+
+    def _miss(self) -> None:
+        self.stats.misses += 1
+        obs.inc("fleet.cache.miss")
+
+    def _corrupt(self) -> None:
+        self.stats.corrupt += 1
+        obs.inc("fleet.cache.corrupt")
+        self._miss()
 
     def put(self, key: str, result: RunResult, wall_s: float) -> Path:
         """Store a result atomically and return its metadata path.
@@ -304,6 +312,7 @@ class ResultCache:
         tmp.write_text(json.dumps(document))
         tmp.replace(path)
         self.stats.writes += 1
+        obs.inc("fleet.cache.write")
         return path
 
     def __len__(self) -> int:

@@ -32,6 +32,10 @@ class FleetReport:
     n_retries: int
     wall_s: float
     serial_wall_s: float
+    #: Merged per-worker metrics snapshot (``repro.obs``), present only
+    #: when the campaign ran with observability enabled — keeping the
+    #: default report identical to an uninstrumented run.
+    metrics: "dict[str, Any] | None" = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -62,6 +66,7 @@ class FleetReport:
             n_retries=sum(max(r.attempts - 1, 0) for r in records),
             wall_s=outcome.wall_s,
             serial_wall_s=sum(r.wall_s for r in records),
+            metrics=getattr(outcome, "metrics", None),
         )
 
     @classmethod
@@ -122,11 +127,23 @@ class FleetReport:
             f"speedup {self.speedup_vs_serial:.1f}x  "
             f"throughput {self.throughput_jobs_per_s:.1f} jobs/s",
         ]
+        if self.metrics:
+            counters = self.metrics.get("counters", {})
+            shown = ", ".join(
+                f"{name} {value:g}" for name, value in sorted(counters.items())
+            )
+            if shown:
+                lines.append(f"  worker metrics: {shown}")
         return "\n".join(lines)
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready representation (for ``fleet run --out``)."""
-        return {
+        """JSON-ready representation (for ``fleet run --out``).
+
+        The ``metrics`` key appears only when the campaign ran with
+        observability enabled, so default output is byte-compatible
+        with builds that predate ``repro.obs``.
+        """
+        document = {
             "campaign": self.campaign,
             "workers": self.workers,
             "n_jobs": self.n_jobs,
@@ -140,3 +157,6 @@ class FleetReport:
             "throughput_jobs_per_s": self.throughput_jobs_per_s,
             "speedup_vs_serial": self.speedup_vs_serial,
         }
+        if self.metrics is not None:
+            document["metrics"] = self.metrics
+        return document

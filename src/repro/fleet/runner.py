@@ -29,6 +29,7 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.engine.trace import RunResult
 from repro.errors import ConfigurationError
 from repro.fleet.cache import ResultCache, job_cache_key
@@ -110,12 +111,20 @@ class JobRecord:
 
 @dataclass(frozen=True)
 class FleetOutcome:
-    """Everything a campaign produced, including partial results."""
+    """Everything a campaign produced, including partial results.
+
+    ``metrics`` merges every worker's per-job metrics snapshot with the
+    runner's job-lifecycle counters (``fleet.job.completed`` /
+    ``.failures`` / ``.retries``, ``fleet.job.seconds``) when
+    observability was enabled for the run; ``None`` otherwise.  See
+    :meth:`repro.obs.MetricsRegistry.snapshot` for the shape.
+    """
 
     campaign: str
     records: tuple[JobRecord, ...]
     wall_s: float
     workers: int
+    metrics: "dict | None" = None
 
     @property
     def ok(self) -> bool:
@@ -198,6 +207,11 @@ class FleetRunner:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     events: "EventLog | None" = None
     fault: "FaultInjection | None" = None
+    #: Per-campaign merge target for worker metrics snapshots; only set
+    #: while a run is in flight with observability enabled.
+    _worker_metrics: "obs.MetricsRegistry | None" = field(
+        default=None, init=False, repr=False
+    )
 
     def run(self, campaign: CampaignSpec) -> FleetOutcome:
         """Execute a campaign spec; never raises for per-job failures."""
@@ -213,43 +227,55 @@ class FleetRunner:
         self._emit(
             "campaign_start", campaign=name, jobs=len(jobs), workers=workers
         )
+        self._worker_metrics = obs.MetricsRegistry() if obs.enabled() else None
         t0 = time.perf_counter()
 
-        records: dict[str, JobRecord] = {}
-        pending: list[FleetJob] = []
-        for job in jobs:
-            hit = self.cache.get(job_cache_key(job)) if self.cache else None
-            if hit is not None:
-                self._emit(
-                    "cache_hit",
-                    campaign=name,
-                    job_id=job.job_id,
-                    label=job.label,
-                    server=job.server.name,
-                    wall_s=hit.wall_s,
-                )
-                records[job.job_id] = JobRecord(
-                    job=job,
-                    result=hit.result,
-                    cached=True,
-                    attempts=0,
-                    wall_s=hit.wall_s,
-                )
-            else:
-                pending.append(job)
+        with obs.span("fleet.campaign", campaign=name, workers=workers):
+            records: dict[str, JobRecord] = {}
+            pending: list[FleetJob] = []
+            for job in jobs:
+                hit = self.cache.get(job_cache_key(job)) if self.cache else None
+                if hit is not None:
+                    self._emit(
+                        "cache_hit",
+                        campaign=name,
+                        job_id=job.job_id,
+                        label=job.label,
+                        server=job.server.name,
+                        wall_s=hit.wall_s,
+                    )
+                    records[job.job_id] = JobRecord(
+                        job=job,
+                        result=hit.result,
+                        cached=True,
+                        attempts=0,
+                        wall_s=hit.wall_s,
+                    )
+                else:
+                    pending.append(job)
 
-        if pending:
-            if workers <= 1:
-                self._run_inline(pending, name, records)
-            else:
-                self._run_pool(pending, name, workers, records)
+            if pending:
+                if workers <= 1:
+                    self._run_inline(pending, name, records)
+                else:
+                    self._run_pool(pending, name, workers, records)
 
         wall_s = time.perf_counter() - t0
+        metrics = None
+        if self._worker_metrics is not None:
+            obs.set_gauge("fleet.workers", workers)
+            obs.observe("fleet.campaign.seconds", wall_s)
+            metrics = self._worker_metrics.snapshot()
+            # The campaign's per-worker totals also roll up into this
+            # process's registry, so a bench scenario sees one view.
+            obs.get_registry().merge(metrics)
+            self._worker_metrics = None
         outcome = FleetOutcome(
             campaign=name,
             records=tuple(records[j.job_id] for j in jobs),
             wall_s=wall_s,
             workers=workers,
+            metrics=metrics,
         )
         self._emit(
             "campaign_finish",
@@ -346,10 +372,26 @@ class FleetRunner:
 
     # -- bookkeeping ----------------------------------------------------
 
+    def _campaign_inc(self, metric: str) -> None:
+        """Count a job-lifecycle event in the campaign registry.
+
+        Landing these in ``_worker_metrics`` (not the process registry)
+        means they ship with :attr:`FleetOutcome.metrics` and reach the
+        process registry exactly once, via the end-of-run merge.
+        """
+        if self._worker_metrics is not None:
+            self._worker_metrics.inc(metric)
+
     def _finished(
         self, name: str, job: FleetJob, attempt: int, out: dict
     ) -> JobRecord:
         result: RunResult = out["result"]
+        snapshot = out.get("metrics")
+        if snapshot and self._worker_metrics is not None:
+            self._worker_metrics.merge(snapshot)
+        self._campaign_inc("fleet.job.completed")
+        if self._worker_metrics is not None:
+            self._worker_metrics.observe("fleet.job.seconds", out["wall_s"])
         if self.cache is not None:
             self.cache.put(job_cache_key(job), result, out["wall_s"])
         self._emit(
@@ -373,6 +415,7 @@ class FleetRunner:
     def _failed(
         self, name: str, job: FleetJob, attempts: int, exc: BaseException
     ) -> JobRecord:
+        self._campaign_inc("fleet.job.failures")
         self._emit(
             "job_failed",
             campaign=name,
@@ -404,6 +447,7 @@ class FleetRunner:
     def _emit_retry(
         self, name: str, job: FleetJob, attempt: int, exc: BaseException
     ) -> None:
+        self._campaign_inc("fleet.job.retries")
         self._emit(
             "job_retry",
             campaign=name,

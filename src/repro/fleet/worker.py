@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any
 
+from repro import obs
 from repro.engine.simulator import Simulator
 from repro.engine.trace import RunResult
 from repro.errors import SimulationError
@@ -88,14 +89,22 @@ def job_payload(
         "placement": job.placement,
         "attempt": attempt,
         "fault": fault,
+        # Observability travels with the payload so spawn-context pools
+        # (which inherit neither a programmatic enable() nor, possibly,
+        # the environment) behave like fork pools.
+        "obs": obs.enabled(),
     }
 
 
 def execute_job(payload: dict[str, Any]) -> dict[str, Any]:
     """Run one job attempt; the pool's target function.
 
-    Returns ``{"job_id", "result": RunResult, "wall_s", "worker"}``.
-    Exceptions propagate to the parent, which applies the retry policy.
+    Returns ``{"job_id", "result": RunResult, "wall_s", "worker",
+    "metrics"}`` — ``metrics`` is a per-job
+    :meth:`~repro.obs.MetricsRegistry.snapshot` when observability is on
+    (the runner merges them into the campaign's registry), ``None``
+    otherwise.  Exceptions propagate to the parent, which applies the
+    retry policy.
     """
     fault: "FaultInjection | None" = payload["fault"]
     if fault is not None and fault.should_fail(
@@ -104,15 +113,34 @@ def execute_job(payload: dict[str, Any]) -> dict[str, Any]:
         raise InjectedFaultError(
             f"injected fault: {payload['job_id']} attempt {payload['attempt']}"
         )
+    collect = bool(payload.get("obs"))
+    if collect:
+        obs.enable()
     t0 = time.perf_counter()
-    simulator = _simulator_for(
-        payload["server_json"], payload["seed"], payload["placement"]
-    )
-    workload = workload_from_dict(payload["workload"])
-    result: RunResult = simulator.run(workload)
+    if collect:
+        # An isolated registry keeps this job's metrics separable from
+        # whatever else the process has counted; the snapshot rides home
+        # with the result and merges exactly on the runner side.
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            result = _simulate(payload)
+        metrics = registry.snapshot()
+    else:
+        result = _simulate(payload)
+        metrics = None
     return {
         "job_id": payload["job_id"],
         "result": result,
         "wall_s": time.perf_counter() - t0,
         "worker": os.getpid(),
+        "metrics": metrics,
     }
+
+
+def _simulate(payload: dict[str, Any]) -> RunResult:
+    """Reconstruct the simulator and run the payload's workload."""
+    simulator = _simulator_for(
+        payload["server_json"], payload["seed"], payload["placement"]
+    )
+    workload = workload_from_dict(payload["workload"])
+    return simulator.run(workload)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, MeterError
 
 __all__ = ["MeterSpec", "WT210", "Wt210Meter"]
@@ -92,6 +93,7 @@ class Wt210Meter:
         quantised = np.round(noisy / self.spec.quantum_watts) * (
             self.spec.quantum_watts
         )
+        obs.inc("meter.samples", float(true_watts.size))
         return np.maximum(quantised, 0.0)
 
     def sample(self, true_watts: float) -> float:

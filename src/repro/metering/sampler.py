@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.hardware.specs import ServerSpec
 
@@ -37,6 +38,7 @@ class MemorySampler:
         observed = resident_mb + self.jitter_mb * self._rng.standard_normal(
             resident_mb.shape
         )
+        obs.inc("meter.memory_samples", float(resident_mb.size))
         return np.clip(observed, 0.0, self.server.memory_mb)
 
     def usage_percent(self, resident_mb: np.ndarray) -> np.ndarray:

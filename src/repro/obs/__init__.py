@@ -1,0 +1,162 @@
+"""repro.obs — lightweight tracing, metrics, and the bench harness.
+
+The pipeline the paper describes is itself a measurement instrument
+(meter → trace → trim → mean → PPW score); this package is the
+instrument pointed back at the code.  Three pieces:
+
+* :mod:`repro.obs.tracing` — a :class:`Tracer` of nested spans with
+  monotonic timing, JSONL export, and a tree pretty-printer
+  (``python -m repro trace tree run.jsonl``),
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  of counters/gauges/histograms whose snapshots merge exactly across
+  worker processes,
+* :mod:`repro.obs.bench` — the ``python -m repro bench`` regression
+  harness CI gates on.
+
+Everything is **off by default** and gated by ``REPRO_OBS=1`` (or the
+``--trace`` CLI flags / :func:`enable`); disabled, every hook in the
+engine, fleet, and metering layers is a single boolean check and
+results are bit-identical to an uninstrumented build.
+
+The helpers below are what instrumented modules call::
+
+    from repro import obs
+
+    with obs.timed("sim.run", program=label):   # span + seconds histogram
+        ...
+    obs.inc("meter.samples", n)                 # counter, no-op when off
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from time import perf_counter
+from typing import Any, Iterator
+
+from repro.obs import runtime
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    use_registry,
+)
+from repro.obs.runtime import ENV_VAR, disable, enable, enabled, reset
+from repro.obs.tracing import (
+    SpanRecord,
+    Tracer,
+    format_tree,
+    get_tracer,
+    load_jsonl,
+    set_tracer,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "capture",
+    "disable",
+    "enable",
+    "enabled",
+    "format_tree",
+    "get_registry",
+    "get_tracer",
+    "inc",
+    "load_jsonl",
+    "observe",
+    "reset",
+    "set_gauge",
+    "set_tracer",
+    "span",
+    "timed",
+    "use_registry",
+]
+
+_NULL = nullcontext()
+
+
+def span(name: str, **attrs: Any):
+    """A tracer span when observability is on; a no-op otherwise."""
+    if not runtime.enabled():
+        return _NULL
+    return get_tracer().span(name, **attrs)
+
+
+class _Timed:
+    """Span + ``<name>.count`` counter + ``<name>.seconds`` histogram."""
+
+    __slots__ = ("_name", "_attrs", "_span", "_t0")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> None:
+        self._span = get_tracer().span(self._name, **self._attrs)
+        self._span.__enter__()
+        self._t0 = perf_counter()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        elapsed = perf_counter() - self._t0
+        self._span.__exit__(*exc_info)
+        registry = get_registry()
+        registry.inc(f"{self._name}.count")
+        registry.observe(f"{self._name}.seconds", elapsed)
+
+
+def timed(name: str, **attrs: Any):
+    """Like :func:`span`, and also records ``<name>.count`` /
+    ``<name>.seconds`` in the active registry.  No-op when off."""
+    if not runtime.enabled():
+        return _NULL
+    return _Timed(name, attrs)
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Increment a counter in the active registry; no-op when off."""
+    if runtime.enabled():
+        get_registry().inc(name, amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record into a histogram in the active registry; no-op when off."""
+    if runtime.enabled():
+        get_registry().observe(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge in the active registry; no-op when off."""
+    if runtime.enabled():
+        get_registry().set_gauge(name, value)
+
+
+@contextmanager
+def capture(tracer: "Tracer | None" = None) -> Iterator[Tracer]:
+    """Enable observability for a block with a dedicated tracer.
+
+    Installs ``tracer`` (or a fresh one) as the process tracer, enables
+    observability, and restores both on exit — what the ``--trace`` CLI
+    flags and the bench harness are built on::
+
+        with obs.capture() as tracer:
+            evaluate_server(server)
+        tracer.export_jsonl("trace.jsonl")
+    """
+    from repro.obs import tracing
+
+    previous_override = runtime._override
+    previous_tracer = tracing._tracer
+    active = tracer or Tracer()
+    set_tracer(active)
+    enable()
+    try:
+        yield active
+    finally:
+        runtime._override = previous_override
+        set_tracer(previous_tracer)

@@ -1,0 +1,242 @@
+"""Process-wide metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is a named bag of three instrument kinds:
+
+* :class:`Counter` — monotonically increasing totals
+  (``fleet.cache.hit``, ``meter.samples``),
+* :class:`Gauge` — last-written values (``fleet.workers``),
+* :class:`Histogram` — summary statistics of observed values
+  (``sim.run.seconds``); count/sum/min/max, so merging two histograms is
+  exact and snapshots stay small.
+
+Snapshots are plain JSON-ready dicts with sorted keys, which makes them
+deterministic to serialise, cheap to ship from a worker process back to
+the fleet runner, and mergeable: :meth:`MetricsRegistry.merge` folds a
+snapshot from another process into this one (counters and histogram
+totals add; gauges last-write-wins).
+
+The module keeps one process-global registry (:func:`get_registry`);
+:func:`use_registry` temporarily swaps it out, which is how fleet
+workers collect per-job metrics without tangling them with the
+parent's.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "use_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only go up; got increment {amount}"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Summary statistics (count/sum/min/max) of observed values.
+
+    Deliberately not a bucketed histogram: the summary merges exactly
+    across processes and is all the bench harness and fleet report need.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def merge_dict(self, data: dict[str, float]) -> None:
+        """Fold a snapshot of another histogram into this one."""
+        count = int(data.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(data.get("sum", 0.0))
+        self.min = min(self.min, float(data["min"]))
+        self.max = max(self.max, float(data["max"]))
+
+
+class MetricsRegistry:
+    """A named, thread-safe collection of counters, gauges, histograms.
+
+    Instrument names are dotted strings (``fleet.cache.hit``); one name
+    can only ever hold one instrument kind.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access ----------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        with self._lock:
+            self._check_kind(name, self._counters)
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        with self._lock:
+            self._check_kind(name, self._gauges)
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        with self._lock:
+            self._check_kind(name, self._histograms)
+            return self._histograms.setdefault(name, Histogram())
+
+    def _check_kind(self, name: str, expected: dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not expected and name in family:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    # -- convenience write paths ----------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment the counter called ``name``."""
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge called ``name``."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the histogram called ``name``."""
+        self.histogram(name).observe(value)
+
+    # -- snapshot / merge / reset ---------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready state: sorted names, plain floats — deterministic
+        for equal contents regardless of registration order."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: self._counters[name].value
+                    for name in sorted(self._counters)
+                },
+                "gauges": {
+                    name: self._gauges[name].value
+                    for name in sorted(self._gauges)
+                },
+                "histograms": {
+                    name: self._histograms[name].to_dict()
+                    for name in sorted(self._histograms)
+                },
+            }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into
+        this registry: counters and histograms add, gauges take the
+        incoming value."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, data in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_dict(data)
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh start for a bench scenario)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_global_registry = MetricsRegistry()
+_registry_lock = threading.Lock()
+_active: MetricsRegistry = _global_registry
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active process-wide registry."""
+    return _active
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily make ``registry`` the process-wide registry.
+
+    Used by fleet workers to collect one job's metrics in isolation and
+    by tests to avoid cross-talk.  Not re-entrant across threads — the
+    swap is process-global, which is exactly what single-threaded worker
+    processes need.
+    """
+    global _active
+    with _registry_lock:
+        previous = _active
+        _active = registry
+    try:
+        yield registry
+    finally:
+        with _registry_lock:
+            _active = previous

@@ -1,0 +1,61 @@
+"""The observability master switch.
+
+Instrumentation is *opt-in*: with ``REPRO_OBS`` unset every hook in the
+engine, fleet, and metering layers reduces to a single boolean check, no
+span is recorded, no metric is touched, and evaluation results are
+bit-identical to an uninstrumented build (the hooks never read the
+random streams anyway — this is belt and braces).
+
+Enable it with the environment variable::
+
+    REPRO_OBS=1 python -m repro evaluate Xeon-E5462
+
+or programmatically (what ``--trace`` and ``repro bench`` do)::
+
+    from repro import obs
+    obs.enable()
+
+:func:`enabled` resolves the programmatic override first and falls back
+to the environment, so worker processes spawned with a clean interpreter
+still honour ``REPRO_OBS=1`` while a forked pool inherits an
+``enable()`` made by the parent.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["ENV_VAR", "enabled", "enable", "disable", "reset"]
+
+#: Environment variable that switches observability on (``1``/``true``).
+ENV_VAR = "REPRO_OBS"
+
+_FALSY = ("", "0", "false", "no", "off")
+
+#: Programmatic override; ``None`` means "follow the environment".
+_override: "bool | None" = None
+
+
+def enabled() -> bool:
+    """Whether observability (tracing + metrics) is currently on."""
+    if _override is not None:
+        return _override
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSY
+
+
+def enable() -> None:
+    """Switch observability on for this process (overrides the env)."""
+    global _override
+    _override = True
+
+
+def disable() -> None:
+    """Switch observability off for this process (overrides the env)."""
+    global _override
+    _override = False
+
+
+def reset() -> None:
+    """Drop any programmatic override and follow ``REPRO_OBS`` again."""
+    global _override
+    _override = None

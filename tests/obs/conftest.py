@@ -1,0 +1,24 @@
+"""Shared obs fixtures: every test runs against fresh global state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def clean_obs(monkeypatch):
+    """Isolate each test: no env var, fresh registry/tracer, no override."""
+    monkeypatch.delenv(obs.ENV_VAR, raising=False)
+    runtime.reset()
+    registry = obs.MetricsRegistry()
+    previous_tracer = obs.get_tracer()
+    obs.set_tracer(obs.Tracer())
+    with obs.use_registry(registry):
+        try:
+            yield registry
+        finally:
+            obs.set_tracer(previous_tracer)
+            runtime.reset()

@@ -1,0 +1,152 @@
+"""MetricsRegistry: instruments, snapshots, cross-process merging."""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("fleet.cache.hit")
+        registry.inc("fleet.cache.hit", 2.0)
+        assert registry.counter("fleet.cache.hit").value == 3.0
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.inc("n", -1.0)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("fleet.workers", 2)
+        registry.set_gauge("fleet.workers", 4)
+        assert registry.gauge("fleet.workers").value == 4.0
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            registry.observe("sim.run.seconds", value)
+        hist = registry.histogram("sim.run.seconds")
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert (hist.min, hist.max) == (1.0, 3.0)
+        assert hist.mean == 2.0
+
+    def test_empty_histogram_to_dict(self):
+        assert Histogram().to_dict() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+    def test_one_name_one_kind(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        with pytest.raises(ConfigurationError):
+            registry.observe("x", 1.0)
+        with pytest.raises(ConfigurationError):
+            registry.set_gauge("x", 1.0)
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_ready_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("b.count")
+        registry.inc("a.count")
+        registry.observe("z.seconds", 0.5)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # no exotic types
+        assert list(snapshot["counters"]) == ["a.count", "b.count"]
+
+    def test_snapshot_deterministic_regardless_of_order(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.inc("a")
+        first.inc("b", 2)
+        second.inc("b", 2)
+        second.inc("a")
+        assert first.snapshot() == second.snapshot()
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestMerge:
+    def test_counters_add_gauges_overwrite_histograms_combine(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.inc("jobs", 2)
+        parent.set_gauge("workers", 1)
+        parent.observe("seconds", 1.0)
+        worker.inc("jobs", 3)
+        worker.set_gauge("workers", 4)
+        worker.observe("seconds", 3.0)
+        parent.merge(worker.snapshot())
+        assert parent.counter("jobs").value == 5.0
+        assert parent.gauge("workers").value == 4.0
+        hist = parent.histogram("seconds")
+        assert hist.count == 2
+        assert hist.total == 4.0
+        assert (hist.min, hist.max) == (1.0, 3.0)
+
+    def test_merge_of_empty_snapshot_is_identity(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        before = registry.snapshot()
+        registry.merge(MetricsRegistry().snapshot())
+        assert registry.snapshot() == before
+
+    def test_merge_across_real_processes(self):
+        # Snapshots are plain dicts, so they cross process boundaries
+        # unchanged — the exact path fleet workers use.
+        parent = MetricsRegistry()
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            for snapshot in pool.map(_worker_snapshot, [1, 2]):
+                parent.merge(snapshot)
+        assert parent.counter("worker.jobs").value == 3.0  # 1 + 2
+        assert parent.histogram("worker.seconds").count == 3
+
+
+def _worker_snapshot(jobs: int) -> dict:
+    registry = MetricsRegistry()
+    for i in range(jobs):
+        registry.inc("worker.jobs")
+        registry.observe("worker.seconds", 0.1 * (i + 1))
+    return registry.snapshot()
+
+
+class TestActiveRegistry:
+    def test_use_registry_swaps_and_restores(self):
+        outer = obs.get_registry()
+        inner = MetricsRegistry()
+        with obs.use_registry(inner):
+            assert obs.get_registry() is inner
+            obs.enable()
+            obs.inc("isolated")
+        assert obs.get_registry() is outer
+        assert inner.counter("isolated").value == 1.0
+        assert "isolated" not in outer.snapshot()["counters"]
+
+    def test_helpers_are_noops_when_disabled(self):
+        obs.inc("ghost")
+        obs.observe("ghost.seconds", 1.0)
+        obs.set_gauge("ghost.gauge", 1.0)
+        assert obs.get_registry().snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_timed_records_span_count_and_seconds(self):
+        obs.enable()
+        with obs.timed("step", stage="trim"):
+            pass
+        registry = obs.get_registry()
+        assert registry.counter("step.count").value == 1.0
+        assert registry.histogram("step.seconds").count == 1
+        assert [r.name for r in obs.get_tracer().records()] == ["step"]

@@ -1,0 +1,172 @@
+"""Tracer: span nesting, decorator, JSONL roundtrip, tree rendering."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs.tracing import Tracer, format_tree, load_jsonl
+
+
+def shape(records):
+    """The structurally deterministic part of a record list."""
+    return [(r.index, r.name, r.depth, r.parent) for r in records]
+
+
+class TestSpans:
+    def test_nesting_sets_depth_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        assert shape(tracer.records()) == [
+            (0, "outer", 0, None),
+            (1, "middle", 1, 0),
+            (2, "inner", 2, 1),
+            (3, "sibling", 1, 0),
+        ]
+
+    def test_records_are_in_start_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        # "a" started first, so it owns index 0 even though "b" closed first.
+        assert [r.name for r in tracer.records()] == ["a", "b"]
+
+    def test_attrs_and_timing(self):
+        tracer = Tracer()
+        with tracer.span("work", program="ep.C.4", nprocs=4):
+            pass
+        (record,) = tracer.records()
+        assert record.attrs == {"program": "ep.C.4", "nprocs": 4}
+        assert record.duration_s >= 0.0
+        assert record.start_s >= 0.0
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (record,) = tracer.records()
+        assert record.attrs["error"] == "ValueError"
+
+    def test_open_spans_are_excluded(self):
+        tracer = Tracer()
+        with tracer.span("open"):
+            assert tracer.records() == ()
+
+    def test_clear_restarts(self):
+        tracer = Tracer()
+        with tracer.span("gone"):
+            pass
+        tracer.clear()
+        assert tracer.records() == ()
+
+
+class TestDecorator:
+    def test_wrap_defaults_to_function_name(self):
+        tracer = Tracer()
+
+        @tracer.wrap()
+        def simulate():
+            return 42
+
+        assert simulate() == 42
+        (record,) = tracer.records()
+        assert record.name.endswith("simulate")
+
+    def test_wrap_with_explicit_name_and_attrs(self):
+        tracer = Tracer()
+
+        @tracer.wrap("sim.run", server="Xeon-E5462")
+        def run():
+            pass
+
+        run()
+        run()
+        records = tracer.records()
+        assert [r.name for r in records] == ["sim.run", "sim.run"]
+        assert records[0].attrs == {"server": "Xeon-E5462"}
+
+
+class TestExport:
+    def test_jsonl_roundtrip_is_lossless(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", k="v"):
+            with tracer.span("inner"):
+                pass
+        path = tracer.export_jsonl(tmp_path / "trace.jsonl")
+        loaded = load_jsonl(path)
+        assert loaded == list(tracer.records())
+
+    def test_export_shape_is_deterministic(self, tmp_path):
+        def run_once():
+            tracer = Tracer()
+            with tracer.span("campaign", campaign="demo"):
+                for i in range(3):
+                    with tracer.span("job", index=i):
+                        pass
+            return tracer
+
+        a = run_once().export_jsonl(tmp_path / "a.jsonl")
+        b = run_once().export_jsonl(tmp_path / "b.jsonl")
+        # Timing differs run to run, structure must not.
+        assert shape(load_jsonl(a)) == shape(load_jsonl(b))
+        assert [r.attrs for r in load_jsonl(a)] == [
+            r.attrs for r in load_jsonl(b)
+        ]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(ConfigurationError):
+            load_jsonl(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_jsonl(tmp_path / "absent.jsonl")
+
+
+class TestFormatTree:
+    def test_indents_by_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", program="ep.C.1"):
+                pass
+        tree = format_tree(tracer.records())
+        lines = tree.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "program=ep.C.1" in lines[1]
+
+    def test_empty_tracer_formats_to_placeholder(self):
+        assert "no spans" in format_tree([])
+
+
+class TestModuleHelpers:
+    def test_disabled_span_is_noop(self):
+        assert not obs.enabled()
+        with obs.span("ignored", key="value"):
+            pass
+        assert obs.get_tracer().records() == ()
+
+    def test_enabled_span_records(self):
+        obs.enable()
+        with obs.span("seen"):
+            pass
+        assert [r.name for r in obs.get_tracer().records()] == ["seen"]
+
+    def test_capture_restores_previous_state(self):
+        before_tracer = obs.get_tracer()
+        assert not obs.enabled()
+        with obs.capture() as tracer:
+            assert obs.enabled()
+            assert obs.get_tracer() is tracer
+            with obs.span("inside"):
+                pass
+        assert not obs.enabled()
+        assert obs.get_tracer() is before_tracer
+        assert [r.name for r in tracer.records()] == ["inside"]
