@@ -105,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="PATH",
                 help="enable observability and export a span JSONL trace",
             )
+            cmd.add_argument(
+                "--engine",
+                choices=["serial", "batch"],
+                default=None,
+                help="execution engine for the ten runs (default: batch, "
+                "or $REPRO_ENGINE; results are bit-identical)",
+            )
 
     rank = sub.add_parser(
         "rankings", help="all three methods on all three servers (§V-C3)"
@@ -227,6 +234,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="enable observability and export a span JSONL trace",
     )
+    frun.add_argument(
+        "--engine",
+        choices=["serial", "batch"],
+        default="batch",
+        help="worker execution engine: 'batch' sends job chunks through "
+        "the vectorized engine, 'serial' runs one job per dispatch "
+        "(results are bit-identical)",
+    )
+    frun.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="jobs per worker dispatch with --engine batch "
+        "(default: auto)",
+    )
 
     fstat = fsub.add_parser(
         "status", help="progress of the latest campaign in an event log"
@@ -337,7 +360,9 @@ def _maybe_trace(path: "str | None"):
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     server = _load_server(args.server)
     with _maybe_trace(args.trace):
-        result = evaluate_server(server, Simulator(server, seed=args.seed))
+        result = evaluate_server(
+            server, Simulator(server, seed=args.seed), engine=args.engine
+        )
     print(format_evaluation_table(result))
     _save_json_report(repro_io.evaluation_to_dict(result), args.json)
     return 0
@@ -723,6 +748,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.fleet_command == "run":
         if args.workers is not None and args.workers < 1:
             raise ReproError(f"--workers must be >= 1, got {args.workers}")
+        if args.chunk_size is not None and args.chunk_size < 1:
+            raise ReproError(
+                f"--chunk-size must be >= 1, got {args.chunk_size}"
+            )
         campaign = fleet.campaign_from_dict(repro_io.load_json(args.campaign))
         cache = fleet.ResultCache(args.cache_dir) if args.cache_dir else None
         events = fleet.EventLog(args.events) if args.events else None
@@ -731,6 +760,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             cache=cache,
             retry=fleet.RetryPolicy(max_attempts=args.retries),
             events=events,
+            chunk_size=1 if args.engine == "serial" else args.chunk_size,
         )
         try:
             with _maybe_trace(args.trace):

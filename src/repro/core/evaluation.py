@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.core.metrics import ppw
 from repro.core.states import EvaluationState, evaluation_states
 from repro.demand import ResourceDemand
+from repro.engine.batch import resolve_engine, run_batch
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.hardware.specs import ServerSpec
@@ -100,14 +101,17 @@ def evaluate_server(
     simulator: Simulator | None = None,
     trim: float = DEFAULT_TRIM,
     backend=None,
+    engine: "str | None" = None,
 ) -> EvaluationResult:
     """Run the full proposed method on ``server``.
 
     ``backend`` optionally routes the ten runs through a batch executor
     such as :class:`repro.fleet.FleetBackend` (parallel and/or cached);
-    the default executes serially.  Either path yields bit-identical
-    rows — the simulator seeds each run from ``(seed, program label)``,
-    never from execution order.
+    locally the vectorized batch engine is the default, with
+    ``engine="serial"`` (or ``REPRO_ENGINE=serial``) selecting the
+    one-run-at-a-time simulator.  Every path yields bit-identical rows —
+    the simulator seeds each run from ``(seed, program label)``, never
+    from execution order.
 
     >>> from repro.hardware import XEON_E5462
     >>> result = evaluate_server(XEON_E5462)
@@ -119,10 +123,12 @@ def evaluate_server(
         raise ConfigurationError("simulator is bound to a different server")
     states = evaluation_states(server)
     items = [_state_runnable(state) for state in states]
-    if backend is None:
-        runs = [simulator.run(item) for item in items]
-    else:
+    if backend is not None:
         runs = backend.map_runs(simulator, items)
+    elif resolve_engine(engine) == "batch":
+        runs = run_batch(simulator, items)
+    else:
+        runs = [simulator.run(item) for item in items]
     rows = []
     for state, run in zip(states, runs):
         if isinstance(run, Exception):

@@ -39,6 +39,7 @@ from repro.fleet.runner import (
     JobFailure,
     JobRecord,
     RetryPolicy,
+    auto_chunk_size,
     default_workers,
 )
 from repro.fleet.spec import (
@@ -71,6 +72,7 @@ __all__ = [
     "JobRecord",
     "ResultCache",
     "RetryPolicy",
+    "auto_chunk_size",
     "campaign_from_dict",
     "campaign_to_dict",
     "canonical_json",

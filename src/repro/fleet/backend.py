@@ -45,6 +45,9 @@ class FleetBackend:
     Construct once and pass to ``evaluate_server(..., backend=...)`` or
     any ``repro.core.sweeps`` function.  Jobs are deduplicated by
     content, so a sweep that revisits a configuration costs one run.
+    Workers receive *chunks* of jobs by default (see
+    :attr:`FleetRunner.chunk_size`), evaluated through the bit-identical
+    batch engine; set ``chunk_size=1`` for one job per dispatch.
     """
 
     workers: "int | None" = None
@@ -52,6 +55,7 @@ class FleetBackend:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     events: "EventLog | None" = None
     fault: "FaultInjection | None" = None
+    chunk_size: "int | None" = None
 
     def _runner(self) -> FleetRunner:
         return FleetRunner(
@@ -60,6 +64,7 @@ class FleetBackend:
             retry=self.retry,
             events=self.events,
             fault=self.fault,
+            chunk_size=self.chunk_size,
         )
 
     def map_runs(

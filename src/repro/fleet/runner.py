@@ -35,7 +35,12 @@ from repro.errors import ConfigurationError
 from repro.fleet.cache import ResultCache, job_cache_key
 from repro.fleet.events import EventLog
 from repro.fleet.spec import CampaignSpec, FleetJob
-from repro.fleet.worker import FaultInjection, execute_job, job_payload
+from repro.fleet.worker import (
+    FaultInjection,
+    execute_chunk,
+    execute_job,
+    job_payload,
+)
 
 __all__ = [
     "RetryPolicy",
@@ -44,12 +49,26 @@ __all__ = [
     "FleetOutcome",
     "FleetRunner",
     "default_workers",
+    "auto_chunk_size",
 ]
 
 
 def default_workers() -> int:
     """Default pool size: up to 4, bounded by the machine."""
     return max(1, min(4, os.cpu_count() or 1))
+
+
+def auto_chunk_size(n_jobs: int, workers: int) -> int:
+    """Chunk size balancing dispatch overhead against load balance.
+
+    Aims for ~4 chunks per worker so a slow chunk cannot serialise the
+    tail of the campaign, while still amortising pickle/IPC cost over
+    multiple jobs.  Inline execution (``workers <= 1``) gets one big
+    chunk — the batch engine handles the whole list in a single pass.
+    """
+    if workers <= 1:
+        return max(1, n_jobs)
+    return max(1, -(-n_jobs // (workers * 4)))
 
 
 @dataclass(frozen=True)
@@ -175,6 +194,11 @@ class FleetOutcome:
         return FleetReport.from_outcome(self)
 
 
+def _chunked(jobs: "list[FleetJob]", size: int) -> "list[list[FleetJob]]":
+    """Split ``jobs`` into order-preserving chunks of at most ``size``."""
+    return [jobs[i : i + size] for i in range(0, len(jobs), size)]
+
+
 def _pool_context():
     """Fork where available (cheap workers); platform default otherwise."""
     if "fork" in multiprocessing.get_all_start_methods():
@@ -200,6 +224,13 @@ class FleetRunner:
         Optional :class:`~repro.fleet.events.EventLog` sink.
     fault:
         Optional :class:`~repro.fleet.worker.FaultInjection` hook.
+    chunk_size:
+        Jobs per worker dispatch.  ``None`` (default) picks
+        :func:`auto_chunk_size`; ``1`` sends one job per round-trip (the
+        pre-chunking serial behaviour).  Chunks are evaluated through
+        the batch engine, bit-identical to per-job execution; a job that
+        fails inside a chunk is retried individually, so one bad point
+        never costs its chunk-mates a retry.
     """
 
     workers: "int | None" = None
@@ -207,6 +238,7 @@ class FleetRunner:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     events: "EventLog | None" = None
     fault: "FaultInjection | None" = None
+    chunk_size: "int | None" = None
     #: Per-campaign merge target for worker metrics snapshots; only set
     #: while a run is in flight with observability enabled.
     _worker_metrics: "obs.MetricsRegistry | None" = field(
@@ -255,10 +287,21 @@ class FleetRunner:
                     pending.append(job)
 
             if pending:
+                chunk_size = (
+                    self.chunk_size
+                    if self.chunk_size is not None
+                    else auto_chunk_size(len(pending), workers)
+                )
+                if chunk_size < 1:
+                    raise ConfigurationError(
+                        f"chunk_size must be >= 1, got {chunk_size}"
+                    )
                 if workers <= 1:
-                    self._run_inline(pending, name, records)
+                    self._run_inline(pending, name, records, chunk_size)
                 else:
-                    self._run_pool(pending, name, workers, records)
+                    self._run_pool(
+                        pending, name, workers, records, chunk_size
+                    )
 
         wall_s = time.perf_counter() - t0
         metrics = None
@@ -295,8 +338,24 @@ class FleetRunner:
         pending: "list[FleetJob]",
         name: str,
         records: "dict[str, JobRecord]",
+        chunk_size: int,
     ) -> None:
         """Serial execution in this process (workers=1 / baseline)."""
+        if chunk_size > 1:
+            for chunk in _chunked(pending, chunk_size):
+                for job in chunk:
+                    self._emit_start(name, job, 1)
+                try:
+                    out = execute_chunk(
+                        [job_payload(job, 1, self.fault) for job in chunk]
+                    )
+                except Exception as exc:  # noqa: BLE001 - fault barrier
+                    for job in chunk:
+                        self._retry_inline(name, job, exc, records)
+                    continue
+                for job, exc in self._absorb_chunk(name, chunk, out, records):
+                    self._retry_inline(name, job, exc, records)
+            return
         for job in pending:
             attempt = 1
             while True:
@@ -314,29 +373,108 @@ class FleetRunner:
                 records[job.job_id] = self._finished(name, job, attempt, out)
                 break
 
+    def _retry_inline(
+        self,
+        name: str,
+        job: FleetJob,
+        exc: BaseException,
+        records: "dict[str, JobRecord]",
+    ) -> None:
+        """Retry a job whose chunk attempt (attempt 1) failed, inline."""
+        attempt = 1
+        while True:
+            if attempt >= self.retry.max_attempts:
+                records[job.job_id] = self._failed(name, job, attempt, exc)
+                return
+            self._emit_retry(name, job, attempt, exc)
+            time.sleep(self.retry.delay_s(attempt))
+            attempt += 1
+            self._emit_start(name, job, attempt)
+            try:
+                out = execute_job(job_payload(job, attempt, self.fault))
+            except Exception as next_exc:  # noqa: BLE001 - fault barrier
+                exc = next_exc
+                continue
+            records[job.job_id] = self._finished(name, job, attempt, out)
+            return
+
     def _run_pool(
         self,
         pending: "list[FleetJob]",
         name: str,
         workers: int,
         records: "dict[str, JobRecord]",
+        chunk_size: int,
     ) -> None:
-        """Parallel execution with per-job retry and graceful degradation."""
+        """Parallel execution with per-job retry and graceful degradation.
+
+        With ``chunk_size > 1`` the first attempt of every job travels in
+        a chunk (one pickle round-trip per ``chunk_size`` jobs, evaluated
+        by the batch engine); failed entries are resubmitted as single
+        jobs so retries stay per-job.
+        """
         ctx = _pool_context()
         try:
             with ProcessPoolExecutor(
                 max_workers=workers, mp_context=ctx
             ) as pool:
-                futures: dict[Future, tuple[FleetJob, int]] = {}
-                for job in pending:
-                    self._emit_start(name, job, 1)
+                futures: dict[Future, tuple] = {}
+
+                def submit_job(job: FleetJob, attempt: int) -> None:
+                    self._emit_start(name, job, attempt)
                     futures[
-                        pool.submit(execute_job, job_payload(job, 1, self.fault))
-                    ] = (job, 1)
+                        pool.submit(
+                            execute_job, job_payload(job, attempt, self.fault)
+                        )
+                    ] = ("job", job, attempt)
+
+                if chunk_size > 1:
+                    for chunk in _chunked(pending, chunk_size):
+                        for job in chunk:
+                            self._emit_start(name, job, 1)
+                        futures[
+                            pool.submit(
+                                execute_chunk,
+                                [
+                                    job_payload(job, 1, self.fault)
+                                    for job in chunk
+                                ],
+                            )
+                        ] = ("chunk", chunk)
+                else:
+                    for job in pending:
+                        submit_job(job, 1)
+
                 while futures:
                     done, _ = wait(futures, return_when=FIRST_COMPLETED)
                     for future in done:
-                        job, attempt = futures.pop(future)
+                        tag = futures.pop(future)
+                        if tag[0] == "chunk":
+                            chunk = tag[1]
+                            try:
+                                out = future.result()
+                            except BrokenProcessPool:
+                                raise
+                            except Exception as exc:  # noqa: BLE001
+                                # The whole chunk died in transit (e.g.
+                                # unpicklable payload); every member gets
+                                # an attempt-1 failure and a solo retry.
+                                to_retry = [(job, exc) for job in chunk]
+                            else:
+                                to_retry = self._absorb_chunk(
+                                    name, chunk, out, records
+                                )
+                            for job, exc in to_retry:
+                                if self.retry.max_attempts > 1:
+                                    self._emit_retry(name, job, 1, exc)
+                                    time.sleep(self.retry.delay_s(1))
+                                    submit_job(job, 2)
+                                else:
+                                    records[job.job_id] = self._failed(
+                                        name, job, 1, exc
+                                    )
+                            continue
+                        _, job, attempt = tag
                         try:
                             out = future.result()
                         except BrokenProcessPool:
@@ -345,16 +483,7 @@ class FleetRunner:
                             if attempt < self.retry.max_attempts:
                                 self._emit_retry(name, job, attempt, exc)
                                 time.sleep(self.retry.delay_s(attempt))
-                                next_attempt = attempt + 1
-                                self._emit_start(name, job, next_attempt)
-                                futures[
-                                    pool.submit(
-                                        execute_job,
-                                        job_payload(
-                                            job, next_attempt, self.fault
-                                        ),
-                                    )
-                                ] = (job, next_attempt)
+                                submit_job(job, attempt + 1)
                             else:
                                 records[job.job_id] = self._failed(
                                     name, job, attempt, exc
@@ -369,6 +498,44 @@ class FleetRunner:
             for job in pending:
                 if job.job_id not in records:
                     records[job.job_id] = self._failed(name, job, 0, exc)
+
+    def _absorb_chunk(
+        self,
+        name: str,
+        chunk: "list[FleetJob]",
+        out: dict,
+        records: "dict[str, JobRecord]",
+    ) -> "list[tuple[FleetJob, BaseException]]":
+        """Record a chunk's successes; return failed (job, error) pairs.
+
+        The chunk's wall time is split evenly across its entries so
+        summed record walls still estimate serial campaign cost; its
+        metrics snapshot merges once (per-entry snapshots would double
+        count).
+        """
+        snapshot = out.get("metrics")
+        if snapshot and self._worker_metrics is not None:
+            self._worker_metrics.merge(snapshot)
+        share = out["wall_s"] / max(len(chunk), 1)
+        by_id = {job.job_id: job for job in chunk}
+        failed: "list[tuple[FleetJob, BaseException]]" = []
+        for entry in out["entries"]:
+            job = by_id[entry["job_id"]]
+            if entry["error"] is None:
+                records[job.job_id] = self._finished(
+                    name,
+                    job,
+                    1,
+                    {
+                        "result": entry["result"],
+                        "wall_s": share,
+                        "worker": out["worker"],
+                        "metrics": None,
+                    },
+                )
+            else:
+                failed.append((job, entry["error"]))
+        return failed
 
     # -- bookkeeping ----------------------------------------------------
 

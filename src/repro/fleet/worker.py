@@ -33,6 +33,7 @@ __all__ = [
     "InjectedFaultError",
     "job_payload",
     "execute_job",
+    "execute_chunk",
 ]
 
 
@@ -144,3 +145,107 @@ def _simulate(payload: dict[str, Any]) -> RunResult:
     )
     workload = workload_from_dict(payload["workload"])
     return simulator.run(workload)
+
+
+def execute_chunk(payloads: "list[dict[str, Any]]") -> dict[str, Any]:
+    """Run a batch of job payloads in one worker round-trip.
+
+    The chunked pool target: payloads are grouped by (server, seed,
+    placement) and each group is evaluated through the vectorized batch
+    engine (:func:`repro.engine.batch.run_batch`), which is bit-identical
+    to per-job execution while amortising the pickle/dispatch overhead.
+
+    Returns ``{"entries", "wall_s", "worker", "metrics"}`` where each
+    entry is ``{"job_id", "result": RunResult | None, "error":
+    Exception | None}``, positionally aligned with ``payloads``.  Unlike
+    :func:`execute_job`, per-job failures (injected faults, workload
+    errors) never raise — they come back in the entry so the runner can
+    retry just that job, not the whole chunk.
+    """
+    collect = any(p.get("obs") for p in payloads)
+    if collect:
+        obs.enable()
+    t0 = time.perf_counter()
+    if collect:
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            entries = _run_chunk(payloads)
+        metrics = registry.snapshot()
+    else:
+        entries = _run_chunk(payloads)
+        metrics = None
+    return {
+        "entries": entries,
+        "wall_s": time.perf_counter() - t0,
+        "worker": os.getpid(),
+        "metrics": metrics,
+    }
+
+
+def _run_chunk(payloads: "list[dict[str, Any]]") -> list[dict[str, Any]]:
+    """Evaluate chunk payloads grouped per simulator via the batch engine."""
+    from repro.engine.batch import run_batch
+
+    entries: "list[dict[str, Any] | None]" = [None] * len(payloads)
+    groups: dict[tuple, list[int]] = {}
+    for i, payload in enumerate(payloads):
+        fault: "FaultInjection | None" = payload["fault"]
+        if fault is not None and fault.should_fail(
+            payload["label"], payload["attempt"]
+        ):
+            entries[i] = {
+                "job_id": payload["job_id"],
+                "result": None,
+                "error": InjectedFaultError(
+                    f"injected fault: {payload['job_id']} "
+                    f"attempt {payload['attempt']}"
+                ),
+            }
+            continue
+        key = (payload["server_json"], payload["seed"], payload["placement"])
+        groups.setdefault(key, []).append(i)
+    for (server_json, seed, placement), indices in groups.items():
+        simulator = _simulator_for(server_json, seed, placement)
+        workloads = []
+        runnable: list[int] = []
+        for i in indices:
+            try:
+                workloads.append(
+                    workload_from_dict(payloads[i]["workload"])
+                )
+            except Exception as exc:  # noqa: BLE001 - fault barrier
+                entries[i] = {
+                    "job_id": payloads[i]["job_id"],
+                    "result": None,
+                    "error": exc,
+                }
+            else:
+                runnable.append(i)
+        try:
+            outs = run_batch(simulator, workloads)
+        except Exception:  # noqa: BLE001 - fault barrier
+            # Something in the group aborts whole-batch evaluation (a
+            # bind error outside the WorkloadError family, meter
+            # over-range...).  Fall back to per-job runs so the error
+            # lands only on the job that caused it — bit-identical, the
+            # streams are seeded per label.
+            outs = []
+            for workload in workloads:
+                try:
+                    outs.append(simulator.run(workload))
+                except Exception as exc:  # noqa: BLE001
+                    outs.append(exc)
+        for i, out in zip(runnable, outs):
+            if isinstance(out, Exception):
+                entries[i] = {
+                    "job_id": payloads[i]["job_id"],
+                    "result": None,
+                    "error": out,
+                }
+            else:
+                entries[i] = {
+                    "job_id": payloads[i]["job_id"],
+                    "result": out,
+                    "error": None,
+                }
+    return entries

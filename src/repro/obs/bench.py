@@ -125,6 +125,60 @@ def _eval_matrix(iterations: int, seed: int) -> "tuple[float, dict[str, Any]]":
     return float(states), {"server": "Xeon-E5462", "states": states}
 
 
+def _sweep_engine(
+    engine: str,
+) -> Callable[[int, int], "tuple[float, dict[str, Any]]"]:
+    """Mixed-power sweep (Figs. 3-4 run list) through one engine."""
+
+    def run(iterations: int, seed: int) -> "tuple[float, dict[str, Any]]":
+        from repro.core.sweeps import mixed_power_sweep
+        from repro.engine.simulator import Simulator
+        from repro.hardware.specs import get_server
+
+        server = get_server("Xeon-E5462")
+        points = 0
+        for _ in range(iterations):
+            simulator = Simulator(server, seed=seed)
+            points += len(
+                mixed_power_sweep(simulator, (4, 2, 1), engine=engine)
+            )
+        return float(points), {
+            "server": "Xeon-E5462",
+            "engine": engine,
+            "points": points,
+        }
+
+    return run
+
+
+def _batch_vs_serial(
+    iterations: int, seed: int
+) -> "tuple[float, dict[str, Any]]":
+    """Both engines over the same sweep; meta records the speedup."""
+    from repro.core.sweeps import mixed_power_sweep
+    from repro.engine.simulator import Simulator
+    from repro.hardware.specs import get_server
+
+    server = get_server("Xeon-E5462")
+    walls = {}
+    points = 0
+    for engine in ("serial", "batch"):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            simulator = Simulator(server, seed=seed)
+            points = len(
+                mixed_power_sweep(simulator, (4, 2, 1), engine=engine)
+            )
+        walls[engine] = time.perf_counter() - t0
+    speedup = walls["serial"] / walls["batch"] if walls["batch"] else 0.0
+    return float(points * iterations), {
+        "server": "Xeon-E5462",
+        "serial_wall_s": walls["serial"],
+        "batch_wall_s": walls["batch"],
+        "speedup": speedup,
+    }
+
+
 def _fleet_scenario(
     workers: int, warm: bool
 ) -> Callable[[int, int], "tuple[float, dict[str, Any]]"]:
@@ -200,6 +254,36 @@ def _scenarios() -> "tuple[Scenario, ...]":
                     run=_fleet_scenario(workers, warm),
                 )
             )
+    out.append(
+        Scenario(
+            name="serial_sweep_cold",
+            description="mixed-power sweep through the serial simulator",
+            unit="points/s",
+            iterations_full=10,
+            iterations_quick=3,
+            run=_sweep_engine("serial"),
+        )
+    )
+    out.append(
+        Scenario(
+            name="batch_sweep_cold",
+            description="mixed-power sweep through the batch engine",
+            unit="points/s",
+            iterations_full=10,
+            iterations_quick=3,
+            run=_sweep_engine("batch"),
+        )
+    )
+    out.append(
+        Scenario(
+            name="batch_vs_serial",
+            description="both engines back-to-back; meta carries speedup",
+            unit="points/s",
+            iterations_full=5,
+            iterations_quick=2,
+            run=_batch_vs_serial,
+        )
+    )
     return tuple(out)
 
 
@@ -328,7 +412,9 @@ def validate_bench_document(document: Any) -> None:
     if document.get("schema_version") != BENCH_SCHEMA_VERSION:
         raise ConfigurationError(
             f"unsupported bench schema version "
-            f"{document.get('schema_version')!r}"
+            f"{document.get('schema_version')!r} (this build reads "
+            f"version {BENCH_SCHEMA_VERSION}; regenerate the document "
+            f"with 'python -m repro bench --json PATH')"
         )
     calibration = document.get("calibration_ops_per_s")
     if not isinstance(calibration, (int, float)) or calibration <= 0:
@@ -364,14 +450,22 @@ def validate_bench_document(document: Any) -> None:
 
 
 def load_bench_document(path: "str | Path") -> dict[str, Any]:
-    """Read and validate a bench JSON file."""
+    """Read and validate a bench JSON file.
+
+    Validation failures are re-raised with the offending path prefixed,
+    so ``repro bench --baseline old.json`` against a stale or foreign
+    document exits 2 with a message naming the file, not a traceback.
+    """
     try:
         document = json.loads(Path(path).read_text())
     except FileNotFoundError as exc:
         raise ConfigurationError(f"no bench document at {path}") from exc
     except json.JSONDecodeError as exc:
         raise ConfigurationError(f"{path} is not valid JSON: {exc}") from exc
-    validate_bench_document(document)
+    try:
+        validate_bench_document(document)
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"{path}: {exc}") from exc
     return document
 
 

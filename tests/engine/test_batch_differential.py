@@ -1,0 +1,154 @@
+"""Differential suite: the batch engine is bit-identical to serial.
+
+Every workload family crossed with every builtin server, compared with
+exact (``np.array_equal``, not approx) equality — the CI differential
+job runs this file on multiple Python versions to pin the guarantee
+across interpreter builds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.demand import ResourceDemand
+from repro.engine import Simulator
+from repro.engine.batch import run_batch
+from repro.engine.trace import RunResult
+from repro.errors import WorkloadError
+from repro.workloads.hpcc import HPCC_COMPONENTS, HpccWorkload
+from repro.workloads.hpl import HplConfig, HplWorkload
+from repro.workloads.npb import NPB_PROGRAMS, NpbWorkload
+from repro.workloads.specpower import SpecPowerWorkload, full_run_levels
+
+SEED = 2015
+
+
+def family_workloads(server):
+    """One representative list spanning every workload family."""
+    workloads = [SpecPowerWorkload(level) for level in full_run_levels()]
+    workloads += [
+        HplWorkload(HplConfig(n, 0.95)) for n in (1, 2, 4)
+    ]
+    workloads.append(HplWorkload(HplConfig(4, 0.5, nb=100)))
+    workloads.append(HplWorkload(HplConfig(4, 0.5, nb=200, p=2, q=2)))
+    for name in sorted(NPB_PROGRAMS):
+        counts = [
+            n for n in (1, 2, 4) if NPB_PROGRAMS[name].proc_rule.allows(n)
+        ]
+        workloads += [NpbWorkload(name, "C", n) for n in counts[:2]]
+    workloads += [
+        HpccWorkload(component, 4) for component in HPCC_COMPONENTS
+    ]
+    workloads.append(ResourceDemand.idle(duration_s=45.0))
+    workloads.append(
+        ResourceDemand(
+            program="custom",
+            nprocs=min(2, server.total_cores),
+            duration_s=33.0,
+            gflops=5.0,
+            memory_mb=256.0,
+            cpu_util=0.8,
+        )
+    )
+    return workloads
+
+
+def serial_reference(server, workloads, t_start_s=0.0):
+    """The serial loop the batch path replaces, errors kept in place."""
+    simulator = Simulator(server, seed=SEED)
+    items = []
+    for workload in workloads:
+        try:
+            items.append(simulator.run(workload, t_start_s=t_start_s))
+        except WorkloadError as exc:
+            items.append(exc)
+    return items
+
+
+def assert_identical(serial_item, batch_item):
+    if isinstance(serial_item, WorkloadError):
+        assert type(batch_item) is type(serial_item)
+        assert str(batch_item) == str(serial_item)
+        return
+    assert isinstance(batch_item, RunResult)
+    assert batch_item.demand == serial_item.demand
+    assert batch_item.t_start_s == serial_item.t_start_s
+    assert batch_item.power_factor == serial_item.power_factor
+    # Exact equality: same draws, same IEEE-754 operations — no approx.
+    assert np.array_equal(batch_item.times_s, serial_item.times_s)
+    assert np.array_equal(batch_item.true_watts, serial_item.true_watts)
+    assert np.array_equal(
+        batch_item.measured_watts, serial_item.measured_watts
+    )
+    assert np.array_equal(batch_item.memory_mb, serial_item.memory_mb)
+    assert batch_item.pmu_samples == serial_item.pmu_samples
+
+
+class TestAllFamiliesAllServers:
+    def test_batch_equals_serial(self, any_server):
+        workloads = family_workloads(any_server)
+        serial_items = serial_reference(any_server, workloads)
+        batch_items = run_batch(Simulator(any_server, seed=SEED), workloads)
+        assert len(batch_items) == len(serial_items) == len(workloads)
+        assert any(
+            isinstance(item, RunResult) for item in serial_items
+        ), "the family list must actually exercise the trace generator"
+        for serial_item, batch_item in zip(serial_items, batch_items):
+            assert_identical(serial_item, batch_item)
+
+    def test_nonzero_start_time(self, any_server):
+        workloads = [
+            SpecPowerWorkload(full_run_levels()[0]),
+            NpbWorkload("ep", "C", 4),
+        ]
+        serial_items = serial_reference(
+            any_server, workloads, t_start_s=1234.0
+        )
+        batch_items = run_batch(
+            Simulator(any_server, seed=SEED), workloads, t_start_s=1234.0
+        )
+        for serial_item, batch_item in zip(serial_items, batch_items):
+            assert_identical(serial_item, batch_item)
+        assert batch_items[0].times_s[0] == 1234.0
+
+    def test_other_seeds_still_identical(self, e5462):
+        workloads = [NpbWorkload("ep", "C", 4), HplWorkload(HplConfig(2))]
+        for seed in (0, 1, 7, 424242):
+            simulator = Simulator(e5462, seed=seed)
+            serial_items = [
+                Simulator(e5462, seed=seed).run(w) for w in workloads
+            ]
+            for serial_item, batch_item in zip(
+                serial_items, run_batch(simulator, workloads)
+            ):
+                assert_identical(serial_item, batch_item)
+
+
+class TestErrorParity:
+    def test_memory_error_identical_message(self, e5462):
+        workloads = [NpbWorkload("cg", "C", 1), NpbWorkload("ep", "C", 1)]
+        serial_items = serial_reference(e5462, workloads)
+        batch_items = run_batch(Simulator(e5462, seed=SEED), workloads)
+        assert isinstance(serial_items[0], WorkloadError)
+        assert_identical(serial_items[0], batch_items[0])
+        assert_identical(serial_items[1], batch_items[1])
+
+
+class TestEngineParityDownstream:
+    def test_mixed_power_sweep_engine_choice_invisible(self, e5462):
+        from repro.core.sweeps import mixed_power_sweep
+
+        serial = mixed_power_sweep(
+            Simulator(e5462, seed=SEED), (4, 2, 1), engine="serial"
+        )
+        batch = mixed_power_sweep(
+            Simulator(e5462, seed=SEED), (4, 2, 1), engine="batch"
+        )
+        assert serial == batch
+
+    def test_evaluate_server_engine_choice_invisible(self, e5462):
+        from repro.core.evaluation import evaluate_server
+
+        serial = evaluate_server(e5462, engine="serial")
+        batch = evaluate_server(e5462, engine="batch")
+        assert serial == batch
+        assert serial.score == batch.score

@@ -142,3 +142,68 @@ class TestComparison:
                 bench.compare_benchmarks(
                     quick_doc, quick_doc, tolerance=tolerance
                 )
+
+
+class TestSchemaVersion:
+    """Stale baselines fail loud with regeneration guidance, exit 2."""
+
+    def test_mismatch_is_rejected_with_guidance(self, quick_doc):
+        bad = {**quick_doc, "schema_version": 99}
+        with pytest.raises(
+            ConfigurationError, match="unsupported bench schema version 99"
+        ) as exc:
+            bench.validate_bench_document(bad)
+        assert "regenerate" in str(exc.value)
+        assert str(bench.BENCH_SCHEMA_VERSION) in str(exc.value)
+
+    def test_load_prefixes_the_offending_path(self, quick_doc, tmp_path):
+        bad = copy.deepcopy(quick_doc)
+        bad["schema_version"] = 99
+        path = tmp_path / "stale-baseline.json"
+        path.write_text(json.dumps(bad))
+        with pytest.raises(ConfigurationError) as exc:
+            bench.load_bench_document(path)
+        message = str(exc.value)
+        assert str(path) in message
+        assert "unsupported bench schema version 99" in message
+
+    def test_cli_baseline_with_stale_schema_exits_2(
+        self, capsys, quick_doc, tmp_path
+    ):
+        from repro.cli import main
+
+        bad = copy.deepcopy(quick_doc)
+        bad["schema_version"] = 99
+        baseline = tmp_path / "stale-baseline.json"
+        baseline.write_text(json.dumps(bad))
+        code = main(
+            [
+                "bench", "--quick", "--repeat", "1",
+                "--scenario", "sim.single", "--baseline", str(baseline),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unsupported bench schema version 99" in captured.err
+
+
+class TestEngineScenarios:
+    def test_engine_scenarios_registered(self):
+        names = [s.name for s in bench.available_scenarios()]
+        for name in (
+            "serial_sweep_cold", "batch_sweep_cold", "batch_vs_serial",
+        ):
+            assert name in names
+
+    def test_batch_vs_serial_meta_carries_speedup(self):
+        document = bench.run_bench(
+            quick=True, repeat=1, only=["batch_vs_serial"]
+        )
+        (entry,) = document["scenarios"]
+        meta = entry["meta"]
+        assert meta["server"] == "Xeon-E5462"
+        assert meta["serial_wall_s"] > 0
+        assert meta["batch_wall_s"] > 0
+        assert meta["speedup"] == pytest.approx(
+            meta["serial_wall_s"] / meta["batch_wall_s"]
+        )

@@ -181,7 +181,10 @@ class TestCliObs:
         assert code == 0
         assert "trace:" in err
         records = obs.load_jsonl(trace)
-        assert sum(r.name == "sim.run" for r in records) == 10
+        # The default batch engine evaluates the ten states in one span.
+        batch_spans = [r for r in records if r.name == "engine.batch"]
+        assert len(batch_spans) == 1
+        assert batch_spans[0].attrs["runs"] == 10
 
     def test_trace_flag_does_not_leak_enablement(self, capsys, tmp_path):
         run_cli(
@@ -195,7 +198,7 @@ class TestCliObs:
         run_cli(capsys, "evaluate", "Xeon-E5462", "--trace", str(trace))
         code, out, _ = run_cli(capsys, "trace", "tree", str(trace))
         assert code == 0
-        assert "sim.run" in out
+        assert "engine.batch" in out
 
     def test_trace_tree_missing_file_is_usage_error(self, capsys, tmp_path):
         code, _, err = run_cli(
