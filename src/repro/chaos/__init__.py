@@ -1,0 +1,49 @@
+"""repro.chaos — deterministic fault injection for the whole pipeline.
+
+A chaos campaign (``python -m repro chaos``) drives every fault class
+the paper's measurement procedure is exposed to — meter glitches, torn
+CSV logs, crashing/hanging workers, corrupted cache entries, dead
+evaluation states — through the production code and demands one of two
+outcomes per scenario: *recovered* (correct numbers, audit trail) or
+*degraded* (partial but flagged).  A hang or a silently wrong number is
+a failure.
+
+Everything is seeded: :func:`repro.chaos.faults.fault_rng` derives one
+RNG stream per ``(seed, scenario)``, so a red run reproduces exactly.
+"""
+
+from repro.chaos.faults import (
+    corrupt_csv_rows,
+    fault_rng,
+    flip_cache_bit,
+    inject_clock_skew,
+    inject_dropout,
+    inject_nan,
+    inject_spikes,
+    tear_cache_entry,
+    truncate_csv,
+)
+from repro.chaos.harness import (
+    OUTCOMES,
+    ChaosReport,
+    ScenarioVerdict,
+    available_scenarios,
+    run_chaos,
+)
+
+__all__ = [
+    "OUTCOMES",
+    "ChaosReport",
+    "ScenarioVerdict",
+    "available_scenarios",
+    "corrupt_csv_rows",
+    "fault_rng",
+    "flip_cache_bit",
+    "inject_clock_skew",
+    "inject_dropout",
+    "inject_nan",
+    "inject_spikes",
+    "run_chaos",
+    "tear_cache_entry",
+    "truncate_csv",
+]

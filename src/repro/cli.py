@@ -18,6 +18,7 @@ Every reproduction entry point, runnable without writing Python::
     python -m repro fleet run campaign.json [--workers 4] [--out res.json]
     python -m repro fleet status|report [events.jsonl]
     python -m repro bench [--quick] [--json out.json] [--baseline base.json]
+    python -m repro chaos [--seed N] [--scenario NAME ...] [--json out.json]
     python -m repro trace tree run.jsonl
 
 ``figure`` renders ASCII versions of the paper's figure sweeps; the full
@@ -26,8 +27,8 @@ taking a server accept a built-in name or a ``.json`` spec file written
 by :func:`repro.io.server_to_dict`.
 
 Exit codes: ``0`` success, ``1`` completed with failures (``fleet
-run``/``status``/``report`` with failed jobs), ``2`` usage or input
-error, ``3`` bench baseline regression.
+run``/``status``/``report`` with failed jobs, ``chaos`` with a failed
+scenario), ``2`` usage or input error, ``3`` bench baseline regression.
 """
 
 from __future__ import annotations
@@ -250,6 +251,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="jobs per worker dispatch with --engine batch "
         "(default: auto)",
     )
+    frun.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget; an overdue worker is killed, "
+        "the pool replaced, and the job retried (default: none)",
+    )
+    frun.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a killed campaign: jobs journaled in the event "
+        "log / result cache are skipped, the rest re-execute "
+        "(needs --cache-dir and the previous run's --events file)",
+    )
 
     fstat = fsub.add_parser(
         "status", help="progress of the latest campaign in an event log"
@@ -306,6 +322,34 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="tolerated calibrated-throughput drop (default 0.25)",
+    )
+
+    cha = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign: every fault class must recover "
+        "or degrade flagged",
+    )
+    cha.add_argument(
+        "--seed",
+        type=int,
+        default=2015,
+        help="campaign seed; each scenario derives its own RNG stream "
+        "from (seed, scenario), so a red run reproduces exactly",
+    )
+    cha.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="run only the named scenario (repeatable; see --list)",
+    )
+    cha.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="list the scenarios and exit",
+    )
+    cha.add_argument(
+        "--json", metavar="PATH", help="save the chaos report as JSON"
     )
 
     trc = sub.add_parser("trace", help="inspect exported trace files")
@@ -754,13 +798,45 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             )
         campaign = fleet.campaign_from_dict(repro_io.load_json(args.campaign))
         cache = fleet.ResultCache(args.cache_dir) if args.cache_dir else None
+        if args.resume:
+            from pathlib import Path as _Path
+
+            from repro.errors import CampaignResumeError
+
+            if cache is None:
+                raise CampaignResumeError(
+                    "--resume needs the result cache the previous run "
+                    "wrote (--cache-dir)"
+                )
+            if not args.events or not _Path(args.events).exists():
+                raise CampaignResumeError(
+                    "--resume needs the previous run's event journal "
+                    f"(--events; {args.events or '<disabled>'} not found)"
+                )
+            all_ids = {job.job_id for job in campaign.jobs()}
+            journaled = fleet.completed_job_ids(
+                fleet.read_events(args.events), campaign=campaign.name
+            )
+            done = sorted(all_ids & journaled)
+            print(
+                f"resuming {campaign.name!r}: {len(done)}/{len(all_ids)} "
+                f"jobs journaled as complete; re-running the rest"
+            )
         events = fleet.EventLog(args.events) if args.events else None
+        if args.resume and events is not None:
+            events.emit(
+                "campaign_resume",
+                campaign=campaign.name,
+                completed=len(done),
+                jobs=len(all_ids),
+            )
         runner = fleet.FleetRunner(
             workers=1 if args.serial else args.workers,
             cache=cache,
             retry=fleet.RetryPolicy(max_attempts=args.retries),
             events=events,
             chunk_size=1 if args.engine == "serial" else args.chunk_size,
+            timeout_s=args.job_timeout,
         )
         try:
             with _maybe_trace(args.trace):
@@ -812,13 +888,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                     f"  {failure.job_id}: {failure.error} "
                     f"(after {failure.attempts} attempts)"
                 )
+        digest = outcome.results_digest()
         print()
         print(report.format())
+        print(f"results digest: {digest}")
         _save_json_report(
             {
                 "kind": "fleet_results",
                 "schema_version": 1,
                 "campaign": campaign.name,
+                "results_digest": digest,
                 "rows": rows,
                 "failures": [
                     {
@@ -906,6 +985,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro import chaos
+
+    if args.list_scenarios:
+        print(f"{'scenario':<22} {'layer':<9} description")
+        for name, layer, description in chaos.available_scenarios():
+            print(f"{name:<22} {layer:<9} {description}")
+        return 0
+    report = chaos.run_chaos(seed=args.seed, only=args.scenario)
+    print(report.format())
+    _save_json_report(report.to_dict(), args.json)
+    return 0 if report.ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     records = obs.load_jsonl(args.file)
     if not records:
@@ -930,6 +1023,7 @@ _HANDLERS = {
     "export": _cmd_export,
     "fleet": _cmd_fleet,
     "bench": _cmd_bench,
+    "chaos": _cmd_chaos,
     "trace": _cmd_trace,
 }
 

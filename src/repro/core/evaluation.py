@@ -50,10 +50,28 @@ class EvaluationRow:
 
 @dataclass(frozen=True)
 class EvaluationResult:
-    """Complete outcome of the proposed method on one server."""
+    """Outcome of the proposed method on one server.
+
+    Normally all ten states are present.  A *partial* result — produced
+    by ``evaluate_server(..., allow_partial=True)`` when some states
+    failed — lists the failed state labels in ``missing``; the score is
+    then the mean over the states that were measured, and ``coverage``
+    says how much of the matrix backs it.
+    """
 
     server: str
     rows: tuple[EvaluationRow, ...]
+    missing: tuple[str, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """Whether every state of the matrix was measured."""
+        return not self.missing
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the state matrix backing the score."""
+        return len(self.rows) / (len(self.rows) + len(self.missing))
 
     @property
     def average_gflops(self) -> float:
@@ -67,7 +85,7 @@ class EvaluationResult:
 
     @property
     def score(self) -> float:
-        """Mean PPW over all ten states — the "(GFlops/Watt)/10" row."""
+        """Mean PPW over the measured states — "(GFlops/Watt)/10"."""
         return sum(r.ppw for r in self.rows) / len(self.rows)
 
     def row(self, label: str) -> EvaluationRow:
@@ -102,6 +120,7 @@ def evaluate_server(
     trim: float = DEFAULT_TRIM,
     backend=None,
     engine: "str | None" = None,
+    allow_partial: bool = False,
 ) -> EvaluationResult:
     """Run the full proposed method on ``server``.
 
@@ -112,6 +131,13 @@ def evaluate_server(
     one-run-at-a-time simulator.  Every path yields bit-identical rows —
     the simulator seeds each run from ``(seed, program label)``, never
     from execution order.
+
+    With ``allow_partial=True`` a state whose run failed (a dead worker,
+    a quarantined trace) is dropped into :attr:`EvaluationResult.missing`
+    instead of aborting the evaluation: the score degrades to the mean
+    over the measured states, flagged by ``coverage < 1``.  At least one
+    state must survive — an empty matrix still raises.  The successful
+    rows are bit-identical to a complete run's.
 
     >>> from repro.hardware import XEON_E5462
     >>> result = evaluate_server(XEON_E5462)
@@ -130,11 +156,23 @@ def evaluate_server(
     else:
         runs = [simulator.run(item) for item in items]
     rows = []
+    missing: list[str] = []
+    last_error: "Exception | None" = None
     for state, run in zip(states, runs):
         if isinstance(run, Exception):
-            raise run
+            if not allow_partial:
+                raise run
+            missing.append(state.label)
+            last_error = run
+            continue
         rows.append(_row_from_run(state, run, trim))
-    return EvaluationResult(server=server.name, rows=tuple(rows))
+    if not rows:
+        raise ConfigurationError(
+            f"every evaluation state failed on {server.name}"
+        ) from last_error
+    return EvaluationResult(
+        server=server.name, rows=tuple(rows), missing=tuple(missing)
+    )
 
 
 def rank_servers(

@@ -22,8 +22,19 @@ from repro import obs
 from repro.engine.simulator import Simulator
 from repro.engine.trace import RunResult
 from repro.errors import ConfigurationError
-from repro.metering.analysis import DEFAULT_TRIM, extract_window, trimmed_stats
-from repro.metering.csvlog import merge_power_csvs, read_power_csv, write_power_csv
+from repro.metering.analysis import (
+    DEFAULT_TRIM,
+    TraceQuality,
+    extract_window,
+    repair_trace,
+    trimmed_stats,
+)
+from repro.metering.csvlog import (
+    merge_power_csvs,
+    read_power_csv,
+    read_power_csv_tolerant,
+    write_power_csv,
+)
 from repro.units import energy_kj
 from repro.workloads.base import Workload
 
@@ -53,12 +64,17 @@ class ProgramMeasurement:
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """All measurements of one campaign plus the raw runs."""
+    """All measurements of one campaign plus the raw runs.
+
+    ``quality`` is the merged trace's repair report when the campaign
+    ran with ``repair=True``; ``None`` on the default path.
+    """
 
     server: str
     measurements: tuple[ProgramMeasurement, ...]
     runs: tuple[RunResult, ...]
     merged_csv: Path | None = None
+    quality: "TraceQuality | None" = None
 
     def by_label(self, label: str) -> ProgramMeasurement:
         """Look up a measurement by its program label."""
@@ -86,6 +102,16 @@ class Campaign:
         recorded offset, so a correct pipeline is insensitive to it.
     trim:
         Head/tail trim fraction for the averages.
+    repair:
+        ``False`` (default) analyses the merged trace exactly as
+        before — bit-identical to every prior release.  ``True`` routes
+        it through the validation/repair stage first
+        (:func:`repro.metering.analysis.repair_trace`): corrupt CSV
+        rows are skipped, non-finite samples and outliers rejected,
+        gaps interpolated within budget — and a trace too damaged to
+        trust raises :class:`~repro.errors.TraceQualityError` instead
+        of averaging garbage.  The repair report lands in
+        :attr:`CampaignResult.quality`.
     """
 
     def __init__(
@@ -94,6 +120,7 @@ class Campaign:
         gap_s: float = 30.0,
         clock_offset_s: float = 0.4,
         trim: float = DEFAULT_TRIM,
+        repair: bool = False,
     ):
         if gap_s < 0:
             raise ConfigurationError("gap must be non-negative")
@@ -101,6 +128,7 @@ class Campaign:
         self.gap_s = gap_s
         self.clock_offset_s = clock_offset_s
         self.trim = trim
+        self.repair = repair
 
     def run(
         self,
@@ -144,10 +172,40 @@ class Campaign:
 
                 with obs.span("campaign.analysis"):
                     merged = merge_power_csvs(csv_paths, out_dir / "merged.csv")
-                    times, watts = read_power_csv(merged)
+                    quality: "TraceQuality | None" = None
+                    if self.repair:
+                        times, watts, _report = read_power_csv_tolerant(merged)
+                        # A merged campaign trace is multi-modal by
+                        # design (each program has its own power level),
+                        # so the global robust-z glitch rejection would
+                        # delete the highest-power program wholesale;
+                        # windowed analysis handles level shifts itself.
+                        repaired = repair_trace(
+                            times, watts, sample_hz=1.0, outlier_z=np.inf
+                        )
+                        quality = repaired.quality
+                        if quality.quarantined:
+                            from repro.errors import TraceQualityError
+
+                            raise TraceQualityError(
+                                f"merged trace on "
+                                f"{self.simulator.server.name} is beyond "
+                                f"repair: {', '.join(quality.flags)} "
+                                f"(coverage {quality.coverage:.0%})"
+                            )
+                        times, watts = repaired.times_s, repaired.watts
+                    else:
+                        times, watts = read_power_csv(merged)
                     # Clock-sync correction (procedure step 3): map meter
-                    # time back to server time before window extraction.
-                    times = times - self.clock_offset_s
+                    # time back to server time before window extraction —
+                    # unless the repair stage already measured and removed
+                    # the offset itself (correcting twice would shift every
+                    # window by a full offset).
+                    if (
+                        quality is None
+                        or "clock_skew_corrected" not in quality.flags
+                    ):
+                        times = times - self.clock_offset_s
 
                     measurements = []
                     for result in runs:
@@ -171,6 +229,7 @@ class Campaign:
                 measurements=tuple(measurements),
                 runs=tuple(runs),
                 merged_csv=None if own_tmp else merged,
+                quality=quality,
             )
         finally:
             if tmp is not None:

@@ -16,6 +16,10 @@ __all__ = [
     "InsufficientMemoryError",
     "SimulationError",
     "MeterError",
+    "InvalidSampleError",
+    "TraceQualityError",
+    "JobTimeoutError",
+    "CampaignResumeError",
     "CalibrationError",
     "RegressionError",
 ]
@@ -73,6 +77,35 @@ class SimulationError(ReproError, RuntimeError):
 
 class MeterError(ReproError, RuntimeError):
     """The simulated power meter was used outside its operating envelope."""
+
+
+class InvalidSampleError(MeterError, ValueError):
+    """A power sample fed to the meter is not physically meaningful.
+
+    NaN, infinite, or negative ``true_watts`` would silently poison every
+    downstream average; the meter rejects them at the point of entry and
+    names the first offending index.
+    """
+
+    def __init__(self, value: float, index: int, reason: str):
+        self.value = value
+        self.index = index
+        self.reason = reason
+        super().__init__(
+            f"invalid power sample at index {index}: {value!r} ({reason})"
+        )
+
+
+class TraceQualityError(MeterError):
+    """A metered trace is too damaged to analyse (quarantined)."""
+
+
+class JobTimeoutError(SimulationError):
+    """A fleet job exceeded its wall-clock budget and was killed."""
+
+
+class CampaignResumeError(ConfigurationError):
+    """A campaign cannot be resumed from the given journal/cache state."""
 
 
 class CalibrationError(ReproError, RuntimeError):

@@ -31,7 +31,13 @@ from repro.fleet.cache import (
     runresult_from_dict,
     runresult_to_dict,
 )
-from repro.fleet.events import EVENT_KINDS, EventLog, last_campaign_events, read_events
+from repro.fleet.events import (
+    EVENT_KINDS,
+    EventLog,
+    completed_job_ids,
+    last_campaign_events,
+    read_events,
+)
 from repro.fleet.report import FleetReport
 from repro.fleet.runner import (
     FleetOutcome,
@@ -54,11 +60,12 @@ from repro.fleet.spec import (
     workload_label,
     workload_to_dict,
 )
-from repro.fleet.worker import FaultInjection, InjectedFaultError
+from repro.fleet.worker import FAULT_KINDS, FaultInjection, InjectedFaultError
 
 __all__ = [
     "CACHE_SALT",
     "EVENT_KINDS",
+    "FAULT_KINDS",
     "CampaignSpec",
     "EventLog",
     "FaultInjection",
@@ -76,6 +83,7 @@ __all__ = [
     "campaign_from_dict",
     "campaign_to_dict",
     "canonical_json",
+    "completed_job_ids",
     "default_workers",
     "demo_campaign",
     "evaluation_campaign",

@@ -56,6 +56,13 @@ class FleetBackend:
     events: "EventLog | None" = None
     fault: "FaultInjection | None" = None
     chunk_size: "int | None" = None
+    timeout_s: "float | None" = None
+    #: ``True`` (default): any permanently failed job aborts ``map_runs``
+    #: with :class:`~repro.errors.SimulationError`.  ``False``: failed
+    #: slots come back as the error instance, positionally — what
+    #: ``evaluate_server(..., allow_partial=True)`` needs to degrade
+    #: gracefully instead of aborting.
+    strict: bool = True
 
     def _runner(self) -> FleetRunner:
         return FleetRunner(
@@ -65,6 +72,7 @@ class FleetBackend:
             events=self.events,
             fault=self.fault,
             chunk_size=self.chunk_size,
+            timeout_s=self.timeout_s,
         )
 
     def map_runs(
@@ -100,13 +108,20 @@ class FleetBackend:
             outcome = self._runner().run_jobs(
                 tuple(jobs.values()), name=f"backend:{simulator.server.name}"
             )
-            if not outcome.ok:
+            if not outcome.ok and self.strict:
                 failed = ", ".join(f.job_id for f in outcome.failures)
                 raise SimulationError(
                     f"fleet backend could not complete: {failed}"
                 )
             by_id = outcome.results()
+            errors = {
+                f.job_id: SimulationError(
+                    f"fleet job {f.job_id} failed after {f.attempts} "
+                    f"attempts: {f.error}"
+                )
+                for f in outcome.failures
+            }
             for i, job_id in enumerate(slot_job):
                 if job_id is not None:
-                    results[i] = by_id[job_id]
+                    results[i] = by_id.get(job_id) or errors[job_id]
         return results  # type: ignore[return-value]

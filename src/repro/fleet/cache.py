@@ -9,14 +9,23 @@ inputs plus a code-version salt, and a hit can be substituted for a run
 bit-for-bit.
 
 Entries live under ``<root>/<key[:2]>/`` as two files: ``<key>.json``
-(salt, wall time, demand, and array offsets) and ``<key>.bin`` (every
-sample array concatenated as raw little-endian float64).  Power traces
-can run to hundreds of thousands of 1 Hz samples (a full-memory HPL
-run), and reading raw float64 back through ``np.frombuffer`` is an
-order of magnitude faster than parsing digits out of JSON — which is
-what makes a warm campaign run >= 10x faster than re-simulating.  Both
-files are written atomically (temp + rename, blob before metadata, so
-the metadata's existence implies a complete entry).
+(salt, wall time, demand, array offsets, and the blob's SHA-256) and
+``<key>.bin`` (every sample array concatenated as raw little-endian
+float64).  Power traces can run to hundreds of thousands of 1 Hz samples
+(a full-memory HPL run), and reading raw float64 back through
+``np.frombuffer`` is an order of magnitude faster than parsing digits
+out of JSON — which is what makes a warm campaign run >= 10x faster
+than re-simulating.
+
+Durability contract: both files are written via temp file + ``fsync`` +
+``os.replace`` (blob before metadata, so the metadata's existence
+implies a complete entry), and every read re-verifies the blob against
+the recorded checksum and length.  An entry that fails verification —
+a bit flip, a torn write from a pre-fsync crash, a foreign file — is
+*quarantined* (moved under ``<root>/quarantine/``) rather than served,
+so corruption costs one recomputation, never a wrong number.  The chaos
+harness (``python -m repro chaos``) injects exactly these damages to
+prove it.
 
 :func:`runresult_to_dict` / :func:`runresult_from_dict` remain the
 self-contained JSON converters (arrays as base64 float64) for callers
@@ -51,8 +60,9 @@ __all__ = [
 ]
 
 #: Bump when a simulator or entry-format change invalidates previously
-#: cached results.
-CACHE_SALT = "repro-fleet-cache-v2"
+#: cached results.  v3: checksummed entries (``blob_sha256``/``blob_len``
+#: are mandatory, so unverifiable pre-v3 entries can never be served).
+CACHE_SALT = "repro-fleet-cache-v3"
 
 _ENTRY_KIND = "fleet_cache_entry"
 
@@ -215,6 +225,7 @@ class CacheStats:
     misses: int = 0
     writes: int = 0
     corrupt: int = 0
+    quarantined: int = 0
 
 
 @dataclass
@@ -238,8 +249,23 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists on disk, without loading or verifying.
+
+        A cheap existence probe for resume planning; :meth:`get` still
+        performs the full integrity check before the entry is served.
+        """
+        return self._path(key).exists()
+
     def get(self, key: str) -> "CacheHit | None":
-        """Look up a key; corrupt or foreign files count as misses."""
+        """Look up a key; unverifiable entries are quarantined misses.
+
+        Every hit is integrity-checked: document kind and salt, blob
+        length, blob SHA-256, and array offsets must all agree before a
+        single float is trusted.  Any mismatch moves the entry to the
+        quarantine directory and returns a miss, so the caller recomputes
+        instead of consuming corruption.
+        """
         path = self._path(key)
         try:
             data = json.loads(path.read_text())
@@ -247,15 +273,23 @@ class ResultCache:
             self._miss()
             return None
         except (OSError, json.JSONDecodeError):
-            self._corrupt()
+            self._corrupt(path)
             return None
         if data.get("kind") != _ENTRY_KIND or data.get("salt") != CACHE_SALT:
-            self._corrupt()
+            self._corrupt(path)
             return None
         try:
             blob = path.with_suffix(".bin").read_bytes()
+            if len(blob) != int(data["blob_len"]):
+                raise ValueError(
+                    f"blob is {len(blob)} bytes, expected {data['blob_len']}"
+                )
+            if hashlib.sha256(blob).hexdigest() != data["blob_sha256"]:
+                raise ValueError("blob checksum mismatch")
             arrays: dict[str, np.ndarray] = {}
             for name, (offset, count) in data["result"]["arrays"].items():
+                if offset < 0 or offset + count * 8 > len(blob):
+                    raise ValueError(f"array {name!r} exceeds the blob")
                 arrays[name] = np.frombuffer(
                     blob, dtype="<f8", count=count, offset=offset
                 )
@@ -264,7 +298,7 @@ class ResultCache:
                 wall_s=float(data.get("wall_s", 0.0)),
             )
         except (OSError, KeyError, TypeError, ValueError):
-            self._corrupt()
+            self._corrupt(path)
             return None
         self.stats.hits += 1
         obs.inc("fleet.cache.hit")
@@ -274,16 +308,43 @@ class ResultCache:
         self.stats.misses += 1
         obs.inc("fleet.cache.miss")
 
-    def _corrupt(self) -> None:
+    def _corrupt(self, path: "Path | None" = None) -> None:
         self.stats.corrupt += 1
         obs.inc("fleet.cache.corrupt")
+        if path is not None:
+            self._quarantine(path)
         self._miss()
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry (metadata + blob) out of the lookup path.
+
+        Quarantined files keep their names under ``<root>/quarantine/``
+        for post-mortem inspection; a same-key re-quarantine overwrites
+        the previous corpse.  Failure to move (e.g. a permissions race)
+        falls back to leaving the entry in place — it will simply keep
+        counting as corrupt, never as a hit.
+        """
+        qdir = self.root / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            for victim in (path, path.with_suffix(".bin")):
+                if victim.exists():
+                    os.replace(victim, qdir / victim.name)
+        except OSError:
+            return
+        self.stats.quarantined += 1
+        obs.inc("fleet.cache.quarantined")
 
     def put(self, key: str, result: RunResult, wall_s: float) -> Path:
         """Store a result atomically and return its metadata path.
 
-        The blob is renamed into place before the metadata, so a
-        ``<key>.json`` that exists always refers to a complete entry.
+        Both files go through temp file + ``fsync`` + ``os.replace``,
+        blob before metadata: a kill at *any* instant leaves either the
+        previous complete entry, no entry, or the new complete entry —
+        never a half-written one.  The metadata records the blob's
+        length and SHA-256, which :meth:`get` re-verifies, so even a
+        torn write that slips past the rename discipline (e.g. a dying
+        disk) is caught rather than served.
         """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -297,26 +358,44 @@ class ResultCache:
             chunks.append(raw)
             offset += len(raw)
         meta["arrays"] = offsets
+        blob = b"".join(chunks)
         document = {
             "kind": _ENTRY_KIND,
             "salt": CACHE_SALT,
             "key": key,
             "wall_s": wall_s,
+            "blob_len": len(blob),
+            "blob_sha256": hashlib.sha256(blob).hexdigest(),
             "result": meta,
         }
         bin_path = path.with_suffix(".bin")
-        tmp_bin = bin_path.with_suffix(f".tmpb.{os.getpid()}")
-        tmp_bin.write_bytes(b"".join(chunks))
-        tmp_bin.replace(bin_path)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(document))
-        tmp.replace(path)
+        self._write_atomic(
+            bin_path.with_suffix(f".tmpb.{os.getpid()}"), bin_path, blob
+        )
+        self._write_atomic(
+            path.with_suffix(f".tmp.{os.getpid()}"),
+            path,
+            json.dumps(document).encode(),
+        )
         self.stats.writes += 1
         obs.inc("fleet.cache.write")
         return path
 
+    @staticmethod
+    def _write_atomic(tmp: Path, dest: Path, payload: bytes) -> None:
+        """Durable atomic write: temp file, flush to disk, rename."""
+        with tmp.open("wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(dest)
+
     def __len__(self) -> int:
-        """Number of entries on disk (walks the directory)."""
+        """Number of live entries on disk (quarantine excluded)."""
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(
+            1
+            for p in self.root.glob("*/*.json")
+            if p.parent.name != "quarantine"
+        )

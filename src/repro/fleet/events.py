@@ -13,26 +13,44 @@ Event schema (flat; absent fields are omitted)::
      "server": "Xeon-E5462", "attempt": 1, "worker": 4242,
      "wall_s": 0.041}
 
-Kinds: ``campaign_start``, ``cache_hit``, ``job_start``, ``job_finish``,
-``job_retry``, ``job_failed``, ``campaign_finish``.
+Kinds: ``campaign_start``, ``campaign_resume``, ``cache_hit``,
+``job_start``, ``job_finish``, ``job_retry``, ``job_failed``,
+``job_timeout``, ``pool_replaced``, ``checkpoint``,
+``campaign_finish``.
+
+The log doubles as the campaign's *journal*: ``checkpoint`` records are
+fsynced to disk, so after a SIGKILL the set of durably completed jobs
+can be replayed (:func:`completed_job_ids`) and a campaign resumed from
+where it died (``fleet run --resume``).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Any
 
-__all__ = ["EVENT_KINDS", "EventLog", "read_events", "last_campaign_events"]
+__all__ = [
+    "EVENT_KINDS",
+    "EventLog",
+    "read_events",
+    "last_campaign_events",
+    "completed_job_ids",
+]
 
 EVENT_KINDS = (
     "campaign_start",
+    "campaign_resume",
     "cache_hit",
     "job_start",
     "job_finish",
     "job_retry",
     "job_failed",
+    "job_timeout",
+    "pool_replaced",
+    "checkpoint",
     "campaign_finish",
 )
 
@@ -45,14 +63,25 @@ class EventLog:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("a")
 
-    def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
-        """Append one event; returns the record written."""
+    def emit(
+        self, kind: str, _sync: bool = False, **fields: Any
+    ) -> dict[str, Any]:
+        """Append one event; returns the record written.
+
+        ``_sync=True`` additionally fsyncs the file — used for
+        ``checkpoint`` records, whose durability the resume path depends
+        on.  Ordinary events settle for a flush (a crash may lose the
+        tail of the log but never tears a line mid-record on replay,
+        because :func:`read_events` skips partial lines).
+        """
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
         record = {"ts": time.time(), "kind": kind}
         record.update({k: v for k, v in fields.items() if v is not None})
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self._fh.flush()
+        if _sync:
+            os.fsync(self._fh.fileno())
         return record
 
     def close(self) -> None:
@@ -91,3 +120,28 @@ def last_campaign_events(path: "str | Path") -> list[dict[str, Any]]:
         if record["kind"] == "campaign_start":
             start = i
     return events[start:]
+
+
+def completed_job_ids(
+    events: "list[dict[str, Any]]", campaign: "str | None" = None
+) -> set[str]:
+    """Job ids that durably completed, replayed from a journal.
+
+    A job counts as complete when any ``job_finish``, ``cache_hit``, or
+    ``checkpoint`` record names it — the union over every run of
+    ``campaign`` in the log (or all campaigns when ``None``), which is
+    what lets ``fleet run --resume`` pick up a SIGKILLed campaign:
+    everything journaled is skipped, everything else re-executes.
+    """
+    done: set[str] = set()
+    for record in events:
+        if campaign is not None and record.get("campaign") != campaign:
+            continue
+        kind = record.get("kind")
+        if kind in ("job_finish", "cache_hit"):
+            job_id = record.get("job_id")
+            if job_id:
+                done.add(job_id)
+        elif kind == "checkpoint":
+            done.update(record.get("job_ids", ()))
+    return done

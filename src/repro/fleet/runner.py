@@ -17,9 +17,11 @@ cannot change results — a 2-worker run is bit-identical to a serial one
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import time
+from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
     Future,
@@ -31,7 +33,7 @@ from dataclasses import dataclass, field
 
 from repro import obs
 from repro.engine.trace import RunResult
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, JobTimeoutError
 from repro.fleet.cache import ResultCache, job_cache_key
 from repro.fleet.events import EventLog
 from repro.fleet.spec import CampaignSpec, FleetJob
@@ -51,6 +53,9 @@ __all__ = [
     "default_workers",
     "auto_chunk_size",
 ]
+
+#: Watchdog poll floor, seconds — how stale a deadline check may go.
+_WATCHDOG_TICK_S = 0.05
 
 
 def default_workers() -> int:
@@ -73,11 +78,21 @@ def auto_chunk_size(n_jobs: int, workers: int) -> int:
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Exponential-backoff retry budget for one job."""
+    """Capped exponential-backoff retry budget for one job.
+
+    The backoff is capped at ``max_backoff_s`` (an uncapped exponential
+    turns a flaky job into a stalled campaign) and spread by ``jitter``
+    — but *deterministically*: the jitter factor is a pure function of
+    the job's seed and the attempt number, so retry timing is exactly
+    reproducible across runs, which the rest of the fleet's
+    bit-identical guarantee demands.
+    """
 
     max_attempts: int = 3
     backoff_s: float = 0.05
     multiplier: float = 2.0
+    max_backoff_s: float = 5.0
+    jitter: float = 0.1
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -88,10 +103,33 @@ class RetryPolicy:
             raise ConfigurationError(
                 "backoff must be >= 0 s with multiplier >= 1"
             )
+        if self.max_backoff_s <= 0:
+            raise ConfigurationError(
+                f"max_backoff_s must be positive, got {self.max_backoff_s}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
 
-    def delay_s(self, attempt: int) -> float:
-        """Sleep before re-submitting after failed ``attempt`` (1-based)."""
-        return self.backoff_s * self.multiplier ** (attempt - 1)
+    def delay_s(self, attempt: int, seed: "int | None" = None) -> float:
+        """Sleep before re-submitting after failed ``attempt`` (1-based).
+
+        With a ``seed`` the capped exponential is scaled by a factor in
+        ``[1 - jitter, 1 + jitter)`` derived from ``(seed, attempt)``
+        via SHA-256 — deterministic, but de-synchronised across jobs so
+        a burst of same-attempt retries does not stampede.  Without a
+        seed the bare capped exponential is returned.
+        """
+        base = min(
+            self.backoff_s * self.multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        if seed is None or self.jitter == 0.0 or base == 0.0:
+            return base
+        digest = hashlib.sha256(f"{seed}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64  # [0, 1)
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
 
 
 @dataclass(frozen=True)
@@ -176,6 +214,37 @@ class FleetOutcome:
             r.job.job_id: r.result for r in self.records if r.result is not None
         }
 
+    def results_digest(self) -> str:
+        """SHA-256 over the deterministic content of the outcome.
+
+        Covers what the campaign *computed* — per-job demand, duration,
+        power, energy — and deliberately excludes schedule-dependent
+        bookkeeping (wall times, cache provenance, attempt counts).  Two
+        runs of the same campaign must therefore produce the same
+        digest whether they ran serial or parallel, cold or warm, in
+        one piece or killed and resumed; the kill-and-resume CI test
+        asserts exactly this.
+        """
+        from repro.fleet.cache import canonical_json
+
+        rows: list[dict] = []
+        for r in self.records:
+            if r.result is None:
+                rows.append({"job_id": r.job.job_id, "failed": True})
+                continue
+            run = r.result
+            rows.append(
+                {
+                    "job_id": r.job.job_id,
+                    "gflops": run.demand.gflops,
+                    "duration_s": run.duration_s,
+                    "watts": run.average_power_watts(),
+                    "memory_mb": run.average_memory_mb(),
+                    "energy_kj": run.energy_kilojoules(),
+                }
+            )
+        return hashlib.sha256(canonical_json(rows).encode()).hexdigest()
+
     def run_for(self, server: str, label: str) -> RunResult:
         """Look up one run by server name and job label."""
         for r in self.records:
@@ -206,6 +275,21 @@ def _pool_context():
     return None
 
 
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-kill every worker process of a pool.
+
+    ``ProcessPoolExecutor`` has no supported way to abort a *running*
+    task, so hang recovery reaches for the private process table; the
+    ``getattr`` guard keeps this a no-op if the attribute ever moves.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except Exception:  # noqa: BLE001 - already-dead workers are fine
+            pass
+
+
 @dataclass
 class FleetRunner:
     """Executes campaigns through a worker pool with cache and retries.
@@ -231,6 +315,17 @@ class FleetRunner:
         the batch engine, bit-identical to per-job execution; a job that
         fails inside a chunk is retried individually, so one bad point
         never costs its chunk-mates a retry.
+    timeout_s:
+        Per-job wall-clock budget for pooled execution, or ``None``
+        (default) for no watchdog.  A chunk's budget scales with its
+        length (members run serially in the worker).  On expiry the
+        pool is killed and replaced, innocent in-flight work re-runs at
+        the same attempt, and the overdue job is charged one attempt —
+        so a hung worker costs seconds, not the campaign.
+    max_pool_replacements:
+        How many times a campaign may rebuild its pool after crashes or
+        hangs before the remaining jobs are failed outright.  Bounds
+        the worst case when every worker hangs persistently.
     """
 
     workers: "int | None" = None
@@ -239,6 +334,8 @@ class FleetRunner:
     events: "EventLog | None" = None
     fault: "FaultInjection | None" = None
     chunk_size: "int | None" = None
+    timeout_s: "float | None" = None
+    max_pool_replacements: int = 3
     #: Per-campaign merge target for worker metrics snapshots; only set
     #: while a run is in flight with observability enabled.
     _worker_metrics: "obs.MetricsRegistry | None" = field(
@@ -255,6 +352,14 @@ class FleetRunner:
         """Execute an explicit job list (the backend entry point)."""
         if not jobs:
             raise ConfigurationError("campaign expanded to zero jobs")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+        if self.max_pool_replacements < 0:
+            raise ConfigurationError(
+                "max_pool_replacements must be non-negative"
+            )
         workers = self.workers if self.workers is not None else default_workers()
         self._emit(
             "campaign_start", campaign=name, jobs=len(jobs), workers=workers
@@ -365,12 +470,13 @@ class FleetRunner:
                 except Exception as exc:  # noqa: BLE001 - fault barrier
                     if attempt < self.retry.max_attempts:
                         self._emit_retry(name, job, attempt, exc)
-                        time.sleep(self.retry.delay_s(attempt))
+                        time.sleep(self.retry.delay_s(attempt, seed=job.seed))
                         attempt += 1
                         continue
                     records[job.job_id] = self._failed(name, job, attempt, exc)
                     break
                 records[job.job_id] = self._finished(name, job, attempt, out)
+                self._checkpoint(name, (job.job_id,))
                 break
 
     def _retry_inline(
@@ -387,7 +493,7 @@ class FleetRunner:
                 records[job.job_id] = self._failed(name, job, attempt, exc)
                 return
             self._emit_retry(name, job, attempt, exc)
-            time.sleep(self.retry.delay_s(attempt))
+            time.sleep(self.retry.delay_s(attempt, seed=job.seed))
             attempt += 1
             self._emit_start(name, job, attempt)
             try:
@@ -396,6 +502,7 @@ class FleetRunner:
                 exc = next_exc
                 continue
             records[job.job_id] = self._finished(name, job, attempt, out)
+            self._checkpoint(name, (job.job_id,))
             return
 
     def _run_pool(
@@ -406,98 +513,230 @@ class FleetRunner:
         records: "dict[str, JobRecord]",
         chunk_size: int,
     ) -> None:
-        """Parallel execution with per-job retry and graceful degradation.
+        """Parallel execution with retry, watchdog, and pool replacement.
 
         With ``chunk_size > 1`` the first attempt of every job travels in
         a chunk (one pickle round-trip per ``chunk_size`` jobs, evaluated
         by the batch engine); failed entries are resubmitted as single
         jobs so retries stay per-job.
+
+        A crashed worker (``BrokenProcessPool``) or an overdue job
+        (``timeout_s``) kills and rebuilds the pool: the culprit unit is
+        charged one attempt, innocent in-flight units re-run at the same
+        attempt (safe — results are deterministic), and after
+        ``max_pool_replacements`` rebuilds whatever remains is failed
+        rather than looping on a persistently broken fleet.
         """
         ctx = _pool_context()
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=ctx
-            ) as pool:
-                futures: dict[Future, tuple] = {}
-
-                def submit_job(job: FleetJob, attempt: int) -> None:
-                    self._emit_start(name, job, attempt)
-                    futures[
-                        pool.submit(
-                            execute_job, job_payload(job, attempt, self.fault)
-                        )
-                    ] = ("job", job, attempt)
-
-                if chunk_size > 1:
-                    for chunk in _chunked(pending, chunk_size):
-                        for job in chunk:
-                            self._emit_start(name, job, 1)
-                        futures[
-                            pool.submit(
-                                execute_chunk,
-                                [
-                                    job_payload(job, 1, self.fault)
-                                    for job in chunk
-                                ],
-                            )
-                        ] = ("chunk", chunk)
-                else:
-                    for job in pending:
-                        submit_job(job, 1)
-
-                while futures:
-                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        tag = futures.pop(future)
-                        if tag[0] == "chunk":
-                            chunk = tag[1]
-                            try:
-                                out = future.result()
-                            except BrokenProcessPool:
-                                raise
-                            except Exception as exc:  # noqa: BLE001
-                                # The whole chunk died in transit (e.g.
-                                # unpicklable payload); every member gets
-                                # an attempt-1 failure and a solo retry.
-                                to_retry = [(job, exc) for job in chunk]
-                            else:
-                                to_retry = self._absorb_chunk(
-                                    name, chunk, out, records
-                                )
-                            for job, exc in to_retry:
-                                if self.retry.max_attempts > 1:
-                                    self._emit_retry(name, job, 1, exc)
-                                    time.sleep(self.retry.delay_s(1))
-                                    submit_job(job, 2)
-                                else:
-                                    records[job.job_id] = self._failed(
-                                        name, job, 1, exc
-                                    )
-                            continue
-                        _, job, attempt = tag
-                        try:
-                            out = future.result()
-                        except BrokenProcessPool:
-                            raise
-                        except Exception as exc:  # noqa: BLE001
-                            if attempt < self.retry.max_attempts:
-                                self._emit_retry(name, job, attempt, exc)
-                                time.sleep(self.retry.delay_s(attempt))
-                                submit_job(job, attempt + 1)
-                            else:
-                                records[job.job_id] = self._failed(
-                                    name, job, attempt, exc
-                                )
-                        else:
-                            records[job.job_id] = self._finished(
-                                name, job, attempt, out
-                            )
-        except BrokenProcessPool as exc:
-            # A worker died hard (segfault/OOM).  Degrade gracefully:
-            # every job still unaccounted for becomes a failure record.
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        replacements = 0
+        futures: dict[Future, dict] = {}
+        # Our own dispatch queue (vs. the executor's): kept shallow so a
+        # pool replacement only has to requeue ~2*workers in-flight units.
+        queue: deque = deque()
+        if chunk_size > 1:
+            for chunk in _chunked(pending, chunk_size):
+                queue.append({"kind": "chunk", "chunk": chunk})
+        else:
             for job in pending:
-                if job.job_id not in records:
-                    records[job.job_id] = self._failed(name, job, 0, exc)
+                queue.append({"kind": "job", "job": job, "attempt": 1})
+
+        def unit_jobs(unit: dict) -> "list[FleetJob]":
+            return unit["chunk"] if unit["kind"] == "chunk" else [unit["job"]]
+
+        def submit(unit: dict) -> None:
+            attempt = unit.get("attempt", 1)
+            for job in unit_jobs(unit):
+                self._emit_start(name, job, attempt)
+            if unit["kind"] == "chunk":
+                future = pool.submit(
+                    execute_chunk,
+                    [job_payload(job, 1, self.fault) for job in unit["chunk"]],
+                )
+                scale = len(unit["chunk"])  # chunk members run serially
+            else:
+                future = pool.submit(
+                    execute_job, job_payload(unit["job"], attempt, self.fault)
+                )
+                scale = 1
+            unit["deadline"] = (
+                None
+                if self.timeout_s is None
+                else time.monotonic() + self.timeout_s * scale
+            )
+            futures[future] = unit
+
+        def charge(job: FleetJob, attempt: int, exc: BaseException) -> None:
+            """Charge one failed attempt: requeue solo, or record failure."""
+            if attempt < self.retry.max_attempts:
+                self._emit_retry(name, job, attempt, exc)
+                time.sleep(self.retry.delay_s(attempt, seed=job.seed))
+                queue.append(
+                    {"kind": "job", "job": job, "attempt": attempt + 1}
+                )
+            else:
+                records[job.job_id] = self._failed(name, job, attempt, exc)
+
+        def replace_pool(reason: str) -> bool:
+            """Kill and rebuild the pool, requeueing in-flight work.
+
+            The caller pops culprit units first; everything left in
+            ``futures`` is innocent and goes back to the queue front at
+            its current attempt.  Returns ``False`` once the replacement
+            budget is spent — the caller then fails what remains.
+            """
+            nonlocal pool, replacements
+            _kill_pool(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
+            for unit in futures.values():
+                unit["deadline"] = None
+                queue.appendleft(unit)
+            futures.clear()
+            replacements += 1
+            if replacements > self.max_pool_replacements:
+                return False
+            self._campaign_inc("fleet.pool.replaced")
+            self._emit(
+                "pool_replaced", campaign=name, reason=reason, count=replacements
+            )
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+            return True
+
+        def settle(units: "list[dict]", reason: str, alive: bool) -> None:
+            """Charge culprit units; with a dead pool, fail everything."""
+            for unit in units:
+                attempt = unit.get("attempt", 1)
+                for job in unit_jobs(unit):
+                    if alive:
+                        charge(job, attempt, unit["error"])
+                    else:
+                        records[job.job_id] = self._failed(
+                            name, job, attempt, unit["error"]
+                        )
+            if not alive:
+                while queue:
+                    unit = queue.popleft()
+                    for job in unit_jobs(unit):
+                        if job.job_id not in records:
+                            records[job.job_id] = self._failed(
+                                name,
+                                job,
+                                unit.get("attempt", 1),
+                                ConfigurationError(
+                                    f"pool replacement budget exhausted "
+                                    f"({self.max_pool_replacements}) after "
+                                    f"{reason}"
+                                ),
+                            )
+
+        try:
+            while queue or futures:
+                submit_failed = False
+                while queue and len(futures) < workers * 2:
+                    unit = queue.popleft()
+                    try:
+                        submit(unit)
+                    except BrokenProcessPool:
+                        # The pool died before accepting work; this unit
+                        # is innocent.  In-flight futures now carry the
+                        # break — fall through to done-processing.
+                        queue.appendleft(unit)
+                        submit_failed = True
+                        break
+                if submit_failed and not futures:
+                    # Broken with nothing in flight: no culprit to charge,
+                    # just rebuild (or give up) and go around again.
+                    if not replace_pool("worker_crash"):
+                        settle([], "worker_crash", alive=False)
+                        return
+                    continue
+
+                timeout = None
+                if self.timeout_s is not None and futures:
+                    now = time.monotonic()
+                    nearest = min(
+                        u["deadline"]
+                        for u in futures.values()
+                        if u["deadline"] is not None
+                    )
+                    timeout = max(_WATCHDOG_TICK_S, nearest - now)
+                done, _ = wait(
+                    futures, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+
+                broken: "list[dict]" = []
+                for future in done:
+                    unit = futures.pop(future)
+                    try:
+                        out = future.result()
+                    except BrokenProcessPool as exc:
+                        # Every in-flight future gets this when a worker
+                        # dies; the culprit is unknowable, so each unit
+                        # is charged one attempt (bounded by the retry
+                        # budget — a persistent crasher still exhausts).
+                        unit["error"] = exc
+                        broken.append(unit)
+                    except Exception as exc:  # noqa: BLE001 - fault barrier
+                        attempt = unit.get("attempt", 1)
+                        for job in unit_jobs(unit):
+                            charge(job, attempt, exc)
+                    else:
+                        if unit["kind"] == "chunk":
+                            for job, exc in self._absorb_chunk(
+                                name, unit["chunk"], out, records
+                            ):
+                                charge(job, 1, exc)
+                        else:
+                            job = unit["job"]
+                            records[job.job_id] = self._finished(
+                                name, job, unit["attempt"], out
+                            )
+                            self._checkpoint(name, (job.job_id,))
+                if broken:
+                    alive = replace_pool("worker_crash")
+                    settle(broken, "worker_crash", alive)
+                    if not alive:
+                        return
+
+                if self.timeout_s is not None and futures:
+                    now = time.monotonic()
+                    overdue = [
+                        (future, unit)
+                        for future, unit in futures.items()
+                        if unit["deadline"] is not None
+                        and now >= unit["deadline"]
+                    ]
+                    if overdue:
+                        hung: "list[dict]" = []
+                        for future, unit in overdue:
+                            futures.pop(future)
+                            attempt = unit.get("attempt", 1)
+                            budget = self.timeout_s * len(unit_jobs(unit))
+                            unit["error"] = JobTimeoutError(
+                                f"no result within {budget:.1f} s"
+                            )
+                            hung.append(unit)
+                            for job in unit_jobs(unit):
+                                self._campaign_inc("fleet.job.timeouts")
+                                self._emit(
+                                    "job_timeout",
+                                    campaign=name,
+                                    job_id=job.job_id,
+                                    label=job.label,
+                                    server=job.server.name,
+                                    attempt=attempt,
+                                    timeout_s=self.timeout_s,
+                                )
+                        alive = replace_pool("job_timeout")
+                        settle(hung, "job_timeout", alive)
+                        if not alive:
+                            return
+        finally:
+            if futures:
+                # Abnormal exit with work in flight: a hung worker would
+                # stall a joining shutdown, so kill rather than wait.
+                _kill_pool(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def _absorb_chunk(
         self,
@@ -519,6 +758,7 @@ class FleetRunner:
         share = out["wall_s"] / max(len(chunk), 1)
         by_id = {job.job_id: job for job in chunk}
         failed: "list[tuple[FleetJob, BaseException]]" = []
+        succeeded: list[str] = []
         for entry in out["entries"]:
             job = by_id[entry["job_id"]]
             if entry["error"] is None:
@@ -533,8 +773,10 @@ class FleetRunner:
                         "metrics": None,
                     },
                 )
+                succeeded.append(job.job_id)
             else:
                 failed.append((job, entry["error"]))
+        self._checkpoint(name, succeeded)
         return failed
 
     # -- bookkeeping ----------------------------------------------------
@@ -623,8 +865,20 @@ class FleetRunner:
             server=job.server.name,
             attempt=attempt,
             error=f"{type(exc).__name__}: {exc}",
-            backoff_s=self.retry.delay_s(attempt),
+            backoff_s=self.retry.delay_s(attempt, seed=job.seed),
         )
+
+    def _checkpoint(self, name: str, job_ids) -> None:
+        """Durably journal completed jobs — the ``--resume`` anchor.
+
+        Unlike ordinary events, checkpoints are fsynced: after a
+        SIGKILL, :func:`~repro.fleet.events.completed_job_ids` replays
+        exactly the jobs whose results are safely on disk.
+        """
+        if self.events is not None and job_ids:
+            self.events.emit(
+                "checkpoint", _sync=True, campaign=name, job_ids=list(job_ids)
+            )
 
     def _emit(self, kind: str, **fields) -> None:
         if self.events is not None:

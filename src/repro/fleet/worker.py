@@ -29,6 +29,7 @@ from repro.errors import SimulationError
 from repro.fleet.spec import workload_from_dict
 
 __all__ = [
+    "FAULT_KINDS",
     "FaultInjection",
     "InjectedFaultError",
     "job_payload",
@@ -41,23 +42,69 @@ class InjectedFaultError(SimulationError):
     """Raised by the fault-injection hook; never by real simulation."""
 
 
+#: Valid :attr:`FaultInjection.kind` values.
+FAULT_KINDS = ("error", "crash", "hang", "slow")
+
+
 @dataclass(frozen=True)
 class FaultInjection:
     """Deterministically fail selected job attempts (test/chaos hook).
 
     Attempts ``1..fail_attempts`` of every job whose label contains
-    ``label_substring`` raise :class:`InjectedFaultError`; with
-    ``fail_attempts`` at least the retry policy's ``max_attempts`` the
-    job fails permanently and must surface in the failure report.
+    ``label_substring`` misbehave according to ``kind``:
+
+    * ``"error"`` — raise :class:`InjectedFaultError` (the default; an
+      ordinary job exception the retry policy absorbs),
+    * ``"crash"`` — hard-kill the worker process with ``os._exit``
+      (a segfault/OOM stand-in; the runner must replace the pool),
+    * ``"hang"`` — sleep ``delay_s`` seconds without producing a result
+      (the runner's watchdog must time the job out and kill the pool),
+    * ``"slow"`` — sleep ``delay_s`` seconds, then run normally (a
+      straggler; must complete, not fail).
+
+    With ``fail_attempts`` at least the retry policy's ``max_attempts``
+    the job fails permanently and must surface in the failure report.
+    The *attempt index travels with the job*, so the decision is the
+    same whichever worker process receives the retry.
     """
 
     label_substring: str
     fail_attempts: int = 1
+    kind: str = "error"
+    delay_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.delay_s < 0:
+            raise ValueError("fault delay must be non-negative")
 
     def should_fail(self, label: str, attempt: int) -> bool:
         """Whether this (job, attempt) pair is selected to fail."""
         return (
             self.label_substring in label and attempt <= self.fail_attempts
+        )
+
+    def trigger(self, job_id: str, attempt: int) -> None:
+        """Enact the fault inside the worker (never returns for crash).
+
+        For ``"slow"`` this sleeps and returns — the caller proceeds
+        with normal execution.  For the failing kinds it raises (or
+        exits) so the caller's fault barrier reports the attempt.
+        """
+        if self.kind == "slow":
+            time.sleep(self.delay_s)
+            return
+        if self.kind == "crash":
+            os._exit(13)
+        if self.kind == "hang":
+            # A stand-in for an infinite loop that stays interruptible
+            # in inline runs; under a pool the watchdog kills us first.
+            time.sleep(self.delay_s)
+        raise InjectedFaultError(
+            f"injected {self.kind}: {job_id} attempt {attempt}"
         )
 
 
@@ -111,9 +158,7 @@ def execute_job(payload: dict[str, Any]) -> dict[str, Any]:
     if fault is not None and fault.should_fail(
         payload["label"], payload["attempt"]
     ):
-        raise InjectedFaultError(
-            f"injected fault: {payload['job_id']} attempt {payload['attempt']}"
-        )
+        fault.trigger(payload["job_id"], payload["attempt"])
     collect = bool(payload.get("obs"))
     if collect:
         obs.enable()
@@ -193,15 +238,17 @@ def _run_chunk(payloads: "list[dict[str, Any]]") -> list[dict[str, Any]]:
         if fault is not None and fault.should_fail(
             payload["label"], payload["attempt"]
         ):
-            entries[i] = {
-                "job_id": payload["job_id"],
-                "result": None,
-                "error": InjectedFaultError(
-                    f"injected fault: {payload['job_id']} "
-                    f"attempt {payload['attempt']}"
-                ),
-            }
-            continue
+            try:
+                # crash exits here; hang sleeps here (chunk-level, as a
+                # hung member hangs its whole chunk in a real worker).
+                fault.trigger(payload["job_id"], payload["attempt"])
+            except InjectedFaultError as exc:
+                entries[i] = {
+                    "job_id": payload["job_id"],
+                    "result": None,
+                    "error": exc,
+                }
+                continue
         key = (payload["server_json"], payload["seed"], payload["placement"])
         groups.setdefault(key, []).append(i)
     for (server_json, seed, placement), indices in groups.items():

@@ -41,8 +41,14 @@ SCHEMA_VERSION = 1
 
 
 def evaluation_to_dict(result: EvaluationResult) -> dict[str, Any]:
-    """Serialise an :class:`EvaluationResult` (Tables IV-VI)."""
-    return {
+    """Serialise an :class:`EvaluationResult` (Tables IV-VI).
+
+    Complete results serialise exactly as they always have; a *partial*
+    result (graceful degradation) additionally records the ``missing``
+    state labels and its ``coverage``, so a downstream reader cannot
+    mistake a degraded score for a full-matrix one.
+    """
+    document = {
         "kind": "evaluation",
         "schema_version": SCHEMA_VERSION,
         "server": result.server,
@@ -57,6 +63,10 @@ def evaluation_to_dict(result: EvaluationResult) -> dict[str, Any]:
             for row in result.rows
         ],
     }
+    if result.missing:
+        document["missing"] = list(result.missing)
+        document["coverage"] = result.coverage
+    return document
 
 
 def evaluation_from_dict(data: dict[str, Any]) -> EvaluationResult:
@@ -72,7 +82,11 @@ def evaluation_from_dict(data: dict[str, Any]) -> EvaluationResult:
         )
         for r in data["rows"]
     )
-    return EvaluationResult(server=data["server"], rows=rows)
+    return EvaluationResult(
+        server=data["server"],
+        rows=rows,
+        missing=tuple(data.get("missing", ())),
+    )
 
 
 def verification_to_dict(result: VerificationResult) -> dict[str, Any]:

@@ -14,13 +14,21 @@ offset).
 from __future__ import annotations
 
 import csv
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
 from repro.errors import MeterError
 
-__all__ = ["write_power_csv", "read_power_csv", "merge_power_csvs", "HEADER"]
+__all__ = [
+    "write_power_csv",
+    "read_power_csv",
+    "read_power_csv_tolerant",
+    "merge_power_csvs",
+    "CsvReadReport",
+    "HEADER",
+]
 
 HEADER: tuple[str, str] = ("time_s", "power_w")
 
@@ -68,6 +76,62 @@ def read_power_csv(path: "str | Path") -> tuple[np.ndarray, np.ndarray]:
     except UnicodeDecodeError as exc:
         raise MeterError(f"{path}: not a text CSV file ({exc})") from exc
     return np.asarray(times), np.asarray(watts)
+
+
+@dataclass(frozen=True)
+class CsvReadReport:
+    """What the tolerant reader skipped in one file."""
+
+    n_rows: int
+    n_bad: int
+    bad_lines: tuple[int, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every row parsed cleanly."""
+        return self.n_bad == 0
+
+
+def read_power_csv_tolerant(
+    path: "str | Path",
+) -> tuple[np.ndarray, np.ndarray, CsvReadReport]:
+    """Read a possibly damaged CSV, salvaging every parseable row.
+
+    Truncated files (a logger killed mid-write) and corrupt rows (disk
+    or transfer damage) are the two failure modes the paper's shared-
+    directory copy step can produce.  Unlike :func:`read_power_csv`,
+    which fails fast, this reader skips malformed rows and reports their
+    line numbers so the repair stage (:func:`repro.metering.analysis.
+    repair_trace`) can treat them as dropouts.  A missing or wrong
+    header still raises — that is a different file, not a damaged one.
+    """
+    path = Path(path)
+    times: list[float] = []
+    watts: list[float] = []
+    bad: list[int] = []
+    n_rows = 0
+    with path.open(newline="", errors="replace") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None or tuple(header) != HEADER:
+            raise MeterError(f"{path}: not a power CSV (header {header!r})")
+        for lineno, row in enumerate(reader, start=2):
+            n_rows += 1
+            if len(row) != 2:
+                bad.append(lineno)
+                continue
+            try:
+                t, w = float(row[0]), float(row[1])
+            except ValueError:
+                bad.append(lineno)
+                continue
+            times.append(t)
+            watts.append(w)
+    return (
+        np.asarray(times),
+        np.asarray(watts),
+        CsvReadReport(n_rows=n_rows, n_bad=len(bad), bad_lines=tuple(bad)),
+    )
 
 
 def merge_power_csvs(

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
-from repro.errors import ConfigurationError, MeterError
+from repro.errors import ConfigurationError, InvalidSampleError, MeterError
 
 __all__ = ["MeterSpec", "WT210", "Wt210Meter"]
 
@@ -76,17 +76,32 @@ class Wt210Meter:
 
         Raises
         ------
+        InvalidSampleError
+            If any value is NaN, infinite, or negative — with the index
+            of the first offender, so a corrupt trace can be located.
         MeterError
             If any value exceeds the configured range (over-range).
         """
         true_watts = np.asarray(true_watts, dtype=float)
+        nonfinite = ~np.isfinite(true_watts)
+        if nonfinite.any():
+            index = int(np.argmax(nonfinite))
+            raise InvalidSampleError(
+                float(true_watts[index]), index, "power must be finite"
+            )
+        negative = true_watts < 0
+        if negative.any():
+            index = int(np.argmax(negative))
+            raise InvalidSampleError(
+                float(true_watts[index]),
+                index,
+                "negative power cannot be measured",
+            )
         if true_watts.size and float(true_watts.max()) > self.spec.max_watts:
             raise MeterError(
                 f"{self.spec.name}: {true_watts.max():.0f} W exceeds the "
                 f"{self.spec.max_watts:.0f} W range"
             )
-        if np.any(true_watts < 0):
-            raise MeterError("negative power cannot be measured")
         noisy = true_watts * self._gain + self.spec.noise_sigma_watts * (
             self._rng.standard_normal(true_watts.shape)
         )

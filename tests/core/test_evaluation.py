@@ -122,3 +122,69 @@ class TestValidation:
     def test_rank_empty_rejected(self):
         with pytest.raises(ConfigurationError):
             rank_servers([])
+
+
+class TestPartialEvaluation:
+    """Graceful degradation: dead states flag coverage, never abort."""
+
+    @pytest.fixture(scope="class")
+    def partial(self, e5462_module):
+        from repro.fleet import FaultInjection, FleetBackend, RetryPolicy
+
+        backend = FleetBackend(
+            workers=1,
+            strict=False,
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+            fault=FaultInjection("HPL P4", fail_attempts=99),
+        )
+        return evaluate_server(
+            e5462_module, backend=backend, allow_partial=True
+        )
+
+    def test_complete_result_has_full_coverage(self, result_e5462):
+        assert result_e5462.complete
+        assert result_e5462.coverage == 1.0
+        assert result_e5462.missing == ()
+
+    def test_dead_states_land_in_missing(self, partial):
+        assert not partial.complete
+        assert partial.missing == ("HPL P4 Mh", "HPL P4 Mf")
+        assert partial.coverage == pytest.approx(0.8)
+        assert len(partial.rows) == 8
+
+    def test_surviving_rows_are_bit_identical(self, partial, result_e5462):
+        full = {r.label: r for r in result_e5462.rows}
+        for row in partial.rows:
+            assert row == full[row.label]
+
+    def test_partial_score_covers_only_survivors(self, partial):
+        import numpy as np
+
+        expected = float(np.mean([r.ppw for r in partial.rows]))
+        assert partial.score == pytest.approx(expected)
+
+    def test_every_state_failing_raises(self, e5462_module):
+        from repro.fleet import FaultInjection, FleetBackend, RetryPolicy
+
+        backend = FleetBackend(
+            workers=1,
+            strict=False,
+            retry=RetryPolicy(max_attempts=1, backoff_s=0.0),
+            fault=FaultInjection("", fail_attempts=99),  # matches all
+        )
+        with pytest.raises(ConfigurationError):
+            evaluate_server(
+                e5462_module, backend=backend, allow_partial=True
+            )
+
+    def test_without_allow_partial_failures_still_raise(self, e5462_module):
+        from repro.errors import SimulationError
+        from repro.fleet import FaultInjection, FleetBackend, RetryPolicy
+
+        backend = FleetBackend(
+            workers=1,
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+            fault=FaultInjection("HPL P4", fail_attempts=99),
+        )
+        with pytest.raises(SimulationError):
+            evaluate_server(e5462_module, backend=backend)

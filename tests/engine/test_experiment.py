@@ -84,3 +84,33 @@ class TestPipeline:
     def test_negative_gap_rejected(self, sim_e5462):
         with pytest.raises(ConfigurationError):
             Campaign(sim_e5462, gap_s=-1.0)
+
+
+class TestRepairPath:
+    """``Campaign(repair=True)``: validated analysis, same numbers."""
+
+    def test_default_path_attaches_no_quality(self, small_campaign):
+        assert small_campaign.run(ep_series()).quality is None
+
+    def test_repair_matches_default_numbers(self, e5462):
+        plain = Campaign(Simulator(e5462, seed=7), gap_s=10.0)
+        repaired = Campaign(Simulator(e5462, seed=7), gap_s=10.0, repair=True)
+        a = plain.run(ep_series())
+        b = repaired.run(ep_series())
+        # The repair stage detects and removes the same clock offset the
+        # default path subtracts; its regrid may shift a window edge by
+        # at most one sample, so the means agree to well under 0.1 %.
+        for m_plain, m_rep in zip(a.measurements, b.measurements):
+            assert m_rep.average_watts == pytest.approx(
+                m_plain.average_watts, rel=1e-3
+            )
+        assert b.quality is not None
+        assert "clock_skew_corrected" in b.quality.flags
+        assert b.quality.clock_skew_s == pytest.approx(0.4, abs=0.05)
+
+    def test_repair_keeps_csv_artifacts(self, e5462, tmp_path):
+        campaign = Campaign(Simulator(e5462, seed=7), gap_s=10.0, repair=True)
+        result = campaign.run(ep_series(), csv_dir=tmp_path)
+        assert result.merged_csv is not None
+        assert result.quality is not None
+        assert not result.quality.quarantined

@@ -135,3 +135,54 @@ class TestResultCache:
         data["salt"] = "repro-fleet-cache-v0"
         path.write_text(json.dumps(data))
         assert cache.get(key) is None
+
+
+class TestCacheIntegrity:
+    def test_contains_is_a_cheap_probe(self, tmp_path, run_result):
+        cache = ResultCache(tmp_path / "cache")
+        key = "12" + "4" * 62
+        assert not cache.contains(key)
+        cache.put(key, run_result, wall_s=0.1)
+        assert cache.contains(key)
+        assert cache.stats.hits == 0  # contains() never loads
+
+    def test_flipped_blob_bit_is_quarantined(self, tmp_path, run_result):
+        cache = ResultCache(tmp_path / "cache")
+        key = "34" + "5" * 62
+        path = cache.put(key, run_result, wall_s=0.1)
+        blob_path = path.with_suffix(".bin")
+        raw = bytearray(blob_path.read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        blob_path.write_bytes(bytes(raw))
+        assert cache.get(key) is None
+        assert cache.stats.quarantined == 1
+        quarantine = cache.root / "quarantine"
+        assert sorted(p.name for p in quarantine.iterdir()) == sorted(
+            [f"{key}.json", f"{key}.bin"]
+        )
+        # The damaged entry no longer counts as live and a fresh write
+        # heals the slot.
+        assert len(cache) == 0
+        cache.put(key, run_result, wall_s=0.1)
+        assert cache.get(key) is not None
+
+    def test_torn_blob_is_quarantined(self, tmp_path, run_result):
+        cache = ResultCache(tmp_path / "cache")
+        key = "56" + "6" * 62
+        path = cache.put(key, run_result, wall_s=0.1)
+        blob_path = path.with_suffix(".bin")
+        raw = blob_path.read_bytes()
+        blob_path.write_bytes(raw[: len(raw) // 2])
+        assert cache.get(key) is None
+        assert cache.stats.quarantined == 1
+
+    def test_quarantine_excluded_from_len(self, tmp_path, run_result):
+        cache = ResultCache(tmp_path / "cache")
+        good, bad = "78" + "7" * 62, "9a" + "8" * 62
+        cache.put(good, run_result, wall_s=0.1)
+        path = cache.put(bad, run_result, wall_s=0.1)
+        path.with_suffix(".bin").write_text("garbage")
+        assert len(cache) == 2
+        assert cache.get(bad) is None
+        assert len(cache) == 1
+        assert cache.get(good) is not None

@@ -1,0 +1,154 @@
+"""Crash-safe campaigns: journal, checkpoint records, SIGKILL + --resume."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import (
+    EventLog,
+    FleetRunner,
+    ResultCache,
+    campaign_to_dict,
+    completed_job_ids,
+    demo_campaign,
+    read_events,
+)
+from repro import io as repro_io
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def baseline_digest():
+    return FleetRunner(workers=1).run(demo_campaign()).results_digest()
+
+
+class TestJournal:
+    def test_checkpoints_cover_every_finished_job(self, tmp_path):
+        campaign = demo_campaign()
+        with EventLog(tmp_path / "events.jsonl") as events:
+            outcome = FleetRunner(workers=1, events=events).run(campaign)
+        assert outcome.ok
+        journaled = completed_job_ids(
+            read_events(tmp_path / "events.jsonl"), campaign=campaign.name
+        )
+        assert journaled == {job.job_id for job in campaign.jobs()}
+
+    def test_truncated_journal_replays_the_durable_prefix(self, tmp_path):
+        campaign = demo_campaign()
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as events:
+            # chunk_size=1 checkpoints after every job, so the journal
+            # has a durable prefix to truncate at.
+            FleetRunner(workers=1, chunk_size=1, events=events).run(campaign)
+        lines = path.read_text().splitlines()
+        first_checkpoint = next(
+            i for i, line in enumerate(lines)
+            if json.loads(line)["kind"] == "checkpoint"
+        )
+        # Keep the journal as a kill right after the first fsynced
+        # checkpoint would have left it — plus a torn half-line, which
+        # read_events must skip rather than choke on.
+        path.write_text(
+            "\n".join(lines[: first_checkpoint + 1]) + '\n{"kind": "job_f'
+        )
+        journaled = completed_job_ids(read_events(path), campaign=campaign.name)
+        assert journaled
+        assert journaled < {job.job_id for job in campaign.jobs()}
+
+
+class TestSigkillResume:
+    def _spawn(self, spec, cache_dir, events, out=None, resume=False):
+        argv = [
+            sys.executable, "-m", "repro", "fleet", "run", str(spec),
+            "--workers", "1",
+            "--cache-dir", str(cache_dir),
+            "--events", str(events),
+            "--chunk-size", "1",  # checkpoint after every job
+        ]
+        if out:
+            argv += ["--out", str(out)]
+        if resume:
+            argv += ["--resume"]
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        return subprocess.Popen(
+            argv,
+            cwd=REPO_ROOT,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def test_sigkill_then_resume_is_bit_identical(
+        self, tmp_path, baseline_digest
+    ):
+        campaign = demo_campaign()
+        spec = repro_io.save_json(
+            campaign_to_dict(campaign), tmp_path / "campaign.json"
+        )
+        cache_dir = tmp_path / "cache"
+        events = tmp_path / "events.jsonl"
+
+        victim = self._spawn(spec, cache_dir, events)
+        # SIGKILL as soon as the first durable checkpoint lands (or let
+        # the run finish if it outraces the poll — the resume contract
+        # must hold from any kill point, including "none").
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                break
+            if events.exists() and '"checkpoint"' in events.read_text():
+                victim.kill()
+                break
+            time.sleep(0.005)
+        else:
+            victim.kill()
+            pytest.fail("campaign produced no checkpoint within 60 s")
+        victim.wait(timeout=60)
+
+        out = tmp_path / "resumed.json"
+        resumed = self._spawn(spec, cache_dir, events, out=out, resume=True)
+        stdout, stderr = resumed.communicate(timeout=120)
+        assert resumed.returncode == 0, stderr
+        assert "resuming" in stdout
+        document = json.loads(out.read_text())
+        assert document["results_digest"] == baseline_digest
+        assert not document["failures"]
+
+    def test_resume_without_journal_is_an_error(self, tmp_path):
+        campaign = demo_campaign()
+        spec = repro_io.save_json(
+            campaign_to_dict(campaign), tmp_path / "campaign.json"
+        )
+        proc = self._spawn(
+            spec,
+            tmp_path / "cache",
+            tmp_path / "missing.jsonl",
+            resume=True,
+        )
+        _stdout, stderr = proc.communicate(timeout=120)
+        assert proc.returncode == 2
+        assert "--resume needs" in stderr
+
+
+class TestCacheResume:
+    def test_warm_cache_alone_reproduces_the_digest(
+        self, tmp_path, baseline_digest
+    ):
+        campaign = demo_campaign()
+        cache = ResultCache(tmp_path / "cache")
+        cold = FleetRunner(workers=1, cache=cache).run(campaign)
+        warm = FleetRunner(workers=1, cache=cache).run(campaign)
+        assert warm.cache_hits == len(campaign.jobs())
+        assert (
+            cold.results_digest()
+            == warm.results_digest()
+            == baseline_digest
+        )

@@ -70,3 +70,165 @@ class TestTrim:
     def test_rejects_empty(self):
         with pytest.raises(ConfigurationError):
             trimmed_mean(np.array([]))
+
+
+class TestRepairTrace:
+    """Validation/repair stage: every fault class leaves an audit flag."""
+
+    @staticmethod
+    def _trace(n=120):
+        times = np.arange(float(n))
+        watts = 250.0 + np.sin(times / 7.0)
+        return times, watts
+
+    def test_pristine_trace_is_untouched(self):
+        from repro.metering.analysis import repair_trace
+
+        times, watts = self._trace()
+        repaired = repair_trace(times, watts)
+        assert repaired.quality.ok
+        assert repaired.quality.flags == ()
+        assert np.array_equal(repaired.times_s, times)
+        assert np.array_equal(repaired.watts, watts)
+
+    def test_nan_samples_rejected_and_interpolated(self):
+        from repro.metering.analysis import repair_trace
+
+        times, watts = self._trace()
+        watts[10] = np.nan
+        repaired = repair_trace(times, watts)
+        q = repaired.quality
+        assert "nonfinite_rejected" in q.flags
+        assert q.n_nan == 1
+        assert q.n_interpolated == 1
+        assert repaired.watts.size == times.size
+        assert np.isfinite(repaired.watts).all()
+
+    def test_duplicate_timestamps_keep_the_first(self):
+        from repro.metering.analysis import repair_trace
+
+        times, watts = self._trace(20)
+        times[5] = times[4]
+        repaired = repair_trace(times, watts)
+        q = repaired.quality
+        assert "duplicate_timestamps" in q.flags
+        assert q.n_duplicates == 1
+        assert repaired.watts[4] == watts[4]
+
+    def test_uniform_clock_skew_is_removed(self):
+        from repro.metering.analysis import repair_trace
+
+        times, watts = self._trace()
+        repaired = repair_trace(times + 0.25, watts)
+        q = repaired.quality
+        assert "clock_skew_corrected" in q.flags
+        assert q.clock_skew_s == pytest.approx(0.25)
+        assert np.allclose(repaired.times_s, times)
+
+    def test_inconsistent_jitter_is_flagged_not_corrected(self):
+        from repro.metering.analysis import repair_trace
+
+        times, watts = self._trace()
+        rng = np.random.default_rng(5)
+        jittered = times + rng.uniform(-0.4, 0.4, times.size)
+        q = repair_trace(jittered, watts).quality
+        assert "timestamp_jitter" in q.flags
+        assert "clock_skew_corrected" not in q.flags
+
+    def test_glitch_spikes_rejected(self):
+        from repro.metering.analysis import repair_trace
+
+        times, watts = self._trace()
+        watts[[30, 60]] = watts[[30, 60]] * 20
+        repaired = repair_trace(times, watts)
+        q = repaired.quality
+        assert "outliers_rejected" in q.flags
+        assert q.n_outliers == 2
+        assert repaired.watts.max() < 300
+
+    def test_gap_within_budget_is_interpolated(self):
+        from repro.metering.analysis import repair_trace
+
+        times, watts = self._trace()
+        keep = np.ones(times.size, dtype=bool)
+        keep[50:53] = False  # 3 s hole, budget 5 s
+        repaired = repair_trace(times[keep], watts[keep])
+        q = repaired.quality
+        assert "gaps_interpolated" in q.flags
+        assert q.n_interpolated == 3
+        assert q.coverage == 1.0
+
+    def test_gap_beyond_budget_stays_missing(self):
+        from repro.metering.analysis import repair_trace
+
+        times, watts = self._trace()
+        keep = np.ones(times.size, dtype=bool)
+        keep[50:60] = False  # 10 s hole, budget 5 s
+        q = repair_trace(times[keep], watts[keep]).quality
+        assert "gap_budget_exceeded" in q.flags
+        assert q.n_unfilled == 10
+        assert q.coverage < 1.0
+        assert not q.quarantined
+
+    def test_hopeless_trace_is_quarantined(self):
+        from repro.metering.analysis import repair_trace
+
+        times, watts = self._trace()
+        keep = np.zeros(times.size, dtype=bool)
+        keep[:10] = True  # 8% of the expected grid survives
+        keep[-1] = True
+        repaired = repair_trace(times[keep], watts[keep])
+        assert repaired.quality.quarantined
+        assert repaired.times_s.size == 0
+
+    def test_all_nan_is_quarantined(self):
+        from repro.metering.analysis import repair_trace
+
+        times = np.arange(10.0)
+        q = repair_trace(times, np.full(10, np.nan)).quality
+        assert q.quarantined
+        assert "all_nan" in q.flags
+
+    def test_empty_trace_is_quarantined(self):
+        from repro.metering.analysis import repair_trace
+
+        q = repair_trace(np.array([]), np.array([])).quality
+        assert q.quarantined
+        assert "empty" in q.flags
+
+    def test_single_sample_survives(self):
+        from repro.metering.analysis import repair_trace
+
+        repaired = repair_trace(np.array([0.0]), np.array([200.0]))
+        assert not repaired.quality.quarantined
+        assert repaired.watts.size == 1
+
+    def test_validate_is_a_dry_run(self):
+        from repro.metering.analysis import repair_trace, validate_trace
+
+        times, watts = self._trace()
+        watts[3] = np.nan
+        assert (
+            validate_trace(times, watts)
+            == repair_trace(times, watts).quality
+        )
+
+    def test_rejects_inconsistent_inputs(self):
+        from repro.metering.analysis import repair_trace
+
+        with pytest.raises(ConfigurationError):
+            repair_trace(np.arange(3.0), np.arange(4.0))
+        with pytest.raises(ConfigurationError):
+            repair_trace(np.arange(3.0), np.arange(3.0), sample_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            repair_trace(np.arange(3.0), np.arange(3.0), max_gap_s=-1.0)
+
+    def test_quality_to_dict_is_json_ready(self):
+        import json
+
+        from repro.metering.analysis import validate_trace
+
+        times, watts = self._trace()
+        data = json.loads(json.dumps(validate_trace(times, watts).to_dict()))
+        assert data["coverage"] == 1.0
+        assert data["flags"] == []

@@ -65,3 +65,47 @@ def test_merge_deduplicates_overlap(tmp_path):
 def test_merge_rejects_empty_list(tmp_path):
     with pytest.raises(MeterError):
         merge_power_csvs([], tmp_path / "m.csv")
+
+
+class TestTolerantReader:
+    def test_clean_file_reports_ok(self, tmp_path):
+        from repro.metering.csvlog import read_power_csv_tolerant
+
+        times = np.arange(10.0)
+        path = write_power_csv(tmp_path / "a.csv", times, times + 200.0)
+        t, w, report = read_power_csv_tolerant(path)
+        assert report.ok
+        assert report.n_rows == 10
+        assert np.allclose(t, times)
+        assert np.allclose(w, times + 200.0, atol=0.01)
+
+    def test_truncated_file_skips_the_torn_row(self, tmp_path):
+        from repro.metering.csvlog import read_power_csv_tolerant
+
+        path = tmp_path / "torn.csv"
+        path.write_text("time_s,power_w\n0.0,200.0\n1.0,201.0\n2.")
+        t, w, report = read_power_csv_tolerant(path)
+        assert not report.ok
+        assert report.bad_lines == (4,)
+        assert np.array_equal(t, [0.0, 1.0])
+        assert np.array_equal(w, [200.0, 201.0])
+
+    def test_corrupt_rows_reported_with_line_numbers(self, tmp_path):
+        from repro.metering.csvlog import read_power_csv_tolerant
+
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "time_s,power_w\n0.0,200.0\n@@junk@@\n2.0,oops\n3.0,203.0\n"
+        )
+        t, w, report = read_power_csv_tolerant(path)
+        assert report.n_bad == 2
+        assert report.bad_lines == (3, 4)
+        assert np.array_equal(t, [0.0, 3.0])
+
+    def test_wrong_header_still_raises(self, tmp_path):
+        from repro.metering.csvlog import read_power_csv_tolerant
+
+        path = tmp_path / "foreign.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(MeterError):
+            read_power_csv_tolerant(path)

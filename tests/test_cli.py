@@ -289,3 +289,30 @@ class TestExport:
         assert code == 0
         assert (out / "table4_e5462.csv").exists()
         assert "rankings.json" in stdout
+
+
+class TestChaos:
+    def test_list_scenarios(self, capsys):
+        code, out, _ = run_cli(capsys, "chaos", "--list")
+        assert code == 0
+        for name in ("meter-dropout", "fleet-hang", "cache-bitflip",
+                     "campaign-resume", "partial-matrix"):
+            assert name in out
+
+    def test_single_scenario_runs_green(self, capsys, tmp_path):
+        path = tmp_path / "chaos.json"
+        code, out, _ = run_cli(
+            capsys, "chaos", "--scenario", "meter-guard",
+            "--json", str(path),
+        )
+        assert code == 0
+        assert "recovered" in out
+        data = json.loads(path.read_text())
+        assert data["kind"] == "chaos_report"
+        assert data["ok"] is True
+        assert data["verdicts"][0]["name"] == "meter-guard"
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        code, _out, err = run_cli(capsys, "chaos", "--scenario", "nope")
+        assert code == 2
+        assert "unknown scenario" in err

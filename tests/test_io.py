@@ -147,3 +147,24 @@ class TestServerRoundtrip:
     def test_kind_checked(self):
         with pytest.raises(ConfigurationError):
             repro_io.server_from_dict({"kind": "evaluation", "schema_version": 1})
+
+
+class TestPartialEvaluationSerialisation:
+    def test_complete_document_has_no_degradation_keys(self, eval_result):
+        doc = repro_io.evaluation_to_dict(eval_result)
+        assert "missing" not in doc
+        assert "coverage" not in doc
+
+    def test_partial_round_trip(self, eval_result):
+        partial = EvaluationResult(
+            server=eval_result.server,
+            rows=eval_result.rows,
+            missing=("HPL P4 Mh", "HPL P4 Mf"),
+        )
+        doc = repro_io.evaluation_to_dict(partial)
+        assert doc["missing"] == ["HPL P4 Mh", "HPL P4 Mf"]
+        assert doc["coverage"] == pytest.approx(0.5)
+        restored = repro_io.evaluation_from_dict(doc)
+        assert restored.missing == partial.missing
+        assert restored.coverage == pytest.approx(0.5)
+        assert not restored.complete
