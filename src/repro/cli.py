@@ -8,9 +8,13 @@ Every reproduction entry point, runnable without writing Python::
     python -m repro specpower Opteron-8347
     python -m repro rankings
     python -m repro regression [--server Xeon-4870] [--classes B C]
-                               [--save-model model.json]
+                               [--save-model model.json] [--json out.json]
     python -m repro figure fig5 [--server Xeon-E5462]
-    python -m repro breakdown <server> <workload>
+    python -m repro breakdown <server> <workload> [--json out.json]
+    python -m repro model train [--server Xeon-4870] [--name NAME]
+    python -m repro model predict --name NAME [--from-npb B | --features f.json]
+    python -m repro model registry [--verify]
+    python -m repro model validate [--server Xeon-4870] [--folds 5]
     python -m repro energy <server> <program> [--npb-class C]
     python -m repro uncertainty <server> [--repeats 5]
     python -m repro compare [--regression] [--json out.json]
@@ -28,7 +32,9 @@ by :func:`repro.io.server_to_dict`.
 
 Exit codes: ``0`` success, ``1`` completed with failures (``fleet
 run``/``status``/``report`` with failed jobs, ``chaos`` with a failed
-scenario), ``2`` usage or input error, ``3`` bench baseline regression.
+scenario, ``model validate`` out of band, ``model registry --verify``
+with corrupt artifacts), ``2`` usage or input error, ``3`` bench
+baseline regression.
 """
 
 from __future__ import annotations
@@ -130,6 +136,12 @@ def build_parser() -> argparse.ArgumentParser:
     reg.add_argument(
         "--save-model", metavar="PATH", help="save the trained model as JSON"
     )
+    reg.add_argument(
+        "--json",
+        metavar="PATH",
+        help="save the full study (summary, coefficients, verification "
+        "series) as JSON",
+    )
 
     fig = sub.add_parser("figure", help="render one figure sweep as ASCII")
     fig.add_argument("name", choices=_FIGURES)
@@ -144,6 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
         "workload",
         help="'hpl' (full cores/memory) or '<prog>.<class>.<nprocs>', "
         "e.g. ep.C.4",
+    )
+    brk.add_argument(
+        "--json", metavar="PATH", help="save the decomposition as JSON"
     )
 
     eng = sub.add_parser(
@@ -359,6 +374,106 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ttree.add_argument("file", help="JSONL trace written by --trace")
 
+    mdl = sub.add_parser(
+        "model",
+        help="model lifecycle: versioned registry, batched inference, "
+        "validation",
+    )
+    msub = mdl.add_subparsers(dest="model_command", required=True)
+
+    mtrn = msub.add_parser(
+        "train", help="train on HPCC and publish to the registry"
+    )
+    mtrn.add_argument("--server", default="Xeon-4870")
+    mtrn.add_argument("--seed", type=int, default=0)
+    mtrn.add_argument(
+        "--registry",
+        default=".repro-models",
+        help="registry root directory (default: .repro-models)",
+    )
+    mtrn.add_argument(
+        "--name",
+        help="artifact name (default: slug of the server name)",
+    )
+    mtrn.add_argument(
+        "--json", metavar="PATH", help="save the published artifact as JSON"
+    )
+
+    mprd = msub.add_parser(
+        "predict", help="batched inference with a registered model"
+    )
+    mprd.add_argument(
+        "--registry",
+        default=".repro-models",
+        help="registry root directory (default: .repro-models)",
+    )
+    mprd.add_argument(
+        "--name", help="registry model name (default: slug of --server)"
+    )
+    mprd.add_argument(
+        "--model-version",
+        type=int,
+        default=None,
+        help="registry version (default: latest)",
+    )
+    mprd.add_argument(
+        "--model",
+        metavar="PATH",
+        help="load a bare model JSON instead of the registry",
+    )
+    mprd.add_argument(
+        "--features",
+        metavar="PATH",
+        help="feature_batch JSON to predict (see docs/model.md)",
+    )
+    mprd.add_argument(
+        "--from-npb",
+        metavar="CLASS",
+        choices=["A", "B", "C"],
+        help="collect the NPB verification sweep of --server as the batch",
+    )
+    mprd.add_argument("--server", default="Xeon-4870")
+    mprd.add_argument("--seed", type=int, default=0)
+    mprd.add_argument(
+        "--json", metavar="PATH", help="save the predictions as JSON"
+    )
+
+    mreg = msub.add_parser("registry", help="list registered artifacts")
+    mreg.add_argument(
+        "--registry",
+        default=".repro-models",
+        help="registry root directory (default: .repro-models)",
+    )
+    mreg.add_argument(
+        "--verify",
+        action="store_true",
+        help="integrity-check every artifact; exit 1 on corruption",
+    )
+
+    mval = msub.add_parser(
+        "validate",
+        help="k-fold CV + NPB drift against the paper's R^2 bands",
+    )
+    mval.add_argument("--server", default="Xeon-4870")
+    mval.add_argument("--seed", type=int, default=0)
+    mval.add_argument("--folds", type=int, default=5)
+    mval.add_argument(
+        "--classes", nargs="+", default=["B", "C"], choices=["A", "B", "C"]
+    )
+    mval.add_argument(
+        "--registry",
+        default=".repro-models",
+        help="registry root directory (default: .repro-models)",
+    )
+    mval.add_argument(
+        "--name",
+        help="validate this registered model instead of a fresh fit "
+        "(the HPCC dataset is re-collected with --seed)",
+    )
+    mval.add_argument(
+        "--json", metavar="PATH", help="save the validation report as JSON"
+    )
+
     return parser
 
 
@@ -482,6 +597,8 @@ def _cmd_rankings(args: argparse.Namespace) -> int:
 
 
 def _cmd_regression(args: argparse.Namespace) -> int:
+    from repro.hardware.pmu import REGRESSION_FEATURES
+
     server = _load_server(args.server)
     simulator = Simulator(server, seed=args.seed)
     dataset = collect_hpcc_training(server, simulator)
@@ -489,13 +606,46 @@ def _cmd_regression(args: argparse.Namespace) -> int:
     print(format_regression_summary(model))
     print()
     print(format_coefficients(model))
+    verifications = []
     for klass in args.classes:
         print()
         result = verify_on_npb(server, model, klass, simulator)
         print(format_verification(result, limit=10))
+        verifications.append(result)
     if args.save_model:
         path = repro_io.save_json(repro_io.model_to_dict(model), args.save_model)
         print(f"\nsaved: {path}")
+    _save_json_report(
+        {
+            "kind": "regression_study",
+            "schema_version": 1,
+            "server": server.name,
+            "seed": args.seed,
+            "summary": {
+                "multiple_r": model.ols.multiple_r,
+                "r_square": model.r_square,
+                "adjusted_r_square": model.ols.adjusted_r_square,
+                "standard_error": model.ols.standard_error,
+                "observations": model.n_observations,
+            },
+            "features": list(REGRESSION_FEATURES),
+            "selected": list(model.selected),
+            "coefficients": model.coefficients_full().tolist(),
+            "intercept": model.intercept,
+            "verification": [
+                {
+                    "npb_class": result.npb_class,
+                    "r_squared": result.r_squared,
+                    "labels": list(result.labels),
+                    "measured": result.measured.tolist(),
+                    "predicted": result.predicted.tolist(),
+                    "per_program_rms": result.per_program_rms(),
+                }
+                for result in verifications
+            ],
+        },
+        args.json,
+    )
     return 0
 
 
@@ -624,6 +774,20 @@ def _cmd_breakdown(args: argparse.Namespace) -> int:
     server = _load_server(args.server)
     result = breakdown(server, _parse_workload(server, args.workload))
     print(result.format())
+    _save_json_report(
+        {
+            "kind": "power_breakdown",
+            "schema_version": 1,
+            "server": server.name,
+            "program": result.program,
+            "idle_watts": result.idle_watts,
+            "components": dict(result.components),
+            "dynamic_watts": result.dynamic_watts,
+            "total_watts": result.total_watts,
+            "fractions": result.fractions(),
+        },
+        args.json,
+    )
     return 0
 
 
@@ -1008,6 +1172,140 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _model_train(args: argparse.Namespace) -> int:
+    from repro.model import ModelRegistry
+
+    server = _load_server(args.server)
+    simulator = Simulator(server, seed=args.seed)
+    dataset = collect_hpcc_training(server, simulator)
+    model = train_power_model(dataset, server_name=server.name)
+    print(format_regression_summary(model))
+    artifact = ModelRegistry(args.registry).publish(
+        model,
+        name=args.name,
+        dataset=dataset,
+        server_spec=repro_io.server_to_dict(server),
+    )
+    print(
+        f"\npublished: {artifact.name} v{artifact.version} "
+        f"({artifact.path})"
+    )
+    print(f"model digest: {artifact.model_digest}")
+    print(f"artifact digest: {artifact.digest}")
+    _save_json_report(artifact.document, args.json)
+    return 0
+
+
+def _model_load(args: argparse.Namespace):
+    """Resolve predict/validate's model source: --model PATH or registry."""
+    from repro.errors import ConfigurationError
+    from repro.model.registry import ModelRegistry, _slug
+
+    if getattr(args, "model", None):
+        return repro_io.model_from_dict(repro_io.load_json(args.model))
+    name = args.name or _slug(_load_server(args.server).name)
+    if not name:
+        raise ConfigurationError("need --name or --model to pick a model")
+    return ModelRegistry(args.registry).load(
+        name, getattr(args, "model_version", None)
+    )
+
+
+def _model_predict(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.model import FeatureBatch, InferenceEngine, collect_feature_batch
+
+    if bool(args.features) == bool(args.from_npb):
+        raise ConfigurationError(
+            "need exactly one of --features PATH or --from-npb CLASS"
+        )
+    model = _model_load(args)
+    if args.features:
+        batch = FeatureBatch.from_dict(repro_io.load_json(args.features))
+    else:
+        server = _load_server(args.server)
+        batch = collect_feature_batch(
+            server, args.from_npb, Simulator(server, seed=args.seed)
+        )
+    prediction = InferenceEngine(model).predict(batch)
+    print(
+        f"{prediction.n_rows} predictions from {model.server} model "
+        f"({batch.features.shape[1]} features)"
+    )
+    if prediction.measured_watts is not None:
+        print(
+            f"fitting R^2 vs measured: "
+            f"{prediction.r_squared_against_measured():.4f}"
+        )
+    print(f"predictions digest: {prediction.digest}")
+    _save_json_report(prediction.to_dict(), args.json)
+    return 0
+
+
+def _model_registry(args: argparse.Namespace) -> int:
+    from repro.model import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    if args.verify:
+        rows = registry.verify_all()
+        if not rows:
+            print(f"no artifacts under {args.registry}")
+            return 0
+        bad = 0
+        for name, version, error in rows:
+            status = "ok" if error is None else f"CORRUPT: {error}"
+            print(f"{name:<24} v{version:06d}  {status}")
+            bad += error is not None
+        return 1 if bad else 0
+    entries = registry.entries()
+    if not entries:
+        print(f"no artifacts under {args.registry}")
+        return 0
+    print(
+        f"{'name':<24} {'ver':>7} {'server':<14} {'R^2':>7}  digest"
+    )
+    for artifact in entries:
+        print(
+            f"{artifact.name:<24} v{artifact.version:06d} "
+            f"{artifact.server:<14} {artifact.r_square:>7.4f}  "
+            f"{artifact.digest[:12]}"
+        )
+    return 0
+
+
+def _model_validate(args: argparse.Namespace) -> int:
+    from repro.model import validate_model
+
+    server = _load_server(args.server)
+    simulator = Simulator(server, seed=args.seed)
+    dataset = collect_hpcc_training(server, simulator)
+    if args.name:
+        model = _model_load(args)
+    else:
+        model = train_power_model(dataset, server_name=server.name)
+    report = validate_model(
+        server,
+        model,
+        dataset,
+        klasses=tuple(args.classes),
+        folds=args.folds,
+        seed=args.seed,
+        simulator=simulator,
+    )
+    print(report.format())
+    _save_json_report(report.to_dict(), args.json)
+    return 0 if report.ok else 1
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    return {
+        "train": _model_train,
+        "predict": _model_predict,
+        "registry": _model_registry,
+        "validate": _model_validate,
+    }[args.model_command](args)
+
+
 _HANDLERS = {
     "servers": _cmd_servers,
     "evaluate": _cmd_evaluate,
@@ -1025,6 +1323,7 @@ _HANDLERS = {
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
+    "model": _cmd_model,
 }
 
 

@@ -45,10 +45,36 @@ __all__ = [
     "PowerRegressionModel",
     "VerificationResult",
     "collect_hpcc_training",
+    "collect_npb_features",
     "train_power_model",
     "verify_on_npb",
     "verification_runs",
 ]
+
+
+def _map_workloads(simulator: Simulator, workloads: list, backend=None) -> list:
+    """Run ``workloads`` in order; errors come back in place of runs.
+
+    ``backend=None`` executes inline on ``simulator`` exactly as the
+    historical loops did.  A backend (e.g.
+    :class:`repro.fleet.backend.FleetBackend`) receives the whole list
+    at once via ``map_runs`` and may parallelise, cache, and retry; the
+    simulator's seeding contract keeps the results bit-identical either
+    way.  Workloads that cannot run (memory fit, process rules) are
+    returned as the raised :class:`~repro.errors.WorkloadError` so the
+    caller can skip them positionally.
+    """
+    from repro.errors import WorkloadError
+
+    if backend is not None:
+        return backend.map_runs(simulator, list(workloads))
+    out = []
+    for workload in workloads:
+        try:
+            out.append(simulator.run(workload))
+        except WorkloadError as exc:
+            out.append(exc)
+    return out
 
 
 @dataclass(frozen=True)
@@ -87,30 +113,41 @@ def collect_hpcc_training(
     server: ServerSpec,
     simulator: Simulator | None = None,
     proc_counts: "list[int] | None" = None,
+    backend=None,
 ) -> RegressionDataset:
     """Run the HPCC campaign and collect per-10 s training observations.
 
     ``proc_counts`` defaults to every count from 1 to the server's full
     core count, matching the paper's "single core to full cores" scripts.
+    ``backend`` optionally routes the campaign's runs through a batch
+    executor (see :class:`repro.fleet.backend.FleetBackend`); results
+    are bit-identical to the inline path.
     """
+    from repro.errors import WorkloadError
+
     simulator = simulator or Simulator(server)
     if proc_counts is None:
         proc_counts = list(range(1, server.total_cores + 1))
+    workloads = [
+        HpccWorkload(component, nprocs)
+        for component in HPCC_COMPONENTS
+        for nprocs in proc_counts
+    ]
+    runs = _map_workloads(simulator, workloads, backend)
     rows: list[np.ndarray] = []
     power: list[float] = []
     labels: list[str] = []
-    for component in HPCC_COMPONENTS:
-        for nprocs in proc_counts:
-            workload = HpccWorkload(component, nprocs)
-            run = simulator.run(workload)
-            interval = int(PMU_INTERVAL_S)
-            for k, sample in enumerate(run.pmu_samples):
-                window = run.measured_watts[k * interval : (k + 1) * interval]
-                if window.size == 0:
-                    continue
-                rows.append(sample.as_vector())
-                power.append(float(window.mean()))
-                labels.append(workload.label)
+    for workload, run in zip(workloads, runs):
+        if isinstance(run, WorkloadError):
+            raise run
+        interval = int(PMU_INTERVAL_S)
+        for k, sample in enumerate(run.pmu_samples):
+            window = run.measured_watts[k * interval : (k + 1) * interval]
+            if window.size == 0:
+                continue
+            rows.append(sample.as_vector())
+            power.append(float(window.mean()))
+            labels.append(workload.label)
     if not rows:
         raise RegressionError("HPCC campaign produced no observations")
     return RegressionDataset(
@@ -257,35 +294,66 @@ def verification_runs(
     return workloads
 
 
+def collect_npb_features(
+    server: ServerSpec,
+    klass: "NpbClass | str" = "B",
+    simulator: Simulator | None = None,
+    backend=None,
+) -> "tuple[tuple[str, ...], np.ndarray, np.ndarray]":
+    """Per-run mean PMU features and measured watts of one NPB sweep.
+
+    Returns ``(labels, features, watts)`` where ``features`` is (n, 6)
+    in :data:`~repro.hardware.pmu.REGRESSION_FEATURES` order and
+    ``watts`` is the trimmed-mean metered power of each run.  Runs that
+    do not fit in memory are skipped (the paper's figure holes).  This
+    is the collection half of :func:`verify_on_npb`, exposed so the
+    model-serving layer (:mod:`repro.model`) can gather verification
+    batches — optionally through a fleet ``backend`` — and feed them to
+    a persisted model without retraining.
+    """
+    simulator = simulator or Simulator(server)
+    workloads = verification_runs(server, klass)
+    runs = _map_workloads(simulator, workloads, backend)
+    labels: list[str] = []
+    rows: list[np.ndarray] = []
+    watts: list[float] = []
+    for workload, run in zip(workloads, runs):
+        if isinstance(run, InsufficientMemoryError):
+            continue
+        if isinstance(run, Exception):
+            raise run
+        labels.append(workload.label)
+        rows.append(run.pmu_matrix().mean(axis=0))
+        watts.append(run.average_power_watts())
+    if not rows:
+        raise RegressionError(f"NPB class {klass} produced no runs")
+    return tuple(labels), np.vstack(rows), np.asarray(watts)
+
+
 def verify_on_npb(
     server: ServerSpec,
     model: PowerRegressionModel,
     klass: "NpbClass | str" = "B",
     simulator: Simulator | None = None,
+    backend=None,
 ) -> VerificationResult:
-    """Verify a trained model against NPB class B or C runs."""
-    simulator = simulator or Simulator(server)
-    labels: list[str] = []
-    measured: list[float] = []
-    predicted: list[float] = []
-    for workload in verification_runs(server, klass):
-        try:
-            run = simulator.run(workload)
-        except InsufficientMemoryError:
-            continue
-        features = run.pmu_matrix().mean(axis=0)
-        watts = run.average_power_watts()
-        labels.append(workload.label)
-        measured.append(float(model.normalize_power(np.array([watts]))[0]))
-        predicted.append(float(model.predict_normalized(features)[0]))
-    if len(measured) < 3:
+    """Verify a trained model against NPB class B or C runs.
+
+    Predictions are made in one vectorised call over the stacked
+    feature matrix; :meth:`OlsModel.predict`'s fixed accumulation order
+    makes this bit-identical to the historical one-run-at-a-time loop.
+    """
+    labels, features, watts = collect_npb_features(
+        server, klass, simulator, backend
+    )
+    if len(labels) < 3:
         raise RegressionError(
-            f"verification produced only {len(measured)} runs"
+            f"verification produced only {len(labels)} runs"
         )
     return VerificationResult(
         server=server.name,
         npb_class=NpbClass.parse(klass).value,
-        labels=tuple(labels),
-        measured=np.asarray(measured),
-        predicted=np.asarray(predicted),
+        labels=labels,
+        measured=model.normalize_power(watts),
+        predicted=model.predict_normalized(features),
     )

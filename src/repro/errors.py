@@ -22,6 +22,9 @@ __all__ = [
     "CampaignResumeError",
     "CalibrationError",
     "RegressionError",
+    "ModelRegistryError",
+    "ModelIntegrityError",
+    "ValidationBandError",
 ]
 
 
@@ -114,3 +117,20 @@ class CalibrationError(ReproError, RuntimeError):
 
 class RegressionError(ReproError, RuntimeError):
     """The regression power model cannot be fit or applied."""
+
+
+class ModelRegistryError(ReproError, RuntimeError):
+    """The model registry cannot satisfy a publish or lookup."""
+
+
+class ModelIntegrityError(ModelRegistryError):
+    """A stored model artifact failed its checksum verification.
+
+    The artifact is quarantined rather than served; a corrupted model
+    silently predicting wrong watts would defeat the registry's whole
+    purpose of making trained models trustworthy reusable artifacts.
+    """
+
+
+class ValidationBandError(ModelRegistryError):
+    """A model's validation metrics fall outside the accepted R² bands."""

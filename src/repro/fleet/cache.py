@@ -372,10 +372,18 @@ class ResultCache:
         self._write_atomic(
             bin_path.with_suffix(f".tmpb.{os.getpid()}"), bin_path, blob
         )
+        # Canonical bytes (sorted keys, fixed separators) so every
+        # writer of the same result produces the same entry file and the
+        # same SHA-256 — bare ``json.dumps`` made entry bytes depend on
+        # dict build order, which diverged from the ``sort_keys=True``
+        # discipline of the cache-key path and broke byte-level
+        # comparisons between equal entries from different writers.
         self._write_atomic(
             path.with_suffix(f".tmp.{os.getpid()}"),
             path,
-            json.dumps(document).encode(),
+            json.dumps(
+                document, sort_keys=True, separators=(",", ":")
+            ).encode(),
         )
         self.stats.writes += 1
         obs.inc("fleet.cache.write")

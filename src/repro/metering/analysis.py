@@ -50,14 +50,40 @@ DEFAULT_OUTLIER_Z: float = 8.0
 #: Below this surviving-sample coverage a trace is quarantined.
 DEFAULT_MIN_COVERAGE: float = 0.5
 
+#: Absolute edge tolerance of :func:`extract_window`, seconds.  Far
+#: below any meter's sample period, far above float64 rounding noise at
+#: campaign time scales (the spacing of float64 at 1e5 s is ~1.5e-11 s).
+EDGE_TOLERANCE_S: float = 1e-9
+
 
 def extract_window(
     times_s: np.ndarray,
     values: np.ndarray,
     start_s: float,
     end_s: float,
+    edge_tolerance_s: float = EDGE_TOLERANCE_S,
 ) -> np.ndarray:
-    """Samples whose timestamps fall in ``[start_s, end_s)``."""
+    """Samples whose timestamps fall in the half-open ``[start_s, end_s)``.
+
+    The window is *half-open by decision*, matched to the simulated
+    meter's grid: a run of duration ``d`` starting at ``t0`` is sampled
+    at ``t0, t0+1, ..., t0+ceil(d)-1`` — all strictly before
+    ``t0 + d`` — while with ``gap_s=0`` the *next* run's first sample
+    lands exactly on this run's ``t_end_s``.  Including the end edge
+    would double-count that boundary sample into both programs'
+    windows; excluding it attributes every sample to exactly one run.
+
+    Both edges are snapped with ``edge_tolerance_s``: timestamps that
+    round-trip through the CSV log and the clock-offset correction
+    (``(t + offset) - offset``) pick up ~1e-14 s of float noise, and
+    the previous exact comparison silently dropped a start-edge sample
+    that drifted infinitesimally below ``start_s`` (losing it from
+    *every* window) and misattributed an end-edge sample that drifted
+    below ``end_s``.  A sample within the tolerance of an edge is
+    treated as *on* it: included at the start edge, excluded at the end
+    edge.  On clean grids the mask is unchanged, so all paper-band
+    numbers are bit-identical.
+    """
     times_s = np.asarray(times_s)
     values = np.asarray(values)
     if times_s.shape != values.shape:
@@ -68,7 +94,8 @@ def extract_window(
         raise ConfigurationError(
             f"window must be non-empty: [{start_s}, {end_s})"
         )
-    mask = (times_s >= start_s) & (times_s < end_s)
+    tol = float(edge_tolerance_s)
+    mask = (times_s >= start_s - tol) & (times_s < end_s - tol)
     return values[mask]
 
 
@@ -84,12 +111,21 @@ def trimmed_mean(values: np.ndarray, trim: float = DEFAULT_TRIM) -> float:
 
 @dataclass(frozen=True)
 class TrimmedStats:
-    """Summary of a trimmed window."""
+    """Summary of a trimmed window.
+
+    ``ddof`` records the delta-degrees-of-freedom the ``std`` was
+    computed with; ``fallback`` is ``True`` when the trim could not be
+    applied as requested and the statistics describe a degenerate
+    window instead (see :func:`trimmed_stats`) — a consumer must not
+    mistake such a number for a cleanly trimmed one.
+    """
 
     mean: float
     std: float
     n_total: int
     n_used: int
+    ddof: int = 0
+    fallback: bool = False
 
     @property
     def n_trimmed(self) -> int:
@@ -97,22 +133,60 @@ class TrimmedStats:
         return self.n_total - self.n_used
 
 
-def trimmed_stats(values: np.ndarray, trim: float = DEFAULT_TRIM) -> TrimmedStats:
-    """Positional-trim statistics of a sample window."""
+def trimmed_stats(
+    values: np.ndarray, trim: float = DEFAULT_TRIM, ddof: int = 0
+) -> TrimmedStats:
+    """Positional-trim statistics of a sample window.
+
+    ``std`` is the **population** standard deviation (``ddof=0``,
+    numpy's default) unless a different ``ddof`` is requested.  The
+    choice is deliberate and part of the measurement contract: the trim
+    keeps the steady-state plateau of a run, which is treated as the
+    complete population of steady samples, not a random draw from a
+    larger one — and ``ddof=0`` keeps every historical number
+    bit-identical.  Callers estimating meter noise from small windows
+    should pass ``ddof=1`` explicitly.
+
+    Degenerate windows are *flagged*, never silent:
+
+    * ``n == 1`` — the mean is the sample and ``std`` is 0.0 by
+      construction; ``fallback=True`` because no spread was measurable.
+    * a trim that would empty the window (only possible for
+      ``trim >= 0.5``, which is rejected, so this is a defensive guard)
+      falls back to the single middle sample with ``fallback=True``.
+
+    Windows merely too short for the trim to drop anything
+    (``n < ceil(1/trim)``, so ``cut == 0``) are **not** fallbacks: the
+    untrimmed statistics are exact, just untrimmed (``n_used ==
+    n_total`` says so).
+    """
     if not 0.0 <= trim < 0.5:
         raise ConfigurationError(f"trim must be in [0, 0.5), got {trim}")
+    if ddof < 0:
+        raise ConfigurationError(f"ddof must be >= 0, got {ddof}")
     values = np.asarray(values, dtype=float).ravel()
     if values.size == 0:
         raise ConfigurationError("cannot summarise an empty window")
     cut = int(values.size * trim)
     kept = values[cut : values.size - cut] if cut else values
+    fallback = False
     if kept.size == 0:
         kept = values[values.size // 2 : values.size // 2 + 1]
+        fallback = True
+    if kept.size <= ddof:
+        raise ConfigurationError(
+            f"ddof={ddof} needs more than {ddof} surviving samples, "
+            f"got {kept.size}"
+        )
+    if kept.size == 1:
+        fallback = True
     return TrimmedStats(
         mean=float(kept.mean()),
-        std=float(kept.std()),
+        std=float(kept.std(ddof=ddof)),
         n_total=int(values.size),
         n_used=int(kept.size),
+        ddof=int(ddof),
+        fallback=fallback,
     )
 
 

@@ -1,0 +1,56 @@
+"""Model lifecycle: versioned registry, batched inference, validation.
+
+The :mod:`repro.core.regression` pipeline produces a trained
+:class:`~repro.core.regression.PowerRegressionModel`; this package
+makes that model a durable, servable artifact:
+
+* :mod:`repro.model.registry` — checksummed, versioned JSON artifacts
+  with full training provenance and quarantine-on-corruption reads.
+* :mod:`repro.model.inference` — vectorised batch prediction that is
+  bit-identical to a per-row loop, with digestable outputs.
+* :mod:`repro.model.validate` — k-fold cross-validation and NPB drift
+  checks against the paper's Section VI R² bands.
+
+Exposed on the command line as ``python -m repro model
+train|predict|registry|validate``.
+"""
+
+from repro.model.inference import (
+    BatchPrediction,
+    FeatureBatch,
+    InferenceEngine,
+    collect_feature_batch,
+)
+from repro.model.registry import (
+    ARTIFACT_KIND,
+    ARTIFACT_SCHEMA_VERSION,
+    ModelArtifact,
+    ModelRegistry,
+    training_metadata,
+)
+from repro.model.validate import (
+    R2_BANDS,
+    ClassDrift,
+    FoldScore,
+    ValidationReport,
+    kfold_cv,
+    validate_model,
+)
+
+__all__ = [
+    "ARTIFACT_KIND",
+    "ARTIFACT_SCHEMA_VERSION",
+    "ModelArtifact",
+    "ModelRegistry",
+    "training_metadata",
+    "FeatureBatch",
+    "BatchPrediction",
+    "InferenceEngine",
+    "collect_feature_batch",
+    "R2_BANDS",
+    "FoldScore",
+    "ClassDrift",
+    "ValidationReport",
+    "kfold_cv",
+    "validate_model",
+]

@@ -1,0 +1,330 @@
+"""Model validation: k-fold CV and drift against the paper's R² bands.
+
+Before an artifact is trusted to serve predictions, two questions need
+quantitative answers:
+
+1. **Does the fit generalise within its training distribution?**
+   K-fold cross-validation over the HPCC training set: refit on k-1
+   folds, score held-out R² on the remaining fold.  The paper reports
+   a 0.94 training R² (Table VII); a healthy model's held-out mean
+   stays close to its training value — a large gap means the stepwise
+   fit memorised noise.
+2. **Has it drifted on the verification distribution?**  Predict the
+   NPB class B/C sweeps and compare the Eq. (6)-(8) fitting R² and
+   per-program RMS residuals against the Section VI bands (≈0.63 for
+   class B, ≈0.54 for class C on the paper's Xeon-4870).  The gap to
+   training R² is *expected* — communication power and per-program
+   idiosyncrasies are invisible to the six counters — so the bands are
+   wide, but a score below them means the model (or the machine) has
+   drifted and the artifact should be retrained, not served.
+
+Fold assignment is a seeded permutation (contiguous folds would hold
+out whole HPCC components and mis-measure generalisation).  Every fold
+score and drift verdict is exported through :mod:`repro.obs` counters
+and histograms when observability is on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro import obs
+from repro.core.metrics import r_squared
+from repro.core.regression import (
+    PowerRegressionModel,
+    RegressionDataset,
+    collect_npb_features,
+    train_power_model,
+)
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.hardware.specs import ServerSpec
+
+__all__ = [
+    "R2_BANDS",
+    "FoldScore",
+    "ClassDrift",
+    "ValidationReport",
+    "kfold_cv",
+    "validate_model",
+]
+
+#: Accepted R² bands, keyed by check.  ``train`` wraps the paper's
+#: Table VII value (0.940 on the Xeon-4870; the smaller machines fit in
+#: the high 0.8s); ``B``/``C`` wrap the Section VI verification values
+#: (0.634 / 0.543) with the spread observed across the three builtin
+#: servers.  The ``model validate`` CLI exits non-zero outside them.
+R2_BANDS: dict[str, tuple[float, float]] = {
+    "train": (0.80, 0.99),
+    "cv": (0.75, 0.99),
+    "B": (0.45, 0.90),
+    "C": (0.35, 0.90),
+}
+
+
+@dataclass(frozen=True)
+class FoldScore:
+    """Held-out performance of one CV fold."""
+
+    fold: int
+    n_train: int
+    n_test: int
+    r_square: float
+    rmse: float
+
+
+@dataclass(frozen=True)
+class ClassDrift:
+    """Verification drift of one NPB class."""
+
+    npb_class: str
+    n_runs: int
+    r_squared: float
+    band: tuple[float, float]
+    per_program_rms: dict[str, float]
+
+    @property
+    def within_band(self) -> bool:
+        """Whether the fitting R² sits inside the accepted band."""
+        low, high = self.band
+        return low <= self.r_squared <= high
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Everything ``model validate`` decides on."""
+
+    server: str
+    n_observations: int
+    train_r_square: float
+    train_band: tuple[float, float]
+    cv_band: tuple[float, float]
+    folds: tuple[FoldScore, ...]
+    drifts: tuple[ClassDrift, ...]
+
+    @property
+    def cv_mean_r_square(self) -> float:
+        """Mean held-out R² across folds."""
+        return float(np.mean([f.r_square for f in self.folds]))
+
+    @property
+    def cv_std_r_square(self) -> float:
+        """Spread of held-out R² across folds."""
+        return float(np.std([f.r_square for f in self.folds]))
+
+    @property
+    def train_within_band(self) -> bool:
+        """Whether training R² sits inside its band."""
+        low, high = self.train_band
+        return low <= self.train_r_square <= high
+
+    @property
+    def cv_within_band(self) -> bool:
+        """Whether the CV mean sits inside its band."""
+        low, high = self.cv_band
+        return low <= self.cv_mean_r_square <= high
+
+    @property
+    def ok(self) -> bool:
+        """All checks inside their bands."""
+        return (
+            self.train_within_band
+            and self.cv_within_band
+            and all(d.within_band for d in self.drifts)
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form (``kind: "model_validation"``), schema-stable."""
+        return {
+            "kind": "model_validation",
+            "schema_version": 1,
+            "server": self.server,
+            "n_observations": self.n_observations,
+            "ok": self.ok,
+            "train": {
+                "r_square": self.train_r_square,
+                "band": list(self.train_band),
+                "within_band": self.train_within_band,
+            },
+            "cv": {
+                "mean_r_square": self.cv_mean_r_square,
+                "std_r_square": self.cv_std_r_square,
+                "band": list(self.cv_band),
+                "within_band": self.cv_within_band,
+                "folds": [
+                    {
+                        "fold": f.fold,
+                        "n_train": f.n_train,
+                        "n_test": f.n_test,
+                        "r_square": f.r_square,
+                        "rmse": f.rmse,
+                    }
+                    for f in self.folds
+                ],
+            },
+            "drift": [
+                {
+                    "npb_class": d.npb_class,
+                    "n_runs": d.n_runs,
+                    "r_squared": d.r_squared,
+                    "band": list(d.band),
+                    "within_band": d.within_band,
+                    "per_program_rms": d.per_program_rms,
+                }
+                for d in self.drifts
+            ],
+        }
+
+    def format(self) -> str:
+        """Aligned text rendering."""
+
+        def verdict(flag: bool) -> str:
+            return "ok" if flag else "OUT OF BAND"
+
+        lines = [f"model validation on {self.server}"]
+        lines.append(
+            f"  {'train R^2':<14} {self.train_r_square:>8.4f}  "
+            f"band [{self.train_band[0]:.2f}, {self.train_band[1]:.2f}]  "
+            f"{verdict(self.train_within_band)}"
+        )
+        lines.append(
+            f"  {'CV mean R^2':<14} {self.cv_mean_r_square:>8.4f}  "
+            f"band [{self.cv_band[0]:.2f}, {self.cv_band[1]:.2f}]  "
+            f"{verdict(self.cv_within_band)} "
+            f"(+/- {self.cv_std_r_square:.4f} over {len(self.folds)} folds)"
+        )
+        for d in self.drifts:
+            worst = max(d.per_program_rms, key=d.per_program_rms.get)
+            lines.append(
+                f"  {'NPB-' + d.npb_class + ' R^2':<14} "
+                f"{d.r_squared:>8.4f}  "
+                f"band [{d.band[0]:.2f}, {d.band[1]:.2f}]  "
+                f"{verdict(d.within_band)} "
+                f"(worst program {worst}: "
+                f"rms {d.per_program_rms[worst]:.3f})"
+            )
+        lines.append(f"  verdict: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _subset(dataset: RegressionDataset, idx: np.ndarray) -> RegressionDataset:
+    return RegressionDataset(
+        features=dataset.features[idx],
+        power=dataset.power[idx],
+        labels=tuple(dataset.labels[i] for i in idx),
+    )
+
+
+def kfold_cv(
+    dataset: RegressionDataset,
+    k: int = 5,
+    seed: int = 0,
+    use_stepwise: bool = True,
+) -> tuple[FoldScore, ...]:
+    """Seeded-permutation k-fold cross-validation.
+
+    Each fold refits the full pipeline — normalisation and (optionally)
+    stepwise selection happen *inside* the fold, so no statistic of the
+    held-out rows leaks into training.  Held-out R² is scored on the
+    fold model's own normalised scale.
+    """
+    if k < 2:
+        raise ConfigurationError(f"need at least 2 folds, got {k}")
+    n = dataset.n_observations
+    if n < 2 * k:
+        raise ConfigurationError(
+            f"{n} observations cannot fill {k} folds meaningfully"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    scores: list[FoldScore] = []
+    for i, test_idx in enumerate(folds):
+        train_idx = np.concatenate(
+            [folds[j] for j in range(k) if j != i]
+        )
+        with obs.timed("model.validate.fold", fold=i):
+            fold_model = train_power_model(
+                _subset(dataset, np.sort(train_idx)),
+                server_name="cv",
+                use_stepwise=use_stepwise,
+            )
+            predicted = fold_model.predict_normalized(
+                dataset.features[np.sort(test_idx)]
+            )
+            actual = fold_model.normalize_power(
+                dataset.power[np.sort(test_idx)]
+            )
+            r2 = r_squared(actual, predicted)
+            rmse = float(np.sqrt(np.mean(np.square(actual - predicted))))
+        obs.observe("model.validate.fold_r2", r2)
+        scores.append(
+            FoldScore(
+                fold=i,
+                n_train=int(train_idx.size),
+                n_test=int(test_idx.size),
+                r_square=r2,
+                rmse=rmse,
+            )
+        )
+    return tuple(scores)
+
+
+def validate_model(
+    server: ServerSpec,
+    model: PowerRegressionModel,
+    dataset: RegressionDataset,
+    klasses: "tuple[str, ...]" = ("B", "C"),
+    folds: int = 5,
+    seed: int = 0,
+    simulator: "Simulator | None" = None,
+    backend=None,
+    bands: "dict[str, tuple[float, float]] | None" = None,
+) -> ValidationReport:
+    """Full validation pass: CV on ``dataset``, drift on NPB ``klasses``.
+
+    ``model`` must have been trained on ``dataset`` (its training R² is
+    one of the banded checks).  ``backend`` routes the NPB sweeps
+    through the fleet.  ``bands`` overrides :data:`R2_BANDS`.
+    """
+    bands = {**R2_BANDS, **(bands or {})}
+    fold_scores = kfold_cv(dataset, k=folds, seed=seed)
+    drifts: list[ClassDrift] = []
+    for klass in klasses:
+        band = bands.get(klass, (0.0, 1.0))
+        labels, features, watts = collect_npb_features(
+            server, klass, simulator, backend
+        )
+        predicted = model.predict_normalized(features)
+        measured = model.normalize_power(watts)
+        by_program: dict[str, list[float]] = {}
+        for label, diff in zip(labels, measured - predicted):
+            by_program.setdefault(label.split(".")[0], []).append(diff)
+        drift = ClassDrift(
+            npb_class=klass,
+            n_runs=len(labels),
+            r_squared=r_squared(measured, predicted),
+            band=band,
+            per_program_rms={
+                name: float(np.sqrt(np.mean(np.square(values))))
+                for name, values in sorted(by_program.items())
+            },
+        )
+        obs.observe(f"model.validate.npb_{klass.lower()}_r2", drift.r_squared)
+        if not drift.within_band:
+            obs.inc("model.validate.out_of_band")
+        drifts.append(drift)
+    report = ValidationReport(
+        server=server.name,
+        n_observations=dataset.n_observations,
+        train_r_square=model.r_square,
+        train_band=bands["train"],
+        cv_band=bands["cv"],
+        folds=fold_scores,
+        drifts=tuple(drifts),
+    )
+    obs.inc("model.validate.count")
+    return report

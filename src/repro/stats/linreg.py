@@ -44,7 +44,18 @@ class OlsModel:
         return int(self.coefficients.shape[0])
 
     def predict(self, features: np.ndarray) -> np.ndarray:
-        """Predict targets for a feature matrix (or single row)."""
+        """Predict targets for a feature matrix (or single row).
+
+        The linear combination is evaluated as a fixed left-to-right
+        column accumulation (``intercept + x1*b1 + x2*b2 + ...``) built
+        from element-wise ufuncs rather than a BLAS matrix product.
+        BLAS kernels pick different accumulation orders for different
+        operand shapes, so ``A @ b`` row ``i`` need not bit-match
+        ``A[i] @ b``; the explicit accumulation makes predictions
+        independent of batch size and BLAS build — predicting rows one
+        at a time and predicting the stacked matrix are bit-identical,
+        which the model registry's digest comparisons rely on.
+        """
         features = np.asarray(features, dtype=float)
         single = features.ndim == 1
         if single:
@@ -53,7 +64,9 @@ class OlsModel:
             raise RegressionError(
                 f"expected {self.n_features} features, got {features.shape[1]}"
             )
-        out = features @ self.coefficients + self.intercept
+        out = np.full(features.shape[0], self.intercept, dtype=float)
+        for j in range(self.n_features):
+            out = out + features[:, j] * self.coefficients[j]
         return out[0] if single else out
 
 

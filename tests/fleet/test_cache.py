@@ -176,6 +176,27 @@ class TestCacheIntegrity:
         assert cache.get(key) is None
         assert cache.stats.quarantined == 1
 
+    def test_entry_bytes_are_canonical(self, tmp_path, run_result):
+        """Two writers of the same result produce byte-identical entry
+        files (regression: bare ``json.dumps`` leaked dict build order
+        into the entry bytes, unlike the ``sort_keys=True`` key path)."""
+        import json
+
+        key = "bc" + "9" * 62
+        path_a = ResultCache(tmp_path / "a").put(key, run_result, wall_s=0.5)
+        path_b = ResultCache(tmp_path / "b").put(key, run_result, wall_s=0.5)
+        raw = path_a.read_bytes()
+        assert raw == path_b.read_bytes()
+        # Canonical form: sorted keys, no whitespace after separators.
+        document = json.loads(raw)
+        assert raw == json.dumps(
+            document, sort_keys=True, separators=(",", ":")
+        ).encode()
+        # ...and a round-trip through the reader serves the entry intact.
+        hit = ResultCache(tmp_path / "a").get(key)
+        assert hit is not None
+        assert hit.result.demand.program == run_result.demand.program
+
     def test_quarantine_excluded_from_len(self, tmp_path, run_result):
         cache = ResultCache(tmp_path / "cache")
         good, bad = "78" + "7" * 62, "9a" + "8" * 62

@@ -32,6 +32,61 @@ class TestExtract:
             extract_window(np.arange(3.0), np.arange(4.0), 0, 1)
 
 
+class TestExtractEdges:
+    """Regression pins for the boundary decision and tolerance snapping.
+
+    The meter samples a run at ``t0, t0+1, ..., t0+ceil(d)-1``; with
+    ``gap_s=0`` the next run's first sample lands exactly on this run's
+    ``t_end_s``.  The window is therefore half-open, and edge timestamps
+    jittered by float round-trips must still land on the right side.
+    """
+
+    def test_samples_exactly_on_both_edges(self):
+        t = np.arange(10.0)
+        # Window [3, 7): sample at 3.0 is ours, sample at 7.0 is the
+        # next run's first sample.
+        out = extract_window(t, t * 10, 3.0, 7.0)
+        assert np.array_equal(out, [30.0, 40.0, 50.0, 60.0])
+
+    def test_adjacent_windows_partition_the_trace(self):
+        # gap_s=0 back-to-back runs: every sample in exactly one window.
+        t = np.arange(20.0)
+        first = extract_window(t, t, 0.0, 8.0)
+        second = extract_window(t, t, 8.0, 20.0)
+        assert first.size + second.size == t.size
+        assert not set(first) & set(second)
+
+    def test_start_edge_jitter_does_not_drop_the_sample(self):
+        # A clock-offset round-trip can leave t0 at t0 - 1ulp; the old
+        # exact >= comparison dropped that sample from every window.
+        start = 1000.0
+        jittered = start - 2e-14 * start  # one ulp below
+        assert jittered < start
+        t = np.array([jittered, start + 1, start + 2])
+        out = extract_window(t, t, start, start + 3)
+        assert out.size == 3
+
+    def test_end_edge_jitter_does_not_steal_the_next_runs_sample(self):
+        end = 1000.0
+        jittered = end - 2e-14 * end  # next run's t0, one ulp early
+        t = np.array([end - 2, end - 1, jittered])
+        out = extract_window(t, t, end - 2, end)
+        assert out.size == 2  # the jittered sample belongs to the next run
+
+    def test_clean_grid_unchanged_by_tolerance(self):
+        t = np.arange(50.0)
+        v = np.sin(t)
+        exact = v[(t >= 10.0) & (t < 20.0)]
+        assert np.array_equal(extract_window(t, v, 10.0, 20.0), exact)
+
+    def test_tolerance_is_overridable(self):
+        t = np.array([4.9999, 5.0])
+        assert extract_window(t, t, 5.0, 6.0).size == 1
+        assert (
+            extract_window(t, t, 5.0, 6.0, edge_tolerance_s=1e-3).size == 2
+        )
+
+
 class TestTrim:
     def test_drops_10_percent_each_end(self):
         values = np.arange(100.0)
@@ -70,6 +125,56 @@ class TestTrim:
     def test_rejects_empty(self):
         with pytest.raises(ConfigurationError):
             trimmed_mean(np.array([]))
+
+
+class TestTrimDegenerate:
+    """ddof contract and the flagged (never silent) fallback paths."""
+
+    def test_single_sample_is_flagged(self):
+        stats = trimmed_stats(np.array([5.0]), trim=0.4)
+        assert stats.fallback
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.n_used == 1
+
+    def test_two_samples_not_a_fallback(self):
+        # cut = int(2 * 0.49) = 0: untrimmed but exact statistics.
+        stats = trimmed_stats(np.array([1.0, 3.0]), trim=0.49)
+        assert not stats.fallback
+        assert stats.n_used == 2
+        assert stats.mean == 2.0
+
+    def test_short_window_below_one_over_trim(self):
+        # n=9 < ceil(1/0.1)=10 -> cut=0, untrimmed, not a fallback.
+        stats = trimmed_stats(np.arange(9.0), trim=0.1)
+        assert not stats.fallback
+        assert stats.n_used == 9
+        assert stats.n_trimmed == 0
+
+    def test_default_ddof_is_population_std(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        stats = trimmed_stats(values, trim=0.0)
+        assert stats.ddof == 0
+        assert stats.std == pytest.approx(np.std(values, ddof=0))
+
+    def test_explicit_ddof_one(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        stats = trimmed_stats(values, trim=0.0, ddof=1)
+        assert stats.ddof == 1
+        assert stats.std == pytest.approx(np.std(values, ddof=1))
+
+    def test_ddof_needs_enough_samples(self):
+        with pytest.raises(ConfigurationError, match="ddof=1"):
+            trimmed_stats(np.array([5.0]), trim=0.0, ddof=1)
+
+    def test_negative_ddof_rejected(self):
+        with pytest.raises(ConfigurationError, match="ddof"):
+            trimmed_stats(np.arange(4.0), ddof=-1)
+
+    def test_clean_window_not_flagged(self):
+        stats = trimmed_stats(np.arange(100.0), trim=0.10)
+        assert not stats.fallback
+        assert stats.ddof == 0
 
 
 class TestRepairTrace:

@@ -1,0 +1,1 @@
+"""Model registry, inference, and validation tests."""

@@ -1,0 +1,19 @@
+"""Shared trained-model fixtures for the model-layer tests.
+
+Training on the 4-core Xeon-E5462 is the cheapest real fit; everything
+in this package shares one dataset/model pair per session.
+"""
+
+import pytest
+
+from repro.core.regression import collect_hpcc_training, train_power_model
+
+
+@pytest.fixture(scope="session")
+def training_e5462(e5462):
+    return collect_hpcc_training(e5462)
+
+
+@pytest.fixture(scope="session")
+def model_e5462(training_e5462, e5462):
+    return train_power_model(training_e5462, server_name=e5462.name)

@@ -1,0 +1,105 @@
+"""K-fold CV and R² band drift checks."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Simulator
+from repro.errors import ConfigurationError
+from repro.model import R2_BANDS, kfold_cv, validate_model
+
+
+@pytest.fixture(scope="module")
+def report(e5462, model_e5462, training_e5462):
+    return validate_model(
+        e5462,
+        model_e5462,
+        training_e5462,
+        klasses=("B",),
+        folds=4,
+        seed=0,
+        simulator=Simulator(e5462, seed=0),
+    )
+
+
+class TestKfold:
+    def test_folds_partition_the_dataset(self, training_e5462):
+        scores = kfold_cv(training_e5462, k=4, seed=0)
+        assert len(scores) == 4
+        n = training_e5462.n_observations
+        assert sum(s.n_test for s in scores) == n
+        for s in scores:
+            assert s.n_train + s.n_test == n
+
+    def test_deterministic_under_seed(self, training_e5462):
+        a = kfold_cv(training_e5462, k=3, seed=7)
+        b = kfold_cv(training_e5462, k=3, seed=7)
+        assert a == b
+
+    def test_seed_changes_assignment(self, training_e5462):
+        a = kfold_cv(training_e5462, k=3, seed=0)
+        b = kfold_cv(training_e5462, k=3, seed=1)
+        assert [s.r_square for s in a] != [s.r_square for s in b]
+
+    def test_heldout_r2_close_to_training(self, training_e5462, model_e5462):
+        scores = kfold_cv(training_e5462, k=5, seed=0)
+        mean = float(np.mean([s.r_square for s in scores]))
+        assert abs(mean - model_e5462.r_square) < 0.05
+
+    def test_too_few_folds_or_rows(self, training_e5462):
+        with pytest.raises(ConfigurationError, match="at least 2"):
+            kfold_cv(training_e5462, k=1)
+        from repro.core.regression import RegressionDataset
+
+        tiny = RegressionDataset(
+            features=training_e5462.features[:5],
+            power=training_e5462.power[:5],
+            labels=training_e5462.labels[:5],
+        )
+        with pytest.raises(ConfigurationError, match="cannot fill"):
+            kfold_cv(tiny, k=4)
+
+
+class TestValidateModel:
+    def test_builtin_model_passes_bands(self, report):
+        assert report.train_within_band
+        assert report.cv_within_band
+        assert all(d.within_band for d in report.drifts)
+        assert report.ok
+
+    def test_drift_carries_per_program_rms(self, report):
+        (drift,) = report.drifts
+        assert drift.npb_class == "B"
+        assert drift.n_runs > 3
+        programs = set(drift.per_program_rms)
+        assert programs <= {"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"}
+        assert all(v >= 0 for v in drift.per_program_rms.values())
+
+    def test_band_override_can_fail_a_model(
+        self, e5462, model_e5462, training_e5462
+    ):
+        report = validate_model(
+            e5462,
+            model_e5462,
+            training_e5462,
+            klasses=("B",),
+            folds=4,
+            seed=0,
+            simulator=Simulator(e5462, seed=0),
+            bands={"B": (0.99, 1.0)},
+        )
+        assert not report.drifts[0].within_band
+        assert not report.ok
+
+    def test_to_dict_schema(self, report):
+        document = report.to_dict()
+        assert document["kind"] == "model_validation"
+        assert document["ok"] is True
+        assert document["train"]["band"] == list(R2_BANDS["train"])
+        assert len(document["cv"]["folds"]) == 4
+        assert document["drift"][0]["npb_class"] == "B"
+
+    def test_format_mentions_verdict(self, report):
+        text = report.format()
+        assert "verdict: PASS" in text
+        assert "train R^2" in text
+        assert "NPB-B R^2" in text

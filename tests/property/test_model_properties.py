@@ -1,0 +1,99 @@
+"""Property-based bit-identity of batched model inference.
+
+The registry's digest comparisons only work if a batched prediction can
+never diverge from a per-row loop — for *any* row order or batch
+composition, on *any* server's model, whether or not observability is
+instrumenting the pass.  Hypothesis drives exactly those degrees of
+freedom: it shuffles and concatenates rows of the real NPB verification
+matrices and the property demands ``np.array_equal`` (every bit), not
+``allclose``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.regression import (
+    collect_hpcc_training,
+    collect_npb_features,
+    train_power_model,
+)
+from repro.hardware import BUILTIN_SERVERS
+from repro.model import InferenceEngine
+
+SERVER_NAMES = tuple(BUILTIN_SERVERS)
+
+_CACHE: dict = {}
+
+
+def _trained(name):
+    """Model + NPB-B feature matrix per server, trained once per run."""
+    if name not in _CACHE:
+        server = BUILTIN_SERVERS[name]
+        model = train_power_model(
+            collect_hpcc_training(server), server_name=server.name
+        )
+        _labels, features, _watts = collect_npb_features(server, "B")
+        _CACHE[name] = (model, features)
+    return _CACHE[name]
+
+
+def _per_row_ols(model, features):
+    """The reference: raw per-row OlsModel.predict calls."""
+    normalized = model.feature_normalizer.transform(features)[
+        :, list(model.selected)
+    ]
+    return np.array(
+        [model.ols.predict(normalized[i]) for i in range(len(features))]
+    )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+@pytest.mark.parametrize("server_name", SERVER_NAMES)
+@pytest.mark.parametrize("obs_on", [False, True], ids=["obs-off", "obs-on"])
+def test_batched_inference_bit_matches_per_row(server_name, obs_on, data):
+    model, base = _trained(server_name)
+    n = base.shape[0]
+    # An arbitrary batch: rows of the real matrix, shuffled, repeated,
+    # and concatenated — batch composition must not leak into any row.
+    indices = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=3 * n),
+        label="row indices",
+    )
+    features = base[np.asarray(indices, dtype=int)]
+    obs.runtime.enable() if obs_on else obs.runtime.disable()
+    try:
+        batched = InferenceEngine(model).predict(features)
+    finally:
+        obs.runtime.reset()
+    assert np.array_equal(batched.normalized, _per_row_ols(model, features))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    split=st.integers(1, 22),
+    seed=st.integers(0, 2**16),
+)
+def test_prediction_rows_independent_of_batch_mates(split, seed):
+    """Predicting a matrix in two halves equals predicting it whole."""
+    model, base = _trained(SERVER_NAMES[0])
+    order = np.random.default_rng(seed).permutation(base.shape[0])
+    shuffled = base[order]
+    split = min(split, base.shape[0] - 1)
+    engine = InferenceEngine(model)
+    whole = engine.predict(shuffled)
+    halves = np.concatenate(
+        [
+            engine.predict(shuffled[:split]).normalized,
+            engine.predict(shuffled[split:]).normalized,
+        ]
+    )
+    assert np.array_equal(whole.normalized, halves)
+    assert whole.digest == engine.predict(shuffled).digest

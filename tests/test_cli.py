@@ -316,3 +316,167 @@ class TestChaos:
         code, _out, err = run_cli(capsys, "chaos", "--scenario", "nope")
         assert code == 2
         assert "unknown scenario" in err
+
+
+class TestJsonParity:
+    """Every study command exports the numbers it printed (--json)."""
+
+    def test_regression_json_export(self, capsys, tmp_path):
+        path = tmp_path / "study.json"
+        code, out, _ = run_cli(
+            capsys, "regression", "--server", "Xeon-E5462",
+            "--classes", "B", "--json", str(path),
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["kind"] == "regression_study"
+        assert data["server"] == "Xeon-E5462"
+        assert sorted(data) == [
+            "coefficients", "features", "intercept", "kind",
+            "schema_version", "seed", "selected", "server", "summary",
+            "verification",
+        ]
+        assert data["summary"]["observations"] == 604
+        assert len(data["coefficients"]) == 6
+        (series,) = data["verification"]
+        assert series["npb_class"] == "B"
+        assert len(series["measured"]) == len(series["labels"])
+        # The JSON carries the same R^2 the table printed.
+        assert f"{series['r_squared']:.3f}" in out
+
+    def test_breakdown_json_export(self, capsys, tmp_path):
+        path = tmp_path / "brk.json"
+        code, _out, _ = run_cli(
+            capsys, "breakdown", "Xeon-E5462", "ep.C.4",
+            "--json", str(path),
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["kind"] == "power_breakdown"
+        assert sorted(data) == [
+            "components", "dynamic_watts", "fractions", "idle_watts",
+            "kind", "program", "schema_version", "server", "total_watts",
+        ]
+        assert data["total_watts"] == pytest.approx(
+            data["idle_watts"] + data["dynamic_watts"]
+        )
+        assert sum(data["fractions"].values()) == pytest.approx(1.0)
+
+
+class TestModel:
+    def test_train_predict_registry_validate_flow(self, capsys, tmp_path):
+        registry = str(tmp_path / "models")
+        code, out, _ = run_cli(
+            capsys, "model", "train", "--server", "Xeon-E5462",
+            "--registry", registry,
+        )
+        assert code == 0
+        assert "published: xeon-e5462 v1" in out
+        assert "model digest: " in out
+
+        code, out, _ = run_cli(capsys, "model", "registry", "--registry", registry)
+        assert code == 0
+        assert "xeon-e5462" in out and "v000001" in out
+
+        p1, p2 = tmp_path / "p1.json", tmp_path / "p2.json"
+        for path in (p1, p2):
+            code, out, _ = run_cli(
+                capsys, "model", "predict", "--registry", registry,
+                "--server", "Xeon-E5462", "--from-npb", "B",
+                "--json", str(path),
+            )
+            assert code == 0
+            assert "predictions digest: " in out
+        assert p1.read_bytes() == p2.read_bytes()
+        data = json.loads(p1.read_text())
+        assert data["kind"] == "model_predictions"
+        assert data["digest"] in out
+
+        code, out, _ = run_cli(
+            capsys, "model", "validate", "--server", "Xeon-E5462",
+            "--registry", registry, "--name", "xeon-e5462",
+            "--folds", "3", "--classes", "B",
+        )
+        assert code == 0
+        assert "verdict: PASS" in out
+
+        code, out, _ = run_cli(
+            capsys, "model", "registry", "--registry", registry, "--verify"
+        )
+        assert code == 0
+        assert "ok" in out
+
+    def test_predict_from_feature_file(self, capsys, tmp_path):
+        from repro.engine import Simulator
+        from repro.hardware import XEON_E5462
+        from repro.model import collect_feature_batch
+
+        registry = str(tmp_path / "models")
+        code, _out, _ = run_cli(
+            capsys, "model", "train", "--server", "Xeon-E5462",
+            "--registry", registry,
+        )
+        assert code == 0
+        batch = collect_feature_batch(
+            XEON_E5462, "B", Simulator(XEON_E5462, seed=0)
+        )
+        features = tmp_path / "batch.json"
+        features.write_text(json.dumps(batch.to_dict()))
+        code, out, _ = run_cli(
+            capsys, "model", "predict", "--registry", registry,
+            "--server", "Xeon-E5462", "--features", str(features),
+        )
+        assert code == 0
+        assert "fitting R^2 vs measured" in out
+
+    def test_predict_needs_exactly_one_source(self, capsys, tmp_path):
+        code, _out, err = run_cli(
+            capsys, "model", "predict", "--registry", str(tmp_path),
+        )
+        assert code == 2
+        assert "exactly one" in err
+
+    def test_predict_missing_model_is_an_error(self, capsys, tmp_path):
+        code, _out, err = run_cli(
+            capsys, "model", "predict", "--registry", str(tmp_path),
+            "--name", "ghost", "--from-npb", "B",
+        )
+        assert code == 2
+        assert "no model named" in err
+
+    def test_registry_empty_listing(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "model", "registry", "--registry", str(tmp_path)
+        )
+        assert code == 0
+        assert "no artifacts" in out
+
+    def test_verify_flags_corruption(self, capsys, tmp_path):
+        registry = str(tmp_path / "models")
+        code, _out, _ = run_cli(
+            capsys, "model", "train", "--server", "Xeon-E5462",
+            "--registry", registry,
+        )
+        assert code == 0
+        artifact = tmp_path / "models" / "xeon-e5462" / "v000001.json"
+        artifact.write_text(artifact.read_text().replace("6", "7"))
+        code, out, _ = run_cli(
+            capsys, "model", "registry", "--registry", registry, "--verify"
+        )
+        assert code == 1
+        assert "CORRUPT" in out
+
+    def test_validate_out_of_band_exits_one(self, capsys, tmp_path, monkeypatch):
+        from repro.model import validate as validate_module
+
+        monkeypatch.setitem(
+            validate_module.R2_BANDS, "train", (0.99, 1.0)
+        )
+        code, out, _ = run_cli(
+            capsys, "model", "validate", "--server", "Xeon-E5462",
+            "--folds", "3", "--classes", "B",
+            "--registry", str(tmp_path / "models"),
+        )
+        assert code == 1
+        assert "OUT OF BAND" in out
+        assert "verdict: FAIL" in out
