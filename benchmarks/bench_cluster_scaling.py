@@ -1,0 +1,171 @@
+"""Cluster simulation scaling — wall clock vs node count.
+
+Times the same fixed job mix on homogeneous machines of 100, 1000, and
+10,000 nodes.  Node power is content-addressed (identical (server,
+workload, seed) triples share one trace), so the simulator's cost is
+``O(unique workloads + job trace seconds + makespan)`` — close to flat
+in the node count — while a naive per-node loop would grow 100x from
+the first machine to the last.
+
+The acceptance gate: going 100 -> 10,000 nodes (100x) may cost at most
+``--check`` of proportional growth in wall time — the default 0.5 means
+wall(10k)/wall(100) <= 50, i.e. at least 2x better than linear.  In
+practice the ratio is a few percent of linear; the loose bar only
+guards the architecture (nobody reintroduced a per-node inner loop),
+not machine speed.
+
+Run as a benchmark exhibit::
+
+    pytest benchmarks/bench_cluster_scaling.py --benchmark-only -s
+
+or as a standalone gate::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_scaling.py [--smoke]
+        [--check MAX_FRACTION_OF_LINEAR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.cluster import ClusterJob, homogeneous_cluster, simulate_cluster
+from repro.demand import ResourceDemand
+from repro.fleet.spec import workload_to_dict
+from repro.hardware.specs import get_server
+
+NODE_COUNTS = (100, 1_000, 10_000)
+N_JOBS = 24
+HORIZON_S = 100.0
+
+
+def fixed_jobmix(n_nodes: int, seed: int) -> "list[ClusterJob]":
+    """A deterministic mix of 24 jobs over a ~100 s horizon.
+
+    Job widths scale with the machine so every size is meaningfully
+    loaded; workload *content* (6 distinct demands) does not, so the
+    unique-run count the batch engine sees is identical at every size.
+    """
+    jobs = []
+    for i in range(N_JOBS):
+        variant = i % 6
+        demand = ResourceDemand(
+            program=f"synthetic-{variant}",
+            nprocs=4,
+            duration_s=HORIZON_S * (0.2 + 0.1 * variant),
+            gflops=10.0 + variant,
+            memory_mb=256.0,
+            fp_intensity=0.3 + 0.1 * variant,
+            comm_intensity=0.1 * variant,
+        )
+        jobs.append(
+            ClusterJob(
+                name=f"job-{i:03d}",
+                workload=workload_to_dict(demand),
+                n_nodes=max(1, (n_nodes // N_JOBS) * (1 + variant) // 3),
+                submit_s=float(4 * i),
+            )
+        )
+    return jobs
+
+
+def collect(repeats: int = 3, seed: int = 2015) -> dict:
+    """Time the simulation at every node count; keep each size's best."""
+    server = get_server("Xeon-E5462")
+    stats = {}
+    for n_nodes in NODE_COUNTS:
+        cluster = homogeneous_cluster(server, n_nodes, nodes_per_rack=32)
+        jobs = fixed_jobmix(n_nodes, seed)
+        simulate_cluster(cluster, jobs, seed=seed)  # warm caches, untimed
+        wall = float("inf")
+        result = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = simulate_cluster(cluster, jobs, seed=seed)
+            wall = min(wall, time.perf_counter() - t0)
+        stats[n_nodes] = {
+            "wall_s": wall,
+            "makespan_s": result.makespan_s,
+            "node_seconds": result.node_seconds,
+            "jobs": len(result.rows),
+        }
+    first, last = NODE_COUNTS[0], NODE_COUNTS[-1]
+    linear = last / first
+    measured = stats[last]["wall_s"] / stats[first]["wall_s"]
+    stats["fraction_of_linear"] = measured / linear
+    return stats
+
+
+def format_stats(stats: dict) -> str:
+    lines = [
+        f"{'nodes':>7} {'wall s':>9} {'makespan s':>11} "
+        f"{'node-seconds':>13} {'jobs':>5}"
+    ]
+    for n_nodes in NODE_COUNTS:
+        row = stats[n_nodes]
+        lines.append(
+            f"{n_nodes:>7} {row['wall_s']:>9.4f} {row['makespan_s']:>11} "
+            f"{row['node_seconds']:>13} {row['jobs']:>5}"
+        )
+    lines.append(
+        f"100x nodes cost {stats['fraction_of_linear']:.3f} of linear "
+        f"wall-clock growth"
+    )
+    return "\n".join(lines)
+
+
+def test_cluster_scaling(benchmark):
+    stats = benchmark.pedantic(collect, iterations=1, rounds=1)
+    print()
+    print(format_stats(stats))
+    # The tentpole acceptance bar, also gated in CI via --check.
+    assert stats["fraction_of_linear"] <= 0.5
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer repeats (what the CI smoke job runs)",
+    )
+    parser.add_argument(
+        "--check",
+        type=float,
+        default=None,
+        metavar="MAX_FRACTION",
+        help="exit 3 unless 100x nodes cost at most this fraction of "
+        "linear wall-clock growth",
+    )
+    parser.add_argument("--seed", type=int, default=2015)
+    args = parser.parse_args(argv)
+    repeats = 2 if args.smoke else 4
+    stats = collect(repeats=repeats, seed=args.seed)
+    print(format_stats(stats))
+    if args.check is not None:
+        fraction = stats["fraction_of_linear"]
+        if fraction > args.check:
+            # One longer remeasure before failing: the small-machine
+            # denominator is milliseconds and a noisy CI slice there
+            # inflates the whole ratio.
+            retry = collect(repeats=repeats + 2, seed=args.seed)
+            print("remeasured:")
+            print(format_stats(retry))
+            fraction = min(fraction, retry["fraction_of_linear"])
+        if fraction > args.check:
+            print(
+                f"FAIL: 100x nodes cost {fraction:.3f} of linear growth, "
+                f"above the allowed {args.check:.3f}",
+                file=sys.stderr,
+            )
+            return 3
+        print(
+            f"ok: 100x nodes cost {fraction:.3f} of linear growth "
+            f"<= {args.check:.3f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

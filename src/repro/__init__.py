@@ -16,6 +16,12 @@ Quickstart::
     result = evaluate_server(XEON_E5462)
     print(result.score)           # the paper's "(GFlops/Watt)/10" row
 
+Subsystems keep their own namespaces: ``repro.fleet`` (parallel cached
+campaigns), ``repro.cluster`` (N servers composed into a scheduled,
+rack-aware machine — see ``docs/cluster.md``), ``repro.model`` (the
+trained-model registry), ``repro.chaos`` (fault injection), and
+``repro.obs`` (tracing/metrics/bench).
+
 See ``examples/`` for complete walkthroughs and ``benchmarks/`` for the
 table/figure reproductions.
 """

@@ -20,7 +20,11 @@ Every reproduction entry point, runnable without writing Python::
     python -m repro compare [--regression] [--json out.json]
     python -m repro fleet init campaign.json [--matrix]
     python -m repro fleet run campaign.json [--workers 4] [--out res.json]
-    python -m repro fleet status|report [events.jsonl]
+    python -m repro fleet status|report [events.jsonl] [--json out.json]
+    python -m repro cluster init spec.json [--nodes 64] [--jobs 24]
+    python -m repro cluster run spec.json [--placement scatter]
+                                          [--workers 4] [--json out.json]
+    python -m repro cluster report result.json [--json out.json]
     python -m repro bench [--quick] [--json out.json] [--baseline base.json]
     python -m repro chaos [--seed N] [--scenario NAME ...] [--json out.json]
     python -m repro trace tree run.jsonl
@@ -294,6 +298,95 @@ def build_parser() -> argparse.ArgumentParser:
     )
     frep.add_argument(
         "events", nargs="?", default=".repro-fleet/events.jsonl"
+    )
+    frep.add_argument(
+        "--json", metavar="PATH", help="save the fleet report as JSON"
+    )
+
+    clu = sub.add_parser(
+        "cluster",
+        help="whole-machine simulation: racks, scheduler, power rollups",
+    )
+    csub = clu.add_subparsers(dest="cluster_command", required=True)
+
+    cini = csub.add_parser(
+        "init", help="write a cluster campaign spec JSON to start from"
+    )
+    cini.add_argument("out", help="path for the campaign spec")
+    cini.add_argument(
+        "--nodes",
+        type=int,
+        default=64,
+        help="total node count (default 64)",
+    )
+    cini.add_argument(
+        "--server",
+        default=None,
+        help="homogeneous cluster of this server (default: the "
+        "heterogeneous Xeon/Opteron demo mix)",
+    )
+    cini.add_argument(
+        "--nodes-per-rack",
+        type=int,
+        default=16,
+        help="rack width (default 16)",
+    )
+    cini.add_argument(
+        "--jobs",
+        type=int,
+        default=24,
+        help="synthetic job-mix size (default 24)",
+    )
+    cini.add_argument("--seed", type=int, default=0)
+
+    crun = csub.add_parser("run", help="schedule and simulate a campaign")
+    crun.add_argument(
+        "campaign", help="cluster campaign JSON (see 'cluster init')"
+    )
+    crun.add_argument(
+        "--placement",
+        # Mirrors repro.cluster.PLACEMENT_POLICIES (kept literal so the
+        # parser builds without importing the cluster layer; pinned by
+        # tests/cluster/test_cli_cluster.py).
+        choices=["compact", "scatter", "random"],
+        default=None,
+        help="node placement policy override (default: the spec's)",
+    )
+    crun.add_argument(
+        "--engine",
+        choices=["serial", "batch"],
+        default=None,
+        help="local execution engine for the unique per-node runs "
+        "(default: batch, or $REPRO_ENGINE; results are bit-identical)",
+    )
+    crun.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="route the per-node runs through the fleet worker pool "
+        "with this many processes (default: local batch engine)",
+    )
+    crun.add_argument(
+        "--events",
+        default="",
+        metavar="PATH",
+        help="append cluster events to this JSONL log ('' disables)",
+    )
+    crun.add_argument(
+        "--json", metavar="PATH", help="save the cluster report as JSON"
+    )
+    crun.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="enable observability and export a span JSONL trace",
+    )
+
+    crep = csub.add_parser(
+        "report", help="render a saved cluster report document"
+    )
+    crep.add_argument("result", help="cluster report JSON (from run --json)")
+    crep.add_argument(
+        "--json", metavar="PATH", help="re-save the report as JSON"
     )
 
     bnc = sub.add_parser(
@@ -1110,7 +1203,80 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     # fleet report
     report = fleet.FleetReport.from_events(events)
     print(report.format())
+    # FleetReport.to_dict() is the bare dict embedded in fleet_results
+    # documents; the standalone export gets the standard envelope.
+    _save_json_report(
+        {"kind": "fleet_report", "schema_version": 1, **report.to_dict()},
+        getattr(args, "json", None),
+    )
     return 1 if report.n_failed else 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro import cluster, fleet
+
+    if args.cluster_command == "init":
+        if args.server:
+            spec = cluster.homogeneous_cluster(
+                _load_server(args.server),
+                args.nodes,
+                nodes_per_rack=args.nodes_per_rack,
+            )
+        else:
+            spec = cluster.demo_cluster(
+                args.nodes, nodes_per_rack=args.nodes_per_rack
+            )
+        campaign = cluster.ClusterCampaign(
+            name=spec.name,
+            cluster=spec,
+            jobs=tuple(
+                cluster.synthetic_jobmix(spec, args.jobs, seed=args.seed)
+            ),
+            seed=args.seed,
+        )
+        path = repro_io.save_json(
+            cluster.campaign_to_dict(campaign), args.out
+        )
+        print(
+            f"wrote cluster campaign {campaign.name!r} "
+            f"({spec.n_nodes} nodes / {spec.n_racks} racks, "
+            f"{len(campaign.jobs)} jobs): {path}"
+        )
+        return 0
+
+    if args.cluster_command == "run":
+        if args.workers is not None and args.workers < 1:
+            raise ReproError(f"--workers must be >= 1, got {args.workers}")
+        campaign = cluster.campaign_from_dict(
+            repro_io.load_json(args.campaign)
+        )
+        backend = (
+            fleet.FleetBackend(workers=args.workers)
+            if args.workers is not None
+            else None
+        )
+        events = fleet.EventLog(args.events) if args.events else None
+        try:
+            with _maybe_trace(args.trace):
+                result = cluster.simulate_campaign(
+                    campaign,
+                    placement=args.placement,
+                    backend=backend,
+                    engine=args.engine,
+                    events=events,
+                )
+        finally:
+            if events is not None:
+                events.close()
+        print(result.format())
+        _save_json_report(result.to_dict(), args.json)
+        return 0
+
+    # cluster report
+    document = repro_io.load_json(args.result)
+    print(cluster.format_report_document(document))
+    _save_json_report(document, args.json)
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -1320,6 +1486,7 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "export": _cmd_export,
     "fleet": _cmd_fleet,
+    "cluster": _cmd_cluster,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,

@@ -234,7 +234,11 @@ class BatchEngine:
             activity = sim._cpu.activity()
             traffic = sim._memory.traffic(demand, sim._cpu.placement)
             base_watts = sim.power_model.power_watts(
-                demand, activity, traffic, idiosyncrasy=factor
+                demand,
+                activity,
+                traffic,
+                idiosyncrasy=factor,
+                include_comm=not sim.externalize_comm,
             )
             times = t_start_s + np.arange(n, dtype=float)
             rng = _run_seed(sim.seed, demand.program)

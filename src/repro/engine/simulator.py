@@ -87,7 +87,14 @@ class Simulator:
         meter_spec: MeterSpec = WT210,
         seed: int = 0,
         placement_policy: str = "compact",
+        externalize_comm: bool = False,
     ):
+        """``externalize_comm`` drops the hidden communication-intensity
+        power term (Section VI-C) from node power so an external model —
+        the cluster interconnect — can charge those watts to the network
+        instead.  Off by default; the default path is bit-identical to
+        builds that predate the knob.
+        """
         self.server = server
         self.power_model = power_model or calibrated_power_model(server)
         if self.power_model.server != server:
@@ -96,6 +103,7 @@ class Simulator:
             )
         self.meter_spec = meter_spec
         self.seed = seed
+        self.externalize_comm = externalize_comm
         self._cpu = CpuSubsystem(server, placement_policy)
         self._memory = MemorySubsystem(server)
         self._pmu = Pmu(server)
@@ -147,7 +155,11 @@ class Simulator:
         activity = self._cpu.activity()
         traffic = self._memory.traffic(demand, self._cpu.placement)
         base_watts = self.power_model.power_watts(
-            demand, activity, traffic, idiosyncrasy=factor
+            demand,
+            activity,
+            traffic,
+            idiosyncrasy=factor,
+            include_comm=not self.externalize_comm,
         )
 
         n_seconds = max(int(math.ceil(demand.duration_s)), 1)

@@ -16,7 +16,9 @@ Event schema (flat; absent fields are omitted)::
 Kinds: ``campaign_start``, ``campaign_resume``, ``cache_hit``,
 ``job_start``, ``job_finish``, ``job_retry``, ``job_failed``,
 ``job_timeout``, ``pool_replaced``, ``checkpoint``,
-``campaign_finish``.
+``campaign_finish``, plus the cluster layer's ``cluster_start``,
+``cluster_job``, ``cluster_finish`` (one machine-level simulation and
+its scheduled jobs share the fleet's JSONL schema and tooling).
 
 The log doubles as the campaign's *journal*: ``checkpoint`` records are
 fsynced to disk, so after a SIGKILL the set of durably completed jobs
@@ -52,6 +54,9 @@ EVENT_KINDS = (
     "pool_replaced",
     "checkpoint",
     "campaign_finish",
+    "cluster_start",
+    "cluster_job",
+    "cluster_finish",
 )
 
 

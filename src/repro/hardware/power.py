@@ -57,6 +57,7 @@ __all__ = [
     "SystemPowerModel",
     "dynamic_feature_vector",
     "DELTA_FEATURES",
+    "COMM_FEATURE_INDEX",
 ]
 
 #: Names of the delta-power features, in design-matrix column order.
@@ -68,6 +69,10 @@ DELTA_FEATURES: tuple[str, ...] = (
     "mem_dyn",
     "comm",
 )
+
+#: Column of the communication-intensity term in the delta feature
+#: vector — the term ``power_watts(include_comm=False)`` removes.
+COMM_FEATURE_INDEX: int = DELTA_FEATURES.index("comm")
 
 #: Dynamic power may exceed the full-intensity envelope by at most this
 #: factor (see SystemPowerModel.power_watts).
@@ -157,8 +162,16 @@ class SystemPowerModel:
         cpu: CpuActivity,
         memory: MemoryTraffic,
         idiosyncrasy: float = 1.0,
+        include_comm: bool = True,
     ) -> float:
-        """Instantaneous true power in watts (no meter noise)."""
+        """Instantaneous true power in watts (no meter noise).
+
+        ``include_comm=False`` removes the communication-intensity term
+        (Section VI-C) from the dynamic power, so a caller that accounts
+        for communication power elsewhere — e.g. a cluster interconnect
+        model charging it to the network — does not count it twice.  Use
+        :meth:`comm_power_watts` to recover the removed watts.
+        """
         if idiosyncrasy <= 0:
             raise ConfigurationError(
                 f"idiosyncrasy factor must be positive, got {idiosyncrasy}"
@@ -167,6 +180,9 @@ class SystemPowerModel:
         if demand.is_idle:
             return c.p_idle
         features = dynamic_feature_vector(demand, cpu, memory)
+        if not include_comm:
+            features = features.copy()
+            features[COMM_FEATURE_INDEX] = 0.0
         delta = float(features @ c.as_delta_vector())
         dynamic = idiosyncrasy * delta
         # Physical envelope: with the same placement and traffic, no
@@ -181,3 +197,16 @@ class SystemPowerModel:
         envelope = float(envelope_features @ c.as_delta_vector())
         dynamic = min(dynamic, ENVELOPE_HEADROOM * envelope)
         return c.p_idle + dynamic
+
+    def comm_power_watts(self, demand: ResourceDemand, cpu: CpuActivity) -> float:
+        """Watts of the communication-intensity term alone (Section VI-C).
+
+        This is exactly the contribution that ``include_comm=False``
+        removes from :meth:`power_watts` (before the idiosyncrasy factor
+        and envelope cap), letting an interconnect model re-attribute it
+        to the network instead of the node.
+        """
+        if demand.is_idle:
+            return 0.0
+        c = self.coefficients
+        return c.comm * cpu.active_cores * demand.comm_intensity

@@ -211,6 +211,27 @@ def _fleet_scenario(
     return run
 
 
+def _cluster_scenario(
+    iterations: int, seed: int
+) -> "tuple[float, dict[str, Any]]":
+    """The CI smoke machine: 64 heterogeneous nodes, 24 scheduled jobs."""
+    from repro.cluster import demo_cluster, simulate_cluster, synthetic_jobmix
+
+    cluster = demo_cluster(64)
+    jobs = synthetic_jobmix(cluster, n_jobs=24, seed=seed)
+    result = None
+    for _ in range(iterations):
+        result = simulate_cluster(cluster, jobs, seed=seed)
+    assert result is not None
+    return float(len(result.rows) * iterations), {
+        "cluster": cluster.name,
+        "nodes": cluster.n_nodes,
+        "makespan_s": result.makespan_s,
+        "utilisation": result.utilisation,
+        "ppw": result.ppw,
+    }
+
+
 def _scenarios() -> "tuple[Scenario, ...]":
     out = [
         Scenario(
@@ -282,6 +303,16 @@ def _scenarios() -> "tuple[Scenario, ...]":
             iterations_full=5,
             iterations_quick=2,
             run=_batch_vs_serial,
+        )
+    )
+    out.append(
+        Scenario(
+            name="cluster.demo64",
+            description="64-node demo cluster, 24-job seeded mix",
+            unit="jobs/s",
+            iterations_full=3,
+            iterations_quick=1,
+            run=_cluster_scenario,
         )
     )
     return tuple(out)

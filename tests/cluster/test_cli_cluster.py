@@ -1,0 +1,126 @@
+"""The ``python -m repro cluster`` command group."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cluster import PLACEMENT_POLICIES
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestInitRunReport:
+    def test_full_flow(self, capsys, tmp_path):
+        campaign = tmp_path / "campaign.json"
+        report = tmp_path / "report.json"
+        events = tmp_path / "events.jsonl"
+
+        code, out, _ = run_cli(
+            capsys,
+            "cluster", "init", str(campaign),
+            "--nodes", "8", "--jobs", "4", "--seed", "3",
+        )
+        assert code == 0
+        assert "8 nodes" in out
+        data = json.loads(campaign.read_text())
+        assert data["kind"] == "cluster_campaign"
+        assert len(data["jobs"]) == 4
+
+        code, out, _ = run_cli(
+            capsys,
+            "cluster", "run", str(campaign),
+            "--placement", "scatter",
+            "--json", str(report),
+            "--events", str(events),
+        )
+        assert code == 0
+        assert "makespan" in out
+        assert "PPW" in out
+        doc = json.loads(report.read_text())
+        assert doc["kind"] == "cluster_report"
+        assert doc["schema_version"] == 1
+        assert doc["placement"] == "scatter"
+        assert len(doc["rows"]) == 4
+        assert events.exists()
+
+        code, out, _ = run_cli(capsys, "cluster", "report", str(report))
+        assert code == 0
+        assert "rows digest" in out
+        assert doc["rows_digest"] in out
+
+    def test_homogeneous_init(self, capsys, tmp_path):
+        campaign = tmp_path / "campaign.json"
+        code, out, _ = run_cli(
+            capsys,
+            "cluster", "init", str(campaign),
+            "--nodes", "4", "--server", "Opteron-8347", "--jobs", "2",
+        )
+        assert code == 0
+        data = json.loads(campaign.read_text())
+        assert data["cluster"]["groups"] == [
+            {"server": "Opteron-8347", "count": 4}
+        ]
+
+    def test_run_with_workers_matches_default(self, capsys, tmp_path):
+        campaign = tmp_path / "campaign.json"
+        run_cli(capsys, "cluster", "init", str(campaign),
+                "--nodes", "4", "--jobs", "2")
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert run_cli(capsys, "cluster", "run", str(campaign),
+                       "--json", str(a))[0] == 0
+        assert run_cli(capsys, "cluster", "run", str(campaign),
+                       "--workers", "2", "--json", str(b))[0] == 0
+        doc_a = json.loads(a.read_text())
+        doc_b = json.loads(b.read_text())
+        assert doc_a["rows_digest"] == doc_b["rows_digest"]
+        assert doc_a["rollups"] == doc_b["rollups"]
+
+
+class TestArgumentSurface:
+    def test_placement_choices_pin_the_policy_list(self):
+        # The parser hardcodes the choices (the cluster layer must not be
+        # imported at parser build time); keep them in sync.
+        parser = build_parser()
+        for policy in PLACEMENT_POLICIES:
+            args = parser.parse_args(
+                ["cluster", "run", "x.json", "--placement", policy]
+            )
+            assert args.placement == policy
+
+    def test_unknown_placement_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "run", "x.json", "--placement", "spiral"]
+            )
+
+
+class TestErrors:
+    def test_run_on_wrong_document_kind(self, capsys, tmp_path):
+        path = tmp_path / "not-a-campaign.json"
+        path.write_text('{"kind": "evaluation", "schema_version": 1}')
+        code, _out, err = run_cli(capsys, "cluster", "run", str(path))
+        assert code == 2
+        assert "cluster_campaign" in err
+
+    def test_report_on_wrong_document_kind(self, capsys, tmp_path):
+        path = tmp_path / "not-a-report.json"
+        path.write_text('{"kind": "evaluation", "schema_version": 1}')
+        code, _out, err = run_cli(capsys, "cluster", "report", str(path))
+        assert code == 2
+        assert "cluster_report" in err
+
+    def test_bad_worker_count(self, capsys, tmp_path):
+        campaign = tmp_path / "campaign.json"
+        run_cli(capsys, "cluster", "init", str(campaign),
+                "--nodes", "4", "--jobs", "2")
+        code, _out, err = run_cli(
+            capsys, "cluster", "run", str(campaign), "--workers", "0"
+        )
+        assert code == 2
+        assert "--workers" in err

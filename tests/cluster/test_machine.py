@@ -1,0 +1,129 @@
+"""Cluster composition: geometry, serialisation, validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import (
+    CLUSTER_KIND,
+    CLUSTER_SCHEMA_VERSION,
+    GIGABIT_TREE,
+    ClusterSpec,
+    InterconnectSpec,
+    NodeGroup,
+    cluster_from_dict,
+    cluster_to_dict,
+    demo_cluster,
+    homogeneous_cluster,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.specs import get_server
+
+
+class TestGeometry:
+    def test_demo_cluster_shape(self):
+        spec = demo_cluster(64)
+        assert spec.name == "demo-64"
+        assert spec.n_nodes == 64
+        assert spec.n_racks == 4
+        assert [g.count for g in spec.groups] == [48, 16]
+        assert spec.groups[0].server.name == "Xeon-E5462"
+        assert spec.groups[1].server.name == "Opteron-8347"
+
+    def test_group_bounds_concatenate_in_declaration_order(self):
+        spec = demo_cluster(64)
+        assert spec.group_bounds() == [(0, 48), (48, 64)]
+        assert spec.group_of_node(0) == 0
+        assert spec.group_of_node(47) == 0
+        assert spec.group_of_node(48) == 1
+        assert spec.node_server(48).name == "Opteron-8347"
+
+    def test_rack_of_node(self):
+        spec = demo_cluster(64, nodes_per_rack=16)
+        assert spec.rack_of_node(0) == 0
+        assert spec.rack_of_node(15) == 0
+        assert spec.rack_of_node(16) == 1
+        assert spec.rack_of_node(63) == 3
+
+    def test_partial_last_rack_counts(self):
+        spec = homogeneous_cluster(get_server("Xeon-E5462"), 17)
+        assert spec.n_racks == 2
+
+    def test_node_id_out_of_range(self):
+        spec = demo_cluster(8)
+        with pytest.raises(ConfigurationError):
+            spec.group_of_node(8)
+        with pytest.raises(ConfigurationError):
+            spec.rack_of_node(-1)
+
+    def test_gflops_peak_sums_groups(self):
+        spec = demo_cluster(8)
+        expected = sum(g.count * g.server.gflops_peak for g in spec.groups)
+        assert spec.gflops_peak == pytest.approx(expected)
+
+    def test_homogeneous_default_name(self):
+        spec = homogeneous_cluster(get_server("Xeon-E5462"), 4)
+        assert spec.name == "xeon-e5462-x4"
+        assert spec.interconnect == GIGABIT_TREE
+
+
+class TestValidation:
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ConfigurationError, match="node group"):
+            ClusterSpec(name="x", groups=())
+
+    def test_nonpositive_group_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            NodeGroup(get_server("Xeon-E5462"), 0)
+
+    def test_nonpositive_rack_width_rejected(self):
+        group = NodeGroup(get_server("Xeon-E5462"), 2)
+        with pytest.raises(ConfigurationError, match="nodes_per_rack"):
+            ClusterSpec(name="x", groups=(group,), nodes_per_rack=0)
+
+    def test_negative_interconnect_power_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            InterconnectSpec(idle_watts_per_node=-1.0)
+
+    def test_demo_cluster_minimum_size(self):
+        with pytest.raises(ConfigurationError, match="at least 4"):
+            demo_cluster(3)
+
+
+class TestSerialisation:
+    def test_round_trip_builtin_servers(self):
+        spec = demo_cluster(64)
+        data = cluster_to_dict(spec)
+        assert data["kind"] == CLUSTER_KIND
+        assert data["schema_version"] == CLUSTER_SCHEMA_VERSION
+        # Builtin servers serialise by name, not embedded spec.
+        assert data["groups"][0]["server"] == "Xeon-E5462"
+        assert cluster_from_dict(data) == spec
+
+    def test_round_trip_custom_server_embeds_spec(self):
+        custom = dataclasses.replace(get_server("Xeon-E5462"), name="Custom-X")
+        spec = homogeneous_cluster(custom, 2)
+        data = cluster_to_dict(spec)
+        assert isinstance(data["groups"][0]["server"], dict)
+        assert cluster_from_dict(data) == spec
+
+    def test_round_trip_custom_interconnect(self):
+        ic = InterconnectSpec(
+            name="fat-tree",
+            idle_watts_per_node=4.0,
+            active_watts_per_node=9.0,
+            switch_watts_per_rack=120.0,
+            absorb_node_comm=True,
+        )
+        spec = homogeneous_cluster(get_server("Xeon-E5462"), 4, interconnect=ic)
+        assert cluster_from_dict(cluster_to_dict(spec)) == spec
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="expected"):
+            cluster_from_dict({"kind": "fleet_campaign"})
+
+    def test_future_schema_version_rejected(self):
+        data = cluster_to_dict(demo_cluster(8))
+        data["schema_version"] = 99
+        with pytest.raises(ConfigurationError, match="version"):
+            cluster_from_dict(data)

@@ -1,0 +1,35 @@
+"""Placement regression: Opteron-8347 EP.C power, Table IV shape.
+
+The paper's Fig. 5 discussion: on the 4-socket Opteron, scattering EP
+processes across sockets wakes more chips at low process counts, so
+scatter draws more power than compact until the machine is full.  These
+numbers are a regression pin for the chip-level placement model the
+cluster layer inherits per node — they must not drift by more than
+0.1 W.
+"""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.hardware.specs import get_server
+from repro.workloads.npb import NpbWorkload
+
+EXPECTED = {
+    "compact": {4: 394.8, 8: 438.2, 16: 511.2},
+    "scatter": {4: 442.2, 8: 469.6, 16: 511.2},
+}
+
+
+@pytest.mark.parametrize("policy", sorted(EXPECTED))
+@pytest.mark.parametrize("nprocs", sorted(EXPECTED["compact"]))
+def test_opteron_ep_power_by_placement(policy, nprocs):
+    simulator = Simulator(get_server("Opteron-8347"), placement_policy=policy)
+    run = simulator.run(NpbWorkload("ep", "C", nprocs))
+    assert run.average_power_watts(0.10) == pytest.approx(
+        EXPECTED[policy][nprocs], abs=0.1
+    )
+
+
+def test_full_machine_power_is_placement_independent():
+    # With every core active there is nothing left to scatter.
+    assert EXPECTED["compact"][16] == EXPECTED["scatter"][16]

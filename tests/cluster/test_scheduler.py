@@ -1,0 +1,242 @@
+"""Scheduler semantics: FCFS, backfill, placement, determinism."""
+
+import pytest
+
+from repro.cluster import (
+    PLACEMENT_POLICIES,
+    ClusterCampaign,
+    ClusterJob,
+    campaign_from_dict,
+    campaign_to_dict,
+    demo_cluster,
+    evaluation_jobmix,
+    homogeneous_cluster,
+    schedule_jobs,
+    synthetic_jobmix,
+)
+from repro.demand import ResourceDemand
+from repro.errors import ConfigurationError
+from repro.fleet.spec import workload_to_dict
+from repro.hardware.specs import get_server
+
+
+def demand_job(name, duration_s, n_nodes=1, submit_s=0.0, server=None):
+    """A job with an exactly controlled runtime (custom demand)."""
+    demand = ResourceDemand(
+        program=name,
+        nprocs=1,
+        duration_s=duration_s,
+        gflops=1.0,
+        memory_mb=100.0,
+    )
+    return ClusterJob(
+        name=name,
+        workload=workload_to_dict(demand),
+        n_nodes=n_nodes,
+        submit_s=submit_s,
+        server=server,
+    )
+
+
+def small_cluster(n_nodes=4, nodes_per_rack=2):
+    return homogeneous_cluster(
+        get_server("Xeon-E5462"), n_nodes, nodes_per_rack=nodes_per_rack
+    )
+
+
+class TestFcfs:
+    def test_serial_jobs_queue_on_a_full_machine(self):
+        cluster = small_cluster(2)
+        jobs = [
+            demand_job("a", 100.0, n_nodes=2),
+            demand_job("b", 50.0, n_nodes=2),
+        ]
+        sched = schedule_jobs(cluster, jobs)
+        assert sched.jobs[0].start_s == 0
+        assert sched.jobs[0].end_s == 100
+        assert sched.jobs[1].start_s == 100
+        assert sched.makespan_s == 150
+        assert sched.node_seconds == 2 * 100 + 2 * 50
+
+    def test_submit_times_round_up_to_the_grid(self):
+        cluster = small_cluster(2)
+        sched = schedule_jobs(cluster, [demand_job("a", 10.0, submit_s=3.2)])
+        assert sched.jobs[0].start_s == 4
+
+    def test_jobs_start_in_parallel_when_nodes_allow(self):
+        cluster = small_cluster(4)
+        jobs = [demand_job(f"j{i}", 60.0, n_nodes=2) for i in range(2)]
+        sched = schedule_jobs(cluster, jobs)
+        assert all(sj.start_s == 0 for sj in sched.jobs)
+        assert sched.makespan_s == 60
+
+
+class TestBackfill:
+    def test_short_job_backfills_around_a_wide_reservation(self):
+        # A holds half the machine; B (whole machine) reserves the
+        # shadow time t=100; C fits before it and backfills; D would
+        # overrun the reservation and must wait behind B.
+        cluster = small_cluster(4)
+        jobs = [
+            demand_job("a", 100.0, n_nodes=2),
+            demand_job("b", 50.0, n_nodes=4),
+            demand_job("c", 50.0, n_nodes=2),
+            demand_job("d", 200.0, n_nodes=2),
+        ]
+        starts = {
+            sj.job.name: sj.start_s for sj in schedule_jobs(cluster, jobs).jobs
+        }
+        assert starts["a"] == 0
+        assert starts["c"] == 0  # backfilled
+        assert starts["b"] == 100  # reservation honoured, not delayed
+        assert starts["d"] == 150  # could not backfill past the shadow
+
+    def test_other_group_jobs_backfill_freely(self):
+        # The head waits on Xeon nodes; an Opteron job cannot delay it
+        # and starts immediately.
+        cluster = demo_cluster(8)  # 6 Xeon + 2 Opteron
+        jobs = [
+            demand_job("a", 100.0, n_nodes=6, server="Xeon-E5462"),
+            demand_job("b", 50.0, n_nodes=6, server="Xeon-E5462"),
+            demand_job("c", 500.0, n_nodes=2, server="Opteron-8347"),
+        ]
+        starts = {
+            sj.job.name: sj.start_s for sj in schedule_jobs(cluster, jobs).jobs
+        }
+        assert starts["a"] == 0
+        assert starts["c"] == 0
+        assert starts["b"] == 100
+
+    def test_unsubmitted_jobs_never_backfill(self):
+        cluster = small_cluster(2)
+        jobs = [
+            demand_job("a", 100.0, n_nodes=2),
+            demand_job("b", 50.0, n_nodes=2, submit_s=0.0),
+            demand_job("late", 10.0, n_nodes=1, submit_s=99999.0),
+        ]
+        starts = {
+            sj.job.name: sj.start_s for sj in schedule_jobs(cluster, jobs).jobs
+        }
+        assert starts["late"] == 99999
+
+
+class TestPlacement:
+    def test_compact_fills_lowest_ids(self):
+        cluster = small_cluster(8, nodes_per_rack=2)
+        sched = schedule_jobs(
+            cluster, [demand_job("a", 10.0, n_nodes=4)], placement="compact"
+        )
+        assert sched.jobs[0].node_ids == (0, 1, 2, 3)
+
+    def test_scatter_spreads_one_node_per_rack_first(self):
+        cluster = small_cluster(8, nodes_per_rack=2)
+        sched = schedule_jobs(
+            cluster, [demand_job("a", 10.0, n_nodes=4)], placement="scatter"
+        )
+        assert sched.jobs[0].node_ids == (0, 2, 4, 6)
+
+    def test_random_is_seeded_per_job(self):
+        cluster = small_cluster(16)
+        jobs = [demand_job("a", 10.0, n_nodes=4)]
+        one = schedule_jobs(cluster, jobs, placement="random", seed=1)
+        two = schedule_jobs(cluster, jobs, placement="random", seed=1)
+        other = schedule_jobs(cluster, jobs, placement="random", seed=2)
+        assert one.jobs[0].node_ids == two.jobs[0].node_ids
+        assert one.jobs[0].node_ids != other.jobs[0].node_ids
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="placement"):
+            schedule_jobs(small_cluster(), [demand_job("a", 1.0)], "spiral")
+
+
+class TestPinningAndErrors:
+    def test_server_pin_selects_the_matching_group(self):
+        cluster = demo_cluster(8)
+        sched = schedule_jobs(
+            cluster, [demand_job("a", 10.0, server="Opteron-8347")]
+        )
+        assert sched.jobs[0].server == "Opteron-8347"
+        assert sched.jobs[0].node_ids[0] >= 6
+
+    def test_too_wide_job_rejected(self):
+        with pytest.raises(ConfigurationError, match="large enough"):
+            schedule_jobs(small_cluster(4), [demand_job("a", 1.0, n_nodes=5)])
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            schedule_jobs(small_cluster(), [])
+
+    def test_job_validation(self):
+        with pytest.raises(ConfigurationError, match="n_nodes"):
+            demand_job("a", 1.0, n_nodes=0)
+        with pytest.raises(ConfigurationError, match="'type'"):
+            ClusterJob(name="a", workload={})
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("placement", PLACEMENT_POLICIES)
+    def test_identical_inputs_identical_schedule(self, placement):
+        cluster = demo_cluster(16)
+        jobs = synthetic_jobmix(cluster, n_jobs=12, seed=5)
+        one = schedule_jobs(cluster, jobs, placement=placement, seed=5)
+        two = schedule_jobs(cluster, jobs, placement=placement, seed=5)
+        assert one == two
+
+    def test_jobmix_is_seeded(self):
+        cluster = demo_cluster(16)
+        assert synthetic_jobmix(cluster, 8, seed=1) == synthetic_jobmix(
+            cluster, 8, seed=1
+        )
+        assert synthetic_jobmix(cluster, 8, seed=1) != synthetic_jobmix(
+            cluster, 8, seed=2
+        )
+
+    def test_jobmix_widths_respect_group_size(self):
+        cluster = demo_cluster(8)
+        for job in synthetic_jobmix(cluster, 32, seed=0):
+            assert 1 <= job.n_nodes <= 8
+
+
+class TestEvaluationJobmix:
+    def test_reproduces_the_ten_states(self):
+        jobs = evaluation_jobmix("Xeon-E5462")
+        assert len(jobs) == 10
+        assert jobs[0].name == "Idle"
+        assert jobs[0].workload["type"] == "idle"
+        assert all(j.n_nodes == 1 and j.submit_s == 0.0 for j in jobs)
+
+
+class TestCampaignSerialisation:
+    def test_round_trip(self):
+        cluster = demo_cluster(16)
+        campaign = ClusterCampaign(
+            name="mix",
+            cluster=cluster,
+            jobs=tuple(synthetic_jobmix(cluster, 6, seed=3)),
+            seed=3,
+            placement="scatter",
+        )
+        assert campaign_from_dict(campaign_to_dict(campaign)) == campaign
+
+    def test_invalid_workload_rejected_at_load_time(self):
+        cluster = demo_cluster(8)
+        data = campaign_to_dict(
+            ClusterCampaign(
+                name="mix",
+                cluster=cluster,
+                jobs=tuple(synthetic_jobmix(cluster, 2, seed=0)),
+            )
+        )
+        data["jobs"][0]["workload"] = {"type": "cuda-graph"}
+        with pytest.raises(ConfigurationError):
+            campaign_from_dict(data)
+
+    def test_campaign_validates_placement(self):
+        cluster = demo_cluster(8)
+        with pytest.raises(ConfigurationError, match="placement"):
+            ClusterCampaign(
+                name="x",
+                cluster=cluster,
+                jobs=tuple(synthetic_jobmix(cluster, 2, seed=0)),
+                placement="spiral",
+            )

@@ -1,0 +1,130 @@
+"""The Section VI-C communication power knob.
+
+``SystemPowerModel.power_watts(include_comm=...)`` and
+``Simulator(externalize_comm=...)`` expose the communication-intensity
+term the paper's six regression features deliberately omit.  The knob is
+default-off: these tests prove the default path is bit-identical with
+the knob machinery in place, and that turning it on removes exactly the
+term :meth:`comm_power_watts` reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.demand import ResourceDemand
+from repro.engine import Simulator
+from repro.engine.batch import run_batch
+from repro.hardware.power import (
+    COMM_FEATURE_INDEX,
+    DELTA_FEATURES,
+    dynamic_feature_vector,
+)
+from repro.hardware.specs import get_server
+from repro.workloads.npb import NpbWorkload
+
+COMM_DEMAND = ResourceDemand(
+    program="mpi-heavy",
+    nprocs=4,
+    duration_s=20.0,
+    gflops=10.0,
+    memory_mb=512.0,
+    comm_intensity=0.8,
+)
+
+
+def make_model(server_name="Xeon-E5462"):
+    simulator = Simulator(get_server(server_name))
+    return simulator, simulator.power_model
+
+
+class TestFeatureColumn:
+    def test_comm_is_a_named_delta_feature(self):
+        assert DELTA_FEATURES[COMM_FEATURE_INDEX] == "comm"
+
+    def test_feature_value_is_cores_times_intensity(self):
+        simulator, _ = make_model()
+        simulator._cpu.bind(COMM_DEMAND)
+        cpu = simulator._cpu.activity()
+        memory = simulator._memory.traffic(
+            COMM_DEMAND, simulator._cpu.placement
+        )
+        vector = dynamic_feature_vector(COMM_DEMAND, cpu, memory)
+        assert vector[COMM_FEATURE_INDEX] == pytest.approx(
+            cpu.active_cores * COMM_DEMAND.comm_intensity
+        )
+
+
+class TestPowerWattsKnob:
+    def test_default_call_includes_comm(self):
+        simulator, model = make_model()
+        simulator._cpu.bind(COMM_DEMAND)
+        cpu = simulator._cpu.activity()
+        memory = simulator._memory.traffic(
+            COMM_DEMAND, simulator._cpu.placement
+        )
+        assert model.power_watts(COMM_DEMAND, cpu, memory) == model.power_watts(
+            COMM_DEMAND, cpu, memory, include_comm=True
+        )
+
+    def test_exclusion_removes_exactly_the_comm_term(self):
+        simulator, model = make_model()
+        simulator._cpu.bind(COMM_DEMAND)
+        cpu = simulator._cpu.activity()
+        memory = simulator._memory.traffic(
+            COMM_DEMAND, simulator._cpu.placement
+        )
+        with_comm = model.power_watts(COMM_DEMAND, cpu, memory)
+        without = model.power_watts(
+            COMM_DEMAND, cpu, memory, include_comm=False
+        )
+        assert with_comm - without == pytest.approx(
+            model.comm_power_watts(COMM_DEMAND, cpu)
+        )
+
+    def test_comm_power_is_zero_when_idle_or_uncommunicative(self):
+        simulator, model = make_model()
+        idle = ResourceDemand.idle(60.0)
+        assert model.comm_power_watts(idle, None) == 0.0
+        quiet = ResourceDemand(
+            program="quiet",
+            nprocs=4,
+            duration_s=10.0,
+            gflops=1.0,
+            memory_mb=64.0,
+            comm_intensity=0.0,
+        )
+        simulator._cpu.bind(quiet)
+        assert model.comm_power_watts(quiet, simulator._cpu.activity()) == 0.0
+
+
+class TestSimulatorKnob:
+    def test_default_path_is_bit_identical(self):
+        server = get_server("Xeon-E5462")
+        workload = NpbWorkload("ep", "C", 4)
+        plain = Simulator(server, seed=7).run(workload)
+        explicit = Simulator(server, seed=7, externalize_comm=False).run(
+            workload
+        )
+        assert np.array_equal(plain.true_watts, explicit.true_watts)
+        assert np.array_equal(plain.measured_watts, explicit.measured_watts)
+
+    def test_externalizing_lowers_comm_heavy_power(self):
+        server = get_server("Xeon-E5462")
+        default = Simulator(server, seed=7).run(COMM_DEMAND)
+        external = Simulator(server, seed=7, externalize_comm=True).run(
+            COMM_DEMAND
+        )
+        assert external.average_power_watts() < default.average_power_watts()
+
+    def test_serial_and_batch_agree_under_the_knob(self):
+        server = get_server("Xeon-E5462")
+        items = [COMM_DEMAND, NpbWorkload("ep", "C", 4)]
+        serial = [
+            Simulator(server, seed=3, externalize_comm=True).run(w)
+            for w in items
+        ]
+        batch = run_batch(
+            Simulator(server, seed=3, externalize_comm=True), items
+        )
+        for s, b in zip(serial, batch):
+            assert np.array_equal(s.measured_watts, b.measured_watts)

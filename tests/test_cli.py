@@ -362,6 +362,42 @@ class TestJsonParity:
         )
         assert sum(data["fractions"].values()) == pytest.approx(1.0)
 
+    def test_chaos_json_schema_is_pinned(self, capsys, tmp_path):
+        path = tmp_path / "chaos.json"
+        code, _out, _ = run_cli(
+            capsys, "chaos", "--scenario", "meter-guard",
+            "--seed", "1", "--json", str(path),
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert sorted(data) == [
+            "kind", "ok", "schema_version", "seed", "verdicts", "wall_s",
+        ]
+        assert data["kind"] == "chaos_report"
+        assert data["schema_version"] == 1
+        assert sorted(data["verdicts"][0]) == [
+            "detail", "layer", "name", "outcome", "wall_s",
+        ]
+
+    def test_fleet_report_json_export(self, capsys, tmp_path):
+        spec_path = tmp_path / "campaign.json"
+        events = tmp_path / "events.jsonl"
+        run_cli(capsys, "fleet", "init", str(spec_path))
+        code, _out, _ = run_cli(
+            capsys, "fleet", "run", str(spec_path),
+            "--serial", "--cache-dir", "", "--events", str(events),
+        )
+        assert code == 0
+        path = tmp_path / "report.json"
+        code, out, _ = run_cli(
+            capsys, "fleet", "report", str(events), "--json", str(path),
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["kind"] == "fleet_report"
+        assert data["n_jobs"] == 5
+        assert data["n_failed"] == 0
+
 
 class TestModel:
     def test_train_predict_registry_validate_flow(self, capsys, tmp_path):
