@@ -25,6 +25,10 @@ Every reproduction entry point, runnable without writing Python::
     python -m repro cluster run spec.json [--placement scatter]
                                           [--workers 4] [--json out.json]
     python -m repro cluster report result.json [--json out.json]
+    python -m repro zoo list
+    python -m repro zoo show <server>
+    python -m repro zoo evaluate <server> [--pstate N] [--json out.json]
+    python -m repro zoo matrix [--digests pins.json] [--study]
     python -m repro bench [--quick] [--json out.json] [--baseline base.json]
     python -m repro chaos [--seed N] [--scenario NAME ...] [--json out.json]
     python -m repro trace tree run.jsonl
@@ -389,6 +393,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="re-save the report as JSON"
     )
 
+    zoo = sub.add_parser(
+        "zoo",
+        help="the derived heterogeneous server registry (DVFS state grids)",
+    )
+    zsub = zoo.add_subparsers(dest="zoo_command", required=True)
+
+    zsub.add_parser("list", help="list the registered zoo servers")
+
+    zshow = zsub.add_parser(
+        "show", help="spec and resolved P-state ladder of one zoo server"
+    )
+    zshow.add_argument("server", help="zoo server name (see 'zoo list')")
+
+    zeval = zsub.add_parser(
+        "evaluate",
+        help="run the ten-state method on a zoo server (one P-state or "
+        "the full grid)",
+    )
+    zeval.add_argument("server", help="zoo (or builtin) server name")
+    zeval.add_argument(
+        "--pstate",
+        type=int,
+        default=None,
+        help="evaluate this single P-state (default: the full state grid)",
+    )
+    zeval.add_argument("--seed", type=int, default=0)
+    zeval.add_argument(
+        "--engine",
+        choices=["serial", "batch"],
+        default=None,
+        help="execution engine (default: batch; bit-identical)",
+    )
+    zeval.add_argument(
+        "--json", metavar="PATH", help="save the result as JSON"
+    )
+
+    zmat = zsub.add_parser(
+        "matrix",
+        help="sweep every zoo server across its full state grid "
+        "(the nightly gate)",
+    )
+    zmat.add_argument(
+        "--server",
+        action="append",
+        metavar="NAME",
+        help="restrict to these zoo servers (repeatable; default: all)",
+    )
+    zmat.add_argument("--seed", type=int, default=0)
+    zmat.add_argument(
+        "--digests",
+        metavar="PATH",
+        help="compare per-server grid digests against this pin file and "
+        "fail on any mismatch",
+    )
+    zmat.add_argument(
+        "--update-digests",
+        metavar="PATH",
+        help="write the measured per-server grid digests to this pin file",
+    )
+    zmat.add_argument(
+        "--study",
+        action="store_true",
+        help="also re-run the regression study per P-state and enforce "
+        "the zoo R^2 band",
+    )
+    zmat.add_argument(
+        "--json", metavar="PATH", help="save the matrix report as JSON"
+    )
+
     bnc = sub.add_parser(
         "bench",
         help="self-measurement harness: run the perf scenario suite",
@@ -571,11 +644,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_server(name_or_path: str):
-    """Resolve a server argument: a built-in name, or a path to a JSON
-    spec produced by ``repro.io.server_to_dict`` (detected by suffix)."""
+    """Resolve a server argument: a built-in or zoo name, or a path to a
+    JSON spec produced by ``repro.io.server_to_dict`` (by suffix)."""
+    from repro.hardware.zoo import resolve_server
+
     if name_or_path.endswith(".json"):
         return repro_io.server_from_dict(repro_io.load_json(name_or_path))
-    return get_server(name_or_path)
+    return resolve_server(name_or_path)
 
 
 def _cmd_servers(_args: argparse.Namespace) -> int:
@@ -1279,6 +1354,168 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _zoo_grid_summary(result) -> str:
+    """One-line-per-cell rendering of a grid evaluation."""
+    lines = [
+        f"{result.server}: {result.grid.n_cells} P-states x "
+        f"{result.grid.states_per_cell} states "
+        f"(digest {result.digest[:12]})"
+    ]
+    lines.append(
+        f"  {'pstate':<8} {'ratio':>6} {'MHz':>7} {'score':>8} "
+        f"{'avg W':>8}  digest"
+    )
+    for cell in result.cells:
+        lines.append(
+            f"  P{cell.pstate:<7} {cell.frequency_ratio:>6.2f} "
+            f"{cell.frequency_mhz:>7.0f} {cell.score:>8.4f} "
+            f"{cell.evaluation.average_watts:>8.1f}  {cell.digest[:12]}"
+        )
+    best = result.best_cell
+    lines.append(
+        f"  best operating point: P{best.pstate} "
+        f"({best.frequency_mhz:.0f} MHz, {best.score:.4f} GFLOPS/W)"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    from repro.core.grid import StateGrid, evaluate_grid, grid_to_dict
+    from repro.hardware.zoo import get_zoo_server, zoo_entries
+
+    if args.zoo_command == "list":
+        for entry in zoo_entries():
+            spec = entry.spec
+            print(
+                f"{spec.name:<18} {spec.processor.core_type:<8} "
+                f"{spec.total_cores:>3} cores "
+                f"({spec.chips} x {spec.cores_per_chip}), "
+                f"{spec.n_pstates} P-states, "
+                f"{spec.memory.total_gb:>4.0f} GB, "
+                f"{spec.gflops_peak:>7.1f} GFLOPS peak"
+            )
+            print(f"{'':<18} {entry.summary}")
+        return 0
+
+    if args.zoo_command == "show":
+        spec = get_zoo_server(args.server)
+        proc = spec.processor
+        print(f"{spec.name} ({proc.model})")
+        print(
+            f"  {spec.chips} x {proc.cores} {proc.core_type} cores @ "
+            f"{proc.frequency_mhz:.0f} MHz nominal, "
+            f"{proc.flops_per_cycle} FLOPs/cycle"
+        )
+        print(
+            f"  memory {spec.memory.total_gb:.0f} GB {spec.memory.technology} "
+            f"@ {spec.memory.bandwidth_gbs:.1f} GB/s, "
+            f"HPL efficiency {spec.hpl_efficiency:.0%}, "
+            f"peak {spec.gflops_peak:.1f} GFLOPS"
+        )
+        if proc.dvfs is None:
+            print("  no DVFS ladder (single implicit P-state)")
+            return 0
+        print(f"  DVFS over {proc.dvfs.tech.name} (alpha-power law):")
+        print(
+            f"  {'pstate':<8} {'ratio':>6} {'MHz':>7} {'Vdd':>6} "
+            f"{'dyn x':>6} {'stat x':>6}"
+        )
+        for ps in proc.pstates():
+            print(
+                f"  P{ps.index:<7} {ps.freq_ratio:>6.2f} "
+                f"{ps.frequency_mhz:>7.0f} {ps.voltage_v:>6.3f} "
+                f"{ps.dynamic_scale:>6.3f} {ps.static_scale:>6.3f}"
+            )
+        return 0
+
+    if args.zoo_command == "evaluate":
+        server = _load_server(args.server)
+        if args.pstate is not None:
+            pinned = server.at_pstate(args.pstate)
+            result = evaluate_server(
+                pinned,
+                Simulator(pinned, seed=args.seed),
+                engine=args.engine,
+            )
+            print(
+                f"{server.name} at P{args.pstate} "
+                f"({pinned.effective_frequency_mhz:.0f} MHz):"
+            )
+            print(format_evaluation_table(result))
+            _save_json_report(repro_io.evaluation_to_dict(result), args.json)
+            return 0
+        result = evaluate_grid(
+            StateGrid(server), seed=args.seed, engine=args.engine
+        )
+        print(_zoo_grid_summary(result))
+        _save_json_report(grid_to_dict(result), args.json)
+        return 0
+
+    # zoo matrix
+    entries = zoo_entries()
+    if args.server:
+        wanted = {get_zoo_server(name).name for name in args.server}
+        entries = tuple(e for e in entries if e.name in wanted)
+    failures: list[str] = []
+    grids = {}
+    studies = {}
+    for entry in entries:
+        result = evaluate_grid(StateGrid(entry.spec), seed=args.seed)
+        grids[entry.name] = result
+        print(_zoo_grid_summary(result))
+        if args.study:
+            from repro.model.validate import grid_regression_study
+
+            study = grid_regression_study(entry.spec, seed=args.seed)
+            studies[entry.name] = study
+            print(study.format())
+            if not study.ok:
+                failures.append(f"{entry.name}: regression R^2 out of band")
+    if args.digests:
+        pinned = repro_io.load_json(args.digests)
+        if pinned.get("kind") != "zoo_grid_digests":
+            raise ReproError(f"{args.digests} is not a zoo digest pin file")
+        for name, result in grids.items():
+            expected = pinned.get("servers", {}).get(name)
+            if expected is None:
+                failures.append(f"{name}: no pinned digest in {args.digests}")
+            elif expected != result.digest:
+                failures.append(
+                    f"{name}: grid digest {result.digest[:12]} != "
+                    f"pinned {expected[:12]}"
+                )
+        print(f"digest pins checked against {args.digests}")
+    if args.update_digests:
+        document = {
+            "kind": "zoo_grid_digests",
+            "schema_version": 1,
+            "seed": args.seed,
+            "servers": {name: g.digest for name, g in grids.items()},
+        }
+        saved = repro_io.save_json(document, args.update_digests)
+        print(f"pinned {len(grids)} grid digests: {saved}")
+    _save_json_report(
+        {
+            "kind": "zoo_matrix",
+            "schema_version": 1,
+            "seed": args.seed,
+            "ok": not failures,
+            "failures": failures,
+            "servers": [grid_to_dict(g) for g in grids.values()],
+            "studies": [s.to_dict() for s in studies.values()],
+        },
+        args.json,
+    )
+    total_states = sum(g.n_states for g in grids.values())
+    print(
+        f"zoo matrix: {len(grids)} servers, {total_states} states, "
+        f"{len(failures)} failure(s)"
+    )
+    for failure in failures:
+        print(f"  FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import bench as obs_bench
 
@@ -1487,6 +1724,7 @@ _HANDLERS = {
     "export": _cmd_export,
     "fleet": _cmd_fleet,
     "cluster": _cmd_cluster,
+    "zoo": _cmd_zoo,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,

@@ -173,9 +173,10 @@ def _server_ref(server: ServerSpec) -> "str | dict[str, Any]":
 
 def _resolve_server(ref: "str | dict[str, Any]") -> ServerSpec:
     from repro import io as repro_io
+    from repro.hardware.zoo import resolve_server
 
     if isinstance(ref, str):
-        return get_server(ref)
+        return resolve_server(ref)
     return repro_io.server_from_dict(ref)
 
 

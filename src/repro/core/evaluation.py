@@ -121,8 +121,13 @@ def evaluate_server(
     backend=None,
     engine: "str | None" = None,
     allow_partial: bool = False,
+    states: "list[EvaluationState] | None" = None,
 ) -> EvaluationResult:
     """Run the full proposed method on ``server``.
+
+    ``states`` optionally substitutes a custom state matrix (e.g. one
+    cell of a :class:`repro.core.grid.StateGrid`); the default is the
+    paper's ten-row matrix from :func:`evaluation_states`.
 
     ``backend`` optionally routes the ten runs through a batch executor
     such as :class:`repro.fleet.FleetBackend` (parallel and/or cached);
@@ -147,7 +152,8 @@ def evaluate_server(
     simulator = simulator or Simulator(server)
     if simulator.server != server:
         raise ConfigurationError("simulator is bound to a different server")
-    states = evaluation_states(server)
+    if states is None:
+        states = evaluation_states(server)
     items = [_state_runnable(state) for state in states]
     if backend is not None:
         runs = backend.map_runs(simulator, items)

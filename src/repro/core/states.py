@@ -59,13 +59,45 @@ def core_levels(server: ServerSpec) -> tuple[int, int, int]:
     return (1, half, full)
 
 
-def evaluation_states(server: ServerSpec) -> list[EvaluationState]:
-    """The ten measurement rows of Tables IV-VI, in table order."""
-    one, half, full = core_levels(server)
+def _memory_suffix(fraction: float) -> str:
+    """Table label suffix for an HPL memory fraction."""
+    if fraction == HALF_MEMORY_FRACTION:
+        return "Mh"
+    if fraction == FULL_MEMORY_FRACTION:
+        return "Mf"
+    return f"M{fraction:.2f}"
+
+
+def evaluation_states(
+    server: ServerSpec,
+    core_counts: "tuple[int, ...] | None" = None,
+    memory_fractions: "tuple[float, ...] | None" = None,
+) -> list[EvaluationState]:
+    """The measurement rows of Tables IV-VI, in table order.
+
+    With the defaults this is exactly the paper's ten-row matrix: idle,
+    EP at (1, half, full) cores, and HPL at the same core levels for the
+    half- and full-memory fractions.  ``core_counts`` and
+    ``memory_fractions`` generalise the axes for state-grid evaluation
+    (see :mod:`repro.core.grid`); non-canonical memory fractions get an
+    ``M<fraction>`` label suffix.
+    """
+    full = server.total_cores
+    if core_counts is None:
+        core_counts = core_levels(server)
+    else:
+        if not core_counts:
+            raise ConfigurationError("core_counts must not be empty")
+        for n in core_counts:
+            server.validate_core_count(n)
+    if memory_fractions is None:
+        memory_fractions = (HALF_MEMORY_FRACTION, FULL_MEMORY_FRACTION)
+    elif not memory_fractions:
+        raise ConfigurationError("memory_fractions must not be empty")
     states: list[EvaluationState] = [
         EvaluationState("Idle", None, 0.0, 0.0)
     ]
-    for n in (one, half, full):
+    for n in core_counts:
         states.append(
             EvaluationState(
                 f"ep.C.{n}",
@@ -74,11 +106,9 @@ def evaluation_states(server: ServerSpec) -> list[EvaluationState]:
                 0.0,
             )
         )
-    for fraction, suffix in (
-        (HALF_MEMORY_FRACTION, "Mh"),
-        (FULL_MEMORY_FRACTION, "Mf"),
-    ):
-        for n in (one, half, full):
+    for fraction in memory_fractions:
+        suffix = _memory_suffix(fraction)
+        for n in core_counts:
             states.append(
                 EvaluationState(
                     f"HPL P{n} {suffix}",

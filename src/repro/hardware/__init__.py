@@ -17,9 +17,14 @@ Opteron-8347, and Xeon-4870 — as parameterized component models:
   ``P = P_cpu + P_mem + C`` (Eq. 4).
 * :mod:`repro.hardware.calibration` — fits each server's power coefficients
   to the paper's published measurements.
+* :mod:`repro.hardware.technode` / :mod:`repro.hardware.dvfs` — process
+  technology nodes and the P-state ladders they admit.
+* :mod:`repro.hardware.zoo` — the heterogeneous server registry derived
+  from the builtins and Sîrbu & Babaoglu's hybrid node mix.
 """
 
 from repro.hardware.specs import (
+    CORE_TYPES,
     CacheLevelSpec,
     MemorySpec,
     ProcessorSpec,
@@ -40,9 +45,30 @@ from repro.hardware.calibration import (
     AnchorPoint,
     calibrate_server,
     calibrated_power_model,
+    register_coefficients,
+)
+from repro.hardware.technode import TECH_NODES, TechNodeSpec, get_tech_node
+from repro.hardware.dvfs import (
+    DEFAULT_DVFS_RATIOS,
+    DvfsSpec,
+    PState,
+    scale_coefficients,
+)
+
+# Imported last, on purpose: the zoo registers coefficient factories with
+# the calibration layer at import time, and the parent package always
+# initialises before any submodule — so every process that touches
+# repro.hardware (fleet workers included) sees the registrations.
+from repro.hardware.zoo import (
+    ZOO_SERVERS,
+    ZooEntry,
+    get_zoo_server,
+    resolve_server,
+    zoo_entries,
 )
 
 __all__ = [
+    "CORE_TYPES",
     "CacheLevelSpec",
     "MemorySpec",
     "ProcessorSpec",
@@ -67,4 +93,17 @@ __all__ = [
     "AnchorPoint",
     "calibrate_server",
     "calibrated_power_model",
+    "register_coefficients",
+    "TECH_NODES",
+    "TechNodeSpec",
+    "get_tech_node",
+    "DEFAULT_DVFS_RATIOS",
+    "DvfsSpec",
+    "PState",
+    "scale_coefficients",
+    "ZOO_SERVERS",
+    "ZooEntry",
+    "get_zoo_server",
+    "resolve_server",
+    "zoo_entries",
 ]

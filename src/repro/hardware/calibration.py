@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Callable
 
 import numpy as np
 from scipy.optimize import nnls
@@ -26,6 +27,7 @@ from repro.characteristics import get_traits
 from repro.demand import ResourceDemand
 from repro.errors import CalibrationError, ConfigurationError
 from repro.hardware.cpu import CpuSubsystem
+from repro.hardware.dvfs import scale_coefficients
 from repro.hardware.memory import MemorySubsystem
 from repro.hardware.power import (
     DELTA_FEATURES,
@@ -42,6 +44,7 @@ __all__ = [
     "calibrate_server",
     "calibrated_power_model",
     "default_coefficients",
+    "register_coefficients",
     "CalibrationReport",
 ]
 
@@ -306,10 +309,51 @@ def calibrate_server(
 def default_coefficients(server: ServerSpec) -> PowerCoefficients:
     """Heuristic coefficients for a custom server without measurements.
 
-    Scales a generic mid-2010s server power envelope by chip and memory
-    counts; intended for the custom-server workflow in
-    ``examples/custom_server.py``, not for reproducing the paper's tables.
+    Scales a generic mid-2010s power envelope by chip and memory counts,
+    dispatching on the processor's ``core_type`` so GPU-style and MIC-style
+    components (Sîrbu & Babaoglu's hybrid node mix) land near their
+    published idle/TDP envelopes; intended for the custom-server workflow,
+    not for reproducing the paper's tables.  The ``"ooo-cpu"`` branch is
+    the historical heuristic, unchanged.
     """
+    core_type = server.processor.core_type
+    memory_w = 0.9 * server.memory.total_gb
+    if core_type == "io-cpu":
+        # Low-power in-order cores: small chip floor, shallow dynamic range.
+        return PowerCoefficients(
+            p_idle=30.0 + 22.0 * server.chips + memory_w,
+            chip_uncore=4.0,
+            shared_sqrt=3.0,
+            core_active=1.2,
+            core_intensity=5.0,
+            mem_dyn=MEM_DYN_WATTS_PER_GBS,
+            comm=COMM_WATTS_PER_CORE,
+        )
+    if core_type == "gpu-simd":
+        # One "core" is a streaming multiprocessor (~13 per K20-class
+        # chip): modest idle, steep per-SM dynamic power toward a ~225 W
+        # board envelope.
+        return PowerCoefficients(
+            p_idle=45.0 + 28.0 * server.chips + memory_w,
+            chip_uncore=16.0,
+            shared_sqrt=8.0,
+            core_active=4.0,
+            core_intensity=10.0,
+            mem_dyn=MEM_DYN_WATTS_PER_GBS,
+            comm=COMM_WATTS_PER_CORE,
+        )
+    if core_type == "mic":
+        # Many-core accelerator (~60 in-order cores): large standing chip
+        # power, ~2 W per busy core.
+        return PowerCoefficients(
+            p_idle=45.0 + 95.0 * server.chips + memory_w,
+            chip_uncore=20.0,
+            shared_sqrt=5.0,
+            core_active=1.0,
+            core_intensity=1.5,
+            mem_dyn=MEM_DYN_WATTS_PER_GBS,
+            comm=COMM_WATTS_PER_CORE,
+        )
     idle = 45.0 + 60.0 * server.chips + 0.9 * server.memory.total_gb
     return PowerCoefficients(
         p_idle=idle,
@@ -322,6 +366,22 @@ def default_coefficients(server: ServerSpec) -> PowerCoefficients:
     )
 
 
+#: Coefficient factories registered for named (zoo) servers.  A factory
+#: receives the *nominal* (P-state 0) spec and returns its P0 fit; DVFS
+#: scaling is applied on top by :func:`calibrated_power_model`.  Keyed by
+#: server name; :mod:`repro.hardware.zoo` populates this at import time so
+#: every process (including fleet workers) reconstructs identical models
+#: from a spec alone.
+_ZOO_COEFF_FACTORIES: dict[str, Callable[[ServerSpec], PowerCoefficients]] = {}
+
+
+def register_coefficients(
+    name: str, factory: Callable[[ServerSpec], PowerCoefficients]
+) -> None:
+    """Register a P0 coefficient factory for the named server."""
+    _ZOO_COEFF_FACTORIES[name] = factory
+
+
 @lru_cache(maxsize=None)
 def _calibrated_builtin(name: str) -> SystemPowerModel:
     server = get_server(name)
@@ -332,9 +392,22 @@ def _calibrated_builtin(name: str) -> SystemPowerModel:
 def calibrated_power_model(server: ServerSpec) -> SystemPowerModel:
     """Return a :class:`SystemPowerModel` for ``server``.
 
-    Built-in servers are calibrated against the paper's anchors (cached);
-    custom servers fall back to :func:`default_coefficients`.
+    Built-in servers are calibrated against the paper's anchors (cached
+    and bit-identical to the historical path).  Other servers resolve
+    their *nominal* coefficients — a factory registered via
+    :func:`register_coefficients` when one exists, else
+    :func:`default_coefficients` — and, when the spec pins a P-state
+    other than 0, scale them through the processor's DVFS ladder.  The
+    whole derivation is a pure function of the spec, so fleet workers
+    rebuild identical models in other processes.
     """
     if server.name in BUILTIN_SERVERS and BUILTIN_SERVERS[server.name] == server:
         return _calibrated_builtin(server.name)
-    return SystemPowerModel(server, default_coefficients(server))
+    base = server.base_spec()
+    factory = _ZOO_COEFF_FACTORIES.get(base.name)
+    coefficients = factory(base) if factory else default_coefficients(base)
+    if server.pstate != 0:
+        coefficients = scale_coefficients(
+            coefficients, server.processor.dvfs, server.pstate
+        )
+    return SystemPowerModel(server, coefficients)

@@ -91,7 +91,7 @@ class CpuSubsystem:
         """Activity of the bound demand for one steady-state second."""
         placement = self.placement
         demand = self._demand
-        freq_hz = self.server.processor.frequency_mhz * 1e6
+        freq_hz = self.server.effective_frequency_mhz * 1e6
         cycles = placement.active_cores * demand.cpu_util * freq_hz
         instructions = cycles * demand.ipc * self.MAX_IPC
         return CpuActivity(

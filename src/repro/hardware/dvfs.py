@@ -1,0 +1,166 @@
+"""DVFS operating points: P-state tables over a technology node.
+
+A :class:`DvfsSpec` attaches to a
+:class:`~repro.hardware.specs.ProcessorSpec` and declares the processor's
+P-states as frequency *ratios* relative to the spec's nominal clock
+(``ratios[0]`` is always exactly ``1.0`` — the nominal point the paper
+measured).  Each ratio resolves, through the spec's
+:class:`~repro.hardware.technode.TechNodeSpec`, to a supply voltage and a
+pair of power scale factors; :func:`scale_coefficients` applies them to a
+server's fitted :class:`~repro.hardware.power.PowerCoefficients` so the
+whole component power model follows the operating point:
+
+* every *chip-side dynamic* term (``chip_uncore``, ``shared_sqrt``,
+  ``core_active``, ``core_intensity``, ``comm``) scales with the CV²f
+  factor,
+* ``mem_dyn`` does **not** scale — DRAM sits on its own rail and the
+  paper already finds its utilisation power small,
+* the chip-static share of ``p_idle`` scales with the leakage factor,
+  while the platform remainder (fans, disks, VRs, idle DRAM) stays put.
+
+Performance scaling lives in :class:`~repro.hardware.specs.ServerSpec`:
+a server pinned to P-state ``p`` multiplies its effective frequency (and
+therefore peak GFLOPS, achieved workload rates, and runtimes) by
+``ratios[p]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.hardware.technode import TechNodeSpec
+
+__all__ = [
+    "PState",
+    "DvfsSpec",
+    "DEFAULT_DVFS_RATIOS",
+    "scale_coefficients",
+]
+
+#: A conventional four-step ladder: nominal, two intermediate steps, and
+#: a throttle point.  The deepest step sits just above the narrowest
+#: registered tech node's DVFS floor (22nm bottoms out near 0.69x), so
+#: the default ladder validates on every registered node.
+DEFAULT_DVFS_RATIOS: tuple[float, ...] = (1.0, 0.90, 0.80, 0.70)
+
+
+@dataclass(frozen=True)
+class PState:
+    """One resolved operating point of a processor.
+
+    Derived (never hand-written): build these through
+    :meth:`DvfsSpec.pstates`.
+    """
+
+    index: int
+    freq_ratio: float
+    frequency_mhz: float
+    voltage_v: float
+    dynamic_scale: float
+    static_scale: float
+
+
+@dataclass(frozen=True)
+class DvfsSpec:
+    """A processor's P-state ladder over one technology node.
+
+    Attributes
+    ----------
+    tech:
+        The manufacturing process providing the voltage/frequency law.
+    ratios:
+        Frequency ratios relative to nominal, strictly decreasing, with
+        ``ratios[0] == 1.0``; every ratio must sit inside the tech
+        node's DVFS window.
+    idle_chip_fraction:
+        Share of the server's idle power attributed to chip static
+        power (the part that scales with voltage); the remainder is
+        platform floor.
+    """
+
+    tech: TechNodeSpec
+    ratios: tuple[float, ...] = DEFAULT_DVFS_RATIOS
+    idle_chip_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not self.ratios:
+            raise ConfigurationError("a DVFS spec needs at least one ratio")
+        if self.ratios[0] != 1.0:
+            raise ConfigurationError(
+                f"ratios[0] must be exactly 1.0 (nominal), got {self.ratios[0]}"
+            )
+        for a, b in zip(self.ratios, self.ratios[1:]):
+            if not b < a:
+                raise ConfigurationError(
+                    f"DVFS ratios must be strictly decreasing, got {self.ratios}"
+                )
+        lo, hi = self.tech.dvfs_ratio_bounds()
+        for ratio in self.ratios:
+            if not lo <= ratio <= hi:
+                raise ConfigurationError(
+                    f"ratio {ratio:.3f} outside the {self.tech.name} DVFS "
+                    f"window [{lo:.3f}, {hi:.3f}]"
+                )
+        if not 0.0 <= self.idle_chip_fraction <= 1.0:
+            raise ConfigurationError(
+                f"idle_chip_fraction must be in [0, 1], "
+                f"got {self.idle_chip_fraction}"
+            )
+
+    @property
+    def n_pstates(self) -> int:
+        """Number of P-states on the ladder."""
+        return len(self.ratios)
+
+    def validate_pstate(self, index: int) -> None:
+        """Raise unless ``index`` names a P-state on this ladder."""
+        if not 0 <= index < self.n_pstates:
+            raise ConfigurationError(
+                f"P-state {index} outside 0..{self.n_pstates - 1}"
+            )
+
+    def pstate(self, index: int, nominal_mhz: float) -> PState:
+        """Resolve P-state ``index`` against a nominal clock."""
+        self.validate_pstate(index)
+        ratio = self.ratios[index]
+        return PState(
+            index=index,
+            freq_ratio=ratio,
+            frequency_mhz=nominal_mhz * ratio,
+            voltage_v=self.tech.voltage_for_ratio(ratio),
+            dynamic_scale=self.tech.dynamic_power_scale(ratio),
+            static_scale=self.tech.static_power_scale(ratio),
+        )
+
+    def pstates(self, nominal_mhz: float) -> "tuple[PState, ...]":
+        """The full resolved ladder, P0 first."""
+        return tuple(
+            self.pstate(i, nominal_mhz) for i in range(self.n_pstates)
+        )
+
+
+def scale_coefficients(coefficients, dvfs: DvfsSpec, pstate: int):
+    """Power coefficients at P-state ``pstate`` of ``dvfs``.
+
+    ``coefficients`` are the *nominal* (P0) fit; P0 returns them
+    unchanged (bit-identical — no arithmetic is applied).  See the
+    module docstring for which terms scale with what.
+    """
+    dvfs.validate_pstate(pstate)
+    if pstate == 0:
+        return coefficients
+    ratio = dvfs.ratios[pstate]
+    dyn = dvfs.tech.dynamic_power_scale(ratio)
+    static = dvfs.tech.static_power_scale(ratio)
+    chip_share = dvfs.idle_chip_fraction
+    return replace(
+        coefficients,
+        p_idle=coefficients.p_idle
+        * ((1.0 - chip_share) + chip_share * static),
+        chip_uncore=coefficients.chip_uncore * dyn,
+        shared_sqrt=coefficients.shared_sqrt * dyn,
+        core_active=coefficients.core_active * dyn,
+        core_intensity=coefficients.core_intensity * dyn,
+        comm=coefficients.comm * dyn,
+    )

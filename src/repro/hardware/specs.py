@@ -21,11 +21,13 @@ Memory (GB)   8            32             128
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
+from repro.hardware.dvfs import DvfsSpec, PState
 
 __all__ = [
+    "CORE_TYPES",
     "CacheLevelSpec",
     "MemorySpec",
     "ProcessorSpec",
@@ -36,6 +38,12 @@ __all__ = [
     "BUILTIN_SERVERS",
     "get_server",
 ]
+
+#: Recognised heterogeneous component families (Sîrbu & Babaoglu's hybrid
+#: CPU-GPU-MIC node mix): aggressively out-of-order server cores, simple
+#: in-order cores, GPU-style SIMD multiprocessors (one "core" here is one
+#: streaming multiprocessor), and MIC-style many-core accelerators.
+CORE_TYPES: tuple[str, ...] = ("ooo-cpu", "io-cpu", "gpu-simd", "mic")
 
 
 @dataclass(frozen=True)
@@ -131,6 +139,12 @@ class ProcessorSpec:
 
     ``gflops_per_core`` is the theoretical per-core double-precision peak
     (frequency x FLOPs/cycle), as quoted in Section II of the paper.
+
+    ``frequency_mhz`` is always the *nominal* (P0) clock; ``dvfs``
+    optionally declares a P-state ladder of frequency ratios below (or
+    above) it, and ``core_type`` names the component family (see
+    :data:`CORE_TYPES`) so the power heuristics for uncalibrated servers
+    can tell a GPU-style chip from a server CPU.
     """
 
     model: str
@@ -141,6 +155,8 @@ class ProcessorSpec:
     dcache: CacheLevelSpec | None = None
     l2: CacheLevelSpec | None = None
     l3: CacheLevelSpec | None = None
+    core_type: str = "ooo-cpu"
+    dvfs: DvfsSpec | None = None
 
     def __post_init__(self) -> None:
         if self.frequency_mhz <= 0:
@@ -152,6 +168,11 @@ class ProcessorSpec:
         if self.flops_per_cycle <= 0:
             raise ConfigurationError(
                 f"flops_per_cycle must be positive, got {self.flops_per_cycle}"
+            )
+        if self.core_type not in CORE_TYPES:
+            raise ConfigurationError(
+                f"unknown core type {self.core_type!r}; "
+                f"choose from {', '.join(CORE_TYPES)}"
             )
 
     @property
@@ -177,10 +198,48 @@ class ProcessorSpec:
                 levels.append(spec)
         return levels
 
+    @property
+    def n_pstates(self) -> int:
+        """P-state count: the DVFS ladder's length, or 1 without DVFS."""
+        return self.dvfs.n_pstates if self.dvfs is not None else 1
+
+    def pstates(self) -> "tuple[PState, ...]":
+        """The resolved P-state ladder (a single implicit P0 without DVFS)."""
+        if self.dvfs is None:
+            return (
+                PState(
+                    index=0,
+                    freq_ratio=1.0,
+                    frequency_mhz=self.frequency_mhz,
+                    voltage_v=0.0,
+                    dynamic_scale=1.0,
+                    static_scale=1.0,
+                ),
+            )
+        return self.dvfs.pstates(self.frequency_mhz)
+
+    def frequency_ratio_at(self, pstate: int) -> float:
+        """Frequency ratio (x nominal) at P-state ``pstate``."""
+        if self.dvfs is None:
+            if pstate != 0:
+                raise ConfigurationError(
+                    f"{self.model}: no DVFS ladder, only P-state 0 exists"
+                )
+            return 1.0
+        self.dvfs.validate_pstate(pstate)
+        return self.dvfs.ratios[pstate]
+
 
 @dataclass(frozen=True)
 class ServerSpec:
-    """A complete single-server description (one row of Table I)."""
+    """A complete single-server description (one row of Table I).
+
+    ``pstate`` pins the server to one P-state of its processor's DVFS
+    ladder; all frequency-derived quantities (effective clock, peak
+    GFLOPS) follow the pinned ratio.  Servers without a ladder only
+    admit ``pstate=0``, and at P-state 0 every derived quantity is
+    bit-identical to a DVFS-free spec (the ratio is exactly ``1.0``).
+    """
 
     name: str
     processor: ProcessorSpec
@@ -190,6 +249,7 @@ class ServerSpec:
     network_mbit: int = 1000
     disk_gb: float = 400.0
     power_supplies: int = 1
+    pstate: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -200,6 +260,9 @@ class ServerSpec:
             raise ConfigurationError(
                 f"hpl_efficiency must be in (0, 1], got {self.hpl_efficiency}"
             )
+        # Delegates bounds checking; also rejects pstate != 0 on DVFS-free
+        # processors with a clear message.
+        self.processor.frequency_ratio_at(self.pstate)
 
     @property
     def total_cores(self) -> int:
@@ -212,14 +275,39 @@ class ServerSpec:
         return self.processor.cores
 
     @property
+    def n_pstates(self) -> int:
+        """P-states available on this server's processor."""
+        return self.processor.n_pstates
+
+    @property
+    def frequency_ratio(self) -> float:
+        """Frequency ratio (x nominal) of the pinned P-state."""
+        return self.processor.frequency_ratio_at(self.pstate)
+
+    @property
+    def effective_frequency_mhz(self) -> float:
+        """Core clock at the pinned P-state, MHz."""
+        return self.processor.frequency_mhz * self.frequency_ratio
+
+    def at_pstate(self, pstate: int) -> "ServerSpec":
+        """This server pinned to P-state ``pstate`` (validated)."""
+        if pstate == self.pstate:
+            return self
+        return replace(self, pstate=pstate)
+
+    def base_spec(self) -> "ServerSpec":
+        """This server at its nominal operating point (P-state 0)."""
+        return self.at_pstate(0)
+
+    @property
     def gflops_peak(self) -> float:
         """Theoretical peak server performance (Section II), GFLOPS."""
-        return self.processor.gflops_peak * self.chips
+        return self.processor.gflops_peak * self.chips * self.frequency_ratio
 
     @property
     def gflops_per_core(self) -> float:
         """Theoretical per-core peak, GFLOPS."""
-        return self.processor.gflops_per_core
+        return self.processor.gflops_per_core * self.frequency_ratio
 
     @property
     def memory_mb(self) -> float:

@@ -1,0 +1,190 @@
+"""Process technology nodes and the voltage/frequency scaling they allow.
+
+A :class:`TechNodeSpec` captures what a manufacturing process lets a chip
+do under dynamic voltage/frequency scaling (DVFS): the nominal supply
+voltage, the threshold voltage that bounds how far the supply can drop,
+and the boost ceiling.  Frequency follows the alpha-power law
+
+    f  ∝  (Vdd - Vth)^alpha / Vdd
+
+(Sakurai-Newton; ``alpha`` ~1.3 under velocity saturation), so a target
+frequency *ratio* relative to nominal maps to a unique supply voltage
+inside ``[vdd_min, vdd_max]``.  From that voltage the node derives the two
+power scale factors the DVFS layer applies to a server's fitted
+coefficients:
+
+``dynamic_power_scale``
+    ``ratio x (V/Vnom)^2`` — the CV²f law for switching power.
+``static_power_scale``
+    ``(V/Nnom)^3`` — leakage is strongly super-linear in supply voltage
+    (DIBL plus the V term itself); cubing is the usual compact-model
+    shorthand.
+
+The registry mirrors the Lumos idiom of per-node scaling tables: each
+named node is a frozen spec, and
+:meth:`TechNodeSpec.dvfs_ratio_bounds` gives the achievable frequency
+window ``[f(vdd_min), f(vdd_max)]`` a :class:`~repro.hardware.dvfs.DvfsSpec`
+must stay inside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TechNodeSpec",
+    "TECH_65NM",
+    "TECH_45NM",
+    "TECH_32NM",
+    "TECH_22NM",
+    "TECH_NODES",
+    "get_tech_node",
+]
+
+#: Bisection iterations for the voltage solve; 80 halvings of a <1 V
+#: interval put the answer well below float64 resolution, so the result
+#: is deterministic and platform-independent.
+_BISECT_ITERATIONS: int = 80
+
+
+@dataclass(frozen=True)
+class TechNodeSpec:
+    """One manufacturing process and its DVFS envelope.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"32nm"``.
+    feature_nm:
+        Drawn feature size in nanometres.
+    vdd_nominal_v:
+        Supply voltage at the nominal (P0) operating point.
+    vth_v:
+        Threshold voltage; the supply can never reach it.
+    vdd_min_v / vdd_max_v:
+        Undervolt floor and boost ceiling.
+    alpha:
+        Velocity-saturation exponent of the alpha-power delay model.
+    """
+
+    name: str
+    feature_nm: int
+    vdd_nominal_v: float
+    vth_v: float
+    vdd_min_v: float
+    vdd_max_v: float
+    alpha: float = 1.3
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tech node name must not be empty")
+        if self.feature_nm <= 0:
+            raise ConfigurationError(
+                f"feature size must be positive, got {self.feature_nm} nm"
+            )
+        if self.vth_v <= 0:
+            raise ConfigurationError(
+                f"threshold voltage must be positive, got {self.vth_v} V"
+            )
+        if not self.vth_v < self.vdd_min_v <= self.vdd_nominal_v <= self.vdd_max_v:
+            raise ConfigurationError(
+                f"{self.name}: need Vth < vdd_min <= vdd_nominal <= vdd_max, "
+                f"got {self.vth_v} / {self.vdd_min_v} / "
+                f"{self.vdd_nominal_v} / {self.vdd_max_v} V"
+            )
+        if self.alpha < 1.0:
+            raise ConfigurationError(
+                f"alpha must be >= 1 (velocity saturation), got {self.alpha}"
+            )
+
+    # -- the alpha-power law --------------------------------------------
+
+    def _raw_speed(self, vdd_v: float) -> float:
+        """Unnormalised switching speed at ``vdd_v``."""
+        return (vdd_v - self.vth_v) ** self.alpha / vdd_v
+
+    def frequency_scale(self, vdd_v: float) -> float:
+        """Frequency ratio (relative to nominal) at supply ``vdd_v``."""
+        if not self.vth_v < vdd_v:
+            raise ConfigurationError(
+                f"{self.name}: supply {vdd_v} V is not above Vth {self.vth_v} V"
+            )
+        return self._raw_speed(vdd_v) / self._raw_speed(self.vdd_nominal_v)
+
+    def dvfs_ratio_bounds(self) -> tuple[float, float]:
+        """The achievable ``(min, max)`` frequency ratio window."""
+        return (
+            self.frequency_scale(self.vdd_min_v),
+            self.frequency_scale(self.vdd_max_v),
+        )
+
+    def voltage_for_ratio(self, ratio: float) -> float:
+        """Supply voltage achieving frequency ``ratio`` (x nominal).
+
+        Inverts the alpha-power law by bisection — monotone in Vdd for
+        ``alpha >= 1`` above threshold — and raises
+        :class:`~repro.errors.ConfigurationError` when the ratio falls
+        outside :meth:`dvfs_ratio_bounds`.
+        """
+        lo_ratio, hi_ratio = self.dvfs_ratio_bounds()
+        if not lo_ratio <= ratio <= hi_ratio:
+            raise ConfigurationError(
+                f"{self.name}: frequency ratio {ratio:.3f} outside the DVFS "
+                f"window [{lo_ratio:.3f}, {hi_ratio:.3f}]"
+            )
+        lo, hi = self.vdd_min_v, self.vdd_max_v
+        for _ in range(_BISECT_ITERATIONS):
+            mid = 0.5 * (lo + hi)
+            if self.frequency_scale(mid) < ratio:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    # -- power scale factors --------------------------------------------
+
+    def voltage_scale(self, ratio: float) -> float:
+        """``V/Vnom`` at frequency ratio ``ratio``."""
+        return self.voltage_for_ratio(ratio) / self.vdd_nominal_v
+
+    def dynamic_power_scale(self, ratio: float) -> float:
+        """Switching-power factor ``ratio x (V/Vnom)^2`` (CV²f)."""
+        return ratio * self.voltage_scale(ratio) ** 2
+
+    def static_power_scale(self, ratio: float) -> float:
+        """Leakage-power factor ``(V/Vnom)^3``."""
+        return self.voltage_scale(ratio) ** 3
+
+
+#: The four planar/finFET generations the zoo draws on.  Voltages follow
+#: the slowing of Dennard scaling: each shrink trims Vdd less than the
+#: feature size, and the Vth floor barely moves — which is exactly why
+#: the DVFS window narrows on newer nodes.
+TECH_65NM = TechNodeSpec(
+    "65nm", 65, vdd_nominal_v=1.10, vth_v=0.50, vdd_min_v=0.80, vdd_max_v=1.20
+)
+TECH_45NM = TechNodeSpec(
+    "45nm", 45, vdd_nominal_v=1.00, vth_v=0.46, vdd_min_v=0.75, vdd_max_v=1.10
+)
+TECH_32NM = TechNodeSpec(
+    "32nm", 32, vdd_nominal_v=0.90, vth_v=0.42, vdd_min_v=0.70, vdd_max_v=1.00
+)
+TECH_22NM = TechNodeSpec(
+    "22nm", 22, vdd_nominal_v=0.80, vth_v=0.38, vdd_min_v=0.65, vdd_max_v=0.90
+)
+
+TECH_NODES: dict[str, TechNodeSpec] = {
+    node.name: node for node in (TECH_65NM, TECH_45NM, TECH_32NM, TECH_22NM)
+}
+
+
+def get_tech_node(name: str) -> TechNodeSpec:
+    """Look up a registered tech node by name (case-insensitive)."""
+    for key, node in TECH_NODES.items():
+        if key.lower() == name.lower():
+            return node
+    raise ConfigurationError(
+        f"unknown tech node {name!r}; registered: {sorted(TECH_NODES)}"
+    )

@@ -1,0 +1,314 @@
+"""The heterogeneous server zoo: derived machines beyond Table I.
+
+The paper demonstrates its method on three fixed 2015-era servers.  The
+zoo derives a registry of further machines from the same component
+models so the method runs across a far wider scenario space:
+
+* **DVFS variants** of the three builtins — identical hardware with a
+  P-state ladder attached, power-calibrated from the paper's own
+  anchors at nominal and scaled through the tech node elsewhere.
+* **Heterogeneous nodes** grounded in Sîrbu & Babaoglu's Eurora study
+  (hybrid CPU / GPU / MIC racks): a Sandy-Bridge-era CPU node, a
+  K20-class GPU node (one "core" = one streaming multiprocessor), a
+  Xeon-Phi-class MIC node, and a low-power in-order microserver.
+* A **process shrink** of the largest builtin, with a registered
+  coefficient factory that scales the paper-calibrated fit.
+
+Every zoo server is a plain :class:`~repro.hardware.specs.ServerSpec` —
+``evaluate_server``, sweeps, fleet campaigns, and cluster machines take
+them unchanged.  The builtins themselves are *not* in the zoo and stay
+bit-identical; :func:`resolve_server` looks a name up in both worlds.
+
+Importing this module registers the zoo's coefficient factories with
+:mod:`repro.hardware.calibration`; the package ``__init__`` imports it
+last, so every process (fleet workers included) sees the registrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.hardware.calibration import (
+    calibrated_power_model,
+    register_coefficients,
+)
+from repro.hardware.dvfs import DEFAULT_DVFS_RATIOS, DvfsSpec
+from repro.hardware.specs import (
+    BUILTIN_SERVERS,
+    CacheLevelSpec,
+    MemorySpec,
+    ProcessorSpec,
+    ServerSpec,
+    get_server,
+)
+from repro.hardware.technode import (
+    TECH_22NM,
+    TECH_32NM,
+    TECH_45NM,
+    TECH_65NM,
+)
+
+__all__ = [
+    "ZooEntry",
+    "ZOO_SERVERS",
+    "zoo_entries",
+    "get_zoo_server",
+    "resolve_server",
+]
+
+
+@dataclass(frozen=True)
+class ZooEntry:
+    """One registry row: the spec plus a one-line provenance note."""
+
+    spec: ServerSpec
+    summary: str
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+def _builtin_coefficients(builtin_name: str):
+    """P0 coefficients of a DVFS variant: the builtin's paper-anchored fit."""
+    return calibrated_power_model(get_server(builtin_name)).coefficients
+
+
+def _dvfs_variant(builtin_name: str, tech) -> ServerSpec:
+    """A builtin with a P-state ladder attached (same silicon otherwise)."""
+    base = get_server(builtin_name)
+    variant = replace(
+        base,
+        name=f"{base.name}-DVFS",
+        processor=replace(
+            base.processor,
+            dvfs=DvfsSpec(tech=tech, ratios=DEFAULT_DVFS_RATIOS),
+        ),
+    )
+    register_coefficients(
+        variant.name,
+        lambda spec, _n=builtin_name: _builtin_coefficients(_n),
+    )
+    return variant
+
+
+def _xeon_e5_2658() -> ServerSpec:
+    """Eurora-style CPU node: 2x Xeon E5-2658 (Sandy Bridge, 32nm)."""
+    proc = ProcessorSpec(
+        model="Xeon E5-2658",
+        frequency_mhz=2100,
+        cores=8,
+        flops_per_cycle=8,
+        icache=CacheLevelSpec(1, 32, 8, instances_per_chip=8),
+        dcache=CacheLevelSpec(1, 32, 8, instances_per_chip=8),
+        l2=CacheLevelSpec(2, 256, 8, instances_per_chip=8),
+        l3=CacheLevelSpec(3, 20480, 20, instances_per_chip=1, shared=True),
+        dvfs=DvfsSpec(tech=TECH_32NM, ratios=DEFAULT_DVFS_RATIOS),
+    )
+    return ServerSpec(
+        name="Xeon-E5-2658",
+        processor=proc,
+        chips=2,
+        memory=MemorySpec(
+            total_gb=16, technology="DDR3", channels=4, bandwidth_gbs=51.2
+        ),
+        hpl_efficiency=0.80,
+        disk_gb=160,
+    )
+
+
+def _tesla_k20_node() -> ServerSpec:
+    """GPU-accelerated node: two K20-class boards; cores are SMX units."""
+    proc = ProcessorSpec(
+        model="Tesla K20",
+        frequency_mhz=705,
+        cores=13,
+        flops_per_cycle=128,
+        dcache=CacheLevelSpec(1, 64, 4, instances_per_chip=13),
+        l2=CacheLevelSpec(2, 1280, 16, instances_per_chip=1, shared=True),
+        core_type="gpu-simd",
+        dvfs=DvfsSpec(tech=TECH_22NM, ratios=(1.0, 0.86, 0.72)),
+    )
+    return ServerSpec(
+        name="Tesla-K20-Node",
+        processor=proc,
+        chips=2,
+        memory=MemorySpec(
+            total_gb=10, technology="GDDR5", channels=2, bandwidth_gbs=208.0
+        ),
+        hpl_efficiency=0.60,
+        disk_gb=160,
+        power_supplies=2,
+    )
+
+
+def _xeon_phi_node() -> ServerSpec:
+    """MIC node: one Xeon-Phi-5110P-class many-core accelerator."""
+    proc = ProcessorSpec(
+        model="Xeon Phi 5110P",
+        frequency_mhz=1050,
+        cores=60,
+        flops_per_cycle=16,
+        icache=CacheLevelSpec(1, 32, 8, instances_per_chip=60),
+        dcache=CacheLevelSpec(1, 32, 8, instances_per_chip=60),
+        l2=CacheLevelSpec(2, 512, 8, instances_per_chip=60),
+        core_type="mic",
+        dvfs=DvfsSpec(tech=TECH_22NM, ratios=(1.0, 0.88, 0.76)),
+    )
+    return ServerSpec(
+        name="Xeon-Phi-5110P",
+        processor=proc,
+        chips=1,
+        memory=MemorySpec(
+            total_gb=8, technology="GDDR5", channels=16, bandwidth_gbs=320.0
+        ),
+        hpl_efficiency=0.62,
+        disk_gb=80,
+    )
+
+
+def _atom_c2750_node() -> ServerSpec:
+    """Low-power microserver: in-order Atom-class cores."""
+    proc = ProcessorSpec(
+        model="Atom C2750",
+        frequency_mhz=2400,
+        cores=8,
+        flops_per_cycle=2,
+        icache=CacheLevelSpec(1, 32, 8, instances_per_chip=8),
+        dcache=CacheLevelSpec(1, 24, 6, instances_per_chip=8),
+        l2=CacheLevelSpec(2, 1024, 16, instances_per_chip=4, shared=True),
+        core_type="io-cpu",
+        dvfs=DvfsSpec(tech=TECH_22NM, ratios=DEFAULT_DVFS_RATIOS),
+    )
+    return ServerSpec(
+        name="Atom-C2750",
+        processor=proc,
+        chips=1,
+        memory=MemorySpec(
+            total_gb=16, technology="DDR3", channels=2, bandwidth_gbs=25.6
+        ),
+        hpl_efficiency=0.78,
+        disk_gb=256,
+    )
+
+
+def _xeon_4870_shrink() -> ServerSpec:
+    """The Xeon-4870 die-shrunk to 22nm: same layout, faster and cooler."""
+    base = get_server("Xeon-4870")
+    spec = replace(
+        base,
+        name="Xeon-4870-22nm",
+        processor=replace(
+            base.processor,
+            model="Xeon E7-4870 (22nm shrink)",
+            frequency_mhz=2800,
+            dvfs=DvfsSpec(tech=TECH_22NM, ratios=DEFAULT_DVFS_RATIOS),
+        ),
+    )
+
+    def _shrunk_coefficients(spec, _base_name="Xeon-4870"):
+        # A two-generation shrink: dynamic terms fall with C·V² (~0.55x),
+        # leakage-dominated idle less steeply (~0.70x).
+        coeff = _builtin_coefficients(_base_name)
+        return replace(
+            coeff,
+            p_idle=coeff.p_idle * 0.70,
+            chip_uncore=coeff.chip_uncore * 0.55,
+            shared_sqrt=coeff.shared_sqrt * 0.55,
+            core_active=coeff.core_active * 0.55,
+            core_intensity=coeff.core_intensity * 0.55,
+        )
+
+    register_coefficients(spec.name, _shrunk_coefficients)
+    return spec
+
+
+def _build_zoo() -> dict[str, ZooEntry]:
+    entries = [
+        ZooEntry(
+            _dvfs_variant("Xeon-E5462", TECH_65NM),
+            "Table-I Xeon-E5462 with a 65nm 4-step DVFS ladder "
+            "(paper-calibrated at nominal)",
+        ),
+        ZooEntry(
+            _dvfs_variant("Opteron-8347", TECH_65NM),
+            "Table-I Opteron-8347 with a 65nm 4-step DVFS ladder "
+            "(paper-calibrated at nominal)",
+        ),
+        ZooEntry(
+            _dvfs_variant("Xeon-4870", TECH_45NM),
+            "Table-I Xeon-4870 with a 45nm 4-step DVFS ladder "
+            "(paper-calibrated at nominal)",
+        ),
+        ZooEntry(
+            _xeon_e5_2658(),
+            "Eurora-style dual-socket Sandy Bridge CPU node "
+            "(2x8 cores, 32nm DVFS)",
+        ),
+        ZooEntry(
+            _tesla_k20_node(),
+            "Eurora-style GPU node: two K20-class boards, one core per "
+            "SMX (gpu-simd)",
+        ),
+        ZooEntry(
+            _xeon_phi_node(),
+            "Eurora-style MIC node: 60-core Xeon-Phi-class accelerator "
+            "(mic)",
+        ),
+        ZooEntry(
+            _atom_c2750_node(),
+            "Low-power in-order microserver (io-cpu, 22nm DVFS)",
+        ),
+        ZooEntry(
+            _xeon_4870_shrink(),
+            "Xeon-4870 die-shrunk to 22nm: +17% clock, scaled-down "
+            "calibrated coefficients",
+        ),
+    ]
+    zoo: dict[str, ZooEntry] = {}
+    for entry in entries:
+        if entry.name in zoo or entry.name in BUILTIN_SERVERS:
+            raise ConfigurationError(f"duplicate server name {entry.name!r}")
+        zoo[entry.name] = entry
+    return zoo
+
+
+#: The seeded registry, name -> entry, in presentation order.
+_ZOO_ENTRIES: dict[str, ZooEntry] = _build_zoo()
+
+#: Name -> spec view of the registry (what most callers want).
+ZOO_SERVERS: dict[str, ServerSpec] = {
+    name: entry.spec for name, entry in _ZOO_ENTRIES.items()
+}
+
+
+def zoo_entries() -> tuple[ZooEntry, ...]:
+    """All registry rows, in presentation order."""
+    return tuple(_ZOO_ENTRIES.values())
+
+
+def get_zoo_server(name: str) -> ServerSpec:
+    """Look up a zoo server by name (case-insensitive)."""
+    for key, entry in _ZOO_ENTRIES.items():
+        if key.lower() == name.lower():
+            return entry.spec
+    raise ConfigurationError(
+        f"unknown zoo server {name!r}; registered: {sorted(_ZOO_ENTRIES)}"
+    )
+
+
+def resolve_server(name: str) -> ServerSpec:
+    """Resolve a name against the builtins first, then the zoo."""
+    try:
+        return get_server(name)
+    except ConfigurationError:
+        pass
+    try:
+        return get_zoo_server(name)
+    except ConfigurationError:
+        raise ConfigurationError(
+            f"unknown server {name!r}; "
+            f"built-ins: {sorted(BUILTIN_SERVERS)}, "
+            f"zoo: {sorted(_ZOO_ENTRIES)}"
+        ) from None

@@ -191,14 +191,75 @@ def _cache_from_dict(data: dict[str, Any] | None):
     return CacheLevelSpec(**data)
 
 
+def _dvfs_to_dict(dvfs) -> dict[str, Any]:
+    """Serialise a DVFS ladder; the tech node goes by registry name when
+    it is a registered one, else as an embedded spec."""
+    from repro.hardware.technode import TECH_NODES
+
+    registered = TECH_NODES.get(dvfs.tech.name)
+    if registered == dvfs.tech:
+        tech: Any = dvfs.tech.name
+    else:
+        tech = {
+            "name": dvfs.tech.name,
+            "feature_nm": dvfs.tech.feature_nm,
+            "vdd_nominal_v": dvfs.tech.vdd_nominal_v,
+            "vth_v": dvfs.tech.vth_v,
+            "vdd_min_v": dvfs.tech.vdd_min_v,
+            "vdd_max_v": dvfs.tech.vdd_max_v,
+            "alpha": dvfs.tech.alpha,
+        }
+    return {
+        "tech": tech,
+        "ratios": list(dvfs.ratios),
+        "idle_chip_fraction": dvfs.idle_chip_fraction,
+    }
+
+
+def _dvfs_from_dict(data: dict[str, Any] | None):
+    from repro.hardware.dvfs import DvfsSpec
+    from repro.hardware.technode import TechNodeSpec, get_tech_node
+
+    if data is None:
+        return None
+    tech = data["tech"]
+    if isinstance(tech, str):
+        node = get_tech_node(tech)
+    else:
+        node = TechNodeSpec(**tech)
+    return DvfsSpec(
+        tech=node,
+        ratios=tuple(float(r) for r in data["ratios"]),
+        idle_chip_fraction=float(data.get("idle_chip_fraction", 0.35)),
+    )
+
+
 def server_to_dict(server) -> dict[str, Any]:
     """Serialise a :class:`~repro.hardware.specs.ServerSpec`.
 
     Lets custom machine definitions live in version-controlled JSON files
-    (the CLI's ``--spec-file``) instead of Python.
+    (the CLI's ``--spec-file``) instead of Python.  Zoo extensions
+    (``core_type``, ``dvfs``, ``pstate``) are emitted only when they
+    differ from the defaults, so documents for plain servers — and every
+    digest or cache key derived from them — are byte-identical to the
+    historical format.
     """
     proc = server.processor
-    return {
+    processor: dict[str, Any] = {
+        "model": proc.model,
+        "frequency_mhz": proc.frequency_mhz,
+        "cores": proc.cores,
+        "flops_per_cycle": proc.flops_per_cycle,
+        "icache": _cache_to_dict(proc.icache),
+        "dcache": _cache_to_dict(proc.dcache),
+        "l2": _cache_to_dict(proc.l2),
+        "l3": _cache_to_dict(proc.l3),
+    }
+    if proc.core_type != "ooo-cpu":
+        processor["core_type"] = proc.core_type
+    if proc.dvfs is not None:
+        processor["dvfs"] = _dvfs_to_dict(proc.dvfs)
+    document = {
         "kind": "server_spec",
         "schema_version": SCHEMA_VERSION,
         "name": server.name,
@@ -207,16 +268,7 @@ def server_to_dict(server) -> dict[str, Any]:
         "network_mbit": server.network_mbit,
         "disk_gb": server.disk_gb,
         "power_supplies": server.power_supplies,
-        "processor": {
-            "model": proc.model,
-            "frequency_mhz": proc.frequency_mhz,
-            "cores": proc.cores,
-            "flops_per_cycle": proc.flops_per_cycle,
-            "icache": _cache_to_dict(proc.icache),
-            "dcache": _cache_to_dict(proc.dcache),
-            "l2": _cache_to_dict(proc.l2),
-            "l3": _cache_to_dict(proc.l3),
-        },
+        "processor": processor,
         "memory": {
             "total_gb": server.memory.total_gb,
             "technology": server.memory.technology,
@@ -224,6 +276,9 @@ def server_to_dict(server) -> dict[str, Any]:
             "bandwidth_gbs": server.memory.bandwidth_gbs,
         },
     }
+    if server.pstate != 0:
+        document["pstate"] = server.pstate
+    return document
 
 
 def server_from_dict(data: dict[str, Any]):
@@ -234,6 +289,8 @@ def server_from_dict(data: dict[str, Any]):
     proc_data = dict(data["processor"])
     for level in ("icache", "dcache", "l2", "l3"):
         proc_data[level] = _cache_from_dict(proc_data.get(level))
+    if "dvfs" in proc_data:
+        proc_data["dvfs"] = _dvfs_from_dict(proc_data["dvfs"])
     return ServerSpec(
         name=data["name"],
         processor=ProcessorSpec(**proc_data),
@@ -243,6 +300,7 @@ def server_from_dict(data: dict[str, Any]):
         network_mbit=int(data["network_mbit"]),
         disk_gb=float(data["disk_gb"]),
         power_supplies=int(data["power_supplies"]),
+        pstate=int(data.get("pstate", 0)),
     )
 
 

@@ -232,6 +232,27 @@ def _cluster_scenario(
     }
 
 
+def _zoo_grid(iterations: int, seed: int) -> "tuple[float, dict[str, Any]]":
+    """Full (P-state x cores x memory) grid on a heterogeneous server."""
+    from repro.core.grid import StateGrid, evaluate_grid
+    from repro.hardware.zoo import get_zoo_server
+
+    server = get_zoo_server("Tesla-K20-Node")
+    grid = StateGrid(server)
+    states = 0
+    result = None
+    for _ in range(iterations):
+        result = evaluate_grid(grid, seed=seed)
+        states += result.n_states
+    assert result is not None
+    return float(states), {
+        "server": server.name,
+        "pstates": len(grid.pstates),
+        "states": states,
+        "digest": result.digest,
+    }
+
+
 def _scenarios() -> "tuple[Scenario, ...]":
     out = [
         Scenario(
@@ -313,6 +334,16 @@ def _scenarios() -> "tuple[Scenario, ...]":
             iterations_full=3,
             iterations_quick=1,
             run=_cluster_scenario,
+        )
+    )
+    out.append(
+        Scenario(
+            name="zoo.grid",
+            description="Tesla-K20-Node across its full state grid",
+            unit="states/s",
+            iterations_full=3,
+            iterations_quick=1,
+            run=_zoo_grid,
         )
     )
     return tuple(out)

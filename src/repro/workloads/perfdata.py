@@ -131,4 +131,8 @@ def ep_gops(server: ServerSpec, nprocs: int) -> float:
     anchors = EP_PERF_ANCHORS.get(server.name)
     if anchors is not None:
         return interp_loglog(anchors, nprocs)
-    return _EP_GOPS_PER_CORE_PER_GHZ * server.processor.frequency_ghz * nprocs
+    return (
+        _EP_GOPS_PER_CORE_PER_GHZ
+        * (server.effective_frequency_mhz / 1e3)
+        * nprocs
+    )

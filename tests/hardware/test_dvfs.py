@@ -1,0 +1,135 @@
+"""P-state ladders and coefficient scaling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.dvfs import (
+    DEFAULT_DVFS_RATIOS,
+    DvfsSpec,
+    scale_coefficients,
+)
+from repro.hardware.power import PowerCoefficients
+from repro.hardware.technode import TECH_22NM, TECH_65NM, TECH_NODES
+
+COEFFS = PowerCoefficients(
+    p_idle=150.0,
+    chip_uncore=10.0,
+    shared_sqrt=6.0,
+    core_active=3.0,
+    core_intensity=15.0,
+    mem_dyn=1.0,
+    comm=2.0,
+)
+
+
+class TestLadderValidation:
+    def test_default_ladder_fits_every_node(self):
+        """The default ladder's deepest step clears even the 22nm floor."""
+        for node in TECH_NODES.values():
+            spec = DvfsSpec(tech=node, ratios=DEFAULT_DVFS_RATIOS)
+            assert spec.n_pstates == 4
+
+    def test_nominal_must_lead(self):
+        with pytest.raises(ConfigurationError):
+            DvfsSpec(tech=TECH_65NM, ratios=(0.9, 0.8))
+
+    def test_strictly_decreasing(self):
+        with pytest.raises(ConfigurationError):
+            DvfsSpec(tech=TECH_65NM, ratios=(1.0, 0.8, 0.8))
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DvfsSpec(tech=TECH_65NM, ratios=())
+
+    def test_ratio_below_window_rejected(self):
+        # 22nm bottoms out near 0.69x; 0.5x is unreachable silicon.
+        with pytest.raises(ConfigurationError):
+            DvfsSpec(tech=TECH_22NM, ratios=(1.0, 0.5))
+
+    def test_idle_chip_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            DvfsSpec(tech=TECH_65NM, idle_chip_fraction=1.5)
+
+    def test_validate_pstate(self):
+        spec = DvfsSpec(tech=TECH_65NM)
+        spec.validate_pstate(0)
+        spec.validate_pstate(spec.n_pstates - 1)
+        with pytest.raises(ConfigurationError):
+            spec.validate_pstate(spec.n_pstates)
+        with pytest.raises(ConfigurationError):
+            spec.validate_pstate(-1)
+
+
+class TestPStateResolution:
+    def test_ladder_frequencies(self):
+        spec = DvfsSpec(tech=TECH_65NM)
+        states = spec.pstates(2800.0)
+        assert [s.index for s in states] == [0, 1, 2, 3]
+        for state, ratio in zip(states, DEFAULT_DVFS_RATIOS):
+            assert state.freq_ratio == ratio
+            assert state.frequency_mhz == pytest.approx(2800.0 * ratio)
+
+    def test_nominal_point(self):
+        state = DvfsSpec(tech=TECH_65NM).pstate(0, 2800.0)
+        assert state.voltage_v == pytest.approx(
+            TECH_65NM.vdd_nominal_v, abs=1e-9
+        )
+        assert state.dynamic_scale == pytest.approx(1.0, abs=1e-9)
+        assert state.static_scale == pytest.approx(1.0, abs=1e-9)
+
+    def test_voltage_and_scales_fall_down_the_ladder(self):
+        states = DvfsSpec(tech=TECH_65NM).pstates(2800.0)
+        for a, b in zip(states, states[1:]):
+            assert b.voltage_v < a.voltage_v
+            assert b.dynamic_scale < a.dynamic_scale
+            assert b.static_scale < a.static_scale
+
+
+class TestScaleCoefficients:
+    def test_p0_is_the_identity(self):
+        """Nominal returns the very same object — no arithmetic at all."""
+        spec = DvfsSpec(tech=TECH_65NM)
+        assert scale_coefficients(COEFFS, spec, 0) is COEFFS
+
+    def test_chip_dynamic_terms_follow_cv2f(self):
+        spec = DvfsSpec(tech=TECH_65NM)
+        ratio = spec.ratios[2]
+        dyn = spec.tech.dynamic_power_scale(ratio)
+        scaled = scale_coefficients(COEFFS, spec, 2)
+        for term in (
+            "chip_uncore", "shared_sqrt", "core_active",
+            "core_intensity", "comm",
+        ):
+            assert getattr(scaled, term) == pytest.approx(
+                getattr(COEFFS, term) * dyn
+            )
+
+    def test_memory_rail_untouched(self):
+        spec = DvfsSpec(tech=TECH_65NM)
+        scaled = scale_coefficients(COEFFS, spec, 3)
+        assert scaled.mem_dyn == COEFFS.mem_dyn
+
+    def test_idle_blends_chip_static_with_platform_floor(self):
+        spec = DvfsSpec(tech=TECH_65NM, idle_chip_fraction=0.35)
+        ratio = spec.ratios[1]
+        static = spec.tech.static_power_scale(ratio)
+        scaled = scale_coefficients(COEFFS, spec, 1)
+        assert scaled.p_idle == pytest.approx(
+            COEFFS.p_idle * (0.65 + 0.35 * static)
+        )
+        # The platform floor never scales: idle cannot fall below it.
+        assert scaled.p_idle > COEFFS.p_idle * 0.65
+
+    def test_every_term_monotone_down_the_ladder(self):
+        spec = DvfsSpec(tech=TECH_65NM)
+        previous = COEFFS
+        for p in range(1, spec.n_pstates):
+            scaled = scale_coefficients(COEFFS, spec, p)
+            assert scaled.p_idle < previous.p_idle
+            assert scaled.core_active < previous.core_active
+            previous = scaled
+
+    def test_out_of_range_pstate_rejected(self):
+        spec = DvfsSpec(tech=TECH_65NM)
+        with pytest.raises(ConfigurationError):
+            scale_coefficients(COEFFS, spec, spec.n_pstates)

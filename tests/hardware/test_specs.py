@@ -139,3 +139,33 @@ class TestHplProblemSize:
     def test_rejects_zero_fraction(self):
         with pytest.raises(ConfigurationError):
             XEON_E5462.hpl_problem_size(0.0)
+
+
+class TestCacheLevelValidation:
+    """Degenerate cache topologies must be rejected at construction."""
+
+    def test_zero_instances_per_chip(self):
+        with pytest.raises(ConfigurationError, match="instances_per_chip"):
+            CacheLevelSpec(1, 32, 8, instances_per_chip=0)
+
+    def test_negative_instances_per_chip(self):
+        with pytest.raises(ConfigurationError, match="instances_per_chip"):
+            CacheLevelSpec(2, 256, 8, instances_per_chip=-4)
+
+    def test_single_instance_is_the_default(self):
+        spec = CacheLevelSpec(3, 30720, 30)
+        assert spec.instances_per_chip == 1
+        assert spec.total_kb_per_chip == 30720
+
+    def test_per_chip_capacity_scales_with_instances(self):
+        spec = CacheLevelSpec(1, 32, 8, instances_per_chip=10)
+        assert spec.total_kb_per_chip == 320
+
+    def test_non_integral_set_count(self):
+        # 1 KB across 8 ways of 256 B lines would need half a set.
+        with pytest.raises(ConfigurationError, match="set count"):
+            CacheLevelSpec(1, 1, 8, line_bytes=256)
+
+    def test_line_bytes_power_of_two(self):
+        with pytest.raises(ConfigurationError, match="power of two"):
+            CacheLevelSpec(1, 32, 8, line_bytes=48)

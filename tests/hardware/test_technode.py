@@ -1,0 +1,148 @@
+"""Technology nodes and the alpha-power DVFS law."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.technode import (
+    TECH_22NM,
+    TECH_32NM,
+    TECH_45NM,
+    TECH_65NM,
+    TECH_NODES,
+    TechNodeSpec,
+    get_tech_node,
+)
+
+ALL_NODES = (TECH_65NM, TECH_45NM, TECH_32NM, TECH_22NM)
+
+
+class TestRegistry:
+    def test_four_generations(self):
+        assert set(TECH_NODES) == {"65nm", "45nm", "32nm", "22nm"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_tech_node("32NM") is TECH_32NM
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_tech_node("7nm")
+
+    def test_dennard_slowdown(self):
+        """Each shrink trims Vdd, and the DVFS window narrows."""
+        for older, newer in zip(ALL_NODES, ALL_NODES[1:]):
+            assert newer.vdd_nominal_v < older.vdd_nominal_v
+            lo_old, _ = older.dvfs_ratio_bounds()
+            lo_new, _ = newer.dvfs_ratio_bounds()
+            assert lo_new > lo_old  # the floor rises on newer nodes
+
+
+class TestAlphaPowerLaw:
+    @pytest.mark.parametrize("node", ALL_NODES, ids=lambda n: n.name)
+    def test_nominal_voltage_is_unity_ratio(self, node):
+        assert node.frequency_scale(node.vdd_nominal_v) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("node", ALL_NODES, ids=lambda n: n.name)
+    def test_frequency_monotone_in_voltage(self, node):
+        lo, hi = node.vdd_min_v, node.vdd_max_v
+        voltages = [lo + (hi - lo) * i / 10 for i in range(11)]
+        scales = [node.frequency_scale(v) for v in voltages]
+        assert scales == sorted(scales)
+
+    @pytest.mark.parametrize("node", ALL_NODES, ids=lambda n: n.name)
+    def test_bounds_span_nominal(self, node):
+        lo, hi = node.dvfs_ratio_bounds()
+        assert lo < 1.0 <= hi
+
+    def test_supply_at_or_below_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TECH_65NM.frequency_scale(TECH_65NM.vth_v)
+
+
+class TestVoltageForRatio:
+    @pytest.mark.parametrize("node", ALL_NODES, ids=lambda n: n.name)
+    def test_round_trip(self, node):
+        lo, hi = node.dvfs_ratio_bounds()
+        for ratio in (lo, 0.5 * (lo + 1.0), 1.0, hi):
+            vdd = node.voltage_for_ratio(ratio)
+            assert node.frequency_scale(vdd) == pytest.approx(ratio, abs=1e-9)
+
+    def test_unity_ratio_recovers_nominal_voltage(self):
+        for node in ALL_NODES:
+            assert node.voltage_for_ratio(1.0) == pytest.approx(
+                node.vdd_nominal_v, abs=1e-9
+            )
+
+    def test_outside_window_rejected(self):
+        lo, hi = TECH_22NM.dvfs_ratio_bounds()
+        for ratio in (lo - 0.01, hi + 0.01):
+            with pytest.raises(ConfigurationError):
+                TECH_22NM.voltage_for_ratio(ratio)
+
+    def test_deterministic(self):
+        a = TECH_45NM.voltage_for_ratio(0.8)
+        b = TECH_45NM.voltage_for_ratio(0.8)
+        assert a == b  # bisection, not an iterative solver with state
+
+
+class TestPowerScales:
+    @pytest.mark.parametrize("node", ALL_NODES, ids=lambda n: n.name)
+    def test_unity_at_nominal(self, node):
+        assert node.dynamic_power_scale(1.0) == pytest.approx(1.0, abs=1e-9)
+        assert node.static_power_scale(1.0) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("node", ALL_NODES, ids=lambda n: n.name)
+    def test_slower_is_cheaper(self, node):
+        lo, _ = node.dvfs_ratio_bounds()
+        ratios = [lo, 0.5 * (lo + 1.0), 1.0]
+        dyn = [node.dynamic_power_scale(r) for r in ratios]
+        static = [node.static_power_scale(r) for r in ratios]
+        assert dyn == sorted(dyn)
+        assert static == sorted(static)
+        assert dyn[0] < 1.0 and static[0] < 1.0
+
+    def test_dynamic_is_cv2f(self):
+        """dynamic == ratio x (V/Vnom)^2 by construction."""
+        node = TECH_32NM
+        ratio = 0.75
+        vs = node.voltage_for_ratio(ratio) / node.vdd_nominal_v
+        assert node.dynamic_power_scale(ratio) == pytest.approx(
+            ratio * vs**2
+        )
+        assert node.static_power_scale(ratio) == pytest.approx(vs**3)
+
+
+class TestValidation:
+    def test_voltage_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            TechNodeSpec(
+                "bad", 32, vdd_nominal_v=0.9, vth_v=0.42,
+                vdd_min_v=0.95, vdd_max_v=1.0,
+            )
+
+    def test_threshold_must_be_below_floor(self):
+        with pytest.raises(ConfigurationError):
+            TechNodeSpec(
+                "bad", 32, vdd_nominal_v=0.9, vth_v=0.75,
+                vdd_min_v=0.70, vdd_max_v=1.0,
+            )
+
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TechNodeSpec(
+                "bad", 32, vdd_nominal_v=0.9, vth_v=0.42,
+                vdd_min_v=0.70, vdd_max_v=1.0, alpha=0.5,
+            )
+
+    def test_feature_size_positive(self):
+        with pytest.raises(ConfigurationError):
+            TechNodeSpec(
+                "bad", 0, vdd_nominal_v=0.9, vth_v=0.42,
+                vdd_min_v=0.70, vdd_max_v=1.0,
+            )
+
+    def test_name_required(self):
+        with pytest.raises(ConfigurationError):
+            TechNodeSpec(
+                "", 32, vdd_nominal_v=0.9, vth_v=0.42,
+                vdd_min_v=0.70, vdd_max_v=1.0,
+            )

@@ -1,0 +1,136 @@
+"""The heterogeneous server zoo registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.calibration import calibrated_power_model
+from repro.hardware.specs import BUILTIN_SERVERS, get_server
+from repro.hardware.zoo import (
+    ZOO_SERVERS,
+    get_zoo_server,
+    resolve_server,
+    zoo_entries,
+)
+
+
+class TestRegistry:
+    def test_at_least_eight_servers(self):
+        assert len(ZOO_SERVERS) >= 8
+
+    def test_disjoint_from_builtins(self):
+        assert not set(ZOO_SERVERS) & set(BUILTIN_SERVERS)
+
+    def test_entries_carry_provenance(self):
+        for entry in zoo_entries():
+            assert entry.summary
+            assert entry.name == entry.spec.name
+
+    def test_covers_every_heterogeneous_core_type(self):
+        core_types = {s.processor.core_type for s in ZOO_SERVERS.values()}
+        assert {"ooo-cpu", "io-cpu", "gpu-simd", "mic"} <= core_types
+
+    def test_every_server_has_a_pstate_ladder(self):
+        for spec in ZOO_SERVERS.values():
+            assert spec.n_pstates >= 2
+            assert spec.pstate == 0  # registry entries sit at nominal
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_zoo_server("atom-c2750").name == "Atom-C2750"
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_zoo_server("Cray-1")
+
+    def test_resolve_prefers_builtins(self):
+        assert resolve_server("Xeon-E5462") is get_server("Xeon-E5462")
+
+    def test_resolve_falls_through_to_zoo(self):
+        assert resolve_server("Tesla-K20-Node").name == "Tesla-K20-Node"
+
+    def test_resolve_unknown_names_both_worlds(self):
+        with pytest.raises(ConfigurationError, match="zoo"):
+            resolve_server("Cray-1")
+
+
+class TestDvfsVariants:
+    """The -DVFS servers are the builtins plus a ladder, nothing else."""
+
+    @pytest.mark.parametrize("base", sorted(BUILTIN_SERVERS))
+    def test_same_silicon_at_nominal(self, base):
+        builtin = get_server(base)
+        variant = get_zoo_server(f"{base}-DVFS")
+        assert variant.chips == builtin.chips
+        assert variant.memory == builtin.memory
+        assert variant.processor.frequency_mhz == builtin.processor.frequency_mhz
+        assert variant.gflops_peak == builtin.gflops_peak
+
+    @pytest.mark.parametrize("base", sorted(BUILTIN_SERVERS))
+    def test_p0_coefficients_are_the_paper_fit(self, base):
+        builtin_c = calibrated_power_model(get_server(base)).coefficients
+        variant_c = calibrated_power_model(
+            get_zoo_server(f"{base}-DVFS")
+        ).coefficients
+        assert variant_c == builtin_c
+
+
+class TestDerivedPower:
+    def test_shrink_is_strictly_cooler(self):
+        base = calibrated_power_model(get_server("Xeon-4870")).coefficients
+        shrunk = calibrated_power_model(
+            get_zoo_server("Xeon-4870-22nm")
+        ).coefficients
+        assert shrunk.p_idle < base.p_idle
+        # Compare the terms the Xeon-4870 fit actually uses (the least-
+        # squares fit zeroes core_active/chip_uncore for this server).
+        assert shrunk.shared_sqrt < base.shared_sqrt
+        assert shrunk.core_intensity < base.core_intensity
+
+    def test_throttled_coefficients_below_nominal(self):
+        for spec in ZOO_SERVERS.values():
+            nominal = calibrated_power_model(spec).coefficients
+            deepest = calibrated_power_model(
+                spec.at_pstate(spec.n_pstates - 1)
+            ).coefficients
+            assert deepest.p_idle < nominal.p_idle
+            assert deepest.core_intensity < nominal.core_intensity
+
+    def test_microserver_idles_below_big_iron(self):
+        atom = calibrated_power_model(get_zoo_server("Atom-C2750"))
+        xeon = calibrated_power_model(get_zoo_server("Xeon-E5-2658"))
+        assert atom.coefficients.p_idle < xeon.coefficients.p_idle
+
+
+class TestPstatePinning:
+    def test_effective_frequency_follows_the_ladder(self):
+        spec = get_zoo_server("Xeon-E5-2658")
+        for p in range(spec.n_pstates):
+            pinned = spec.at_pstate(p)
+            ratio = spec.processor.frequency_ratio_at(p)
+            assert pinned.effective_frequency_mhz == pytest.approx(
+                spec.processor.frequency_mhz * ratio
+            )
+            assert pinned.gflops_peak == pytest.approx(
+                spec.gflops_peak * ratio
+            )
+
+    def test_at_pstate_same_point_is_identity(self):
+        spec = get_zoo_server("Xeon-E5-2658")
+        assert spec.at_pstate(0) is spec
+
+    def test_base_spec_unpins(self):
+        spec = get_zoo_server("Xeon-E5-2658").at_pstate(2)
+        assert spec.base_spec().pstate == 0
+
+    def test_pstate_beyond_ladder_rejected(self):
+        spec = get_zoo_server("Tesla-K20-Node")  # 3-step ladder
+        with pytest.raises(ConfigurationError):
+            spec.at_pstate(spec.n_pstates)
+
+    def test_builtins_have_single_implicit_pstate(self):
+        builtin = get_server("Xeon-E5462")
+        assert builtin.n_pstates == 1
+        assert builtin.frequency_ratio == 1.0
+        with pytest.raises(ConfigurationError):
+            builtin.at_pstate(1)

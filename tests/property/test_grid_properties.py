@@ -1,0 +1,105 @@
+"""Property-based coverage of the DVFS layer and the state grid.
+
+Three invariant families the example tests cannot exhaust:
+
+* the alpha-power law round-trips any ratio inside a node's DVFS
+  window, and power scale factors are monotone in frequency;
+* at any fixed activity level, modelled power never *rises* when a
+  server steps down the frequency axis (elementwise coefficient
+  dominance implies it for every non-negative feature vector);
+* the degenerate one-P-state grid is bit-identical to the paper's
+  5-state method on the builtins, and zoo specs survive a JSON
+  round-trip at every operating point.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evaluation import evaluate_server
+from repro.core.grid import StateGrid, evaluate_grid, evaluation_digest
+from repro.engine.simulator import Simulator
+from repro.hardware.calibration import calibrated_power_model
+from repro.hardware.specs import BUILTIN_SERVERS, get_server
+from repro.hardware.technode import TECH_NODES
+from repro.hardware.zoo import ZOO_SERVERS, get_zoo_server
+from repro.io import server_from_dict, server_to_dict
+
+tech_nodes = st.sampled_from(sorted(TECH_NODES))
+zoo_names = st.sampled_from(sorted(ZOO_SERVERS))
+
+
+@st.composite
+def node_and_ratio(draw):
+    node = TECH_NODES[draw(tech_nodes)]
+    lo, hi = node.dvfs_ratio_bounds()
+    # Shrink-friendly: interpolate inside the window rather than
+    # drawing raw floats that mostly fall outside it.
+    t = draw(st.floats(0.0, 1.0, allow_nan=False))
+    return node, lo + t * (hi - lo)
+
+
+@given(node_and_ratio())
+def test_alpha_power_law_round_trips(pair):
+    node, ratio = pair
+    vdd = node.voltage_for_ratio(ratio)
+    assert node.vdd_min_v <= vdd <= node.vdd_max_v
+    assert abs(node.frequency_scale(vdd) - ratio) < 1e-9
+
+
+@st.composite
+def node_and_ratio_pair(draw):
+    node = TECH_NODES[draw(tech_nodes)]
+    lo, hi = node.dvfs_ratio_bounds()
+    t1 = draw(st.floats(0.0, 1.0, allow_nan=False))
+    t2 = draw(st.floats(0.0, 1.0, allow_nan=False))
+    return node, lo + t1 * (hi - lo), lo + t2 * (hi - lo)
+
+
+@given(node_and_ratio_pair())
+def test_power_scales_monotone_in_frequency(triple):
+    node, r1, r2 = triple
+    r_slow, r_fast = sorted((r1, r2))
+    assert node.dynamic_power_scale(r_slow) <= node.dynamic_power_scale(r_fast)
+    assert node.static_power_scale(r_slow) <= node.static_power_scale(r_fast)
+
+
+@given(zoo_names, st.data())
+def test_power_never_rises_stepping_down_the_ladder(name, data):
+    server = ZOO_SERVERS[name]
+    shallow = data.draw(
+        st.integers(0, server.n_pstates - 2), label="shallow"
+    )
+    deep = data.draw(
+        st.integers(shallow + 1, server.n_pstates - 1), label="deep"
+    )
+    c_shallow = calibrated_power_model(
+        server.at_pstate(shallow)
+    ).coefficients
+    c_deep = calibrated_power_model(server.at_pstate(deep)).coefficients
+    # Elementwise dominance: for every non-negative activity feature
+    # vector, deeper P-states draw at most the shallower state's watts.
+    assert c_deep.p_idle <= c_shallow.p_idle
+    assert np.all(
+        c_deep.as_delta_vector() <= c_shallow.as_delta_vector()
+    )
+    assert c_deep.mem_dyn == c_shallow.mem_dyn  # DRAM rail is exempt
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.sampled_from(sorted(BUILTIN_SERVERS)), st.integers(0, 3))
+def test_degenerate_grid_equals_five_state_method(name, seed):
+    server = get_server(name)
+    grid_result = evaluate_grid(StateGrid(server), seed=seed)
+    direct = evaluate_server(server, Simulator(server, seed=seed))
+    [cell] = grid_result.cells
+    assert cell.digest == evaluation_digest(direct)
+
+
+@given(zoo_names, st.data())
+def test_zoo_specs_round_trip_through_json(name, data):
+    pstate = data.draw(
+        st.integers(0, ZOO_SERVERS[name].n_pstates - 1), label="pstate"
+    )
+    spec = get_zoo_server(name).at_pstate(pstate)
+    assert server_from_dict(server_to_dict(spec)) == spec

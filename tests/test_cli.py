@@ -516,3 +516,92 @@ class TestModel:
         assert code == 1
         assert "OUT OF BAND" in out
         assert "verdict: FAIL" in out
+
+
+class TestZoo:
+    def test_list_shows_the_full_registry(self, capsys):
+        code, out, _ = run_cli(capsys, "zoo", "list")
+        assert code == 0
+        assert out.count("GFLOPS peak") >= 8
+        for name in ("Tesla-K20-Node", "Xeon-Phi-5110P", "Atom-C2750"):
+            assert name in out
+
+    def test_show_renders_the_pstate_ladder(self, capsys):
+        code, out, _ = run_cli(capsys, "zoo", "show", "Tesla-K20-Node")
+        assert code == 0
+        assert "gpu-simd" in out
+        assert "P0" in out and "P2" in out
+        assert "alpha-power law" in out
+
+    def test_show_unknown_server(self, capsys):
+        code, _out, err = run_cli(capsys, "zoo", "show", "Cray-1")
+        assert code == 2
+        assert "unknown zoo server" in err
+
+    def test_evaluate_one_pstate(self, capsys, tmp_path):
+        path = tmp_path / "eval.json"
+        code, out, _ = run_cli(
+            capsys, "zoo", "evaluate", "Atom-C2750",
+            "--pstate", "1", "--json", str(path),
+        )
+        assert code == 0
+        assert "at P1" in out
+        data = json.loads(path.read_text())
+        assert data["kind"] == "evaluation"
+        assert len(data["rows"]) == 10
+
+    def test_evaluate_full_grid(self, capsys, tmp_path):
+        path = tmp_path / "grid.json"
+        code, out, _ = run_cli(
+            capsys, "zoo", "evaluate", "Tesla-K20-Node", "--json", str(path),
+        )
+        assert code == 0
+        assert "P-states" in out
+        data = json.loads(path.read_text())
+        assert data["kind"] == "grid_evaluation"
+        assert len(data["cells"]) == 3
+
+    def test_matrix_digest_pin_round_trip(self, capsys, tmp_path):
+        pins = tmp_path / "pins.json"
+        code, out, _ = run_cli(
+            capsys, "zoo", "matrix", "--server", "Atom-C2750",
+            "--update-digests", str(pins),
+        )
+        assert code == 0
+        assert "pinned 1 grid digests" in out
+        code, out, _ = run_cli(
+            capsys, "zoo", "matrix", "--server", "Atom-C2750",
+            "--digests", str(pins),
+        )
+        assert code == 0
+        assert "0 failure(s)" in out
+
+    def test_matrix_catches_a_digest_regression(self, capsys, tmp_path):
+        pins = tmp_path / "pins.json"
+        code, *_ = run_cli(
+            capsys, "zoo", "matrix", "--server", "Atom-C2750",
+            "--update-digests", str(pins),
+        )
+        assert code == 0
+        data = json.loads(pins.read_text())
+        data["servers"]["Atom-C2750"] = "0" * 64
+        pins.write_text(json.dumps(data))
+        code, _out, err = run_cli(
+            capsys, "zoo", "matrix", "--server", "Atom-C2750",
+            "--digests", str(pins),
+        )
+        assert code == 1
+        assert "FAIL" in err
+
+    def test_checked_in_pins_match(self, capsys):
+        """The committed nightly pin file is in sync with the code."""
+        from pathlib import Path
+
+        pins = (
+            Path(__file__).parents[1] / "benchmarks" / "zoo-grid-digests.json"
+        )
+        code, out, _ = run_cli(
+            capsys, "zoo", "matrix", "--digests", str(pins),
+        )
+        assert code == 0
+        assert "0 failure(s)" in out
