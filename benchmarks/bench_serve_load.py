@@ -1,0 +1,310 @@
+"""Serve daemon load gate — sustained multi-tenant campaign replay.
+
+Boots the daemon in-process on an ephemeral port, replays a
+deterministic mixed-tenant submission stream (see
+:mod:`repro.serve.loadgen`) *without pacing* — the submit loop runs as
+fast as HTTP allows, so the backlog genuinely fills and the admission
+path exercises its whole ladder: fair scheduling, 429 + Retry-After
+shedding of low/normal priorities, campaign- and job-level dedup, and
+partial execution under overload.
+
+Hard invariants, asserted every run:
+
+* the queue stayed bounded (``max_pending_seen`` never exceeded the
+  configured cap),
+* nothing failed hard — every accepted campaign ends ``done``; overload
+  shows up only as 429 rejections or ``partial`` results,
+* the server drains clean at the end (exit path journals nothing).
+
+Against a baseline (``benchmarks/serve-baseline.json``) the gate
+compares machine-calibrated p99 submit latency and throughput, the
+shed rate, and the campaign dedup hit rate, and exits 3 on a
+regression.  Re-baseline with ``--update-baseline`` after an
+intentional change.
+
+Run as a standalone gate::
+
+    PYTHONPATH=src python benchmarks/bench_serve_load.py --smoke
+        [--baseline benchmarks/serve-baseline.json] [--update-baseline]
+
+or as a benchmark exhibit::
+
+    pytest benchmarks/bench_serve_load.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.obs.bench import _calibration_ops_per_s
+from repro.serve import (
+    BackgroundServer,
+    QueuePolicy,
+    ServeClient,
+    ServeRejected,
+    ServeScheduler,
+    StateStore,
+)
+from repro.serve.loadgen import submission_stream
+
+SMOKE_CAMPAIGNS = 200
+FULL_CAMPAIGNS = 1000
+MAX_PENDING = 64
+MAX_DEPTH = 16
+BASELINE_PATH = Path(__file__).parent / "serve-baseline.json"
+
+#: Tolerated calibrated slowdown (throughput down / p99 up).
+SPEED_TOLERANCE = 0.35
+#: Tolerated absolute shed-rate increase over baseline.
+SHED_TOLERANCE = 0.25
+#: Tolerated absolute dedup-hit-rate drop below baseline.
+DEDUP_TOLERANCE = 0.15
+
+
+def _percentile(values: "list[float]", q: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def collect(campaigns: int, seed: int = 2015) -> dict:
+    """Replay ``campaigns`` submissions; measure, assert, summarise."""
+    root = Path(tempfile.mkdtemp(prefix="repro-serve-load-"))
+    try:
+        scheduler = ServeScheduler(
+            StateStore(root),
+            policy=QueuePolicy(
+                max_depth=MAX_DEPTH, max_pending=MAX_PENDING
+            ),
+            slots=2,
+        )
+        with BackgroundServer(scheduler) as server:
+            client = ServeClient(port=server.port)
+            submit_s: "list[float]" = []
+            accepted: "list[str]" = []
+            rejected = 0
+            retry_hints: "list[int]" = []
+            t0 = time.perf_counter()
+            for tenant, body in submission_stream(campaigns, seed=seed):
+                t_submit = time.perf_counter()
+                try:
+                    doc = client.submit(body, tenant=tenant)
+                    accepted.append(doc["id"])
+                except ServeRejected as exc:
+                    rejected += 1
+                    retry_hints.append(exc.retry_after_s)
+                submit_s.append(time.perf_counter() - t_submit)
+            for campaign_id in accepted:
+                client.wait(campaign_id, timeout_s=600)
+            wall_s = time.perf_counter() - t0
+            stats = client.stats()
+            statuses = [client.status(cid) for cid in accepted]
+        pending_after_drain = scheduler.stats()["pending"]
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    counters = stats["counters"]
+    # -- hard invariants -------------------------------------------------
+    assert stats["max_pending_seen"] <= MAX_PENDING, (
+        f"queue bound violated: {stats['max_pending_seen']} > {MAX_PENDING}"
+    )
+    assert counters["failed"] == 0, f"hard failures: {counters['failed']}"
+    not_done = [s["id"] for s in statuses if s["status"] != "done"]
+    assert not not_done, f"accepted campaigns not done: {not_done}"
+    assert pending_after_drain == 0, "server did not drain clean"
+    assert all(h >= 1 for h in retry_hints), "429 without a Retry-After"
+
+    partial = sum(1 for s in statuses if s.get("partial"))
+    return {
+        "campaigns": campaigns,
+        "accepted": len(accepted),
+        "rejected": rejected,
+        "partial": partial,
+        "shed_rate": rejected / campaigns,
+        "dedup_campaigns": counters["deduped_campaigns"],
+        "dedup_jobs": counters["deduped_jobs"],
+        "dedup_hit_rate": (
+            counters["deduped_campaigns"] / len(accepted)
+            if accepted
+            else 0.0
+        ),
+        "max_pending_seen": stats["max_pending_seen"],
+        "wall_s": wall_s,
+        "throughput_campaigns_per_s": len(accepted) / wall_s,
+        "p50_submit_ms": _percentile(submit_s, 0.50) * 1e3,
+        "p99_submit_ms": _percentile(submit_s, 0.99) * 1e3,
+    }
+
+
+def format_stats(stats: dict) -> str:
+    return "\n".join(
+        [
+            f"campaigns {stats['campaigns']}: "
+            f"{stats['accepted']} accepted, {stats['rejected']} shed "
+            f"(rate {stats['shed_rate']:.2%}), {stats['partial']} partial",
+            f"dedup: {stats['dedup_campaigns']} campaigns "
+            f"(hit rate {stats['dedup_hit_rate']:.2%}), "
+            f"{stats['dedup_jobs']} jobs via cache",
+            f"queue: max pending {stats['max_pending_seen']} "
+            f"(bound {MAX_PENDING})",
+            f"latency: p50 {stats['p50_submit_ms']:.2f} ms, "
+            f"p99 {stats['p99_submit_ms']:.2f} ms submit",
+            f"throughput: {stats['throughput_campaigns_per_s']:.1f} "
+            f"campaigns/s over {stats['wall_s']:.2f} s",
+        ]
+    )
+
+
+def compare(
+    baseline: dict, stats: dict, calibration: float
+) -> "list[str]":
+    """Calibrated regression check; returns failure messages."""
+    mode_base = baseline["modes"].get(str(stats["campaigns"]))
+    if mode_base is None:
+        return [
+            f"baseline has no entry for {stats['campaigns']} campaigns "
+            f"(has: {sorted(baseline['modes'])})"
+        ]
+    machine_ratio = calibration / baseline["calibration_ops_per_s"]
+    failures = []
+
+    calibrated_throughput = (
+        stats["throughput_campaigns_per_s"]
+        / mode_base["throughput_campaigns_per_s"]
+        / machine_ratio
+    )
+    if calibrated_throughput < 1.0 - SPEED_TOLERANCE:
+        failures.append(
+            f"throughput regressed: {calibrated_throughput:.2f}x "
+            f"calibrated (floor {1 - SPEED_TOLERANCE:.2f}x)"
+        )
+
+    # Latency scales inversely with machine speed: normalise the
+    # measurement to the baseline machine before comparing.
+    calibrated_p99 = stats["p99_submit_ms"] * machine_ratio
+    ceiling = mode_base["p99_submit_ms"] * (1.0 + SPEED_TOLERANCE)
+    if calibrated_p99 > ceiling and calibrated_p99 > 1.0:
+        failures.append(
+            f"p99 submit latency regressed: {calibrated_p99:.2f} ms "
+            f"calibrated vs ceiling {ceiling:.2f} ms"
+        )
+
+    if stats["shed_rate"] > mode_base["shed_rate"] + SHED_TOLERANCE:
+        failures.append(
+            f"shed rate regressed: {stats['shed_rate']:.2%} vs baseline "
+            f"{mode_base['shed_rate']:.2%} (+{SHED_TOLERANCE:.0%} allowed)"
+        )
+
+    if stats["dedup_hit_rate"] < (
+        mode_base["dedup_hit_rate"] - DEDUP_TOLERANCE
+    ):
+        failures.append(
+            f"dedup hit rate regressed: {stats['dedup_hit_rate']:.2%} vs "
+            f"baseline {mode_base['dedup_hit_rate']:.2%} "
+            f"(-{DEDUP_TOLERANCE:.0%} allowed)"
+        )
+    return failures
+
+
+def _baseline_entry(stats: dict) -> dict:
+    return {
+        "throughput_campaigns_per_s": stats["throughput_campaigns_per_s"],
+        "p99_submit_ms": stats["p99_submit_ms"],
+        "shed_rate": stats["shed_rate"],
+        "dedup_hit_rate": stats["dedup_hit_rate"],
+    }
+
+
+def test_serve_load(benchmark):
+    stats = benchmark.pedantic(
+        collect, args=(SMOKE_CAMPAIGNS,), iterations=1, rounds=1
+    )
+    print()
+    print(format_stats(stats))
+    assert stats["accepted"] > 0
+    assert stats["dedup_hit_rate"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"{SMOKE_CAMPAIGNS} campaigns instead of {FULL_CAMPAIGNS}",
+    )
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="compare against this baseline; exit 3 on regression",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=f"write this run's numbers into {BASELINE_PATH.name}",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="save the run's stats as JSON"
+    )
+    args = parser.parse_args(argv)
+    campaigns = SMOKE_CAMPAIGNS if args.smoke else FULL_CAMPAIGNS
+
+    stats = collect(campaigns, seed=args.seed)
+    print(format_stats(stats))
+    calibration = _calibration_ops_per_s()
+
+    if args.json:
+        document = dict(stats)
+        document["calibration_ops_per_s"] = calibration
+        Path(args.json).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"saved: {args.json}")
+
+    if args.update_baseline:
+        if BASELINE_PATH.exists():
+            baseline = json.loads(BASELINE_PATH.read_text())
+        else:
+            baseline = {
+                "kind": "serve-load-baseline",
+                "schema_version": 1,
+                "modes": {},
+            }
+        baseline["calibration_ops_per_s"] = calibration
+        baseline["modes"][str(campaigns)] = _baseline_entry(stats)
+        BASELINE_PATH.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        failures = compare(baseline, stats, calibration)
+        if failures:
+            # One remeasure before failing: a noisy CI slice can
+            # inflate latency percentiles far beyond any code change.
+            retry = collect(campaigns, seed=args.seed)
+            print("remeasured:")
+            print(format_stats(retry))
+            retry_failures = compare(baseline, retry, calibration)
+            if retry_failures:
+                for line in retry_failures:
+                    print(f"FAIL: {line}", file=sys.stderr)
+                return 3
+            failures = []
+        print("baseline comparison ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,8 @@ Every reproduction entry point, runnable without writing Python::
     python -m repro zoo show <server>
     python -m repro zoo evaluate <server> [--pstate N] [--json out.json]
     python -m repro zoo matrix [--digests pins.json] [--study]
+    python -m repro serve [--port 8787] [--state-dir serve-state]
+                          [--slots 2] [--weight tenant=2 ...]
     python -m repro bench [--quick] [--json out.json] [--baseline base.json]
     python -m repro chaos [--seed N] [--scenario NAME ...] [--json out.json]
     python -m repro trace tree run.jsonl
@@ -503,6 +505,81 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="tolerated calibrated-throughput drop (default 0.25)",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="evaluation-as-a-service daemon: HTTP/JSON campaign "
+        "submission with tenant queues and backpressure",
+    )
+    srv.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="listen port; 0 picks an ephemeral port (see --port-file)",
+    )
+    srv.add_argument(
+        "--state-dir",
+        default="serve-state",
+        help="journal + cache + results directory (default serve-state)",
+    )
+    srv.add_argument(
+        "--slots",
+        type=int,
+        default=2,
+        help="concurrent campaign executor slots (default 2)",
+    )
+    srv.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=1,
+        help="fleet workers per slot (default 1: in-process, no pool)",
+    )
+    srv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="max queued campaigns per tenant (default 8)",
+    )
+    srv.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="max queued campaigns across all tenants (default 64)",
+    )
+    srv.add_argument(
+        "--shed-fraction",
+        type=float,
+        default=0.5,
+        help="backlog fraction at which low/normal priorities shed "
+        "and execution degrades to partial (default 0.5)",
+    )
+    srv.add_argument(
+        "--shed-budget",
+        type=int,
+        default=2,
+        help="uncached jobs a shed campaign may still run (default 2)",
+    )
+    srv.add_argument(
+        "--weight",
+        action="append",
+        metavar="TENANT=W",
+        default=[],
+        help="fair-share weight for a tenant (repeatable; default 1)",
+    )
+    srv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds SIGTERM waits for running campaigns (default 30)",
+    )
+    srv.add_argument(
+        "--port-file",
+        metavar="PATH",
+        help="write host:port here once bound (for scripts and CI)",
     )
 
     cha = sub.add_parser(
@@ -1709,6 +1786,66 @@ def _cmd_model(args: argparse.Namespace) -> int:
     }[args.model_command](args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import QueuePolicy, ServeApp, ServeScheduler, StateStore
+
+    weights: dict[str, int] = {}
+    for spec in args.weight:
+        tenant, sep, value = spec.partition("=")
+        if not sep or not tenant:
+            raise ReproError(f"--weight takes TENANT=W, got {spec!r}")
+        try:
+            weights[tenant] = int(value)
+        except ValueError as exc:
+            raise ReproError(
+                f"--weight {spec!r}: weight must be an int"
+            ) from exc
+    policy = QueuePolicy(
+        max_depth=args.queue_depth,
+        max_pending=args.max_pending,
+        shed_fraction=args.shed_fraction,
+        weights=weights,
+    )
+    scheduler = ServeScheduler(
+        StateStore(args.state_dir),
+        policy=policy,
+        slots=args.slots,
+        fleet_workers=args.fleet_workers,
+        shed_job_budget=args.shed_budget,
+    )
+    app = ServeApp(
+        scheduler,
+        host=args.host,
+        port=args.port,
+        drain_timeout_s=args.drain_timeout,
+        port_file=args.port_file,
+    )
+
+    async def _main() -> "list[str]":
+        task = asyncio.ensure_future(app.run())
+        await asyncio.sleep(0)  # let start() bind before we print
+        while app.port == 0 or app._server is None:
+            await asyncio.sleep(0.01)
+        print(
+            f"repro serve on http://{app.host}:{app.port} "
+            f"(state: {args.state_dir}, slots: {args.slots})",
+            flush=True,
+        )
+        return await task
+
+    pending = asyncio.run(_main())
+    if pending:
+        print(
+            f"drained with {len(pending)} campaign(s) journaled for "
+            f"resume: {', '.join(pending)}"
+        )
+    else:
+        print("drained clean: no pending campaigns")
+    return 0
+
+
 _HANDLERS = {
     "servers": _cmd_servers,
     "evaluate": _cmd_evaluate,
@@ -1725,6 +1862,7 @@ _HANDLERS = {
     "fleet": _cmd_fleet,
     "cluster": _cmd_cluster,
     "zoo": _cmd_zoo,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,

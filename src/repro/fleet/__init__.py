@@ -34,6 +34,7 @@ from repro.fleet.cache import (
 from repro.fleet.events import (
     EVENT_KINDS,
     EventLog,
+    EventTail,
     completed_job_ids,
     last_campaign_events,
     read_events,
@@ -68,6 +69,7 @@ __all__ = [
     "FAULT_KINDS",
     "CampaignSpec",
     "EventLog",
+    "EventTail",
     "FaultInjection",
     "FleetBackend",
     "FleetJob",

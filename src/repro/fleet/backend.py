@@ -63,6 +63,16 @@ class FleetBackend:
     #: ``evaluate_server(..., allow_partial=True)`` needs to degrade
     #: gracefully instead of aborting.
     strict: bool = True
+    #: Optional observer called with each :class:`FleetOutcome` this
+    #: backend produces — the submission-accounting hook the serve
+    #: daemon uses to count cache-dedup hits per request without
+    #: changing what ``map_runs`` returns.
+    on_outcome: "object | None" = None
+    #: Campaign name recorded in the event log; defaults to
+    #: ``backend:<server>``.  The serve daemon sets this to the serve
+    #: campaign id so ``GET /v1/campaigns/<id>/events`` can tail the
+    #: shared journal filtered to one submission.
+    name: "str | None" = None
 
     def _runner(self) -> FleetRunner:
         return FleetRunner(
@@ -106,8 +116,11 @@ class FleetBackend:
             slot_job[i] = job.job_id
         if jobs:
             outcome = self._runner().run_jobs(
-                tuple(jobs.values()), name=f"backend:{simulator.server.name}"
+                tuple(jobs.values()),
+                name=self.name or f"backend:{simulator.server.name}",
             )
+            if self.on_outcome is not None:
+                self.on_outcome(outcome)
             if not outcome.ok and self.strict:
                 failed = ", ".join(f.job_id for f in outcome.failures)
                 raise SimulationError(

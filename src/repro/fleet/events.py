@@ -18,7 +18,9 @@ Kinds: ``campaign_start``, ``campaign_resume``, ``cache_hit``,
 ``job_timeout``, ``pool_replaced``, ``checkpoint``,
 ``campaign_finish``, plus the cluster layer's ``cluster_start``,
 ``cluster_job``, ``cluster_finish`` (one machine-level simulation and
-its scheduled jobs share the fleet's JSONL schema and tooling).
+its scheduled jobs share the fleet's JSONL schema and tooling), and
+the serve daemon's campaign lifecycle (``serve_submit``,
+``serve_start``, ``serve_shed``, ``serve_finish``).
 
 The log doubles as the campaign's *journal*: ``checkpoint`` records are
 fsynced to disk, so after a SIGKILL the set of durably completed jobs
@@ -30,6 +32,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from pathlib import Path
 from typing import Any
@@ -37,6 +40,7 @@ from typing import Any
 __all__ = [
     "EVENT_KINDS",
     "EventLog",
+    "EventTail",
     "read_events",
     "last_campaign_events",
     "completed_job_ids",
@@ -57,16 +61,27 @@ EVENT_KINDS = (
     "cluster_start",
     "cluster_job",
     "cluster_finish",
+    "serve_submit",
+    "serve_start",
+    "serve_shed",
+    "serve_finish",
 )
 
 
 class EventLog:
-    """Append-only JSONL writer (one file may hold many campaigns)."""
+    """Append-only JSONL writer (one file may hold many campaigns).
+
+    A single log may be shared by several runner threads (the serve
+    daemon multiplexes every tenant's campaigns onto one journal), so
+    appends are serialised by a lock — one ``emit`` always lands as one
+    contiguous line.
+    """
 
     def __init__(self, path: "str | Path"):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("a")
+        self._lock = threading.Lock()
 
     def emit(
         self, kind: str, _sync: bool = False, **fields: Any
@@ -83,15 +98,18 @@ class EventLog:
             raise ValueError(f"unknown event kind {kind!r}")
         record = {"ts": time.time(), "kind": kind}
         record.update({k: v for k, v in fields.items() if v is not None})
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self._fh.flush()
-        if _sync:
-            os.fsync(self._fh.fileno())
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            self._fh.write(line)
+            self._fh.flush()
+            if _sync:
+                os.fsync(self._fh.fileno())
         return record
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
 
     def __enter__(self) -> "EventLog":
         return self
@@ -100,21 +118,96 @@ class EventLog:
         self.close()
 
 
+def _parse_line(raw: bytes) -> "dict[str, Any] | None":
+    """Decode one JSONL line to an event record, or ``None`` if torn.
+
+    Tolerates a line cut mid-write: a partial UTF-8 sequence must not
+    raise (``read_text`` with strict decoding did, when a reader raced
+    a writer into the middle of a multi-byte character), and anything
+    that is not a complete JSON object with a ``kind`` is skipped.
+    """
+    line = raw.decode("utf-8", errors="replace").strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(record, dict) and "kind" in record:
+        return record
+    return None
+
+
 def read_events(path: "str | Path") -> list[dict[str, Any]]:
-    """Read every event in a JSONL file, skipping malformed lines."""
+    """Read every event in a JSONL file, skipping malformed lines.
+
+    Safe against a concurrent writer: a torn final line — a partial
+    write caught mid-read, possibly splitting a multi-byte character —
+    is skipped, never raised on.
+    """
     out: list[dict[str, Any]] = []
-    text = Path(path).read_text()
-    for line in text.splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            continue
-        if isinstance(record, dict) and "kind" in record:
+    for raw in Path(path).read_bytes().split(b"\n"):
+        record = _parse_line(raw)
+        if record is not None:
             out.append(record)
     return out
+
+
+class EventTail:
+    """Incremental reader of a live JSONL event log.
+
+    Unlike :func:`read_events` — which *skips* a torn final line, fine
+    for a one-shot post-mortem read but lossy for a tailer that then
+    advances past it — the tail keeps the partial line buffered and
+    re-parses it once its newline arrives, so no event is ever lost to
+    a read that raced the writer mid-append.  This is what the serve
+    daemon's ``GET /v1/campaigns/<id>/events`` stream runs on.
+
+    ``campaign`` optionally filters records to one campaign name.  A
+    truncated or rotated file (size below the read offset) resets the
+    tail to the new beginning.
+    """
+
+    def __init__(
+        self, path: "str | Path", campaign: "str | None" = None
+    ):
+        self.path = Path(path)
+        self.campaign = campaign
+        self._offset = 0
+        self._buffer = b""
+
+    def poll(self) -> list[dict[str, Any]]:
+        """Return every complete event appended since the last poll."""
+        try:
+            with self.path.open("rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                if size < self._offset:
+                    self._offset = 0
+                    self._buffer = b""
+                fh.seek(self._offset)
+                chunk = fh.read()
+        except FileNotFoundError:
+            return []
+        self._offset += len(chunk)
+        data = self._buffer + chunk
+        lines = data.split(b"\n")
+        # The final element has no newline yet: a torn line mid-write.
+        # Hold it back rather than parse-and-skip it, so the record is
+        # delivered intact on the poll after the writer finishes it.
+        self._buffer = lines.pop()
+        out: list[dict[str, Any]] = []
+        for raw in lines:
+            record = _parse_line(raw)
+            if record is None:
+                continue
+            if (
+                self.campaign is not None
+                and record.get("campaign") != self.campaign
+            ):
+                continue
+            out.append(record)
+        return out
 
 
 def last_campaign_events(path: "str | Path") -> list[dict[str, Any]]:

@@ -253,6 +253,63 @@ def _zoo_grid(iterations: int, seed: int) -> "tuple[float, dict[str, Any]]":
     }
 
 
+def _serve_load(iterations: int, seed: int) -> "tuple[float, dict[str, Any]]":
+    """64-submission multi-tenant replay through a live serve daemon.
+
+    Boots the daemon in-process (ephemeral port, temp state dir),
+    replays the deterministic loadgen mix, and waits for every
+    accepted campaign; operations = campaigns completed, so the
+    throughput folds in admission, fair scheduling, dedup, execution,
+    and result persistence end to end.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve import (
+        BackgroundServer,
+        QueuePolicy,
+        ServeClient,
+        ServeScheduler,
+        StateStore,
+    )
+    from repro.serve.client import ServeRejected
+    from repro.serve.loadgen import submission_stream
+
+    completed = 0
+    rejected = 0
+    deduped = 0
+    for _ in range(iterations):
+        root = Path(tempfile.mkdtemp(prefix="repro-bench-serve-"))
+        try:
+            scheduler = ServeScheduler(
+                StateStore(root),
+                policy=QueuePolicy(max_depth=24, max_pending=96),
+                slots=2,
+            )
+            with BackgroundServer(scheduler) as server:
+                client = ServeClient(port=server.port)
+                ids = []
+                for tenant, body in submission_stream(64, seed=seed):
+                    try:
+                        ids.append(client.submit(body, tenant=tenant)["id"])
+                    except ServeRejected:
+                        rejected += 1
+                for campaign_id in ids:
+                    client.wait(campaign_id, timeout_s=300)
+                stats = client.stats()
+                deduped += stats["counters"]["deduped_campaigns"]
+                completed += len(ids)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return float(completed), {
+        "submissions": 64 * iterations,
+        "completed": completed,
+        "rejected": rejected,
+        "deduped_campaigns": deduped,
+    }
+
+
 def _scenarios() -> "tuple[Scenario, ...]":
     out = [
         Scenario(
@@ -334,6 +391,16 @@ def _scenarios() -> "tuple[Scenario, ...]":
             iterations_full=3,
             iterations_quick=1,
             run=_cluster_scenario,
+        )
+    )
+    out.append(
+        Scenario(
+            name="serve.load64",
+            description="64-submission multi-tenant replay via the daemon",
+            unit="campaigns/s",
+            iterations_full=2,
+            iterations_quick=1,
+            run=_serve_load,
         )
     )
     out.append(

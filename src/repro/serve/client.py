@@ -1,0 +1,249 @@
+"""A small blocking client for the serve API (stdlib ``http.client``).
+
+What the CI smoke test, the load bench, and scripts drive the daemon
+with — deliberately plain HTTP so it doubles as executable
+documentation of the wire contract (``docs/serve.md`` shows the same
+calls via curl).
+
+    >>> client = ServeClient(port=8787)          # doctest: +SKIP
+    >>> sub = client.submit_evaluate("Xeon-E5462", tenant="alice")
+    ... status = client.wait(sub["id"])
+    ... result = client.result(sub["id"])
+
+Backpressure surfaces as :class:`ServeRejected` carrying the parsed
+error code and the server's ``Retry-After`` hint; every other non-2xx
+answer raises :class:`ServeError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro import io as repro_io
+from repro.errors import ReproError
+
+__all__ = ["ServeClient", "ServeError", "ServeRejected"]
+
+
+class ServeError(ReproError):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, code: str, detail: str = ""):
+        super().__init__(detail or code)
+        self.status = status
+        self.code = code
+        self.detail = detail
+
+
+class ServeRejected(ServeError):
+    """Backpressure: 429 (queue bounds) or 503 (draining).
+
+    ``retry_after_s`` carries the server's backoff hint.
+    """
+
+    def __init__(
+        self, status: int, code: str, detail: str, retry_after_s: int
+    ):
+        super().__init__(status, code, detail)
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """Blocking JSON-over-HTTP client; one connection per call."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        timeout_s: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    @staticmethod
+    def from_port_file(path: "str | Path", **kwargs: Any) -> "ServeClient":
+        """Build a client from the daemon's ``--port-file``."""
+        host, _, port = Path(path).read_text().strip().partition(":")
+        return ServeClient(host=host, port=int(port), **kwargs)
+
+    # -- plumbing -------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: "dict[str, Any] | None" = None,
+        headers: "dict[str, str] | None" = None,
+    ) -> "tuple[int, dict[str, str], bytes]":
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            send_headers = dict(headers or {})
+            if payload is not None:
+                send_headers["Content-Type"] = "application/json"
+            connection.request(
+                method, path, body=payload, headers=send_headers
+            )
+            response = connection.getresponse()
+            data = response.read()
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                data,
+            )
+        finally:
+            connection.close()
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: "dict[str, Any] | None" = None,
+        headers: "dict[str, str] | None" = None,
+    ) -> dict[str, Any]:
+        status, response_headers, data = self._request(
+            method, path, body, headers
+        )
+        try:
+            document = json.loads(data) if data else {}
+        except json.JSONDecodeError as exc:
+            raise ServeError(
+                status, "malformed_response", data[:200].decode("latin-1")
+            ) from exc
+        if status >= 400:
+            code = document.get("error", f"http_{status}")
+            detail = document.get("detail", "")
+            if status in (429, 503):
+                retry = int(response_headers.get("retry-after", "1"))
+                raise ServeRejected(status, code, detail, retry)
+            raise ServeError(status, code, detail)
+        return document
+
+    # -- API ------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._json("GET", "/v1/health")
+
+    def stats(self) -> dict[str, Any]:
+        return self._json("GET", "/v1/stats")
+
+    def submit(
+        self,
+        document: dict[str, Any],
+        tenant: "str | None" = None,
+    ) -> dict[str, Any]:
+        """``POST /v1/campaigns``; returns the 202 status document."""
+        headers = {"X-Repro-Tenant": tenant} if tenant else {}
+        return self._json(
+            "POST", "/v1/campaigns", body=document, headers=headers
+        )
+
+    def submit_evaluate(
+        self,
+        server: str,
+        seed: int = 0,
+        tenant: "str | None" = None,
+        priority: str = "normal",
+    ) -> dict[str, Any]:
+        return self.submit(
+            {
+                "kind": "evaluate",
+                "server": server,
+                "seed": seed,
+                "priority": priority,
+            },
+            tenant=tenant,
+        )
+
+    def submit_fleet(
+        self,
+        campaign: dict[str, Any],
+        tenant: "str | None" = None,
+        priority: str = "normal",
+    ) -> dict[str, Any]:
+        return self.submit(
+            {"kind": "fleet", "campaign": campaign, "priority": priority},
+            tenant=tenant,
+        )
+
+    def status(self, campaign_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/v1/campaigns/{campaign_id}")
+
+    def result(self, campaign_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/v1/campaigns/{campaign_id}/result")
+
+    def save_result(
+        self, campaign_id: str, path: "str | Path"
+    ) -> Path:
+        """Fetch a result document and write it exactly as the CLI would.
+
+        Uses :func:`repro.io.save_json`, so an ``evaluate`` result saved
+        here is byte-identical to ``python -m repro evaluate <server>
+        --json <path>`` — the property the CI smoke test diffs.
+        """
+        return repro_io.save_json(self.result(campaign_id), path)
+
+    def wait(
+        self,
+        campaign_id: str,
+        timeout_s: float = 120.0,
+        interval_s: float = 0.1,
+    ) -> dict[str, Any]:
+        """Poll until the campaign is terminal; returns the status doc."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            document = self.status(campaign_id)
+            if document["status"] in ("done", "failed"):
+                return document
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    408,
+                    "wait_timeout",
+                    f"{campaign_id} still {document['status']} after "
+                    f"{timeout_s:.0f}s",
+                )
+            time.sleep(interval_s)
+
+    def events(
+        self, campaign_id: str
+    ) -> "Iterator[dict[str, Any]]":
+        """Stream ``GET /v1/campaigns/<id>/events`` as parsed records.
+
+        Yields until the server closes the stream (campaign terminal).
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            connection.request(
+                "GET", f"/v1/campaigns/{campaign_id}/events"
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    document = json.loads(data)
+                except json.JSONDecodeError:
+                    document = {}
+                raise ServeError(
+                    response.status,
+                    document.get("error", f"http_{response.status}"),
+                    document.get("detail", ""),
+                )
+            for raw in response:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+        finally:
+            connection.close()

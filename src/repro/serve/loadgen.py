@@ -1,0 +1,87 @@
+"""Deterministic submission traffic for the serve load bench.
+
+The load gate replays a fixed mix of small campaigns against a live
+daemon: many tenants, three priorities, and — crucially — a *bounded
+pool of distinct campaign contents*, so the stream exercises both
+dedup layers the way real multi-tenant traffic would (the same
+evaluation requested over and over by different teams).  Everything is
+derived from an explicit seed via :mod:`random.Random`; two runs of the
+generator produce the identical submission sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.fleet.spec import (
+    CampaignSpec,
+    NpbWorkload,
+    campaign_to_dict,
+    workload_to_dict,
+)
+from repro.hardware.specs import BUILTIN_SERVERS, get_server
+
+__all__ = ["distinct_contents", "submission_stream"]
+
+_TENANTS = ("acme", "blue", "cray-lab", "deneb", "eiger", "fugaku")
+_PRIORITY_MIX = ("high",) + ("normal",) * 6 + ("low",) * 3
+
+
+def distinct_contents(n: int = 12, seed: int = 2015) -> "list[dict[str, Any]]":
+    """``n`` distinct submission bodies (without tenant/priority).
+
+    A mix of single-server ``evaluate`` requests and tiny one-workload
+    fleet campaigns — each cheap enough that a load run completes in
+    seconds once the shared cache is warm.
+    """
+    rng = random.Random(seed)
+    servers = list(BUILTIN_SERVERS)
+    contents: "list[dict[str, Any]]" = []
+    for i in range(n):
+        if i % 3 == 0:
+            contents.append(
+                {
+                    "kind": "evaluate",
+                    "server": servers[i % len(servers)],
+                    "seed": rng.randrange(4),
+                }
+            )
+        else:
+            program = ("ep", "cg", "ft")[i % 3]
+            spec = CampaignSpec(
+                name=f"load-{i:02d}",
+                servers=(get_server(servers[i % len(servers)]),),
+                workloads=(
+                    workload_to_dict(
+                        NpbWorkload(program, "A", 1 << (i % 3))
+                    ),
+                ),
+                seed=rng.randrange(4),
+            )
+            contents.append(
+                {"kind": "fleet", "campaign": campaign_to_dict(spec)}
+            )
+    return contents
+
+
+def submission_stream(
+    count: int,
+    distinct: int = 12,
+    seed: int = 2015,
+) -> "list[tuple[str, dict[str, Any]]]":
+    """``count`` submissions as ``(tenant, body)`` pairs, deterministic.
+
+    Tenants and priorities cycle through fixed mixes; contents are drawn
+    from :func:`distinct_contents`, so with ``count >> distinct`` the
+    stream is dominated by repeats — the dedup path under test.
+    """
+    contents = distinct_contents(distinct, seed)
+    rng = random.Random(seed + 1)
+    out: "list[tuple[str, dict[str, Any]]]" = []
+    for i in range(count):
+        tenant = _TENANTS[i % len(_TENANTS)]
+        body = dict(contents[rng.randrange(len(contents))])
+        body["priority"] = _PRIORITY_MIX[i % len(_PRIORITY_MIX)]
+        out.append((tenant, body))
+    return out

@@ -1,0 +1,224 @@
+"""Per-tenant campaign queues: admission, fairness, backpressure.
+
+Three concerns live here, all synchronous and lock-free (the scheduler
+holds its own lock around every call), which keeps them unit-testable
+without a running server:
+
+* **Bounded FIFO queues per tenant** — each tenant owns three
+  priority-classed FIFOs (``high``/``normal``/``low``); within a tenant
+  higher classes drain first, FIFO within a class.
+* **Weighted fair scheduling** — stride scheduling across tenants: each
+  tenant carries a *pass* value advanced by ``STRIDE_K / weight`` per
+  dequeue, and the non-empty tenant with the lowest pass goes next.  A
+  weight-2 tenant therefore drains twice as fast as a weight-1 tenant
+  under contention, and a newly active tenant joins at the current
+  minimum pass (no banking idle time to starve others later).  Ties
+  break by tenant name — scheduling is deterministic.
+* **Priority-aware admission control** — hard bounds per tenant
+  (``max_depth``) and globally (``max_pending``), plus soft shedding
+  thresholds below the hard caps at which ``low`` (then ``normal``)
+  submissions are refused while ``high`` still gets in.  A refusal
+  carries a ``Retry-After`` estimate derived from the current backlog
+  and observed service rate, so clients back off proportionally rather
+  than hammering.
+
+The queues never drop an admitted entry; everything admitted is either
+executed or journaled for a restart.  Overload is handled at the edges:
+refusal at admission (HTTP 429) and degraded *partial* execution at
+dispatch (see :mod:`repro.serve.scheduler`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.serve.protocol import PRIORITIES
+
+__all__ = ["STRIDE_K", "QueuePolicy", "Admission", "TenantQueues"]
+
+#: Stride numerator; pass advances by ``STRIDE_K / weight`` per dequeue.
+STRIDE_K = 1 << 16
+
+
+@dataclass(frozen=True)
+class QueuePolicy:
+    """Bounds and weights for admission control.
+
+    ``shed_fraction`` positions the soft thresholds: with the default
+    0.5, ``low`` submissions are refused once a tenant queue (or the
+    global backlog) is half full, and ``normal`` once it is full — only
+    ``high`` may use the final headroom up to the hard caps.
+    """
+
+    max_depth: int = 8
+    max_pending: int = 64
+    shed_fraction: float = 0.5
+    default_weight: int = 1
+    weights: "dict[str, int]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1 or self.max_pending < 1:
+            raise ConfigurationError(
+                "queue bounds must be >= 1 "
+                f"(max_depth={self.max_depth}, max_pending={self.max_pending})"
+            )
+        if not 0.0 < self.shed_fraction <= 1.0:
+            raise ConfigurationError(
+                f"shed_fraction must be in (0, 1], got {self.shed_fraction}"
+            )
+        for tenant, weight in {
+            **self.weights, "default": self.default_weight
+        }.items():
+            if not isinstance(weight, int) or weight < 1:
+                raise ConfigurationError(
+                    f"tenant weight must be an int >= 1 "
+                    f"({tenant!r} has {weight!r})"
+                )
+
+    def weight(self, tenant: str) -> int:
+        return self.weights.get(tenant, self.default_weight)
+
+
+@dataclass(frozen=True)
+class Admission:
+    """The outcome of one admission decision."""
+
+    admitted: bool
+    reason: str = ""
+    retry_after_s: int = 0
+
+
+class TenantQueues:
+    """The queue fabric: admission in, weighted-fair dequeue out."""
+
+    def __init__(self, policy: "QueuePolicy | None" = None):
+        self.policy = policy or QueuePolicy()
+        self._queues: "dict[str, dict[str, deque]]" = {}
+        self._pass: "dict[str, float]" = {}
+        self._pending = 0
+        self.max_pending_seen = 0
+        #: EWMA of campaign service seconds; seeds the Retry-After
+        #: estimate before any campaign has completed.
+        self._service_s = 1.0
+
+    # -- depth accounting ----------------------------------------------
+
+    def depth(self, tenant: str) -> int:
+        """Queued campaigns for one tenant."""
+        lanes = self._queues.get(tenant)
+        if not lanes:
+            return 0
+        return sum(len(q) for q in lanes.values())
+
+    @property
+    def pending(self) -> int:
+        """Queued campaigns across every tenant."""
+        return self._pending
+
+    def depths(self) -> dict[str, int]:
+        """Per-tenant queue depths (non-empty tenants only)."""
+        return {
+            tenant: depth
+            for tenant in sorted(self._queues)
+            if (depth := self.depth(tenant))
+        }
+
+    def record_service_s(self, seconds: float) -> None:
+        """Fold one completed campaign's wall time into the EWMA."""
+        if seconds > 0:
+            self._service_s = 0.8 * self._service_s + 0.2 * seconds
+
+    def retry_after_s(self, slots: int = 1) -> int:
+        """Seconds a refused client should wait before retrying.
+
+        The backlog's estimated drain time through ``slots`` concurrent
+        executors, clamped to [1, 60] so the header is always actionable.
+        """
+        backlog = max(self._pending, 1)
+        estimate = backlog * self._service_s / max(slots, 1)
+        return max(1, min(60, math.ceil(estimate)))
+
+    # -- admission ------------------------------------------------------
+
+    def admit(self, tenant: str, priority: str, slots: int = 1) -> Admission:
+        """Decide whether a submission may enter the queues.
+
+        Does **not** enqueue — call :meth:`push` after a positive
+        decision (the scheduler needs the gap to assign an id and
+        journal the submission first).
+        """
+        if priority not in PRIORITIES:
+            raise ConfigurationError(f"unknown priority {priority!r}")
+        policy = self.policy
+        depth = self.depth(tenant)
+        soft_depth = max(1, int(policy.max_depth * policy.shed_fraction))
+        soft_pending = max(1, int(policy.max_pending * policy.shed_fraction))
+        retry = self.retry_after_s(slots)
+        if self._pending >= policy.max_pending:
+            return Admission(False, "server_backlog_full", retry)
+        if depth >= policy.max_depth:
+            return Admission(False, "tenant_queue_full", retry)
+        if priority == "low" and (
+            depth >= soft_depth or self._pending >= soft_pending
+        ):
+            return Admission(False, "shedding_low_priority", retry)
+        if priority == "normal" and (
+            depth >= policy.max_depth - 1
+            or self._pending >= policy.max_pending - 1
+        ):
+            # The last queue slot is reserved for high priority.
+            return Admission(False, "shedding_normal_priority", retry)
+        return Admission(True)
+
+    # -- queue + fair dequeue ------------------------------------------
+
+    def push(self, tenant: str, priority: str, item: Any) -> None:
+        """Enqueue an admitted item under its tenant and priority."""
+        lanes = self._queues.get(tenant)
+        if lanes is None:
+            lanes = {p: deque() for p in PRIORITIES}
+            self._queues[tenant] = lanes
+        if tenant not in self._pass:
+            # Join at the current minimum pass so an idle tenant cannot
+            # bank credit and later monopolise the scheduler.
+            active = [
+                self._pass[t]
+                for t in self._pass
+                if self.depth(t) > 0 and t != tenant
+            ]
+            self._pass[tenant] = min(active) if active else 0.0
+        lanes[priority].append(item)
+        self._pending += 1
+        self.max_pending_seen = max(self.max_pending_seen, self._pending)
+
+    def pop(self) -> "tuple[str, Any] | None":
+        """Dequeue the next ``(tenant, item)`` under weighted fairness."""
+        candidates = [
+            tenant for tenant in self._queues if self.depth(tenant) > 0
+        ]
+        if not candidates:
+            return None
+        tenant = min(candidates, key=lambda t: (self._pass[t], t))
+        lanes = self._queues[tenant]
+        for priority in PRIORITIES:
+            if lanes[priority]:
+                item = lanes[priority].popleft()
+                break
+        else:  # pragma: no cover - guarded by depth() above
+            return None
+        self._pass[tenant] += STRIDE_K / self.policy.weight(tenant)
+        self._pending -= 1
+        return tenant, item
+
+    def drain_all(self) -> "list[tuple[str, Any]]":
+        """Empty every queue in fair order (used at shutdown)."""
+        out = []
+        while True:
+            entry = self.pop()
+            if entry is None:
+                return out
+            out.append(entry)

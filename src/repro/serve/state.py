@@ -1,0 +1,200 @@
+"""Durable server state: the submission journal and the results store.
+
+The daemon keeps everything it needs to survive a restart under one
+state directory::
+
+    <state_dir>/
+      journal.jsonl     # fsynced submission/done/drain records
+      events.jsonl      # the shared fleet EventLog (jobs, checkpoints)
+      cache/            # the shared content-addressed ResultCache
+      results/<id>.json # one result document per finished campaign
+
+The journal is the serve-level analogue of the fleet's checkpoint
+records: every accepted submission is fsynced *before* the client gets
+its 202, and a ``done`` record is fsynced when its result document is
+safely on disk.  Replaying the journal therefore yields exactly the
+set of campaigns a restarted server must resume — and because job
+results live in the content-addressed cache and the fleet journal, the
+resumed execution is bit-identical to an uninterrupted one (the chaos
+suite SIGKILLs a live daemon to prove it).
+
+Records::
+
+    {"kind": "submit", "id": "c-000001", "submission": {...},
+     "content_key": "...", "dedup_of": null, "ts": ...}
+    {"kind": "done", "id": "c-000001", "status": "done",
+     "digest": "...", "partial": false, "ts": ...}
+    {"kind": "drain", "pending": ["c-000002"], "ts": ...}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro import io as repro_io
+from repro.serve.protocol import Submission
+
+__all__ = ["PendingCampaign", "StateStore"]
+
+
+class PendingCampaign:
+    """One journaled submission a restarted server must resume."""
+
+    def __init__(
+        self,
+        campaign_id: str,
+        submission: Submission,
+        content_key: str,
+        dedup_of: "str | None",
+    ):
+        self.campaign_id = campaign_id
+        self.submission = submission
+        self.content_key = content_key
+        self.dedup_of = dedup_of
+
+
+class StateStore:
+    """Owns the state directory: journal writes, result documents."""
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "results").mkdir(exist_ok=True)
+        self.journal_path = self.root / "journal.jsonl"
+        self.events_path = self.root / "events.jsonl"
+        self.cache_dir = self.root / "cache"
+        self._lock = threading.Lock()
+        self._fh = self.journal_path.open("a")
+
+    # -- journal --------------------------------------------------------
+
+    def _append(self, record: "dict[str, Any]") -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            self._fh.write(line)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def journal_submit(
+        self,
+        campaign_id: str,
+        submission: Submission,
+        content_key: str,
+        dedup_of: "str | None" = None,
+    ) -> None:
+        """Durably record an accepted submission (before the 202)."""
+        self._append(
+            {
+                "kind": "submit",
+                "id": campaign_id,
+                "submission": submission.to_dict(),
+                "content_key": content_key,
+                "dedup_of": dedup_of,
+                "ts": time.time(),
+            }
+        )
+
+    def journal_done(
+        self,
+        campaign_id: str,
+        status: str,
+        digest: "str | None" = None,
+        partial: bool = False,
+        error: "str | None" = None,
+    ) -> None:
+        """Durably record a terminal state (after the result is saved)."""
+        record: dict[str, Any] = {
+            "kind": "done",
+            "id": campaign_id,
+            "status": status,
+            "partial": partial,
+            "ts": time.time(),
+        }
+        if digest:
+            record["digest"] = digest
+        if error:
+            record["error"] = error
+        self._append(record)
+
+    def journal_drain(self, pending: "list[str]") -> None:
+        """Record a graceful drain and the ids left for the next boot."""
+        self._append(
+            {"kind": "drain", "pending": sorted(pending), "ts": time.time()}
+        )
+
+    def replay(self) -> "tuple[list[PendingCampaign], int]":
+        """Load the journal: pending campaigns and the next id counter.
+
+        A campaign is *pending* when a ``submit`` record has no
+        matching ``done`` — exactly the work a graceful drain left
+        behind or a crash interrupted.  Torn trailing lines are
+        tolerated (same discipline as the fleet journal readers).
+        """
+        pending: "dict[str, PendingCampaign]" = {}
+        max_counter = 0
+        if not self.journal_path.exists():
+            return [], 1
+        for raw in self.journal_path.read_bytes().split(b"\n"):
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            kind = record.get("kind")
+            campaign_id = record.get("id", "")
+            if isinstance(campaign_id, str) and campaign_id.startswith("c-"):
+                try:
+                    max_counter = max(max_counter, int(campaign_id[2:]))
+                except ValueError:
+                    pass
+            if kind == "submit":
+                try:
+                    pending[campaign_id] = PendingCampaign(
+                        campaign_id=campaign_id,
+                        submission=Submission.from_dict(
+                            record["submission"]
+                        ),
+                        content_key=record.get("content_key", ""),
+                        dedup_of=record.get("dedup_of"),
+                    )
+                except (KeyError, TypeError):
+                    continue
+            elif kind == "done":
+                pending.pop(campaign_id, None)
+        ordered = sorted(pending.values(), key=lambda p: p.campaign_id)
+        return ordered, max_counter + 1
+
+    # -- results --------------------------------------------------------
+
+    def result_path(self, campaign_id: str) -> Path:
+        return self.root / "results" / f"{campaign_id}.json"
+
+    def save_result(
+        self, campaign_id: str, document: "dict[str, Any]"
+    ) -> Path:
+        """Persist a result document (atomic: temp + rename)."""
+        path = self.result_path(campaign_id)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        repro_io.save_json(document, tmp)
+        tmp.replace(path)
+        return path
+
+    def load_result(self, campaign_id: str) -> "dict[str, Any] | None":
+        path = self.result_path(campaign_id)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()

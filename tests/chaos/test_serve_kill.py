@@ -1,0 +1,125 @@
+"""SIGKILL the serve daemon mid-campaign: restart must be bit-identical.
+
+The drain test covers the *graceful* path (SIGTERM journals pending
+work).  This is the violent one: SIGKILL gives the daemon no chance to
+journal a drain record, so recovery rests entirely on the fsynced
+submit records and the content-addressed cache.  A restarted daemon
+must finish the interrupted campaign and produce a result document
+byte-identical to an uninterrupted run — the same contract
+``tests/fleet/test_resume.py`` proves for ``repro fleet run --resume``.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import io as repro_io
+from repro.core.evaluation import evaluate_server
+from repro.engine.simulator import Simulator
+from repro.hardware.specs import get_server
+from repro.serve import ServeClient
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_SERVER = "Xeon-E5462"
+_SEED = 7
+
+
+def _spawn_serve(state_dir, port_file):
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0",
+        "--state-dir", str(state_dir),
+        "--port-file", str(port_file),
+        "--slots", "1",
+    ]
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    return subprocess.Popen(
+        argv,
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _client_when_up(port_file, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            return ServeClient.from_port_file(port_file)
+        time.sleep(0.02)
+    raise AssertionError("daemon never published its port")
+
+
+@pytest.fixture(scope="module")
+def reference_bytes(tmp_path_factory):
+    """The uninterrupted result, exactly as serve would write it."""
+    server = get_server(_SERVER)
+    document = repro_io.evaluation_to_dict(
+        evaluate_server(server, Simulator(server, seed=_SEED))
+    )
+    path = tmp_path_factory.mktemp("ref") / "reference.json"
+    return repro_io.save_json(document, path).read_bytes()
+
+
+class TestSigkillServe:
+    def test_sigkill_mid_campaign_then_restart_is_bit_identical(
+        self, tmp_path, reference_bytes
+    ):
+        state_dir = tmp_path / "state"
+        port_file = tmp_path / "port"
+        events_path = state_dir / "events.jsonl"
+
+        victim = _spawn_serve(state_dir, port_file)
+        try:
+            client = _client_when_up(port_file)
+            campaign_id = client.submit_evaluate(
+                _SERVER, seed=_SEED, tenant="alice"
+            )["id"]
+            # Kill the instant execution visibly starts (or let it
+            # finish if it outraces the poll — the contract must hold
+            # from any kill point, including "none").
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if victim.poll() is not None:
+                    break
+                if (
+                    events_path.exists()
+                    and b'"serve_start"' in events_path.read_bytes()
+                ):
+                    victim.kill()
+                    break
+                time.sleep(0.005)
+            else:
+                victim.kill()
+                pytest.fail("campaign never started within 60 s")
+            victim.wait(timeout=60)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait(timeout=30)
+
+        # SIGKILL leaves no drain record — recovery rests on the
+        # fsynced submit journal alone (possibly with a torn tail).
+        restarted = _spawn_serve(state_dir, tmp_path / "port2")
+        try:
+            client = _client_when_up(tmp_path / "port2")
+            status = client.wait(campaign_id, timeout_s=180)
+            assert status["status"] == "done"
+            result_path = state_dir / "results" / f"{campaign_id}.json"
+            assert result_path.read_bytes() == reference_bytes
+        finally:
+            restarted.send_signal(signal.SIGTERM)
+            try:
+                restarted.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                restarted.kill()
+                restarted.wait(timeout=30)
+        assert restarted.returncode == 0

@@ -1,0 +1,184 @@
+"""End-to-end HTTP: daemon on an ephemeral port, driven by the client."""
+
+import json
+
+import pytest
+
+from repro import io as repro_io
+from repro.core.evaluation import evaluate_server
+from repro.engine.simulator import Simulator
+from repro.hardware.specs import get_server
+from repro.serve import (
+    BackgroundServer,
+    QueuePolicy,
+    ServeClient,
+    ServeError,
+    ServeRejected,
+    ServeScheduler,
+    StateStore,
+    parse_submission,
+)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    scheduler = ServeScheduler(StateStore(tmp_path / "state"), slots=2)
+    with BackgroundServer(scheduler) as background:
+        yield background
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient(port=server.port)
+
+
+class TestBasics:
+    def test_health_and_stats(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["draining"] is False
+        stats = client.stats()
+        assert stats["counters"]["submitted"] == 0
+        assert stats["slots"] == 2
+
+    def test_unknown_paths_are_404(self, client):
+        with pytest.raises(ServeError) as exc:
+            client._json("GET", "/nope")
+        assert exc.value.status == 404
+        with pytest.raises(ServeError) as exc:
+            client._json("GET", "/v1/campaigns/c-000001")
+        assert exc.value.code == "unknown_campaign"
+
+    def test_wrong_method_is_405(self, client):
+        with pytest.raises(ServeError) as exc:
+            client._json("POST", "/v1/health", body={})
+        assert exc.value.status == 405
+
+    def test_invalid_json_body_is_400(self, client):
+        status, _, data = client._request(
+            "POST",
+            "/v1/campaigns",
+            body=None,
+            headers={"Content-Length": "0"},
+        )
+        assert status == 400
+        assert json.loads(data)["error"] == "empty_body"
+
+
+class TestCampaignLifecycle:
+    def test_submit_wait_result_roundtrip(self, client, tmp_path):
+        submitted = client.submit_evaluate(
+            "Xeon-E5462", seed=0, tenant="alice"
+        )
+        assert submitted["id"].startswith("c-")
+        status = client.wait(submitted["id"])
+        assert status["status"] == "done"
+        saved = client.save_result(submitted["id"], tmp_path / "out.json")
+        server_spec = get_server("Xeon-E5462")
+        expected = repro_io.save_json(
+            repro_io.evaluation_to_dict(
+                evaluate_server(server_spec, Simulator(server_spec, seed=0))
+            ),
+            tmp_path / "expected.json",
+        )
+        # The serve result is byte-identical to the CLI's --json file.
+        assert saved.read_bytes() == expected.read_bytes()
+
+    def test_result_before_completion_is_404_with_retry(self, client):
+        submitted = client.submit_evaluate("Xeon-4870", tenant="alice")
+        try:
+            client.result(submitted["id"])
+        except ServeError as exc:
+            assert exc.code == "result_not_ready"
+        finally:
+            client.wait(submitted["id"])
+
+    def test_cross_tenant_dedup_visible_in_api(self, client):
+        first = client.submit_evaluate("Xeon-E5462", tenant="alice")
+        second = client.submit_evaluate("Xeon-E5462", tenant="bob")
+        assert second.get("dedup_of") == first["id"]
+        status_a = client.wait(first["id"])
+        status_b = client.wait(second["id"])
+        assert status_a["digest"] == status_b["digest"]
+        assert client.stats()["counters"]["deduped_campaigns"] == 1
+
+    def test_events_stream_tails_the_campaign(self, client):
+        submitted = client.submit_evaluate("Xeon-E5462", tenant="alice")
+        events = list(client.events(submitted["id"]))
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "serve_submit"
+        assert kinds[-1] == "serve_finish"
+        assert "job_start" in kinds
+        assert all(e["campaign"] == submitted["id"] for e in events)
+
+    def test_events_for_unknown_campaign_is_404(self, client):
+        with pytest.raises(ServeError) as exc:
+            list(client.events("c-999999"))
+        assert exc.value.status == 404
+
+
+class TestBackpressure:
+    def test_bounded_queue_answers_429_with_retry_after(self, tmp_path):
+        scheduler = ServeScheduler(
+            StateStore(tmp_path / "state"),
+            policy=QueuePolicy(max_depth=1, max_pending=2),
+            slots=1,
+        )
+        with BackgroundServer(scheduler) as background:
+            client = ServeClient(port=background.port)
+            rejected = None
+            accepted = []
+            # Distinct seeds: dedup must not absorb the flood.
+            for seed in range(12):
+                try:
+                    accepted.append(
+                        client.submit_evaluate(
+                            "Xeon-E5462",
+                            seed=seed,
+                            tenant="flood",
+                            priority="high",
+                        )
+                    )
+                except ServeRejected as exc:
+                    rejected = exc
+            assert rejected is not None, "bounded queue never refused"
+            assert rejected.status == 429
+            assert rejected.retry_after_s >= 1
+            assert rejected.code in (
+                "tenant_queue_full",
+                "server_backlog_full",
+            )
+            for doc in accepted:
+                assert client.wait(doc["id"])["status"] == "done"
+
+    def test_low_priority_sheds_before_high(self, tmp_path):
+        scheduler = ServeScheduler(
+            StateStore(tmp_path / "state"),
+            policy=QueuePolicy(max_depth=4, max_pending=8),
+            slots=1,
+        )
+        # Submit before slots start so the queue holds its depth.
+        low_refused = high_ok = False
+        for seed in range(8):
+            outcome = scheduler.submit(
+                parse_submission(
+                    {
+                        "kind": "evaluate",
+                        "server": "Xeon-E5462",
+                        "seed": seed,
+                        "priority": "low" if seed % 2 else "high",
+                    },
+                    "mixed",
+                )
+            )
+            if outcome.accepted and seed % 2 == 0:
+                high_ok = True
+            if (
+                not outcome.accepted
+                and seed % 2 == 1
+                and outcome.reason == "shedding_low_priority"
+            ):
+                low_refused = True
+        assert high_ok, "high priority was refused below the hard cap"
+        assert low_refused, "low priority never shed at the soft limit"
+        scheduler.drain(timeout_s=1)

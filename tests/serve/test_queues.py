@@ -1,0 +1,137 @@
+"""Tenant queues: admission ladder, stride fairness, backpressure."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.queues import Admission, QueuePolicy, TenantQueues
+
+
+def _fill(queues, tenant, n, priority="high"):
+    for i in range(n):
+        queues.push(tenant, priority, f"{tenant}-{i}")
+
+
+class TestPolicy:
+    def test_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            QueuePolicy(max_depth=0)
+        with pytest.raises(ConfigurationError):
+            QueuePolicy(shed_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            QueuePolicy(weights={"a": 0})
+
+    def test_weight_lookup(self):
+        policy = QueuePolicy(weights={"big": 4})
+        assert policy.weight("big") == 4
+        assert policy.weight("anyone") == 1
+
+
+class TestAdmission:
+    def test_high_admitted_until_hard_cap(self):
+        queues = TenantQueues(QueuePolicy(max_depth=4, max_pending=64))
+        _fill(queues, "a", 3)
+        assert queues.admit("a", "high").admitted
+        _fill(queues, "a", 1)
+        refused = queues.admit("a", "high")
+        assert not refused.admitted
+        assert refused.reason == "tenant_queue_full"
+        assert refused.retry_after_s >= 1
+
+    def test_global_backlog_cap(self):
+        queues = TenantQueues(QueuePolicy(max_depth=8, max_pending=4))
+        _fill(queues, "a", 2)
+        _fill(queues, "b", 2)
+        refused = queues.admit("c", "high")
+        assert refused.reason == "server_backlog_full"
+
+    def test_low_sheds_at_soft_threshold(self):
+        queues = TenantQueues(
+            QueuePolicy(max_depth=8, max_pending=64, shed_fraction=0.5)
+        )
+        _fill(queues, "a", 4)  # at the soft depth (8 * 0.5)
+        assert queues.admit("a", "high").admitted
+        assert queues.admit("a", "normal").admitted
+        low = queues.admit("a", "low")
+        assert not low.admitted
+        assert low.reason == "shedding_low_priority"
+
+    def test_normal_refused_at_last_slot(self):
+        queues = TenantQueues(QueuePolicy(max_depth=4, max_pending=64))
+        _fill(queues, "a", 3)
+        refused = queues.admit("a", "normal")
+        assert refused.reason == "shedding_normal_priority"
+        assert queues.admit("a", "high").admitted
+
+    def test_retry_after_tracks_backlog_and_service_time(self):
+        queues = TenantQueues(QueuePolicy(max_depth=64, max_pending=128))
+        _fill(queues, "a", 10)
+        fast = queues.retry_after_s(slots=2)
+        for _ in range(8):
+            queues.record_service_s(10.0)  # slow service estimate
+        slow = queues.retry_after_s(slots=2)
+        assert slow > fast
+        assert 1 <= fast <= 60 and 1 <= slow <= 60
+
+    def test_unknown_priority_raises(self):
+        with pytest.raises(ConfigurationError):
+            TenantQueues().admit("a", "urgent")
+
+    def test_admission_dataclass_defaults(self):
+        assert Admission(True) == Admission(True, "", 0)
+
+
+class TestFairness:
+    def test_priority_lanes_within_a_tenant(self):
+        queues = TenantQueues()
+        queues.push("a", "low", "l")
+        queues.push("a", "normal", "n")
+        queues.push("a", "high", "h")
+        assert [queues.pop()[1] for _ in range(3)] == ["h", "n", "l"]
+
+    def test_weighted_tenant_drains_proportionally(self):
+        queues = TenantQueues(
+            QueuePolicy(max_depth=64, weights={"heavy": 2})
+        )
+        _fill(queues, "heavy", 30, "normal")
+        _fill(queues, "light", 30, "normal")
+        first_30 = [queues.pop()[0] for _ in range(30)]
+        # Stride scheduling: the weight-2 tenant gets ~2 of every 3.
+        assert first_30.count("heavy") == 20
+        assert first_30.count("light") == 10
+
+    def test_deterministic_tie_break_by_name(self):
+        queues = TenantQueues()
+        _fill(queues, "bravo", 2, "normal")
+        _fill(queues, "alpha", 2, "normal")
+        order = [queues.pop()[0] for _ in range(4)]
+        assert order == ["alpha", "bravo", "alpha", "bravo"]
+
+    def test_new_tenant_joins_at_current_pass_no_banking(self):
+        queues = TenantQueues()
+        _fill(queues, "old", 10, "normal")
+        for _ in range(8):
+            queues.pop()
+        # A tenant arriving now must not get 8 back-to-back turns.
+        _fill(queues, "new", 4, "normal")
+        _fill(queues, "old", 2, "normal")
+        order = [queues.pop()[0] for _ in range(4)]
+        assert order.count("new") <= 3
+
+    def test_pop_empty_returns_none(self):
+        assert TenantQueues().pop() is None
+
+    def test_drain_all_empties_fairly(self):
+        queues = TenantQueues()
+        _fill(queues, "a", 2, "normal")
+        _fill(queues, "b", 2, "normal")
+        drained = queues.drain_all()
+        assert len(drained) == 4
+        assert queues.pending == 0
+
+    def test_max_pending_seen_high_water_mark(self):
+        queues = TenantQueues()
+        _fill(queues, "a", 5, "normal")
+        for _ in range(5):
+            queues.pop()
+        assert queues.pending == 0
+        assert queues.max_pending_seen == 5

@@ -1,0 +1,265 @@
+"""ServeScheduler: execution, dedup, shedding, drain + resume."""
+
+import json
+import time
+
+import pytest
+
+from repro import io as repro_io
+from repro.core.evaluation import evaluate_server
+from repro.engine.simulator import Simulator
+from repro.fleet import campaign_to_dict, demo_campaign, read_events
+from repro.hardware.specs import get_server
+from repro.serve import (
+    QueuePolicy,
+    ServeScheduler,
+    StateStore,
+    Submission,
+    parse_submission,
+)
+
+
+def _evaluate_submission(server="Xeon-E5462", tenant="alice", **extra):
+    return parse_submission(
+        {"kind": "evaluate", "server": server, **extra}, tenant
+    )
+
+
+def _wait_done(scheduler, campaign_id, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = scheduler.status(campaign_id)
+        if status and status["status"] in ("done", "failed"):
+            return status
+        time.sleep(0.05)
+    raise AssertionError(f"{campaign_id} never finished")
+
+
+@pytest.fixture()
+def scheduler(tmp_path):
+    sched = ServeScheduler(StateStore(tmp_path / "state"), slots=2)
+    sched.start()
+    yield sched
+    if not sched.draining:
+        sched.drain(timeout_s=30)
+
+
+class TestExecution:
+    def test_evaluate_result_matches_direct_evaluation(
+        self, scheduler, tmp_path
+    ):
+        outcome = scheduler.submit(_evaluate_submission(seed=0))
+        assert outcome.accepted
+        status = _wait_done(scheduler, outcome.campaign.campaign_id)
+        assert status["status"] == "done"
+        document = scheduler.result(outcome.campaign.campaign_id)
+        server = get_server("Xeon-E5462")
+        expected = repro_io.evaluation_to_dict(
+            evaluate_server(server, Simulator(server, seed=0))
+        )
+        assert document == expected
+
+    def test_fleet_campaign_executes_with_digest(self, scheduler):
+        submission = parse_submission(
+            {"campaign": campaign_to_dict(demo_campaign())}, "alice"
+        )
+        outcome = scheduler.submit(submission)
+        status = _wait_done(scheduler, outcome.campaign.campaign_id)
+        assert status["status"] == "done"
+        document = scheduler.result(outcome.campaign.campaign_id)
+        assert document["kind"] == "fleet-outcome"
+        assert document["digest"] == status["digest"]
+        assert document["report"]["n_failed"] == 0
+
+    def test_invalid_spec_fails_the_campaign_not_the_slot(
+        self, scheduler
+    ):
+        # Construct directly (bypassing eager parse validation) to
+        # exercise the slot's failure path.
+        bad = Submission(
+            tenant="alice",
+            priority="normal",
+            kind="evaluate",
+            spec={"server": "PDP-11", "seed": 0},
+        )
+        outcome = scheduler.submit(bad)
+        status = _wait_done(scheduler, outcome.campaign.campaign_id)
+        assert status["status"] == "failed"
+        assert "PDP-11" in status["error"]
+        # The slot survives: new work still executes.
+        ok = scheduler.submit(_evaluate_submission())
+        assert _wait_done(scheduler, ok.campaign.campaign_id)[
+            "status"
+        ] == "done"
+
+
+class TestDedup:
+    def test_inflight_identical_submissions_share_one_execution(
+        self, scheduler
+    ):
+        first = scheduler.submit(_evaluate_submission(tenant="alice"))
+        second = scheduler.submit(_evaluate_submission(tenant="bob"))
+        assert second.campaign.dedup_of == first.campaign.campaign_id
+        status_a = _wait_done(scheduler, first.campaign.campaign_id)
+        status_b = _wait_done(scheduler, second.campaign.campaign_id)
+        assert status_a["digest"] == status_b["digest"]
+        # Byte-identical result documents for both tenants.
+        path_a = scheduler.state.result_path(first.campaign.campaign_id)
+        path_b = scheduler.state.result_path(second.campaign.campaign_id)
+        assert path_a.read_bytes() == path_b.read_bytes()
+        assert scheduler.stats()["counters"]["deduped_campaigns"] == 1
+
+    def test_sequential_identical_submissions_dedup_via_cache(
+        self, scheduler
+    ):
+        first = scheduler.submit(_evaluate_submission())
+        _wait_done(scheduler, first.campaign.campaign_id)
+        second = scheduler.submit(_evaluate_submission(tenant="bob"))
+        status = _wait_done(scheduler, second.campaign.campaign_id)
+        # Not campaign-deduped (the primary already finished)...
+        assert second.campaign.dedup_of is None
+        # ...but every job came from the shared content-addressed
+        # cache, and the result is bit-identical.
+        assert scheduler.stats()["counters"]["deduped_jobs"] >= 10
+        assert status["digest"] == scheduler.status(
+            first.campaign.campaign_id
+        )["digest"]
+
+
+class TestOverload:
+    def test_backlog_sheds_to_partial_evaluation(self, tmp_path):
+        # One slot and a tiny backlog bound: drown it so dispatch
+        # crosses the shed threshold and degrades to partial.
+        scheduler = ServeScheduler(
+            StateStore(tmp_path / "state"),
+            policy=QueuePolicy(max_depth=8, max_pending=8),
+            slots=1,
+            shed_job_budget=1,
+        )
+        try:
+            # Six distinct contents (seeds) so campaign-level dedup
+            # cannot collapse the backlog before it crosses the shed
+            # threshold (8 * 0.5 = 4 pending).
+            submissions = [
+                _evaluate_submission(
+                    tenant="a", priority="high", seed=seed
+                )
+                for seed in range(6)
+            ]
+            accepted = []
+            for submission in submissions:
+                outcome = scheduler.submit(submission)
+                if outcome.accepted:
+                    accepted.append(outcome.campaign.campaign_id)
+            scheduler.start()
+            statuses = [_wait_done(scheduler, cid) for cid in accepted]
+            assert all(s["status"] == "done" for s in statuses)
+            partials = [s for s in statuses if s["partial"]]
+            assert partials, "deep backlog never degraded to partial"
+            # Partial evaluate results record what is missing.
+            document = scheduler.result(partials[0]["id"])
+            assert document["missing"]
+            assert 0 < document["coverage"] < 1
+        finally:
+            scheduler.drain(timeout_s=30)
+
+    def test_rejection_carries_retry_after(self, tmp_path):
+        scheduler = ServeScheduler(
+            StateStore(tmp_path / "state"),
+            policy=QueuePolicy(max_depth=2, max_pending=8),
+            slots=1,
+        )
+        # Slots not started: the queue cannot drain.
+        servers = ("Xeon-E5462", "Opteron-8347", "Xeon-4870")
+        outcomes = [
+            scheduler.submit(
+                _evaluate_submission(server=s, priority="high")
+            )
+            for s in servers
+        ]
+        assert [o.accepted for o in outcomes] == [True, True, False]
+        assert outcomes[2].reason == "tenant_queue_full"
+        assert outcomes[2].retry_after_s >= 1
+        scheduler.drain(timeout_s=1)
+
+
+class TestDurability:
+    def test_drain_journals_pending_and_restart_resumes(self, tmp_path):
+        state_root = tmp_path / "state"
+        first = ServeScheduler(StateStore(state_root), slots=1)
+        submissions = [
+            _evaluate_submission(server=s, tenant=t)
+            for s, t in (
+                ("Xeon-E5462", "alice"),
+                ("Opteron-8347", "bob"),
+            )
+        ]
+        ids = [first.submit(s).campaign.campaign_id for s in submissions]
+        # Never started: drain leaves everything journaled.
+        pending = first.drain(timeout_s=1)
+        assert pending == ids
+        drain_records = [
+            json.loads(line)
+            for line in (state_root / "journal.jsonl")
+            .read_text()
+            .splitlines()
+            if '"drain"' in line
+        ]
+        assert drain_records[-1]["pending"] == ids
+
+        second = ServeScheduler(StateStore(state_root), slots=2)
+        assert second.start() == len(ids)
+        try:
+            for campaign_id in ids:
+                assert (
+                    _wait_done(second, campaign_id)["status"] == "done"
+                )
+            # Resumed ids continue the same sequence: a new submission
+            # does not collide with journaled ones.
+            fresh = second.submit(
+                _evaluate_submission(server="Xeon-4870")
+            )
+            assert fresh.campaign.campaign_id not in ids
+        finally:
+            second.drain(timeout_s=30)
+
+    def test_resumed_result_is_bit_identical_to_uninterrupted(
+        self, tmp_path
+    ):
+        submission = _evaluate_submission(seed=7)
+        # Uninterrupted reference run.
+        ref = ServeScheduler(StateStore(tmp_path / "ref"), slots=1)
+        ref.start()
+        ref_id = ref.submit(submission).campaign.campaign_id
+        _wait_done(ref, ref_id)
+        ref_bytes = ref.state.result_path(ref_id).read_bytes()
+        ref.drain(timeout_s=30)
+
+        # Interrupted: journal, drain before execution, restart.
+        state_root = tmp_path / "state"
+        first = ServeScheduler(StateStore(state_root), slots=1)
+        cid = first.submit(submission).campaign.campaign_id
+        first.drain(timeout_s=1)
+        second = ServeScheduler(StateStore(state_root), slots=1)
+        second.start()
+        try:
+            assert _wait_done(second, cid)["status"] == "done"
+            assert (
+                second.state.result_path(cid).read_bytes() == ref_bytes
+            )
+        finally:
+            second.drain(timeout_s=30)
+
+    def test_events_journal_carries_serve_lifecycle(self, scheduler):
+        outcome = scheduler.submit(_evaluate_submission())
+        campaign_id = outcome.campaign.campaign_id
+        _wait_done(scheduler, campaign_id)
+        events = [
+            e
+            for e in read_events(scheduler.state.events_path)
+            if e.get("campaign") == campaign_id
+        ]
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "serve_submit"
+        assert kinds[-1] == "serve_finish"
+        assert "job_finish" in kinds  # fleet jobs share the journal
