@@ -36,6 +36,7 @@ __all__ = [
     "corrupt_csv_rows",
     "flip_cache_bit",
     "tear_cache_entry",
+    "flip_journal_record",
 ]
 
 
@@ -193,6 +194,48 @@ def flip_cache_bit(
     raw[offset] ^= 1 << int(rng.integers(8))
     victim.write_bytes(bytes(raw))
     return victim
+
+
+def flip_journal_record(
+    path: "str | Path",
+    rng: np.random.Generator,
+    kind: "str | None" = None,
+) -> "tuple[Path, int]":
+    """Corrupt one record of a JSONL journal in place (media bitflip).
+
+    Picks a random line — optionally restricted to records of one
+    ``kind`` — and flips the low bit of its opening brace, so the line
+    is no longer parseable JSON but stays one line (the damage a flaky
+    sector leaves, not a torn write).  Returns the path and the 0-based
+    line number damaged.
+    """
+    import json
+
+    path = Path(path)
+    lines = path.read_bytes().split(b"\n")
+    candidates: "list[int]" = []
+    for i, raw in enumerate(lines):
+        if not raw.strip():
+            continue
+        if kind is not None:
+            try:
+                record = json.loads(raw)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if not isinstance(record, dict) or record.get("kind") != kind:
+                continue
+        candidates.append(i)
+    if not candidates:
+        raise ConfigurationError(
+            f"no record of kind {kind!r} to damage in {path}"
+        )
+    lineno = candidates[int(rng.integers(len(candidates)))]
+    raw = bytearray(lines[lineno])
+    brace = raw.index(b"{")
+    raw[brace] ^= 1
+    lines[lineno] = bytes(raw)
+    path.write_bytes(b"\n".join(lines))
+    return path, lineno
 
 
 def tear_cache_entry(

@@ -587,6 +587,340 @@ def _scenario_partial_matrix(seed: int) -> ScenarioVerdict:
     )
 
 
+def _scenario_disk_full(seed: int) -> ScenarioVerdict:
+    """ENOSPC mid-campaign: writes shed, numbers intact, cache heals."""
+    from repro.doctor import safewrite
+    from repro.fleet import FleetRunner, ResultCache
+
+    with TemporaryDirectory() as tmp:
+        campaign = _demo_campaign()
+        baseline = _baseline_digest(seed)
+        cache = ResultCache(Path(tmp) / "cache")
+        # One write token: the first cache entry lands, then the disk
+        # is "full" for the rest of the campaign.
+        safewrite.inject_disk_full(budget=1)
+        try:
+            outcome = FleetRunner(workers=1, cache=cache).run(campaign)
+        finally:
+            safewrite.clear_disk_fault()
+        if outcome.results_digest() != baseline:
+            return ScenarioVerdict(
+                "disk-full",
+                "cache",
+                "failed",
+                "digest changed under a full disk",
+            )
+        if cache.stats.degraded < 1:
+            return ScenarioVerdict(
+                "disk-full",
+                "cache",
+                "failed",
+                "injected ENOSPC never reached a cache write",
+            )
+        degraded = cache.stats.degraded
+        # Disk "recovers": a re-run backfills every shed entry.
+        healed = FleetRunner(workers=1, cache=cache).run(campaign)
+        if healed.results_digest() != baseline:
+            return ScenarioVerdict(
+                "disk-full",
+                "cache",
+                "failed",
+                "re-run after recovery changed the digest",
+            )
+        if len(cache) < len(campaign.jobs()):
+            return ScenarioVerdict(
+                "disk-full",
+                "cache",
+                "failed",
+                f"cache did not heal: {len(cache)} entries "
+                f"for {len(campaign.jobs())} jobs",
+            )
+    return ScenarioVerdict(
+        "disk-full",
+        "cache",
+        "recovered",
+        f"{degraded} write(s) shed under ENOSPC, digest intact, "
+        "cache backfilled after recovery",
+    )
+
+
+def _serve_submission(kind: str = "fleet") -> "object":
+    from repro.fleet import campaign_to_dict
+    from repro.serve.protocol import Submission
+
+    if kind == "evaluate":
+        # Deterministic document bytes (a fleet outcome embeds wall
+        # times); this is the byte-identity fixture the SIGKILL chaos
+        # test also uses.
+        spec: dict = {"server": "Xeon-E5462", "seed": 7}
+    else:
+        spec = campaign_to_dict(_demo_campaign())
+    return Submission(
+        tenant="chaos", priority="normal", kind=kind, spec=spec
+    )
+
+
+def _await_status(scheduler, campaign_id: str, timeout_s: float = 60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = scheduler.status(campaign_id)
+        if status and status["status"] in ("done", "failed"):
+            return status
+        time.sleep(0.02)
+    raise ReproError(f"campaign {campaign_id} never finished")
+
+
+def _scenario_journal_bitflip(seed: int) -> ScenarioVerdict:
+    """A flipped done-record: audit flags it, replay re-executes bit-
+    identically (the warm cache makes the re-run nearly free)."""
+    from repro.doctor import SUBMIT_JOURNAL_KINDS, JournalStore
+    from repro.serve.scheduler import ServeScheduler
+    from repro.serve.state import StateStore
+
+    with TemporaryDirectory() as tmp:
+        root = Path(tmp) / "state"
+        scheduler = ServeScheduler(StateStore(root), slots=1)
+        scheduler.start()
+        outcome = scheduler.submit(_serve_submission("evaluate"))
+        campaign_id = outcome.campaign.campaign_id
+        status = _await_status(scheduler, campaign_id)
+        scheduler.drain(timeout_s=10.0)
+        if status["status"] != "done":
+            return ScenarioVerdict(
+                "journal-bitflip",
+                "serve",
+                "failed",
+                f"fixture campaign ended {status['status']}",
+            )
+        state = StateStore(root)
+        reference = state.result_path(campaign_id).read_bytes()
+        state.close()
+        journal = root / "journal.jsonl"
+        faults.flip_journal_record(
+            journal, faults.fault_rng(seed, "journal-bitflip"), kind="done"
+        )
+        report = JournalStore(
+            journal, name="serve-journal", known_kinds=SUBMIT_JOURNAL_KINDS
+        ).audit()
+        flagged = [f for f in report if f.problem == "corrupt_record"]
+        if not flagged:
+            return ScenarioVerdict(
+                "journal-bitflip",
+                "serve",
+                "failed",
+                "doctor audit missed the corrupt record",
+            )
+        # Restart: the campaign has a submit but no parseable done, so
+        # replay re-enqueues and re-executes it.
+        scheduler = ServeScheduler(StateStore(root), slots=1)
+        resumed = scheduler.start()
+        status = _await_status(scheduler, campaign_id)
+        replayed = StateStore(root).result_path(campaign_id).read_bytes()
+        scheduler.drain(timeout_s=10.0)
+        if resumed < 1:
+            return ScenarioVerdict(
+                "journal-bitflip",
+                "serve",
+                "failed",
+                "corrupt done record did not re-pend the campaign",
+            )
+        if status["status"] != "done" or replayed != reference:
+            return ScenarioVerdict(
+                "journal-bitflip",
+                "serve",
+                "failed",
+                "replayed result not byte-identical to the original",
+            )
+    return ScenarioVerdict(
+        "journal-bitflip",
+        "serve",
+        "recovered",
+        "audit flagged the record, replay re-executed, "
+        "result byte-identical",
+    )
+
+
+def _scenario_evict_during_dedup(seed: int) -> ScenarioVerdict:
+    """Capped eviction with a pending dedup pair: pinned entries
+    survive, the resumed pair completes bit-identically from cache."""
+    from repro.doctor import (
+        EvictionPolicy,
+        FleetCacheStore,
+        evict_store,
+        serve_pins,
+    )
+    from repro.engine.simulator import Simulator
+    from repro.fleet import FleetRunner, ResultCache
+    from repro.hardware.specs import get_server
+    from repro.serve.scheduler import ServeScheduler
+    from repro.serve.protocol import submission_content_key
+    from repro.serve.state import StateStore
+    from repro.workloads.npb import NpbWorkload
+
+    with TemporaryDirectory() as tmp:
+        root = Path(tmp) / "state"
+        submission = _serve_submission()
+        baseline = _baseline_digest(seed)
+        # Journal a pending primary + follower (as a crash mid-flight
+        # leaves them), with the campaign's job results already cached.
+        state = StateStore(root)
+        key = submission_content_key(submission)
+        state.journal_submit("c-000001", submission, key)
+        state.journal_submit(
+            "c-000002", submission, key, dedup_of="c-000001"
+        )
+        state.close()
+        cache = ResultCache(root / "cache")
+        FleetRunner(workers=1, cache=cache).run(_demo_campaign())
+        pinned_entries = len(cache)
+        # Unrelated entries the cap should reclaim.
+        filler = Simulator(get_server("Xeon-E5462"), seed=seed).run(
+            NpbWorkload("ep", "A", 2)
+        )
+        for i in range(3):
+            cache.put(f"{i:02d}" + "f" * 62, filler, wall_s=0.1)
+        pins = serve_pins(root)
+        report = evict_store(
+            FleetCacheStore(root / "cache"),
+            EvictionPolicy(max_entries=0),
+            pins=pins.all,
+        )
+        if len(report.evicted) != 3 or report.pinned_kept < pinned_entries:
+            return ScenarioVerdict(
+                "evict-during-dedup",
+                "serve",
+                "failed",
+                f"evicted {len(report.evicted)}/3 fillers, "
+                f"kept {report.pinned_kept}/{pinned_entries} pinned",
+            )
+        # Resume: both campaigns must complete from the surviving
+        # entries, byte-identical to each other and the baseline.
+        scheduler = ServeScheduler(StateStore(root), slots=1)
+        scheduler.start()
+        primary = _await_status(scheduler, "c-000001")
+        follower = _await_status(scheduler, "c-000002")
+        state = StateStore(root)
+        primary_bytes = state.result_path("c-000001").read_bytes()
+        follower_bytes = state.result_path("c-000002").read_bytes()
+        hits = scheduler.counters["deduped_jobs"]
+        scheduler.drain(timeout_s=10.0)
+        if primary["status"] != "done" or follower["status"] != "done":
+            return ScenarioVerdict(
+                "evict-during-dedup",
+                "serve",
+                "failed",
+                "resumed dedup pair did not complete",
+            )
+        if primary_bytes != follower_bytes:
+            return ScenarioVerdict(
+                "evict-during-dedup",
+                "serve",
+                "failed",
+                "follower result not byte-identical to primary",
+            )
+        if primary.get("digest", baseline) != baseline and hits == 0:
+            return ScenarioVerdict(
+                "evict-during-dedup",
+                "serve",
+                "failed",
+                "resume recomputed from scratch: pins did not protect "
+                "the in-flight entries",
+            )
+    return ScenarioVerdict(
+        "evict-during-dedup",
+        "serve",
+        "recovered",
+        f"3 unpinned entries reclaimed, {pinned_entries} pinned kept, "
+        f"dedup pair resumed with {hits} cache hits",
+    )
+
+
+def _scenario_supervisor_crash_loop(seed: int) -> ScenarioVerdict:
+    """The supervisor heals a flaky child and gives up on a hopeless
+    one — breaker open, budget intact, all on a fake clock."""
+    from repro.doctor import RestartPolicy, Supervisor
+
+    del seed  # deterministic by construction
+    policy = RestartPolicy(
+        max_restarts=5,
+        backoff_initial_s=0.5,
+        backoff_cap_s=4.0,
+        min_uptime_s=5.0,
+        breaker_strikes=3,
+    )
+    timeline = {"now": 0.0}
+    slept: "list[float]" = []
+
+    def clock() -> float:
+        return timeline["now"]
+
+    def sleep(seconds: float) -> None:
+        slept.append(seconds)
+        timeline["now"] += seconds
+
+    # Child A crashes twice quickly, then runs long and exits clean.
+    exits = iter([(0.1, 1), (0.2, 1), (60.0, 0)])
+
+    def flaky() -> int:
+        uptime, code = next(exits)
+        timeline["now"] += uptime
+        return code
+
+    audits: "list[int]" = []
+    outcome = Supervisor(
+        flaky,
+        policy,
+        audit=lambda: audits.append(1),
+        sleep=sleep,
+        clock=clock,
+    ).run()
+    if outcome.status != "clean" or outcome.restarts != 2:
+        return ScenarioVerdict(
+            "supervisor-crash-loop",
+            "serve",
+            "failed",
+            f"flaky child: {outcome.status} after "
+            f"{outcome.restarts} restarts (want clean after 2)",
+        )
+    if len(audits) != 2 or slept != [0.5, 1.0]:
+        return ScenarioVerdict(
+            "supervisor-crash-loop",
+            "serve",
+            "failed",
+            f"expected 2 audits + backoff [0.5, 1.0], "
+            f"got {len(audits)} audits, backoff {slept}",
+        )
+
+    # Child B can never boot: the breaker must open before the budget.
+    def hopeless() -> int:
+        timeline["now"] += 0.05
+        return 1
+
+    halted = Supervisor(hopeless, policy, sleep=sleep, clock=clock).run()
+    if halted.status != "breaker_open":
+        return ScenarioVerdict(
+            "supervisor-crash-loop",
+            "serve",
+            "failed",
+            f"hopeless child ended {halted.status}, breaker never opened",
+        )
+    if halted.restarts >= policy.max_restarts:
+        return ScenarioVerdict(
+            "supervisor-crash-loop",
+            "serve",
+            "failed",
+            "breaker opened only after the restart budget burned out",
+        )
+    return ScenarioVerdict(
+        "supervisor-crash-loop",
+        "serve",
+        "degraded",
+        f"flaky child healed after 2 restarts (backoff {slept[:2]}); "
+        f"crash loop tripped the breaker after {halted.restarts} "
+        "restarts with budget to spare",
+    )
+
+
 #: name -> (layer, description, callable).  Order is the report order.
 _SCENARIOS: "dict[str, tuple[str, str, object]]" = {
     "meter-dropout": (
@@ -663,6 +997,26 @@ _SCENARIOS: "dict[str, tuple[str, str, object]]" = {
         "campaign",
         "two states permanently dead; score degrades with coverage flag",
         _scenario_partial_matrix,
+    ),
+    "disk-full": (
+        "cache",
+        "ENOSPC mid-campaign; writes shed, digest intact, cache heals",
+        _scenario_disk_full,
+    ),
+    "journal-bitflip": (
+        "serve",
+        "done-record bit flipped; audit flags it, replay bit-identical",
+        _scenario_journal_bitflip,
+    ),
+    "evict-during-dedup": (
+        "serve",
+        "capped eviction with in-flight dedup; pins hold, resume exact",
+        _scenario_evict_during_dedup,
+    ),
+    "supervisor-crash-loop": (
+        "serve",
+        "crash-looping daemon; backoff, auto-audit, breaker opens",
+        _scenario_supervisor_crash_loop,
     ),
 }
 

@@ -581,6 +581,142 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write host:port here once bound (for scripts and CI)",
     )
+    srv.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run the daemon under a crash supervisor: restart budget, "
+        "exponential backoff, crash-loop breaker, post-crash auto-audit",
+    )
+    srv.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        help="supervisor: total restarts before giving up (default 5)",
+    )
+    srv.add_argument(
+        "--backoff-initial",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="supervisor: first restart delay, doubled per restart "
+        "(default 0.5)",
+    )
+    srv.add_argument(
+        "--backoff-cap",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="supervisor: max restart delay (default 30)",
+    )
+    srv.add_argument(
+        "--min-uptime",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="supervisor: a crash before this uptime is a breaker "
+        "strike (default 5)",
+    )
+    srv.add_argument(
+        "--breaker-strikes",
+        type=int,
+        default=3,
+        help="supervisor: consecutive fast crashes that open the "
+        "circuit breaker (default 3)",
+    )
+
+    doc = sub.add_parser(
+        "doctor",
+        help="storage health: checksum audit, quarantine repair, "
+        "capped refcount-aware eviction, and gc over the on-disk stores",
+    )
+    dsub = doc.add_subparsers(dest="doctor_command", required=True)
+
+    def _doctor_targets(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache",
+            action="append",
+            default=[],
+            metavar="DIR",
+            help="fleet result-cache root (repeatable)",
+        )
+        p.add_argument(
+            "--serve-state",
+            action="append",
+            default=[],
+            metavar="DIR",
+            help="serve state directory: covers its cache, results, "
+            "submit journal, and event log (repeatable)",
+        )
+        p.add_argument(
+            "--registry",
+            action="append",
+            default=[],
+            metavar="DIR",
+            help="model registry root (repeatable)",
+        )
+        p.add_argument(
+            "--events",
+            action="append",
+            default=[],
+            metavar="PATH",
+            help="standalone JSONL event journal (repeatable)",
+        )
+        p.add_argument(
+            "--json", metavar="PATH", help="save the report as JSON"
+        )
+
+    daud = dsub.add_parser(
+        "audit",
+        help="read-only integrity scan; exits 1 when anything is corrupt",
+    )
+    _doctor_targets(daud)
+    drep = dsub.add_parser(
+        "repair",
+        help="audit, then quarantine/compact every corrupt finding",
+    )
+    _doctor_targets(drep)
+    devi = dsub.add_parser(
+        "evict",
+        help="size/TTL/LRU eviction; in-flight serve work is pinned "
+        "and never evicted",
+    )
+    _doctor_targets(devi)
+    devi.add_argument(
+        "--max-bytes", type=int, metavar="N", help="byte cap per store"
+    )
+    devi.add_argument(
+        "--max-entries", type=int, metavar="N", help="entry cap per store"
+    )
+    devi.add_argument(
+        "--ttl",
+        type=float,
+        metavar="S",
+        help="evict unpinned entries older than this many seconds",
+    )
+    devi.add_argument(
+        "--pin",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="extra pin (cache key or campaign id; repeatable) on top "
+        "of the pins derived from each --serve-state journal",
+    )
+    devi.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without removing anything",
+    )
+    dgc = dsub.add_parser(
+        "gc", help="sweep temp-file debris and quarantine corpses"
+    )
+    _doctor_targets(dgc)
+    dgc.add_argument(
+        "--quarantine-ttl",
+        type=float,
+        metavar="S",
+        help="only remove quarantine corpses older than this "
+        "(default: remove all)",
+    )
 
     cha = sub.add_parser(
         "chaos",
@@ -1786,10 +1922,253 @@ def _cmd_model(args: argparse.Namespace) -> int:
     }[args.model_command](args)
 
 
+def _doctor_stores(args: argparse.Namespace) -> list:
+    """Assemble the store adapters a doctor subcommand targets."""
+    from pathlib import Path
+
+    from repro.doctor import (
+        SUBMIT_JOURNAL_KINDS,
+        FleetCacheStore,
+        JournalStore,
+        ModelRegistryStore,
+        ServeResultsStore,
+    )
+
+    stores: list = []
+    for root in args.cache:
+        stores.append(FleetCacheStore(root))
+    for root in args.serve_state:
+        root = Path(root)
+        stores.append(FleetCacheStore(root / "cache"))
+        stores.append(ServeResultsStore(root))
+        stores.append(
+            JournalStore(
+                root / "journal.jsonl",
+                name="serve-journal",
+                known_kinds=SUBMIT_JOURNAL_KINDS,
+            )
+        )
+        stores.append(
+            JournalStore(root / "events.jsonl", name="serve-events")
+        )
+    for root in args.registry:
+        stores.append(ModelRegistryStore(root))
+    for path in args.events:
+        stores.append(JournalStore(path, name="events"))
+    if not stores:
+        raise ReproError(
+            "name at least one store: "
+            "--cache / --serve-state / --registry / --events"
+        )
+    return stores
+
+
+def _doctor_emit(args: argparse.Namespace, kind: str, **fields) -> None:
+    """Record a maintenance pass in each serve state's event journal."""
+    from pathlib import Path
+
+    from repro.fleet.events import EventLog
+
+    for root in args.serve_state:
+        try:
+            with EventLog(Path(root) / "events.jsonl") as events:
+                events.emit(kind, **fields)
+        except Exception:  # noqa: BLE001 - telemetry is best-effort
+            pass
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro import doctor
+
+    stores = _doctor_stores(args)
+    if args.doctor_command == "audit":
+        report = doctor.audit_stores(stores)
+        print(report.format())
+        _save_json_report(report.to_dict(), args.json)
+        _doctor_emit(
+            args,
+            "doctor_audit",
+            ok=report.ok,
+            findings=len(report.findings),
+        )
+        return 0 if report.ok else 1
+    if args.doctor_command == "repair":
+        report = doctor.repair_stores(stores)
+        print(report.format())
+        _save_json_report(report.to_dict(), args.json)
+        _doctor_emit(
+            args, "doctor_repair", findings=len(report.findings)
+        )
+        unrepaired = [f for f in report.corrupt if not f.action]
+        return 1 if unrepaired else 0
+    if args.doctor_command == "gc":
+        removed = doctor.gc_stores(
+            stores, quarantine_ttl_s=args.quarantine_ttl
+        )
+        total = 0
+        for name, paths in sorted(removed.items()):
+            total += len(paths)
+            print(f"doctor gc [{name}]: {len(paths)} file(s) removed")
+        _save_json_report(
+            {"kind": "doctor_gc", "removed": removed}, args.json
+        )
+        _doctor_emit(args, "doctor_gc", removed=total)
+        return 0
+    # evict
+    policy = doctor.EvictionPolicy(
+        max_bytes=args.max_bytes,
+        max_entries=args.max_entries,
+        ttl_s=args.ttl,
+    )
+    if not policy.bounded:
+        raise ReproError(
+            "evict needs at least one of --max-bytes / --max-entries / --ttl"
+        )
+    pins: set = set(args.pin)
+    for root in args.serve_state:
+        pins |= doctor.serve_pins(root).all
+    reports = []
+    satisfied = True
+    evicted = 0
+    for store in stores:
+        report = doctor.evict_store(
+            store, policy, pins=pins, dry_run=args.dry_run
+        )
+        print(report.format())
+        satisfied &= report.satisfied
+        evicted += len(report.evicted)
+        reports.append(report.to_dict())
+    _save_json_report(
+        {"kind": "doctor_evict", "reports": reports}, args.json
+    )
+    if not args.dry_run:
+        _doctor_emit(args, "doctor_evict", evicted=evicted)
+    return 0 if satisfied else 1
+
+
+def _serve_child_argv(args: argparse.Namespace) -> "list[str]":
+    """Rebuild the child's ``repro serve`` command (sans --supervise)."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--host", args.host,
+        "--port", str(args.port),
+        "--state-dir", args.state_dir,
+        "--slots", str(args.slots),
+        "--fleet-workers", str(args.fleet_workers),
+        "--queue-depth", str(args.queue_depth),
+        "--max-pending", str(args.max_pending),
+        "--shed-fraction", str(args.shed_fraction),
+        "--shed-budget", str(args.shed_budget),
+        "--drain-timeout", str(args.drain_timeout),
+    ]
+    for spec in args.weight:
+        argv += ["--weight", spec]
+    if args.port_file:
+        argv += ["--port-file", args.port_file]
+    return argv
+
+
+def _cmd_serve_supervise(args: argparse.Namespace) -> int:
+    import signal
+    import subprocess
+    from pathlib import Path
+
+    from repro.doctor import (
+        SUBMIT_JOURNAL_KINDS,
+        FleetCacheStore,
+        JournalStore,
+        RestartPolicy,
+        ServeResultsStore,
+        Supervisor,
+        repair_stores,
+    )
+    from repro.fleet.events import EventLog
+
+    state_root = Path(args.state_dir)
+    argv = _serve_child_argv(args)
+    child: "dict[str, subprocess.Popen | None]" = {"proc": None}
+
+    def _forward(signum: int, _frame) -> None:
+        # A drain signal goes to the child; its clean exit (0) then
+        # ends the supervisor loop without counting as a crash.
+        proc = child["proc"]
+        if proc is not None and proc.poll() is None:
+            proc.send_signal(signum)
+
+    signal.signal(signal.SIGTERM, _forward)
+    signal.signal(signal.SIGINT, _forward)
+
+    def run_child() -> int:
+        proc = subprocess.Popen(argv)
+        child["proc"] = proc
+        try:
+            return proc.wait()
+        finally:
+            child["proc"] = None
+
+    def audit() -> None:
+        # Post-crash, pre-restart: sweep torn records and corrupt
+        # entries so the child resumes a clean journal.
+        report = repair_stores(
+            [
+                FleetCacheStore(state_root / "cache"),
+                ServeResultsStore(state_root),
+                JournalStore(
+                    state_root / "journal.jsonl",
+                    name="serve-journal",
+                    known_kinds=SUBMIT_JOURNAL_KINDS,
+                ),
+                JournalStore(
+                    state_root / "events.jsonl", name="serve-events"
+                ),
+            ]
+        )
+        if report.findings:
+            print(report.format(), file=sys.stderr)
+
+    def on_event(kind: str, fields: dict) -> None:
+        mapped = (
+            "supervisor_restart"
+            if kind == "restart"
+            else "supervisor_halt"
+        )
+        fields = dict(fields)
+        if kind == "clean_exit":
+            fields.setdefault("reason", "clean_exit")
+        try:
+            with EventLog(state_root / "events.jsonl") as events:
+                events.emit(mapped, **fields)
+        except Exception:  # noqa: BLE001 - telemetry is best-effort
+            pass
+
+    policy = RestartPolicy(
+        max_restarts=args.max_restarts,
+        backoff_initial_s=args.backoff_initial,
+        backoff_cap_s=args.backoff_cap,
+        min_uptime_s=args.min_uptime,
+        breaker_strikes=args.breaker_strikes,
+    )
+    outcome = Supervisor(
+        run_child, policy, audit=audit, on_event=on_event
+    ).run()
+    print(
+        f"supervisor: {outcome.status} after {outcome.restarts} "
+        f"restart(s), {outcome.audits} audit(s), last child exit "
+        f"{outcome.last_exit_code}"
+    )
+    return outcome.exit_code
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.serve import QueuePolicy, ServeApp, ServeScheduler, StateStore
+
+    if args.supervise:
+        return _cmd_serve_supervise(args)
 
     weights: dict[str, int] = {}
     for spec in args.weight:
@@ -1863,6 +2242,7 @@ _HANDLERS = {
     "cluster": _cmd_cluster,
     "zoo": _cmd_zoo,
     "serve": _cmd_serve,
+    "doctor": _cmd_doctor,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,

@@ -1,0 +1,748 @@
+"""Store adapters: one audit/repair/evict interface over four stores.
+
+The repo accumulates four long-lived on-disk stores:
+
+* the fleet's content-addressed **result cache** (checksummed
+  ``<key>.json`` + ``<key>.bin`` pairs under shard directories);
+* the serve daemon's **results store** (``results/<id>.json`` result
+  documents, digest-pinned by the submit journal's ``done`` records);
+* the **model registry** (versioned, digest-checksummed artifacts);
+* the JSONL **journals** — the serve submit journal and the shared
+  event log that fleet checkpoints and cluster per-node traces ride on.
+
+:class:`StoreAdapter` gives ``repro doctor`` one vocabulary over all of
+them: :meth:`~StoreAdapter.entries` (what is on disk), :meth:`~
+StoreAdapter.audit` (read-only integrity findings — auditing never
+mutates the store), :meth:`~StoreAdapter.repair` (quarantine/compact
+the corrupt findings, reusing each store's own machinery), :meth:`~
+StoreAdapter.evict` + :meth:`~StoreAdapter.commit` (capped eviction),
+and :meth:`~StoreAdapter.gc` (sweep temp files and stale quarantine
+corpses).  The eviction *policy* — TTL, caps, LRU order, pins — lives
+in :mod:`repro.doctor.engine`; adapters only know how to enumerate and
+remove.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.doctor import safewrite
+from repro.fleet.cache import CACHE_SALT, ResultCache, canonical_json
+from repro.fleet.events import EVENT_KINDS
+
+__all__ = [
+    "Finding",
+    "StoreEntry",
+    "StoreAdapter",
+    "FleetCacheStore",
+    "ServeResultsStore",
+    "ModelRegistryStore",
+    "JournalStore",
+    "SUBMIT_JOURNAL_KINDS",
+    "verify_cache_entry",
+    "verify_model_artifact",
+]
+
+_CACHE_ENTRY_KIND = "fleet_cache_entry"
+
+#: Record kinds of the serve submit journal (its own schema, distinct
+#: from the fleet/cluster event log's ``EVENT_KINDS``).
+SUBMIT_JOURNAL_KINDS = ("submit", "done", "drain")
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One evictable unit of a store (an entry, an artifact, a record)."""
+
+    store: str
+    entry_id: str
+    paths: tuple[Path, ...]
+    size: int
+    mtime: float
+    #: identifiers this entry is pinned under (checked against the
+    #: engine's pin set); defaults to the entry id itself.
+    pin_keys: tuple[str, ...] = ()
+
+    def pinned_by(self, pins: "frozenset[str] | set[str]") -> bool:
+        keys = self.pin_keys or (self.entry_id,)
+        return any(key in pins for key in keys)
+
+
+@dataclass
+class Finding:
+    """One integrity problem an audit surfaced."""
+
+    store: str
+    entry_id: str
+    path: str
+    problem: str
+    #: ``corrupt`` findings fail an audit; ``warn`` findings (torn
+    #: journal tails, results evicted out from under old ``done``
+    #: records) are reported but expected operational residue.
+    severity: str = "corrupt"
+    #: filled by repair: what was done ("quarantined", "compacted").
+    action: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "store": self.store,
+            "entry": self.entry_id,
+            "path": self.path,
+            "problem": self.problem,
+            "severity": self.severity,
+            "action": self.action,
+        }
+
+
+class StoreAdapter:
+    """Base interface ``repro doctor`` drives every store through."""
+
+    name = "store"
+
+    def entries(self) -> list[StoreEntry]:
+        """Every live entry on disk (quarantine and temp files excluded)."""
+        raise NotImplementedError
+
+    def audit(self) -> list[Finding]:
+        """Read-only integrity scan; never mutates the store."""
+        raise NotImplementedError
+
+    def repair(self) -> list[Finding]:
+        """Audit, then quarantine/compact the corrupt findings."""
+        raise NotImplementedError
+
+    def evictable(self) -> list[StoreEntry]:
+        """Entries the eviction policy may consider (default: all)."""
+        return self.entries()
+
+    def protected(self, entry: StoreEntry) -> bool:
+        """Structural pins the store itself imposes (e.g. latest model)."""
+        del entry
+        return False
+
+    def evict(self, entry: StoreEntry) -> int:
+        """Remove one entry; returns bytes freed.  May defer to commit."""
+        raise NotImplementedError
+
+    def commit(self) -> None:
+        """Flush deferred evictions (journal compaction); default no-op."""
+
+    def gc(self, quarantine_ttl_s: "float | None" = None) -> list[Path]:
+        """Remove temp-file debris and quarantine corpses past the TTL."""
+        del quarantine_ttl_s
+        return []
+
+
+def _rm(path: Path) -> int:
+    """Best-effort unlink; returns the bytes freed."""
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return 0
+    try:
+        path.unlink()
+    except OSError:
+        return 0
+    return size
+
+
+def _sweep_tmp(root: Path, pattern: str) -> list[Path]:
+    removed = []
+    for tmp in sorted(root.glob(pattern)):
+        if _rm(tmp):
+            removed.append(tmp)
+    return removed
+
+
+def _sweep_quarantine(
+    qdir: Path, ttl_s: "float | None", now: float
+) -> list[Path]:
+    if not qdir.is_dir():
+        return []
+    removed = []
+    for corpse in sorted(qdir.iterdir()):
+        if not corpse.is_file():
+            continue
+        if ttl_s is not None:
+            try:
+                age = now - corpse.stat().st_mtime
+            except OSError:
+                continue
+            if age < ttl_s:
+                continue
+        if _rm(corpse):
+            removed.append(corpse)
+    return removed
+
+
+# -- fleet result cache -------------------------------------------------
+
+
+def verify_cache_entry(meta_path: Path) -> "str | None":
+    """Integrity-check one cache entry without serving or mutating it.
+
+    Mirrors every check :meth:`repro.fleet.cache.ResultCache.get`
+    performs before trusting an entry — kind, salt, blob length, blob
+    SHA-256, array offsets — but returns the problem as a string
+    instead of quarantining, so an *audit* stays read-only.
+    """
+    try:
+        data = json.loads(meta_path.read_text())
+    except FileNotFoundError:
+        return "missing_metadata"
+    except (OSError, json.JSONDecodeError):
+        return "unreadable_metadata"
+    if not isinstance(data, dict):
+        return "malformed_metadata"
+    if data.get("kind") != _CACHE_ENTRY_KIND:
+        return "wrong_kind"
+    if data.get("salt") != CACHE_SALT:
+        return "stale_salt"
+    try:
+        blob = meta_path.with_suffix(".bin").read_bytes()
+    except OSError:
+        return "missing_blob"
+    try:
+        if len(blob) != int(data["blob_len"]):
+            return "blob_length_mismatch"
+        if hashlib.sha256(blob).hexdigest() != data["blob_sha256"]:
+            return "blob_checksum_mismatch"
+        for name, (offset, count) in data["result"]["arrays"].items():
+            if offset < 0 or offset + count * 8 > len(blob):
+                return f"array_out_of_bounds:{name}"
+    except (KeyError, TypeError, ValueError):
+        return "malformed_metadata"
+    return None
+
+
+class FleetCacheStore(StoreAdapter):
+    """Adapter over one content-addressed result-cache directory."""
+
+    name = "fleet-cache"
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+
+    def _metas(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p
+            for p in self.root.glob("*/*.json")
+            if p.parent.name != "quarantine" and ".tmp" not in p.name
+        )
+
+    def entries(self) -> list[StoreEntry]:
+        out = []
+        for meta in self._metas():
+            blob = meta.with_suffix(".bin")
+            paths = tuple(p for p in (meta, blob) if p.exists())
+            size = 0
+            mtime = 0.0
+            for p in paths:
+                try:
+                    stat = p.stat()
+                except OSError:
+                    continue
+                size += stat.st_size
+                mtime = max(mtime, stat.st_mtime)
+            out.append(
+                StoreEntry(
+                    store=self.name,
+                    entry_id=meta.stem,
+                    paths=paths,
+                    size=size,
+                    mtime=mtime,
+                )
+            )
+        return out
+
+    def audit(self) -> list[Finding]:
+        findings = []
+        for meta in self._metas():
+            problem = verify_cache_entry(meta)
+            if problem is not None:
+                findings.append(
+                    Finding(self.name, meta.stem, str(meta), problem)
+                )
+        return findings
+
+    def repair(self) -> list[Finding]:
+        """Quarantine corrupt entries via the cache's own machinery.
+
+        A :meth:`ResultCache.get` on a damaged key runs the full
+        checksum verification and moves the corpse under
+        ``quarantine/`` — exactly the path a cache hit would take, so
+        repair and serving can never disagree about what is corrupt.
+        """
+        findings = self.audit()
+        cache = ResultCache(self.root)
+        for finding in findings:
+            cache.get(finding.entry_id)
+            if not (self.root / finding.entry_id[:2]).joinpath(
+                f"{finding.entry_id}.json"
+            ).exists():
+                finding.action = "quarantined"
+        return findings
+
+    def evict(self, entry: StoreEntry) -> int:
+        return sum(_rm(p) for p in entry.paths)
+
+    def gc(self, quarantine_ttl_s: "float | None" = None) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        now = time.time()
+        removed = _sweep_tmp(self.root, "*/*.tmp*")
+        removed += _sweep_quarantine(
+            self.root / "quarantine", quarantine_ttl_s, now
+        )
+        return removed
+
+
+# -- serve results store ------------------------------------------------
+
+
+def _journal_digests(journal_path: Path) -> dict[str, str]:
+    """``campaign id -> result digest`` from the journal's done records."""
+    digests: dict[str, str] = {}
+    if not journal_path.exists():
+        return digests
+    for raw in journal_path.read_bytes().split(b"\n"):
+        line = raw.decode("utf-8", errors="replace").strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if (
+            isinstance(record, dict)
+            and record.get("kind") == "done"
+            and record.get("digest")
+        ):
+            digests[str(record.get("id"))] = str(record["digest"])
+    return digests
+
+
+class ServeResultsStore(StoreAdapter):
+    """Adapter over a serve state directory's ``results/`` documents.
+
+    Result documents carry no embedded checksum; their digests live in
+    the submit journal's ``done`` records (written only after the
+    result is durably on disk).  The audit closes that loop: every
+    result file is re-digested with the same canonical-JSON SHA-256 the
+    scheduler recorded, so a flipped byte in a served result is caught
+    exactly like a flipped byte in a cache blob.
+    """
+
+    name = "serve-results"
+
+    def __init__(self, state_root: "str | Path"):
+        self.root = Path(state_root)
+        self.results_dir = self.root / "results"
+        self.journal_path = self.root / "journal.jsonl"
+
+    def _documents(self) -> list[Path]:
+        if not self.results_dir.is_dir():
+            return []
+        return sorted(
+            p
+            for p in self.results_dir.glob("*.json")
+            if ".tmp" not in p.name
+        )
+
+    def entries(self) -> list[StoreEntry]:
+        out = []
+        for path in self._documents():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append(
+                StoreEntry(
+                    store=self.name,
+                    entry_id=path.stem,
+                    paths=(path,),
+                    size=stat.st_size,
+                    mtime=stat.st_mtime,
+                )
+            )
+        return out
+
+    def audit(self) -> list[Finding]:
+        findings = []
+        digests = _journal_digests(self.journal_path)
+        seen = set()
+        for path in self._documents():
+            campaign_id = path.stem
+            seen.add(campaign_id)
+            try:
+                document = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                findings.append(
+                    Finding(
+                        self.name,
+                        campaign_id,
+                        str(path),
+                        "unreadable_result",
+                    )
+                )
+                continue
+            recorded = digests.get(campaign_id)
+            if recorded is None:
+                continue
+            actual = hashlib.sha256(
+                canonical_json(document).encode()
+            ).hexdigest()
+            if actual != recorded:
+                findings.append(
+                    Finding(
+                        self.name,
+                        campaign_id,
+                        str(path),
+                        "digest_mismatch",
+                    )
+                )
+        for campaign_id in sorted(set(digests) - seen):
+            findings.append(
+                Finding(
+                    self.name,
+                    campaign_id,
+                    str(self.results_dir / f"{campaign_id}.json"),
+                    "missing_result",
+                    severity="warn",
+                )
+            )
+        return findings
+
+    def repair(self) -> list[Finding]:
+        findings = self.audit()
+        qdir = self.root / "quarantine"
+        for finding in findings:
+            if finding.severity != "corrupt":
+                continue
+            victim = Path(finding.path)
+            if not victim.exists():
+                continue
+            try:
+                qdir.mkdir(parents=True, exist_ok=True)
+                os.replace(
+                    victim,
+                    qdir / f"results-{victim.name}.{os.getpid()}",
+                )
+            except OSError:
+                continue
+            finding.action = "quarantined"
+        return findings
+
+    def evict(self, entry: StoreEntry) -> int:
+        return sum(_rm(p) for p in entry.paths)
+
+    def gc(self, quarantine_ttl_s: "float | None" = None) -> list[Path]:
+        removed = []
+        if self.results_dir.is_dir():
+            removed += _sweep_tmp(self.results_dir, "*.tmp*")
+        removed += _sweep_quarantine(
+            self.root / "quarantine", quarantine_ttl_s, time.time()
+        )
+        return removed
+
+
+# -- model registry -----------------------------------------------------
+
+
+def verify_model_artifact(path: Path) -> "str | None":
+    """Read-only integrity check of one registry artifact."""
+    from repro.model.registry import (
+        ARTIFACT_KIND,
+        ARTIFACT_SCHEMA_VERSION,
+        _document_digest,
+    )
+
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return "unreadable_artifact"
+    if not isinstance(document, dict):
+        return "malformed_artifact"
+    if document.get("kind") != ARTIFACT_KIND:
+        return "wrong_kind"
+    if document.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+        return "wrong_schema_version"
+    try:
+        if document.get("digest") != _document_digest(document):
+            return "digest_mismatch"
+    except (KeyError, TypeError, ValueError):
+        return "malformed_artifact"
+    return None
+
+
+class ModelRegistryStore(StoreAdapter):
+    """Adapter over a model registry directory."""
+
+    name = "model-registry"
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+
+    def _artifacts(self) -> list[Path]:
+        from repro.model.registry import _VERSION_RE
+
+        if not self.root.is_dir():
+            return []
+        out = []
+        for directory in sorted(self.root.iterdir()):
+            if not directory.is_dir() or directory.name == "quarantine":
+                continue
+            for path in sorted(directory.iterdir()):
+                if _VERSION_RE.match(path.name):
+                    out.append(path)
+        return out
+
+    @staticmethod
+    def _entry_id(path: Path) -> str:
+        return f"{path.parent.name}@{path.stem}"
+
+    def entries(self) -> list[StoreEntry]:
+        out = []
+        latest: dict[str, Path] = {}
+        for path in self._artifacts():
+            latest[path.parent.name] = path  # sorted: last wins
+        for path in self._artifacts():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append(
+                StoreEntry(
+                    store=self.name,
+                    entry_id=self._entry_id(path),
+                    paths=(path,),
+                    size=stat.st_size,
+                    mtime=stat.st_mtime,
+                )
+            )
+        self._latest = {self._entry_id(p) for p in latest.values()}
+        return out
+
+    def protected(self, entry: StoreEntry) -> bool:
+        """The newest version of every model name is never evicted."""
+        latest = getattr(self, "_latest", None)
+        if latest is None:
+            self.entries()
+            latest = self._latest
+        return entry.entry_id in latest
+
+    def audit(self) -> list[Finding]:
+        findings = []
+        for path in self._artifacts():
+            problem = verify_model_artifact(path)
+            if problem is not None:
+                findings.append(
+                    Finding(
+                        self.name, self._entry_id(path), str(path), problem
+                    )
+                )
+        return findings
+
+    def repair(self) -> list[Finding]:
+        """Quarantine via the registry's own verification path."""
+        from repro.model.registry import ModelRegistry
+
+        findings = self.audit()
+        if findings:
+            ModelRegistry(self.root).verify_all()
+        for finding in findings:
+            if not Path(finding.path).exists():
+                finding.action = "quarantined"
+        return findings
+
+    def evict(self, entry: StoreEntry) -> int:
+        return sum(_rm(p) for p in entry.paths)
+
+    def gc(self, quarantine_ttl_s: "float | None" = None) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        removed = _sweep_tmp(self.root, "*/*.tmp*")
+        removed += _sweep_quarantine(
+            self.root / "quarantine", quarantine_ttl_s, time.time()
+        )
+        return removed
+
+
+# -- JSONL journals (serve submit journal, shared event log) -----------
+
+
+class JournalStore(StoreAdapter):
+    """Adapter over one JSONL journal (submit journal or event log).
+
+    Entries are individual records (``entry_id`` is the 1-based line
+    number).  Eviction is deferred: records are marked and the file is
+    rewritten once, atomically, in :meth:`commit` — dropping a line in
+    place would tear the very store the doctor is tending.  Records
+    belonging to a campaign in the engine's pin set (pending serve
+    work, unfinished fleet campaigns) expose that campaign as their pin
+    key and therefore survive any cap.
+    """
+
+    name = "journal"
+
+    def __init__(
+        self,
+        path: "str | Path",
+        name: "str | None" = None,
+        known_kinds: "tuple[str, ...] | None" = EVENT_KINDS,
+    ):
+        self.path = Path(path)
+        if name:
+            self.name = name
+        self.known_kinds = known_kinds
+        self._drop: set[int] = set()
+
+    def _lines(self) -> list[bytes]:
+        if not self.path.exists():
+            return []
+        raw = self.path.read_bytes()
+        if not raw:
+            return []
+        return raw.split(b"\n")
+
+    def _records(
+        self,
+    ) -> "list[tuple[int, bytes, dict[str, Any] | None, bool]]":
+        """``(lineno, raw, record-or-None, is_tail)`` per non-empty line."""
+        lines = self._lines()
+        # A trailing newline leaves one empty final element; its absence
+        # means the last line is a torn, in-progress append.
+        tail_torn = bool(lines) and lines[-1] != b""
+        out = []
+        for i, raw in enumerate(lines):
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(
+                    raw.decode("utf-8", errors="replace")
+                )
+                if not isinstance(record, dict):
+                    record = None
+            except json.JSONDecodeError:
+                record = None
+            out.append(
+                (i + 1, raw, record, tail_torn and i == len(lines) - 1)
+            )
+        return out
+
+    def entries(self) -> list[StoreEntry]:
+        file_mtime = 0.0
+        try:
+            file_mtime = self.path.stat().st_mtime
+        except OSError:
+            pass
+        out = []
+        for lineno, raw, record, _tail in self._records():
+            if record is None:
+                continue
+            ts = record.get("ts")
+            campaign = record.get("campaign") or record.get("id")
+            out.append(
+                StoreEntry(
+                    store=self.name,
+                    entry_id=str(lineno),
+                    paths=(self.path,),
+                    size=len(raw) + 1,
+                    mtime=float(ts) if isinstance(ts, (int, float)) else (
+                        file_mtime
+                    ),
+                    pin_keys=(
+                        (str(lineno), str(campaign))
+                        if campaign
+                        else (str(lineno),)
+                    ),
+                )
+            )
+        return out
+
+    def audit(self) -> list[Finding]:
+        findings = []
+        for lineno, _raw, record, tail in self._records():
+            if record is None:
+                findings.append(
+                    Finding(
+                        self.name,
+                        str(lineno),
+                        str(self.path),
+                        "torn_tail" if tail else "corrupt_record",
+                        severity="warn" if tail else "corrupt",
+                    )
+                )
+            elif (
+                self.known_kinds is not None
+                and record.get("kind") not in self.known_kinds
+            ):
+                findings.append(
+                    Finding(
+                        self.name,
+                        str(lineno),
+                        str(self.path),
+                        f"unknown_kind:{record.get('kind')!r}",
+                        severity="warn",
+                    )
+                )
+        return findings
+
+    def repair(self) -> list[Finding]:
+        """Compact the journal: keep every parseable record byte-for-byte,
+        drop corrupt interior lines and the torn tail."""
+        findings = self.audit()
+        victims = {
+            int(f.entry_id)
+            for f in findings
+            if f.problem in ("corrupt_record", "torn_tail")
+        }
+        if victims:
+            self._drop |= victims
+            self.commit()
+            for finding in findings:
+                if int(finding.entry_id) in victims:
+                    finding.action = "compacted"
+        return findings
+
+    def evict(self, entry: StoreEntry) -> int:
+        self._drop.add(int(entry.entry_id))
+        return entry.size
+
+    def commit(self) -> None:
+        if not self._drop or not self.path.exists():
+            self._drop.clear()
+            return
+        kept = [
+            raw
+            for lineno, raw, record, tail in self._records()
+            if lineno not in self._drop and record is not None and not tail
+        ]
+        payload = b"".join(raw + b"\n" for raw in kept)
+        safewrite.write_atomic(
+            self.path.with_suffix(f".tmp.{os.getpid()}"),
+            self.path,
+            payload,
+        )
+        self._drop.clear()
+
+    def gc(self, quarantine_ttl_s: "float | None" = None) -> list[Path]:
+        del quarantine_ttl_s
+        if not self.path.parent.is_dir():
+            return []
+        return _sweep_tmp(
+            self.path.parent, f"{self.path.stem}.tmp*"
+        )
+
+
+def iter_stores(stores: "Iterable[StoreAdapter]") -> list[StoreAdapter]:
+    """Materialise and sanity-order a store collection (stable by name)."""
+    return sorted(stores, key=lambda s: s.name)

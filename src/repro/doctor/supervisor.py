@@ -1,0 +1,176 @@
+"""Crash supervision for the serve daemon (``repro serve --supervise``).
+
+A long-lived daemon on a degrading disk will crash; what matters is
+what happens next.  The supervisor wraps one child (a spawned ``repro
+serve`` process, or any callable in tests) with the standard
+production trio:
+
+* **restart budget** — at most ``max_restarts`` restarts, ever;
+* **exponential backoff** — ``backoff_initial_s * 2**n`` between
+  restarts, capped at ``backoff_cap_s``, deterministic (no jitter —
+  a supervisor's behaviour must be replayable in tests and chaos);
+* **crash-loop circuit breaker** — a crash after less than
+  ``min_uptime_s`` of life is a *strike*; ``breaker_strikes``
+  consecutive strikes open the breaker and stop the restart loop,
+  because a child that cannot even boot will not be fixed by booting
+  it again.
+
+Between a crash and the restart an optional **audit hook** runs —
+``repro serve --supervise`` points it at ``doctor repair`` over the
+state directory, so a child that died mid-write resumes its journal
+only after torn records and corrupt entries have been swept.
+
+Exit contract: child exits 0 → supervisor exits 0 (a graceful drain is
+not a crash).  Budget exhausted → 2.  Breaker open → 3.  Every
+transition is visible through the optional ``on_event`` callback (the
+CLI wires it to the state directory's event journal as
+``supervisor_restart`` / ``supervisor_halt`` records).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro import obs
+
+__all__ = ["RestartPolicy", "Supervisor", "SupervisorOutcome"]
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Knobs of the restart loop."""
+
+    max_restarts: int = 5
+    backoff_initial_s: float = 0.5
+    backoff_cap_s: float = 30.0
+    min_uptime_s: float = 5.0
+    breaker_strikes: int = 3
+
+    def backoff_s(self, restarts: int) -> float:
+        """Deterministic exponential backoff before restart ``restarts``."""
+        if restarts <= 1:
+            return self.backoff_initial_s
+        return min(
+            self.backoff_cap_s,
+            self.backoff_initial_s * 2 ** (restarts - 1),
+        )
+
+
+@dataclass(frozen=True)
+class SupervisorOutcome:
+    """How one supervision run ended."""
+
+    status: str  # clean | budget_exhausted | breaker_open
+    restarts: int
+    strikes: int
+    audits: int
+    last_exit_code: int
+
+    _EXIT = {"clean": 0, "budget_exhausted": 2, "breaker_open": 3}
+
+    @property
+    def exit_code(self) -> int:
+        return self._EXIT.get(self.status, 1)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "restarts": self.restarts,
+            "strikes": self.strikes,
+            "audits": self.audits,
+            "last_exit_code": self.last_exit_code,
+            "exit_code": self.exit_code,
+        }
+
+
+class Supervisor:
+    """Run a child to completion, restarting per :class:`RestartPolicy`.
+
+    ``run_child`` blocks until the child exits and returns its exit
+    code; ``audit`` (optional) runs after every crash, before the
+    restart; ``sleep``/``clock`` are injectable for tests and the chaos
+    harness, which drive the whole loop on a fake timeline.
+    """
+
+    def __init__(
+        self,
+        run_child: "Callable[[], int]",
+        policy: "RestartPolicy | None" = None,
+        audit: "Callable[[], Any] | None" = None,
+        sleep: "Callable[[float], None]" = time.sleep,
+        clock: "Callable[[], float]" = time.monotonic,
+        on_event: "Callable[[str, dict[str, Any]], None] | None" = None,
+    ):
+        self.run_child = run_child
+        self.policy = policy or RestartPolicy()
+        self.audit = audit
+        self.sleep = sleep
+        self.clock = clock
+        self.on_event = on_event
+
+    def _emit(self, kind: str, **fields: Any) -> None:
+        if self.on_event is not None:
+            try:
+                self.on_event(kind, fields)
+            except Exception:  # noqa: BLE001 - telemetry must not kill us
+                pass
+
+    def run(self) -> SupervisorOutcome:
+        policy = self.policy
+        restarts = strikes = audits = 0
+        while True:
+            started = self.clock()
+            code = self.run_child()
+            uptime = self.clock() - started
+            if code == 0:
+                self._emit("clean_exit", restarts=restarts)
+                return SupervisorOutcome(
+                    "clean", restarts, strikes, audits, code
+                )
+            obs.inc("supervisor.crashes")
+            if uptime < policy.min_uptime_s:
+                strikes += 1
+            else:
+                strikes = 0
+            if strikes >= policy.breaker_strikes:
+                self._emit(
+                    "halt",
+                    reason="breaker_open",
+                    strikes=strikes,
+                    restarts=restarts,
+                    exit_code=code,
+                )
+                obs.inc("supervisor.breaker_open")
+                return SupervisorOutcome(
+                    "breaker_open", restarts, strikes, audits, code
+                )
+            if restarts >= policy.max_restarts:
+                self._emit(
+                    "halt",
+                    reason="budget_exhausted",
+                    restarts=restarts,
+                    exit_code=code,
+                )
+                return SupervisorOutcome(
+                    "budget_exhausted", restarts, strikes, audits, code
+                )
+            restarts += 1
+            if self.audit is not None:
+                try:
+                    self.audit()
+                    audits += 1
+                except Exception:  # noqa: BLE001 - audit is best-effort
+                    pass
+            delay = policy.backoff_s(restarts)
+            self._emit(
+                "restart",
+                restarts=restarts,
+                strikes=strikes,
+                backoff_s=delay,
+                exit_code=code,
+                uptime_s=round(uptime, 3),
+            )
+            obs.inc("supervisor.restarts")
+            self.sleep(delay)

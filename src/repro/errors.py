@@ -25,6 +25,7 @@ __all__ = [
     "ModelRegistryError",
     "ModelIntegrityError",
     "ValidationBandError",
+    "StorageDegradedError",
 ]
 
 
@@ -134,3 +135,22 @@ class ModelIntegrityError(ModelRegistryError):
 
 class ValidationBandError(ModelRegistryError):
     """A model's validation metrics fall outside the accepted R² bands."""
+
+
+class StorageDegradedError(ReproError, RuntimeError):
+    """A store write failed for capacity/media reasons (ENOSPC, EIO).
+
+    Raised by the safe-write layer (:mod:`repro.doctor.safewrite`) when
+    a durable write cannot land because the disk is full, the quota is
+    exhausted, or the media errored — conditions a long-lived daemon
+    must degrade under (shed load, skip the cache, leave work journaled
+    for a retry) rather than crash mid-write.  Deliberately *not* an
+    ``OSError`` subclass: existing best-effort ``except OSError`` paths
+    (quarantine moves, log rotation) must not silently swallow it.
+    """
+
+    def __init__(self, target: object, cause: "BaseException | None" = None):
+        self.target = str(target)
+        self.errno = getattr(cause, "errno", None)
+        detail = f": {cause}" if cause is not None else ""
+        super().__init__(f"storage degraded writing {self.target}{detail}")

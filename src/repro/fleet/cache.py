@@ -42,10 +42,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+import itertools
+
 import numpy as np
 
 from repro import obs
 from repro.demand import ResourceDemand
+from repro.doctor import safewrite
+from repro.errors import StorageDegradedError
 from repro.engine.trace import RunResult
 from repro.fleet.spec import FleetJob
 from repro.hardware.pmu import PmuSample
@@ -65,6 +69,11 @@ __all__ = [
 CACHE_SALT = "repro-fleet-cache-v3"
 
 _ENTRY_KIND = "fleet_cache_entry"
+
+#: Per-process monotonic sequence for quarantine corpse names: two
+#: quarantines of the same key (or of two keys sharing a stem) must
+#: never overwrite each other's corpse.
+_QUARANTINE_SEQ = itertools.count(1)
 
 
 def _normalise(value: Any) -> Any:
@@ -226,6 +235,10 @@ class CacheStats:
     writes: int = 0
     corrupt: int = 0
     quarantined: int = 0
+    #: writes skipped because the disk degraded (ENOSPC/EIO) — the
+    #: cache is an optimization, so a full disk costs recomputation on
+    #: the next lookup, never a crash or a torn entry.
+    degraded: int = 0
 
 
 @dataclass
@@ -302,6 +315,13 @@ class ResultCache:
             return None
         self.stats.hits += 1
         obs.inc("fleet.cache.hit")
+        # Touch the metadata so eviction's LRU order reflects *use*,
+        # not just write time (``repro doctor evict``).  Best-effort:
+        # a read-only mount must not turn a hit into an error.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return hit
 
     def _miss(self) -> None:
@@ -318,24 +338,31 @@ class ResultCache:
     def _quarantine(self, path: Path) -> None:
         """Move a damaged entry (metadata + blob) out of the lookup path.
 
-        Quarantined files keep their names under ``<root>/quarantine/``
-        for post-mortem inspection; a same-key re-quarantine overwrites
-        the previous corpse.  Failure to move (e.g. a permissions race)
-        falls back to leaving the entry in place — it will simply keep
-        counting as corrupt, never as a hit.
+        Corpses land under ``<root>/quarantine/`` as
+        ``<key>.q<seq>-<pid>.<ext>``: the monotonic per-process sequence
+        plus the pid guarantees a same-key re-quarantine (or two
+        processes quarantining concurrently) never overwrites an
+        earlier corpse — each damage event stays inspectable.  Failure
+        to move (e.g. a permissions race) falls back to leaving the
+        entry in place — it will simply keep counting as corrupt, never
+        as a hit.
         """
         qdir = self.root / "quarantine"
+        tag = f"q{next(_QUARANTINE_SEQ):06d}-{os.getpid()}"
         try:
             qdir.mkdir(parents=True, exist_ok=True)
             for victim in (path, path.with_suffix(".bin")):
                 if victim.exists():
-                    os.replace(victim, qdir / victim.name)
+                    corpse = qdir / f"{victim.stem}.{tag}{victim.suffix}"
+                    os.replace(victim, corpse)
         except OSError:
             return
         self.stats.quarantined += 1
         obs.inc("fleet.cache.quarantined")
 
-    def put(self, key: str, result: RunResult, wall_s: float) -> Path:
+    def put(
+        self, key: str, result: RunResult, wall_s: float
+    ) -> "Path | None":
         """Store a result atomically and return its metadata path.
 
         Both files go through temp file + ``fsync`` + ``os.replace``,
@@ -345,7 +372,27 @@ class ResultCache:
         length and SHA-256, which :meth:`get` re-verifies, so even a
         torn write that slips past the rename discipline (e.g. a dying
         disk) is caught rather than served.
+
+        A capacity/media failure (ENOSPC, EIO) *degrades*: the write is
+        dropped (counted in ``stats.degraded``), any partial blob is
+        left invisible (no metadata file ever names it), and ``None``
+        is returned — the cache is an optimization, and a full disk
+        must cost a recomputation, not a crashed worker.
         """
+        try:
+            return self._put(key, result, wall_s)
+        except StorageDegradedError:
+            self.stats.degraded += 1
+            obs.inc("fleet.cache.degraded")
+            return None
+        except OSError as exc:
+            if not safewrite.is_degrading(exc):
+                raise
+            self.stats.degraded += 1
+            obs.inc("fleet.cache.degraded")
+            return None
+
+    def _put(self, key: str, result: RunResult, wall_s: float) -> Path:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         meta = _result_meta(result)
@@ -391,12 +438,8 @@ class ResultCache:
 
     @staticmethod
     def _write_atomic(tmp: Path, dest: Path, payload: bytes) -> None:
-        """Durable atomic write: temp file, flush to disk, rename."""
-        with tmp.open("wb") as fh:
-            fh.write(payload)
-            fh.flush()
-            os.fsync(fh.fileno())
-        tmp.replace(dest)
+        """Durable atomic write via the shared ENOSPC-aware layer."""
+        safewrite.write_atomic(tmp, dest, payload)
 
     def __len__(self) -> int:
         """Number of live entries on disk (quarantine excluded)."""

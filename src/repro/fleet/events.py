@@ -20,7 +20,12 @@ Kinds: ``campaign_start``, ``campaign_resume``, ``cache_hit``,
 ``cluster_job``, ``cluster_finish`` (one machine-level simulation and
 its scheduled jobs share the fleet's JSONL schema and tooling), and
 the serve daemon's campaign lifecycle (``serve_submit``,
-``serve_start``, ``serve_shed``, ``serve_finish``).
+``serve_start``, ``serve_shed``, ``serve_finish``), and the storage
+doctor's health records (``storage_degraded`` when a write path hit
+ENOSPC/EIO and degraded instead of crashing, ``doctor_audit`` /
+``doctor_repair`` / ``doctor_evict`` / ``doctor_gc`` for maintenance
+passes, ``supervisor_restart`` / ``supervisor_halt`` from ``repro
+serve --supervise``).
 
 The log doubles as the campaign's *journal*: ``checkpoint`` records are
 fsynced to disk, so after a SIGKILL the set of durably completed jobs
@@ -65,6 +70,13 @@ EVENT_KINDS = (
     "serve_start",
     "serve_shed",
     "serve_finish",
+    "storage_degraded",
+    "doctor_audit",
+    "doctor_repair",
+    "doctor_evict",
+    "doctor_gc",
+    "supervisor_restart",
+    "supervisor_halt",
 )
 
 
@@ -82,6 +94,11 @@ class EventLog:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("a")
         self._lock = threading.Lock()
+        #: set when an append failed for capacity/media reasons; the
+        #: log is telemetry, so a full disk drops events (counted in
+        #: ``dropped``) instead of crashing the emitting thread.
+        self.degraded = False
+        self.dropped = 0
 
     def emit(
         self, kind: str, _sync: bool = False, **fields: Any
@@ -93,17 +110,30 @@ class EventLog:
         on.  Ordinary events settle for a flush (a crash may lose the
         tail of the log but never tears a line mid-record on replay,
         because :func:`read_events` skips partial lines).
+
+        A capacity/media failure (ENOSPC, EIO) marks the log
+        ``degraded`` and drops the event rather than raising: every
+        caller that durably *depends* on a record (the serve journal,
+        cache entries) writes it through its own store — the event log
+        is the audit trail, and losing audit lines must never take the
+        campaign down with them.
         """
+        from repro.doctor import safewrite
+        from repro.errors import StorageDegradedError
+
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
         record = {"ts": time.time(), "kind": kind}
         record.update({k: v for k, v in fields.items() if v is not None})
         line = json.dumps(record, sort_keys=True) + "\n"
         with self._lock:
-            self._fh.write(line)
-            self._fh.flush()
-            if _sync:
-                os.fsync(self._fh.fileno())
+            try:
+                safewrite.append_line(
+                    self._fh, line, fsync=_sync, target=self.path
+                )
+            except StorageDegradedError:
+                self.degraded = True
+                self.dropped += 1
         return record
 
     def close(self) -> None:

@@ -356,8 +356,9 @@ class ModelRegistry:
 
     @staticmethod
     def _write_atomic(tmp: Path, dest: Path, payload: bytes) -> None:
-        with tmp.open("wb") as fh:
-            fh.write(payload)
-            fh.flush()
-            os.fsync(fh.fileno())
-        tmp.replace(dest)
+        # Raises StorageDegradedError on ENOSPC/EIO — a half-published
+        # model is worse than a loud publish failure, so the caller of
+        # ``publish`` decides how to degrade.
+        from repro.doctor import safewrite
+
+        safewrite.write_atomic(tmp, dest, payload)

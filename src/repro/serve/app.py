@@ -221,7 +221,13 @@ class ServeApp:
         )
         if not outcome.accepted:
             retry = max(1, outcome.retry_after_s)
-            status = 503 if outcome.reason == "draining" else 429
+            # Server-side conditions (drain, full disk) are 503; queue
+            # backpressure against the client's own rate is 429.
+            status = (
+                503
+                if outcome.reason in ("draining", "storage_degraded")
+                else 429
+            )
             raise HttpError(
                 status,
                 outcome.reason,

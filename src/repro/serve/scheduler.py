@@ -43,7 +43,12 @@ from repro.core.evaluation import evaluate_server
 from repro.demand import ResourceDemand
 from repro.engine.simulator import Simulator
 from repro.engine.trace import RunResult
-from repro.errors import ReproError, SimulationError, WorkloadError
+from repro.errors import (
+    ReproError,
+    SimulationError,
+    StorageDegradedError,
+    WorkloadError,
+)
 from repro.fleet.backend import FleetBackend
 from repro.fleet.cache import ResultCache, canonical_json, job_cache_key
 from repro.fleet.events import EventLog
@@ -173,6 +178,7 @@ class ServeScheduler:
             "completed": 0,
             "failed": 0,
             "resumed": 0,
+            "storage_degraded": 0,
         }
 
     # -- lifecycle ------------------------------------------------------
@@ -262,8 +268,14 @@ class ServeScheduler:
         with self._cond:
             self.counters["submitted"] += 1
             if self.draining:
+                # Same EWMA drain estimate the shed path sends: the
+                # pending backlog will be resumed by the next boot, so
+                # "come back after it would have drained" is the honest
+                # Retry-After for a draining 503 too.
                 return SubmitOutcome(
-                    False, reason="draining", retry_after_s=5
+                    False,
+                    reason="draining",
+                    retry_after_s=self.queues.retry_after_s(self.slots),
                 )
             primary_id = self._active_keys.get(content_key)
             primary = self._records.get(primary_id or "")
@@ -282,12 +294,20 @@ class ServeScheduler:
                 self._records[campaign_id] = record
                 primary.followers.append(campaign_id)
                 self.counters["deduped_campaigns"] += 1
-                self.state.journal_submit(
-                    campaign_id,
-                    submission,
-                    content_key,
-                    dedup_of=primary.campaign_id,
-                )
+                try:
+                    self.state.journal_submit(
+                        campaign_id,
+                        submission,
+                        content_key,
+                        dedup_of=primary.campaign_id,
+                    )
+                except StorageDegradedError:
+                    # Roll back: an unjournaled follower would vanish
+                    # on restart while the client holds its id.
+                    del self._records[campaign_id]
+                    primary.followers.remove(campaign_id)
+                    self.counters["deduped_campaigns"] -= 1
+                    return self._reject_degraded()
                 self.events.emit(
                     "serve_submit",
                     campaign=campaign_id,
@@ -312,7 +332,14 @@ class ServeScheduler:
             record = CampaignState(campaign_id, submission, content_key)
             self._records[campaign_id] = record
             self._active_keys[content_key] = campaign_id
-            self.state.journal_submit(campaign_id, submission, content_key)
+            try:
+                self.state.journal_submit(
+                    campaign_id, submission, content_key
+                )
+            except StorageDegradedError:
+                del self._records[campaign_id]
+                del self._active_keys[content_key]
+                return self._reject_degraded()
             self.queues.push(
                 submission.tenant, submission.priority, campaign_id
             )
@@ -332,6 +359,25 @@ class ServeScheduler:
         campaign_id = f"c-{self._next_id:06d}"
         self._next_id += 1
         return campaign_id
+
+    def _reject_degraded(self) -> SubmitOutcome:
+        """Shed an admission the journal could not durably record.
+
+        Load-shedding, not failure: the client gets a 503 with the
+        same drain-estimate Retry-After as overload shedding, and a
+        ``storage_degraded`` event marks the episode for operators
+        (best-effort — the event log itself may be on the full disk).
+        """
+        self.counters["rejected"] += 1
+        self.counters["storage_degraded"] += 1
+        obs.inc("serve.campaigns.rejected")
+        obs.inc("serve.storage_degraded")
+        self.events.emit("storage_degraded", where="journal_submit")
+        return SubmitOutcome(
+            False,
+            reason="storage_degraded",
+            retry_after_s=self.queues.retry_after_s(self.slots),
+        )
 
     # -- queries --------------------------------------------------------
 
@@ -405,6 +451,8 @@ class ServeScheduler:
                         record, self.cache, shed
                     )
                 self._finish(record, document, digest, partial)
+            except StorageDegradedError as exc:
+                self._degrade(record, str(exc))
             except Exception as exc:  # noqa: BLE001 - slot must survive
                 self._fail(record, f"{type(exc).__name__}: {exc}")
             finally:
@@ -541,10 +589,17 @@ class ServeScheduler:
             self._retain_done(record.campaign_id)
         # Followers receive a byte-identical copy of the result.
         for follower_id in followers:
-            self.state.save_result(follower_id, document)
-            self.state.journal_done(
-                follower_id, "done", digest=digest, partial=partial
-            )
+            try:
+                self.state.save_result(follower_id, document)
+                self.state.journal_done(
+                    follower_id, "done", digest=digest, partial=partial
+                )
+            except StorageDegradedError as exc:
+                # The primary is durable; this follower stays pending
+                # in the journal and a restart re-serves it from the
+                # warm cache.  Mark it degraded in memory only.
+                self._mark_degraded(follower_id, str(exc))
+                continue
             with self._cond:
                 follower = self._records.get(follower_id)
                 if follower is not None:
@@ -568,8 +623,62 @@ class ServeScheduler:
         )
         obs.inc("serve.campaigns.completed", 1 + len(followers))
 
+    def _degrade(self, record: CampaignState, error: str) -> None:
+        """A storage write died mid-campaign (ENOSPC/EIO).
+
+        Deliberately writes **no** ``done`` record: the submission
+        stays pending in the journal, so a restarted daemon re-executes
+        it — bit-identically, because whatever job results did land
+        live in the content-addressed cache.  In memory the campaign
+        reports ``failed`` with a ``storage_degraded`` error so live
+        status queries are honest about the episode.
+        """
+        detail = f"storage_degraded: {error}"
+        with self._cond:
+            followers = list(record.followers)
+            record.status = "failed"
+            record.error = detail
+            record.finished_ts = time.time()
+            self._running_ids.discard(record.campaign_id)
+            if self._active_keys.get(record.content_key) == (
+                record.campaign_id
+            ):
+                del self._active_keys[record.content_key]
+            self.counters["failed"] += 1
+            self.counters["storage_degraded"] += 1
+            self._retain_done(record.campaign_id)
+        for follower_id in followers:
+            self._mark_degraded(follower_id, error)
+        # Best-effort: the event log degrades independently when the
+        # same disk is full.
+        self.events.emit(
+            "storage_degraded",
+            campaign=record.campaign_id,
+            where="campaign_finish",
+            error=error,
+        )
+        obs.inc("serve.storage_degraded")
+        obs.inc("serve.campaigns.failed", 1 + len(followers))
+
+    def _mark_degraded(self, campaign_id: str, error: str) -> None:
+        """In-memory terminal state for a follower we could not persist."""
+        with self._cond:
+            follower = self._records.get(campaign_id)
+            if follower is not None:
+                follower.status = "failed"
+                follower.error = f"storage_degraded: {error}"
+                follower.finished_ts = time.time()
+            self.counters["failed"] += 1
+            self.counters["storage_degraded"] += 1
+            self._retain_done(campaign_id)
+
     def _fail(self, record: CampaignState, error: str) -> None:
-        self.state.journal_done(record.campaign_id, "failed", error=error)
+        try:
+            self.state.journal_done(
+                record.campaign_id, "failed", error=error
+            )
+        except StorageDegradedError:
+            pass  # restart will re-execute; in-memory state still set
         with self._cond:
             followers = list(record.followers)
             record.status = "failed"
@@ -583,7 +692,12 @@ class ServeScheduler:
             self.counters["failed"] += 1
             self._retain_done(record.campaign_id)
         for follower_id in followers:
-            self.state.journal_done(follower_id, "failed", error=error)
+            try:
+                self.state.journal_done(
+                    follower_id, "failed", error=error
+                )
+            except StorageDegradedError:
+                pass
             with self._cond:
                 follower = self._records.get(follower_id)
                 if follower is not None:

@@ -36,7 +36,7 @@ import time
 from pathlib import Path
 from typing import Any
 
-from repro import io as repro_io
+from repro.doctor import safewrite
 from repro.serve.protocol import Submission
 
 __all__ = ["PendingCampaign", "StateStore"]
@@ -74,11 +74,15 @@ class StateStore:
     # -- journal --------------------------------------------------------
 
     def _append(self, record: "dict[str, Any]") -> None:
+        # Raises StorageDegradedError on ENOSPC/EIO: the journal is the
+        # daemon's source of truth, so a failed append must surface to
+        # the caller (which rejects the submission / skips the done
+        # record) rather than silently losing durability.
         line = json.dumps(record, sort_keys=True) + "\n"
         with self._lock:
-            self._fh.write(line)
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
+            safewrite.append_line(
+                self._fh, line, fsync=True, target=self.journal_path
+            )
 
     def journal_submit(
         self,
@@ -181,11 +185,19 @@ class StateStore:
     def save_result(
         self, campaign_id: str, document: "dict[str, Any]"
     ) -> Path:
-        """Persist a result document (atomic: temp + rename)."""
+        """Persist a result document (atomic: temp + fsync + rename).
+
+        Raises :class:`~repro.errors.StorageDegradedError` when the
+        disk is full — the scheduler then leaves the campaign without a
+        ``done`` record so a restart re-derives the identical document
+        from the cache instead of serving a missing file.
+        """
         path = self.result_path(campaign_id)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        repro_io.save_json(document, tmp)
-        tmp.replace(path)
+        payload = (
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        ).encode()
+        safewrite.write_atomic(tmp, path, payload)
         return path
 
     def load_result(self, campaign_id: str) -> "dict[str, Any] | None":

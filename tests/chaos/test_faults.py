@@ -139,3 +139,50 @@ class TestCacheInjectors:
             faults.flip_cache_bit(tmp_path, faults.fault_rng(1, "b"))
         with pytest.raises(ConfigurationError):
             faults.tear_cache_entry(tmp_path, faults.fault_rng(1, "t"))
+
+
+class TestJournalInjector:
+    def _journal(self, tmp_path):
+        import json
+
+        path = tmp_path / "journal.jsonl"
+        records = [
+            {"kind": "submit", "id": "c-000001"},
+            {"kind": "done", "id": "c-000001"},
+            {"kind": "submit", "id": "c-000002"},
+        ]
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        return path
+
+    def test_flip_damages_exactly_one_line(self, tmp_path):
+        import json
+
+        path = self._journal(tmp_path)
+        before = path.read_bytes().split(b"\n")
+        _path, lineno = faults.flip_journal_record(
+            path, faults.fault_rng(1, "j")
+        )
+        after = path.read_bytes().split(b"\n")
+        assert len(before) == len(after)
+        changed = [i for i, (a, b) in enumerate(zip(before, after)) if a != b]
+        assert changed == [lineno]
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(after[lineno])
+
+    def test_kind_filter_targets_only_that_kind(self, tmp_path):
+        import json
+
+        path = self._journal(tmp_path)
+        _path, lineno = faults.flip_journal_record(
+            path, faults.fault_rng(1, "j"), kind="done"
+        )
+        assert lineno == 1  # the only done record
+
+    def test_no_matching_record_rejected(self, tmp_path):
+        path = self._journal(tmp_path)
+        with pytest.raises(ConfigurationError):
+            faults.flip_journal_record(
+                path, faults.fault_rng(1, "j"), kind="drain"
+            )

@@ -28,11 +28,20 @@ _FAST = [
 class TestRegistry:
     def test_every_layer_is_covered(self):
         layers = {layer for _n, layer, _d in available_scenarios()}
-        assert layers == {"meter", "fleet", "cache", "campaign"}
+        assert layers == {"meter", "fleet", "cache", "campaign", "serve"}
 
     def test_names_are_unique(self):
         names = [n for n, _l, _d in available_scenarios()]
         assert len(names) == len(set(names))
+
+    def test_storage_fault_scenarios_are_registered(self):
+        names = {n for n, _l, _d in available_scenarios()}
+        assert {
+            "disk-full",
+            "journal-bitflip",
+            "evict-during-dedup",
+            "supervisor-crash-loop",
+        } <= names
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ReproError):

@@ -1,0 +1,134 @@
+"""Disk-full mid-campaign, then SIGKILL: restart must be bit-identical.
+
+The SIGKILL test (:mod:`tests.chaos.test_serve_kill`) proves recovery
+from a violent death on a *healthy* disk.  This is the compound
+failure: the daemon boots onto a disk with almost no space left
+(``REPRO_FAULT_ENOSPC`` write-token budget — exactly enough for the
+boot event and the fsynced submit record), so the campaign's result
+and ``done`` record can never land.  The daemon must degrade — report
+the campaign ``failed`` with a ``storage_degraded`` error, stay up —
+and after a SIGKILL, a restart *with space available* must replay the
+journaled submission and produce a result document byte-identical to
+an uninterrupted run on a healthy disk.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import io as repro_io
+from repro.core.evaluation import evaluate_server
+from repro.doctor.safewrite import ENV_FAULT_BUDGET
+from repro.engine.simulator import Simulator
+from repro.hardware.specs import get_server
+from repro.serve import ServeClient
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_SERVER = "Xeon-E5462"
+_SEED = 7
+
+# One token for the boot's ``serve_start`` event, one for the fsynced
+# submit record (so the client's 202 lands): every write after that —
+# cache entries, job events, the result document, the ``done`` record —
+# hits the injected ENOSPC.
+_BOOT_BUDGET = 2
+
+
+def _spawn_serve(state_dir, port_file, fault_budget=None):
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0",
+        "--state-dir", str(state_dir),
+        "--port-file", str(port_file),
+        "--slots", "1",
+    ]
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    if fault_budget is not None:
+        env[ENV_FAULT_BUDGET] = str(fault_budget)
+    else:
+        env.pop(ENV_FAULT_BUDGET, None)
+    return subprocess.Popen(
+        argv,
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _client_when_up(port_file, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            return ServeClient.from_port_file(port_file)
+        time.sleep(0.02)
+    raise AssertionError("daemon never published its port")
+
+
+@pytest.fixture(scope="module")
+def reference_bytes(tmp_path_factory):
+    server = get_server(_SERVER)
+    document = repro_io.evaluation_to_dict(
+        evaluate_server(server, Simulator(server, seed=_SEED))
+    )
+    path = tmp_path_factory.mktemp("ref") / "reference.json"
+    return repro_io.save_json(document, path).read_bytes()
+
+
+class TestEnospcThenSigkill:
+    def test_full_disk_degrades_then_restart_is_bit_identical(
+        self, tmp_path, reference_bytes
+    ):
+        state_dir = tmp_path / "state"
+        port_file = tmp_path / "port"
+
+        victim = _spawn_serve(
+            state_dir, port_file, fault_budget=_BOOT_BUDGET
+        )
+        try:
+            client = _client_when_up(port_file)
+            campaign_id = client.submit_evaluate(
+                _SERVER, seed=_SEED, tenant="alice"
+            )["id"]
+            # The full disk must degrade the campaign, not kill the
+            # daemon: poll until it reports failed/storage_degraded.
+            status = client.wait(campaign_id, timeout_s=180)
+            assert status["status"] == "failed"
+            assert "storage_degraded" in (status.get("error") or "")
+            assert victim.poll() is None, "daemon died on a full disk"
+            # No done record, no result document: the journal still
+            # carries the submission for the next boot.
+            assert not (
+                state_dir / "results" / f"{campaign_id}.json"
+            ).exists()
+            victim.kill()
+            victim.wait(timeout=60)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait(timeout=30)
+
+        # Space returns (no fault budget): the restarted daemon replays
+        # the submit record and completes the identical campaign.
+        restarted = _spawn_serve(state_dir, tmp_path / "port2")
+        try:
+            client = _client_when_up(tmp_path / "port2")
+            status = client.wait(campaign_id, timeout_s=180)
+            assert status["status"] == "done"
+            result_path = state_dir / "results" / f"{campaign_id}.json"
+            assert result_path.read_bytes() == reference_bytes
+        finally:
+            restarted.send_signal(signal.SIGTERM)
+            try:
+                restarted.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                restarted.kill()
+                restarted.wait(timeout=30)
+        assert restarted.returncode == 0

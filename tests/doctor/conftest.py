@@ -1,0 +1,25 @@
+"""Shared fixtures for the doctor-subsystem tests.
+
+One cheap real RunResult and one trained model per session: the store
+adapters are exercised against the same artifacts production writes,
+not synthetic stand-ins, so a format drift in any store breaks these
+tests before it breaks an audit in the field.
+"""
+
+import pytest
+
+from repro.core.regression import collect_hpcc_training, train_power_model
+from repro.engine.simulator import Simulator
+from repro.workloads.npb import NpbWorkload
+
+
+@pytest.fixture(scope="session")
+def run_result(e5462):
+    return Simulator(e5462, seed=3).run(NpbWorkload("ep", "A", 2))
+
+
+@pytest.fixture(scope="session")
+def model_e5462(e5462):
+    return train_power_model(
+        collect_hpcc_training(e5462), server_name=e5462.name
+    )

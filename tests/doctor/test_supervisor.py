@@ -1,0 +1,139 @@
+"""The serve supervisor on a fake timeline: budget, backoff, breaker."""
+
+from repro.doctor.supervisor import RestartPolicy, Supervisor
+
+
+class FakeWorld:
+    """Deterministic child + clock: ``runs`` is (uptime_s, exit_code)."""
+
+    def __init__(self, runs):
+        self._runs = iter(runs)
+        self.now = 0.0
+        self.slept = []
+        self.events = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.slept.append(seconds)
+        self.now += seconds
+
+    def run_child(self):
+        uptime, code = next(self._runs)
+        self.now += uptime
+        return code
+
+    def on_event(self, kind, fields):
+        self.events.append((kind, fields))
+
+    def supervisor(self, policy, audit=None):
+        return Supervisor(
+            run_child=self.run_child,
+            policy=policy,
+            audit=audit,
+            sleep=self.sleep,
+            clock=self.clock,
+            on_event=self.on_event,
+        )
+
+
+class TestBackoffFormula:
+    def test_deterministic_exponential_with_cap(self):
+        policy = RestartPolicy(backoff_initial_s=0.5, backoff_cap_s=30.0)
+        delays = [policy.backoff_s(n) for n in range(1, 9)]
+        assert delays == [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 30.0, 30.0]
+
+
+class TestSupervisorRun:
+    def test_clean_first_exit_never_sleeps(self):
+        world = FakeWorld([(12.0, 0)])
+        outcome = world.supervisor(RestartPolicy()).run()
+        assert outcome.status == "clean"
+        assert outcome.exit_code == 0
+        assert outcome.restarts == 0
+        assert world.slept == []
+        assert [k for k, _ in world.events] == ["clean_exit"]
+
+    def test_crashes_then_recovery_audit_before_each_restart(self):
+        audits = []
+        world = FakeWorld([(10.0, 1), (10.0, 1), (60.0, 0)])
+        outcome = world.supervisor(
+            RestartPolicy(min_uptime_s=5.0),
+            audit=lambda: audits.append(True),
+        ).run()
+        assert outcome.status == "clean"
+        assert outcome.restarts == 2
+        assert outcome.audits == 2 and len(audits) == 2
+        assert world.slept == [0.5, 1.0]  # the backoff schedule, exactly
+        kinds = [k for k, _ in world.events]
+        assert kinds == ["restart", "restart", "clean_exit"]
+
+    def test_budget_exhaustion_exits_2(self):
+        world = FakeWorld([(10.0, 1)] * 4)
+        outcome = world.supervisor(
+            RestartPolicy(max_restarts=3, min_uptime_s=5.0)
+        ).run()
+        assert outcome.status == "budget_exhausted"
+        assert outcome.exit_code == 2
+        assert outcome.restarts == 3
+        assert outcome.strikes == 0  # every run lived past min_uptime
+        halt = world.events[-1]
+        assert halt[0] == "halt"
+        assert halt[1]["reason"] == "budget_exhausted"
+
+    def test_crash_loop_opens_the_breaker_before_the_budget(self):
+        # A child that dies in 0.1 s will not be fixed by run four: the
+        # breaker must halt after 3 strikes with budget still unspent.
+        world = FakeWorld([(0.1, 1)] * 10)
+        outcome = world.supervisor(
+            RestartPolicy(
+                max_restarts=99, min_uptime_s=5.0, breaker_strikes=3
+            )
+        ).run()
+        assert outcome.status == "breaker_open"
+        assert outcome.exit_code == 3
+        assert outcome.strikes == 3
+        assert outcome.restarts == 2  # two retries, then the halt
+        assert world.events[-1][1]["reason"] == "breaker_open"
+
+    def test_long_uptime_resets_the_strike_count(self):
+        # fast, fast, long, fast, fast, long, ... never three in a row:
+        # the breaker must not open on total strikes, only consecutive.
+        runs = [(0.1, 1), (0.1, 1), (60.0, 1)] * 2 + [(60.0, 0)]
+        world = FakeWorld(runs)
+        outcome = world.supervisor(
+            RestartPolicy(
+                max_restarts=99, min_uptime_s=5.0, breaker_strikes=3
+            )
+        ).run()
+        assert outcome.status == "clean"
+        assert outcome.restarts == 6
+
+    def test_audit_failure_is_tolerated_and_not_counted(self):
+        def bad_audit():
+            raise RuntimeError("quarantine dir unwritable")
+
+        world = FakeWorld([(10.0, 1), (60.0, 0)])
+        outcome = world.supervisor(
+            RestartPolicy(min_uptime_s=5.0), audit=bad_audit
+        ).run()
+        assert outcome.status == "clean"
+        assert outcome.restarts == 1
+        assert outcome.audits == 0  # failed audits are not audits
+
+    def test_event_callback_failure_is_swallowed(self):
+        world = FakeWorld([(10.0, 0)])
+        supervisor = world.supervisor(RestartPolicy())
+        supervisor.on_event = lambda kind, fields: 1 / 0
+        assert supervisor.run().status == "clean"
+
+    def test_restart_event_carries_the_backoff_and_uptime(self):
+        world = FakeWorld([(2.5, 9), (60.0, 0)])
+        world.supervisor(RestartPolicy(min_uptime_s=5.0)).run()
+        kind, fields = world.events[0]
+        assert kind == "restart"
+        assert fields["backoff_s"] == 0.5
+        assert fields["exit_code"] == 9
+        assert fields["uptime_s"] == 2.5
+        assert fields["strikes"] == 1

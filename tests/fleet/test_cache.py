@@ -157,14 +157,33 @@ class TestCacheIntegrity:
         assert cache.get(key) is None
         assert cache.stats.quarantined == 1
         quarantine = cache.root / "quarantine"
-        assert sorted(p.name for p in quarantine.iterdir()) == sorted(
-            [f"{key}.json", f"{key}.bin"]
-        )
+        corpses = sorted(p.name for p in quarantine.iterdir())
+        assert len(corpses) == 2
+        assert all(name.startswith(key) for name in corpses)
+        assert {p.rsplit(".", 1)[-1] for p in corpses} == {"json", "bin"}
         # The damaged entry no longer counts as live and a fresh write
         # heals the slot.
         assert len(cache) == 0
         cache.put(key, run_result, wall_s=0.1)
         assert cache.get(key) is not None
+
+    def test_requarantine_never_overwrites_a_corpse(
+        self, tmp_path, run_result
+    ):
+        """Regression: corpse names collided on a same-key re-quarantine
+        (and would for any two quarantines in the same second), so the
+        second corruption event silently destroyed the first corpse.
+        Every quarantine now gets a unique suffix."""
+        cache = ResultCache(tmp_path / "cache")
+        key = "de" + "a" * 62
+        for _round in range(3):
+            path = cache.put(key, run_result, wall_s=0.1)
+            path.with_suffix(".bin").write_text("garbage")
+            assert cache.get(key) is None
+        assert cache.stats.quarantined == 3
+        corpses = list((cache.root / "quarantine").iterdir())
+        assert len(corpses) == 6  # 3 damage events x (json + bin)
+        assert len({p.name for p in corpses}) == 6  # all names unique
 
     def test_torn_blob_is_quarantined(self, tmp_path, run_result):
         cache = ResultCache(tmp_path / "cache")

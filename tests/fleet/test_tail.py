@@ -103,6 +103,25 @@ class TestEventTailTornLine:
         assert [e["kind"] for e in polled] == ["campaign_finish"]
         assert tail.poll() == []
 
+    def test_truncation_discards_a_buffered_torn_line(self, tmp_path):
+        # A rotation that lands while the tail holds a torn partial
+        # line must drop the stale buffer: otherwise those bytes are
+        # spliced onto the first record of the new file, which then
+        # fails to parse and the event is silently lost.
+        path = tmp_path / "events.jsonl"
+        path.write_bytes(
+            b'{"kind": "checkpoint", "campaign": "a"}\n{"kind": "job_fin'
+        )
+        tail = EventTail(path)
+        assert [e["kind"] for e in tail.poll()] == ["checkpoint"]
+        path.write_bytes(b"")  # rotation beneath the buffered tear
+        assert tail.poll() == []
+        with EventLog(path) as events:
+            events.emit("campaign_start", campaign="fresh", jobs=1)
+        (event,) = tail.poll()
+        assert event["kind"] == "campaign_start"
+        assert event["campaign"] == "fresh"
+
     def test_truncated_file_resets_the_tail(self, tmp_path):
         path = tmp_path / "events.jsonl"
         with EventLog(path) as events:

@@ -151,6 +151,36 @@ class TestBackpressure:
             for doc in accepted:
                 assert client.wait(doc["id"])["status"] == "done"
 
+    def test_draining_503_reuses_the_ewma_retry_after(self, tmp_path):
+        scheduler = ServeScheduler(
+            StateStore(tmp_path / "state"),
+            policy=QueuePolicy(max_depth=16, max_pending=32),
+            slots=1,
+        )
+        with BackgroundServer(scheduler) as background:
+            client = ServeClient(port=background.port)
+            for seed in range(6):
+                client.submit_evaluate(
+                    "Xeon-E5462", seed=seed, tenant="flood"
+                )
+            # What SIGTERM flips before waiting out the queue: new
+            # submissions refused, running work unaffected.
+            scheduler.draining = True
+            before = scheduler.queues.retry_after_s(scheduler.slots)
+            with pytest.raises(ServeRejected) as exc:
+                client.submit_evaluate(
+                    "Xeon-E5462", seed=99, tenant="flood"
+                )
+            after = scheduler.queues.retry_after_s(scheduler.slots)
+            assert exc.value.status == 503
+            assert exc.value.code == "draining"
+            # The hint is the same backlog x EWMA-service estimate a
+            # 429 carries — bracketed by the live estimate either side
+            # of the refused call — not a hard-coded constant.
+            assert after <= exc.value.retry_after_s <= before
+            assert exc.value.retry_after_s >= 2  # backlog-sized, not 1
+            scheduler.draining = False
+
     def test_low_priority_sheds_before_high(self, tmp_path):
         scheduler = ServeScheduler(
             StateStore(tmp_path / "state"),

@@ -1,0 +1,127 @@
+"""StateStore durability contracts: torn journals and full disks.
+
+The submit journal is the daemon's source of truth, so its failure
+modes get exhaustive treatment: ``replay()`` is run against a journal
+torn at *every* byte offset of its final record (a crash can stop an
+append anywhere), and the append/save paths are driven into the
+injected-ENOSPC fault to pin that they raise
+:class:`~repro.errors.StorageDegradedError` rather than dying with a
+half-written entry on disk.
+"""
+
+import json
+
+import pytest
+
+from repro.doctor import safewrite
+from repro.errors import StorageDegradedError
+from repro.serve.protocol import Submission, submission_content_key
+from repro.serve.state import StateStore
+
+
+def _submission(seed: int = 7) -> Submission:
+    return Submission(
+        tenant="alice",
+        priority="normal",
+        kind="evaluate",
+        spec={"server": "Xeon-E5462", "seed": seed},
+    )
+
+
+def _seeded_journal(tmp_path):
+    """A journal ending in a ``submit`` record: submit/done/submit."""
+    root = tmp_path / "state"
+    store = StateStore(root)
+    sub = _submission()
+    key = submission_content_key(sub)
+    store.journal_submit("c-000001", sub, key)
+    store.journal_done("c-000001", "done", digest="d" * 64)
+    store.journal_submit("c-000002", _submission(seed=8), key + "x")
+    store.close()
+    return root, store.journal_path.read_bytes()
+
+
+class TestReplayTornJournal:
+    def test_replay_torn_at_every_byte_of_the_final_record(self, tmp_path):
+        root, full = _seeded_journal(tmp_path)
+        journal = root / "journal.jsonl"
+        final_start = full.rindex(b"\n", 0, len(full) - 1) + 1
+        assert full.endswith(b"\n") and final_start < len(full) - 1
+
+        for cut in range(final_start, len(full) + 1):
+            journal.write_bytes(full[:cut])
+            store = StateStore(root)
+            try:
+                pending, counter = store.replay()  # must never raise
+            finally:
+                store.close()
+            ids = [p.campaign_id for p in pending]
+            if cut >= len(full) - 1:
+                # The record survived in full (with or without its
+                # trailing newline): the submission is pending again.
+                assert ids == ["c-000002"]
+                assert counter == 3
+            else:
+                # Any strictly-partial prefix is not valid JSON: the
+                # torn submit never happened, earlier records intact.
+                assert ids == []
+                assert counter == 2
+
+    def test_replay_missing_journal_is_empty(self, tmp_path):
+        store = StateStore(tmp_path / "state")
+        store.journal_path.unlink()
+        try:
+            assert store.replay() == ([], 1)
+        finally:
+            store.close()
+
+
+class TestDiskFullDegrades:
+    @pytest.fixture(autouse=True)
+    def _disarm(self):
+        yield
+        safewrite.clear_disk_fault()
+
+    def test_journal_append_raises_storage_degraded(self, tmp_path):
+        store = StateStore(tmp_path / "state")
+        try:
+            safewrite.inject_disk_full(0)
+            with pytest.raises(StorageDegradedError):
+                store.journal_submit(
+                    "c-000001", _submission(), "k" * 64
+                )
+            safewrite.clear_disk_fault()
+            # The store stays usable once space returns.
+            store.journal_submit("c-000001", _submission(), "k" * 64)
+        finally:
+            store.close()
+        pending, _counter = StateStore(tmp_path / "state").replay()
+        assert [p.campaign_id for p in pending] == ["c-000001"]
+
+    def test_save_result_raises_and_leaves_no_temp_file(self, tmp_path):
+        store = StateStore(tmp_path / "state")
+        try:
+            safewrite.inject_disk_full(0)
+            with pytest.raises(StorageDegradedError):
+                store.save_result("c-000001", {"answer": 42})
+            results = store.root / "results"
+            assert list(results.iterdir()) == []  # no tmp corpse
+            safewrite.clear_disk_fault()
+            path = store.save_result("c-000001", {"answer": 42})
+        finally:
+            store.close()
+        assert json.loads(path.read_text()) == {"answer": 42}
+
+    def test_save_result_byte_format_is_pinned(self, tmp_path):
+        # Doctor's digest audit and the chaos bit-identity proofs both
+        # assume this exact serialisation; a drive-by format change
+        # would silently break resume-equivalence checks.
+        store = StateStore(tmp_path / "state")
+        try:
+            path = store.save_result("c-000001", {"b": 1, "a": [2]})
+        finally:
+            store.close()
+        expected = (
+            json.dumps({"b": 1, "a": [2]}, indent=2, sort_keys=True) + "\n"
+        ).encode()
+        assert path.read_bytes() == expected
