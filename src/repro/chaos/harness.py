@@ -664,7 +664,7 @@ def _await_status(scheduler, campaign_id: str, timeout_s: float = 60.0):
     deadline = time.monotonic() + timeout_s
     while time.monotonic() < deadline:
         status = scheduler.status(campaign_id)
-        if status and status["status"] in ("done", "failed"):
+        if status and status["status"] in ("done", "failed", "degraded"):
             return status
         time.sleep(0.02)
     raise ReproError(f"campaign {campaign_id} never finished")

@@ -119,8 +119,16 @@ class EvictionReport:
     pinned_kept: int = 0
     satisfied: bool = True
     dry_run: bool = False
+    #: non-empty when the store refused mutation (e.g. a journal with a
+    #: live writer): nothing was evicted, and the caps were not applied.
+    skipped: str = ""
 
     def format(self) -> str:
+        if self.skipped:
+            return (
+                f"doctor evict [{self.store}]: SKIPPED ({self.skipped}); "
+                f"{self.examined} entries untouched"
+            )
         verb = "would evict" if self.dry_run else "evicted"
         line = (
             f"doctor evict [{self.store}]: {verb} "
@@ -140,6 +148,7 @@ class EvictionReport:
             "pinned_kept": self.pinned_kept,
             "satisfied": self.satisfied,
             "dry_run": self.dry_run,
+            "skipped": self.skipped,
         }
 
 
@@ -191,6 +200,20 @@ def evict_store(
     report = EvictionReport(
         store=store.name, examined=len(entries), dry_run=dry_run
     )
+    if not dry_run:
+        reason = store.busy()
+        if reason is not None:
+            # The store vetoed mutation (a live daemon holds its
+            # journal): skip it loudly rather than orphan live state.
+            report.skipped = reason
+            report.satisfied = not (
+                policy.max_entries is not None
+                and len(entries) > policy.max_entries
+                or policy.max_bytes is not None
+                and sum(e.size for e in entries) > policy.max_bytes
+            )
+            obs.inc("doctor.evict_skipped")
+            return report
     now = time.time() if now is None else now
 
     def pinned(entry: StoreEntry) -> bool:
@@ -301,7 +324,7 @@ def submission_cache_keys(
     """
     from repro.core.evaluation import _state_runnable
     from repro.core.states import evaluation_states
-    from repro.engine.simulator import Simulator
+    from repro.engine.simulator import DEFAULT_PLACEMENT_POLICY
     from repro.errors import WorkloadError
     from repro.fleet.cache import job_cache_key
     from repro.fleet.spec import campaign_from_dict, make_job
@@ -318,7 +341,11 @@ def submission_cache_keys(
         return keys
     server = resolve_server(spec["server"])
     seed = int(spec.get("seed", 0))
-    placement = Simulator(server, seed=seed)._cpu.placement_policy
+    # The scheduler builds its evaluate simulator with the default
+    # placement (`Simulator(server, seed=seed)`), so the same public
+    # default names exactly the cache keys the resumed campaign will
+    # look up.
+    placement = DEFAULT_PLACEMENT_POLICY
     for state in evaluation_states(server):
         runnable = _state_runnable(state)
         if isinstance(runnable, Workload):
@@ -333,6 +360,7 @@ def submission_cache_keys(
 
 def serve_pins(state_root: "str | Path") -> ServePins:
     """Pin set of one serve state directory (journal-derived)."""
+    from repro.errors import ReproError
     from repro.serve.state import StateStore
 
     root = Path(state_root)
@@ -353,7 +381,12 @@ def serve_pins(state_root: "str | Path") -> ServePins:
             cache_keys |= submission_cache_keys(
                 item.submission.kind, item.submission.spec
             )
-        except Exception:  # noqa: BLE001 - a bad spec must not block pins
+        except (ReproError, KeyError, TypeError, ValueError):
+            # A malformed spec cannot name cache keys — its campaign id
+            # still pins the journal record and result document.  Any
+            # *other* exception is a pin-derivation regression and must
+            # fail loudly: swallowing it would silently turn pins into
+            # no-ops and let evict delete in-flight cache entries.
             continue
     return ServePins(
         cache_keys=frozenset(cache_keys),

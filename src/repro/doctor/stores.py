@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from repro.doctor import safewrite
+from repro.errors import JournalBusyError
 from repro.fleet.cache import CACHE_SALT, ResultCache, canonical_json
 from repro.fleet.events import EVENT_KINDS
 
@@ -125,6 +126,16 @@ class StoreAdapter:
         """Structural pins the store itself imposes (e.g. latest model)."""
         del entry
         return False
+
+    def busy(self) -> "str | None":
+        """Why the store cannot be mutated right now (``None`` = go).
+
+        Eviction and repair check this before touching the store; a
+        non-``None`` reason (e.g. a journal with a live writer) makes
+        them skip the store loudly instead of mutating state a running
+        daemon depends on.
+        """
+        return None
 
     def evict(self, entry: StoreEntry) -> int:
         """Remove one entry; returns bytes freed.  May defer to commit."""
@@ -696,9 +707,27 @@ class JournalStore(StoreAdapter):
                 )
         return findings
 
+    def busy(self) -> "str | None":
+        """A journal with a live appender must never be rewritten.
+
+        The serve daemon and every :class:`~repro.fleet.events.EventLog`
+        hold an advisory writer lock on their journal; compacting the
+        file behind that open handle would orphan the inode, and every
+        subsequent fsynced append — submissions clients got 202s for —
+        would silently vanish on restart.
+        """
+        if safewrite.has_live_writer(self.path):
+            return "live_writer"
+        return None
+
     def repair(self) -> list[Finding]:
         """Compact the journal: keep every parseable record byte-for-byte,
-        drop corrupt interior lines and the torn tail."""
+        drop corrupt interior lines and the unparseable torn tail.
+
+        Refused (findings returned un-actioned, plus a ``live_writer``
+        warning) while a live daemon holds the journal's writer lock —
+        see :meth:`busy`.
+        """
         findings = self.audit()
         victims = {
             int(f.entry_id)
@@ -707,7 +736,21 @@ class JournalStore(StoreAdapter):
         }
         if victims:
             self._drop |= victims
-            self.commit()
+            try:
+                self.commit()
+            except JournalBusyError:
+                self._drop -= victims
+                findings.append(
+                    Finding(
+                        self.name,
+                        "-",
+                        str(self.path),
+                        "live_writer",
+                        severity="warn",
+                        action="compaction refused",
+                    )
+                )
+                return findings
             for finding in findings:
                 if int(finding.entry_id) in victims:
                     finding.action = "compacted"
@@ -718,20 +761,35 @@ class JournalStore(StoreAdapter):
         return entry.size
 
     def commit(self) -> None:
+        """Atomically rewrite the journal without the dropped records.
+
+        Every parseable surviving record is kept byte-for-byte — a
+        valid final record merely missing its trailing newline (an
+        append torn exactly at the newline boundary) is preserved and
+        re-terminated, never discarded.  Raises
+        :class:`~repro.errors.JournalBusyError` instead of rewriting
+        when a live writer holds the journal (its open append handle
+        would keep writing into the orphaned pre-rewrite inode).
+        """
         if not self._drop or not self.path.exists():
             self._drop.clear()
             return
-        kept = [
-            raw
-            for lineno, raw, record, tail in self._records()
-            if lineno not in self._drop and record is not None and not tail
-        ]
-        payload = b"".join(raw + b"\n" for raw in kept)
-        safewrite.write_atomic(
-            self.path.with_suffix(f".tmp.{os.getpid()}"),
-            self.path,
-            payload,
-        )
+        with self.path.open("rb") as guard:
+            # Held through the replace: blocks the has_live_writer
+            # probe and pins the veto for the duration of the rewrite.
+            if not safewrite.lock_writer(guard):
+                raise JournalBusyError(self.path)
+            kept = [
+                raw
+                for lineno, raw, record, _tail in self._records()
+                if lineno not in self._drop and record is not None
+            ]
+            payload = b"".join(raw + b"\n" for raw in kept)
+            safewrite.write_atomic(
+                self.path.with_suffix(f".tmp.{os.getpid()}"),
+                self.path,
+                payload,
+            )
         self._drop.clear()
 
     def gc(self, quarantine_ttl_s: "float | None" = None) -> list[Path]:

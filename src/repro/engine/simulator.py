@@ -77,6 +77,12 @@ def _run_seed(base_seed: int, label: str) -> np.random.Generator:
     return np.random.default_rng(int.from_bytes(digest[:8], "big"))
 
 
+#: Placement policy a :class:`Simulator` uses unless told otherwise.
+#: Public because cache-key derivation (fleet jobs, doctor pins) must
+#: agree with the simulator about it without reaching into internals.
+DEFAULT_PLACEMENT_POLICY = "compact"
+
+
 class Simulator:
     """Runs workloads on one server and produces measured traces."""
 
@@ -86,7 +92,7 @@ class Simulator:
         power_model: SystemPowerModel | None = None,
         meter_spec: MeterSpec = WT210,
         seed: int = 0,
-        placement_policy: str = "compact",
+        placement_policy: str = DEFAULT_PLACEMENT_POLICY,
         externalize_comm: bool = False,
     ):
         """``externalize_comm`` drops the hidden communication-intensity
@@ -107,6 +113,16 @@ class Simulator:
         self._cpu = CpuSubsystem(server, placement_policy)
         self._memory = MemorySubsystem(server)
         self._pmu = Pmu(server)
+
+    @property
+    def placement_policy(self) -> str:
+        """The CPU placement policy jobs built from this simulator use.
+
+        The public face of ``_cpu.placement_policy``: fleet backends
+        and the doctor's pin computation derive cache keys from it, so
+        it must stay stable across refactors of the CPU subsystem.
+        """
+        return self._cpu.placement_policy
 
     def run(
         self,

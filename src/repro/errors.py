@@ -26,6 +26,7 @@ __all__ = [
     "ModelIntegrityError",
     "ValidationBandError",
     "StorageDegradedError",
+    "JournalBusyError",
 ]
 
 
@@ -154,3 +155,23 @@ class StorageDegradedError(ReproError, RuntimeError):
         self.errno = getattr(cause, "errno", None)
         detail = f": {cause}" if cause is not None else ""
         super().__init__(f"storage degraded writing {self.target}{detail}")
+
+
+class JournalBusyError(ReproError, RuntimeError):
+    """A journal cannot be compacted because a live writer holds it.
+
+    The serve daemon (and any :class:`~repro.fleet.events.EventLog`)
+    keeps an open append handle to its journal; rewriting the file out
+    from under that handle would orphan the inode and silently swallow
+    every subsequent fsynced append.  ``repro doctor`` therefore
+    refuses to compact a journal whose writer lock is held and raises
+    this instead — stop the daemon (or let the supervisor's post-crash
+    audit run, when no child is alive) to compact.
+    """
+
+    def __init__(self, path: object):
+        self.path = str(path)
+        super().__init__(
+            f"journal {self.path} has a live writer; "
+            "stop the daemon before compacting it"
+        )

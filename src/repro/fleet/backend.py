@@ -96,7 +96,7 @@ class FleetBackend:
                 "the fleet backend reconstructs simulators in worker "
                 "processes and supports only the default WT210 meter"
             )
-        placement = simulator._cpu.placement_policy
+        placement = simulator.placement_policy
         results: "list[RunResult | WorkloadError | None]" = [None] * len(
             workloads
         )

@@ -90,9 +90,15 @@ class EventLog:
     """
 
     def __init__(self, path: "str | Path"):
+        from repro.doctor import safewrite
+
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("a")
+        # Advisory writer lock (best-effort: a second log on the same
+        # file simply goes unlocked): tells `repro doctor` this journal
+        # has a live appender, so compaction must not rewrite it.
+        self._writer_locked = safewrite.lock_writer(self._fh)
         self._lock = threading.Lock()
         #: set when an append failed for capacity/media reasons; the
         #: log is telemetry, so a full disk drops events (counted in
@@ -134,6 +140,14 @@ class EventLog:
             except StorageDegradedError:
                 self.degraded = True
                 self.dropped += 1
+                # A failed flush can leave the dropped record's bytes
+                # in the handle's buffer; a later successful emit would
+                # flush them too, tearing the next line.  Reopen with a
+                # clean buffer before accepting further appends.
+                self._fh = safewrite.discard_and_reopen(
+                    self._fh, self.path
+                )
+                self._writer_locked = safewrite.lock_writer(self._fh)
         return record
 
     def close(self) -> None:

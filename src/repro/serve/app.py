@@ -255,6 +255,25 @@ class ServeApp:
             raise HttpError(
                 409, "campaign_failed", status.get("error", "")
             )
+        if status["status"] == "degraded":
+            # Not a permanent failure: the submission is still
+            # journaled, and a restarted daemon re-executes it — the
+            # result may yet materialize under the same campaign id.
+            raise HttpError(
+                503,
+                "campaign_degraded",
+                status.get("error", ""),
+                headers={
+                    "Retry-After": str(
+                        max(
+                            1,
+                            self.scheduler.queues.retry_after_s(
+                                self.scheduler.slots
+                            ),
+                        )
+                    )
+                },
+            )
         document = self.scheduler.result(campaign_id)
         if document is None:
             raise HttpError(
@@ -290,6 +309,7 @@ class ServeApp:
             finished = status is None or status["status"] in (
                 "done",
                 "failed",
+                "degraded",
             )
             if finished and not records and not tail.poll():
                 return

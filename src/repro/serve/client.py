@@ -200,7 +200,7 @@ class ServeClient:
         deadline = time.monotonic() + timeout_s
         while True:
             document = self.status(campaign_id)
-            if document["status"] in ("done", "failed"):
+            if document["status"] in ("done", "failed", "degraded"):
                 return document
             if time.monotonic() >= deadline:
                 raise ServeError(

@@ -81,7 +81,12 @@ class CampaignState:
         self.submission = submission
         self.content_key = content_key
         self.dedup_of = dedup_of
-        self.status = "queued"  # queued | running | done | failed
+        # queued | running | done | failed | degraded.  ``degraded`` is
+        # terminal *for this process only*: a storage write died before
+        # the result/`done` record could persist, the submission stays
+        # pending in the journal, and a restarted daemon re-executes it
+        # — clients seeing ``degraded`` may yet get a result.
+        self.status = "queued"
         self.partial = False
         self.digest: "str | None" = None
         self.error: "str | None" = None
@@ -630,13 +635,14 @@ class ServeScheduler:
         stays pending in the journal, so a restarted daemon re-executes
         it — bit-identically, because whatever job results did land
         live in the content-addressed cache.  In memory the campaign
-        reports ``failed`` with a ``storage_degraded`` error so live
-        status queries are honest about the episode.
+        reports ``degraded`` (not ``failed``) with a
+        ``storage_degraded`` error, so live status queries can tell a
+        retried-on-restart episode from a permanent failure.
         """
         detail = f"storage_degraded: {error}"
         with self._cond:
             followers = list(record.followers)
-            record.status = "failed"
+            record.status = "degraded"
             record.error = detail
             record.finished_ts = time.time()
             self._running_ids.discard(record.campaign_id)
@@ -644,7 +650,6 @@ class ServeScheduler:
                 record.campaign_id
             ):
                 del self._active_keys[record.content_key]
-            self.counters["failed"] += 1
             self.counters["storage_degraded"] += 1
             self._retain_done(record.campaign_id)
         for follower_id in followers:
@@ -658,17 +663,16 @@ class ServeScheduler:
             error=error,
         )
         obs.inc("serve.storage_degraded")
-        obs.inc("serve.campaigns.failed", 1 + len(followers))
+        obs.inc("serve.campaigns.degraded", 1 + len(followers))
 
     def _mark_degraded(self, campaign_id: str, error: str) -> None:
         """In-memory terminal state for a follower we could not persist."""
         with self._cond:
             follower = self._records.get(campaign_id)
             if follower is not None:
-                follower.status = "failed"
+                follower.status = "degraded"
                 follower.error = f"storage_degraded: {error}"
                 follower.finished_ts = time.time()
-            self.counters["failed"] += 1
             self.counters["storage_degraded"] += 1
             self._retain_done(campaign_id)
 
@@ -719,7 +723,11 @@ class ServeScheduler:
         while len(self._done_order) > _DONE_RETENTION:
             evicted = self._done_order.pop(0)
             record = self._records.get(evicted)
-            if record is not None and record.status in ("done", "failed"):
+            if record is not None and record.status in (
+                "done",
+                "failed",
+                "degraded",
+            ):
                 del self._records[evicted]
 
 
@@ -748,7 +756,7 @@ class _ShedBackend(FleetBackend):
         simulator: Simulator,
         workloads: "list[Workload | ResourceDemand]",
     ) -> "list[RunResult | WorkloadError]":
-        placement = simulator._cpu.placement_policy
+        placement = simulator.placement_policy
         results: "list[Any]" = [None] * len(workloads)
         keep_idx: "list[int]" = []
         uncached = 0

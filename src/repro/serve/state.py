@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.doctor import safewrite
+from repro.errors import StorageDegradedError
 from repro.serve.protocol import Submission
 
 __all__ = ["PendingCampaign", "StateStore"]
@@ -70,6 +71,11 @@ class StateStore:
         self.cache_dir = self.root / "cache"
         self._lock = threading.Lock()
         self._fh = self.journal_path.open("a")
+        # Advisory writer lock: marks this journal as live so a
+        # concurrent `repro doctor evict/repair` refuses to compact it
+        # (a rewrite behind this handle would orphan the inode and
+        # silently swallow every subsequent fsynced append).
+        self._writer_locked = safewrite.lock_writer(self._fh)
 
     # -- journal --------------------------------------------------------
 
@@ -80,9 +86,40 @@ class StateStore:
         # record) rather than silently losing durability.
         line = json.dumps(record, sort_keys=True) + "\n"
         with self._lock:
-            safewrite.append_line(
-                self._fh, line, fsync=True, target=self.journal_path
-            )
+            if not safewrite.same_file(self._fh, self.journal_path):
+                # Replaced/rotated beneath us (a doctor compaction the
+                # writer lock could not veto, e.g. a lockless platform):
+                # reopen so the append lands where replay will read it.
+                self._reopen_journal()
+            # fstat, not tell(): tell() on a text handle flushes, which
+            # would push a previous failure's poisoned buffer to disk
+            # before the offset is measured.
+            offset = os.fstat(self._fh.fileno()).st_size
+            try:
+                safewrite.append_line(
+                    self._fh, line, fsync=True, target=self.journal_path
+                )
+            except StorageDegradedError:
+                # The caller will reject/retry this record, so no trace
+                # of it may survive: a flush failure can leave the bytes
+                # in the handle's buffer (a later successful append
+                # would journal the rejected record), and an fsync
+                # failure can leave them in the file.  Discard the
+                # buffer via a fresh handle and truncate back to the
+                # pre-append offset.
+                self._reopen_journal()
+                try:
+                    os.ftruncate(self._fh.fileno(), offset)
+                except OSError:
+                    pass
+                raise
+
+    def _reopen_journal(self) -> None:
+        """Replace ``_fh`` with a clean append handle (lock held)."""
+        self._fh = safewrite.discard_and_reopen(
+            self._fh, self.journal_path
+        )
+        self._writer_locked = safewrite.lock_writer(self._fh)
 
     def journal_submit(
         self,

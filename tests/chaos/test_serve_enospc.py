@@ -6,7 +6,9 @@ failure: the daemon boots onto a disk with almost no space left
 (``REPRO_FAULT_ENOSPC`` write-token budget — exactly enough for the
 boot event and the fsynced submit record), so the campaign's result
 and ``done`` record can never land.  The daemon must degrade — report
-the campaign ``failed`` with a ``storage_degraded`` error, stay up —
+the campaign ``degraded`` (a distinct terminal status: unlike
+``failed``, the journaled submission is retried on restart) with a
+``storage_degraded`` error, stay up —
 and after a SIGKILL, a restart *with space available* must replay the
 journaled submission and produce a result document byte-identical to
 an uninterrupted run on a healthy disk.
@@ -98,9 +100,10 @@ class TestEnospcThenSigkill:
                 _SERVER, seed=_SEED, tenant="alice"
             )["id"]
             # The full disk must degrade the campaign, not kill the
-            # daemon: poll until it reports failed/storage_degraded.
+            # daemon: poll until it reports degraded/storage_degraded
+            # (distinct from "failed": restart will retry it).
             status = client.wait(campaign_id, timeout_s=180)
-            assert status["status"] == "failed"
+            assert status["status"] == "degraded"
             assert "storage_degraded" in (status.get("error") or "")
             assert victim.poll() is None, "daemon died on a full disk"
             # No done record, no result document: the journal still

@@ -111,6 +111,51 @@ class TestEvictionPolicy:
         assert report.dry_run
         assert store.removed == [] and store.commits == 0
 
+    def test_busy_store_is_skipped_without_mutation(self):
+        store = FakeStore([_entry("a", 1.0), _entry("b", 2.0)])
+        store.busy = lambda: "live_writer"
+        report = evict_store(store, EvictionPolicy(max_entries=0))
+        assert report.skipped == "live_writer"
+        assert report.evicted == [] and not report.satisfied
+        assert store.removed == [] and store.commits == 0
+        assert "SKIPPED" in report.format()
+        # Dry runs never mutate, so busy stores still report plans.
+        planned = evict_store(
+            store, EvictionPolicy(max_entries=0), dry_run=True
+        )
+        assert sorted(planned.evicted) == ["a", "b"]
+
+    def test_journal_store_with_live_writer_is_skipped(self, tmp_path):
+        from repro.doctor.stores import JournalStore
+
+        root = tmp_path / "state"
+        writer = StateStore(root)
+        try:
+            sub = Submission(
+                tenant="alice",
+                priority="normal",
+                kind="evaluate",
+                spec={"server": "Xeon-E5462", "seed": 7},
+            )
+            writer.journal_submit("c-000001", sub, "k" * 64)
+            writer.journal_done("c-000001", "done", digest="d" * 64)
+            before = writer.journal_path.read_bytes()
+            store = JournalStore(
+                writer.journal_path, name="j", known_kinds=None
+            )
+            report = evict_store(store, EvictionPolicy(max_entries=0))
+            assert report.skipped == "live_writer"
+            assert writer.journal_path.read_bytes() == before
+        finally:
+            writer.close()
+        # Daemon stopped: the same sweep now compacts the journal.
+        store = JournalStore(
+            writer.journal_path, name="j", known_kinds=None
+        )
+        report = evict_store(store, EvictionPolicy(max_entries=0))
+        assert not report.skipped and len(report.evicted) == 2
+        assert writer.journal_path.read_bytes() == b""
+
 
 class TestFleetCacheEviction:
     def test_lru_on_a_real_cache_directory(self, tmp_path, run_result):
@@ -179,3 +224,55 @@ class TestServePins:
 
     def test_missing_state_dir_pins_nothing(self, tmp_path):
         assert serve_pins(tmp_path / "nowhere").all == frozenset()
+
+    def test_cache_keys_use_the_public_placement_default(self):
+        # The pin computation must agree with the scheduler about the
+        # placement policy without reaching into Simulator internals.
+        from repro.engine.simulator import (
+            DEFAULT_PLACEMENT_POLICY,
+            Simulator,
+        )
+        from repro.hardware.specs import get_server
+
+        simulator = Simulator(get_server("Xeon-E5462"))
+        assert simulator.placement_policy == DEFAULT_PLACEMENT_POLICY
+
+    def test_bad_spec_skips_cache_keys_but_keeps_campaign_pin(
+        self, tmp_path
+    ):
+        root = tmp_path / "state"
+        store = StateStore(root)
+        bad = Submission(
+            tenant="alice",
+            priority="normal",
+            kind="evaluate",
+            spec={"server": "PDP-11", "seed": 0},  # unknown server
+        )
+        store.journal_submit("c-000001", bad, submission_content_key(bad))
+        store.close()
+        pins = serve_pins(root)
+        assert "c-000001" in pins.campaign_ids
+        assert pins.cache_keys == frozenset()
+
+    def test_pin_derivation_regressions_fail_loudly(
+        self, tmp_path, monkeypatch
+    ):
+        # A refactor that breaks submission_cache_keys must surface in
+        # audits/tests, not silently turn pins into no-ops (which would
+        # let evict delete in-flight cache entries).
+        import pytest
+
+        from repro.doctor import engine
+
+        root = tmp_path / "state"
+        store = StateStore(root)
+        sub = self._submission()
+        store.journal_submit("c-000001", sub, submission_content_key(sub))
+        store.close()
+
+        def broken(kind, spec):
+            raise AttributeError("Simulator lost an attribute")
+
+        monkeypatch.setattr(engine, "submission_cache_keys", broken)
+        with pytest.raises(AttributeError):
+            serve_pins(root)

@@ -27,6 +27,15 @@ _KEY_A = "aa" + "0" * 62
 _KEY_B = "bb" + "0" * 62
 
 
+def _state_submission() -> Submission:
+    return Submission(
+        tenant="alice",
+        priority="normal",
+        kind="evaluate",
+        spec={"server": "Xeon-E5462", "seed": 7},
+    )
+
+
 def _cache_with_entries(tmp_path, run_result):
     cache = ResultCache(tmp_path / "cache")
     cache.put(_KEY_A, run_result, wall_s=0.1)
@@ -256,3 +265,78 @@ class TestJournalStore:
         # One atomic rewrite: victim dropped, torn tail and corrupt
         # line dropped too (commit keeps only parseable records).
         assert kinds == ["done", "mystery"]
+
+    def test_commit_keeps_a_parseable_tail_record(self, tmp_path):
+        # A final record torn exactly at the newline boundary parses
+        # fine and may be a pending submit: compaction must preserve
+        # and re-terminate it, not treat it like an unparseable tail.
+        path = tmp_path / "journal.jsonl"
+        pending = json.dumps({"kind": "submit", "id": "c-000002"})
+        path.write_text(
+            json.dumps({"kind": "submit", "id": "c-000001"})
+            + "\n{corrupt\n"
+            + pending  # no trailing newline
+        )
+        store = JournalStore(path, name="j", known_kinds=None)
+        findings = store.repair()
+        assert [f.problem for f in findings] == ["corrupt_record"]
+        assert path.read_bytes().endswith((pending + "\n").encode())
+        ids = [
+            json.loads(line)["id"]
+            for line in path.read_text().splitlines()
+        ]
+        assert ids == ["c-000001", "c-000002"]
+
+    def test_compaction_refused_while_a_writer_holds_the_journal(
+        self, tmp_path
+    ):
+        import pytest
+
+        from repro.errors import JournalBusyError
+
+        root = tmp_path / "state"
+        writer = StateStore(root)  # holds the journal writer lock
+        try:
+            writer.journal_submit("c-000001", _state_submission(), "k" * 64)
+            path = writer.journal_path
+            before = path.read_bytes()
+            store = JournalStore(path, name="j", known_kinds=None)
+            assert store.busy() == "live_writer"
+            victim = store.entries()[0]
+            store.evict(victim)
+            with pytest.raises(JournalBusyError):
+                store.commit()
+            assert path.read_bytes() == before  # untouched
+            # The daemon's subsequent appends stay visible to replay.
+            writer.journal_done("c-000001", "done", digest="d" * 64)
+            pending, _ = writer.replay()
+            assert pending == []
+        finally:
+            writer.close()
+        assert store.busy() is None  # lock released with the handle
+
+    def test_repair_refuses_compaction_with_live_writer(self, tmp_path):
+        root = tmp_path / "state"
+        writer = StateStore(root)
+        try:
+            writer.journal_submit("c-000001", _state_submission(), "k" * 64)
+            path = writer.journal_path
+            with path.open("ab") as fh:
+                fh.write(b"{corrupt\n")
+            store = JournalStore(path, name="j", known_kinds=None)
+            before = path.read_bytes()
+            findings = store.repair()
+            assert path.read_bytes() == before  # nothing rewritten
+            by_problem = {f.problem: f for f in findings}
+            assert by_problem["corrupt_record"].action == ""  # unrepaired
+            assert by_problem["live_writer"].severity == "warn"
+            assert by_problem["live_writer"].action == (
+                "compaction refused"
+            )
+        finally:
+            writer.close()
+        # Writer gone: the same repair now compacts.
+        (finding,) = JournalStore(
+            path, name="j", known_kinds=None
+        ).repair()
+        assert finding.action == "compacted"

@@ -250,6 +250,37 @@ class TestDurability:
         finally:
             second.drain(timeout_s=30)
 
+    def test_storage_failure_degrades_instead_of_failing(self, tmp_path):
+        # A result write dying mid-campaign is not a failure: the
+        # journal still carries the submission, so the terminal status
+        # must be the retried-on-restart "degraded", never "failed".
+        from repro.errors import StorageDegradedError
+
+        scheduler = ServeScheduler(StateStore(tmp_path / "state"), slots=1)
+
+        def full_disk(campaign_id, document):
+            raise StorageDegradedError("save_result", "disk full")
+
+        scheduler.state.save_result = full_disk
+        scheduler.start()
+        try:
+            cid = scheduler.submit(_evaluate_submission()).campaign.campaign_id
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                status = scheduler.status(cid)
+                if status["status"] in ("done", "failed", "degraded"):
+                    break
+                time.sleep(0.05)
+            assert status["status"] == "degraded"
+            assert "storage_degraded" in status["error"]
+            assert scheduler.counters["storage_degraded"] == 1
+            assert scheduler.counters["failed"] == 0
+        finally:
+            scheduler.drain(timeout_s=30)
+        # No done record was journaled: a restart resumes the campaign.
+        pending, _counter = StateStore(tmp_path / "state").replay()
+        assert [p.campaign_id for p in pending] == [cid]
+
     def test_events_journal_carries_serve_lifecycle(self, scheduler):
         outcome = scheduler.submit(_evaluate_submission())
         campaign_id = outcome.campaign.campaign_id

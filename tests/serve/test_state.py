@@ -98,6 +98,61 @@ class TestDiskFullDegrades:
         pending, _counter = StateStore(tmp_path / "state").replay()
         assert [p.campaign_id for p in pending] == ["c-000001"]
 
+    def test_rejected_append_leaves_no_ghost_in_the_buffer(
+        self, tmp_path
+    ):
+        # A failed flush can leave the rejected record's bytes in the
+        # TextIOWrapper buffer; the next successful append must not
+        # flush them too (the client was told 503 — a restart would
+        # otherwise resurrect and execute a ghost campaign).
+        store = StateStore(tmp_path / "state")
+        try:
+            store._fh.write('{"kind": "submit", "id": "c-ghost"}\n')
+            safewrite.inject_disk_full(0)
+            with pytest.raises(StorageDegradedError):
+                store.journal_submit("c-000001", _submission(), "k" * 64)
+            safewrite.clear_disk_fault()
+            store.journal_submit("c-000002", _submission(), "k" * 64)
+        finally:
+            safewrite.clear_disk_fault()
+            store.close()
+        raw = (tmp_path / "state" / "journal.jsonl").read_bytes()
+        assert b"c-ghost" not in raw and b"c-000001" not in raw
+        pending, _counter = StateStore(tmp_path / "state").replay()
+        assert [p.campaign_id for p in pending] == ["c-000002"]
+
+    def test_failed_fsync_truncates_the_undurable_record(
+        self, tmp_path, monkeypatch
+    ):
+        # When fsync (not flush) fails, the rejected bytes are already
+        # in the file: recovery must truncate back to the pre-append
+        # offset so the fsync-before-202 contract holds on restart.
+        import errno
+        import os
+
+        store = StateStore(tmp_path / "state")
+        try:
+            store.journal_submit("c-000001", _submission(), "k" * 64)
+            before = store.journal_path.read_bytes()
+            real_fsync = os.fsync
+
+            def failing_fsync(fd):
+                monkeypatch.setattr(os, "fsync", real_fsync)
+                raise OSError(errno.ENOSPC, "no space left on device")
+
+            monkeypatch.setattr(os, "fsync", failing_fsync)
+            with pytest.raises(StorageDegradedError):
+                store.journal_submit("c-000002", _submission(), "x" * 64)
+            assert store.journal_path.read_bytes() == before
+            store.journal_submit("c-000003", _submission(), "y" * 64)
+        finally:
+            store.close()
+        pending, _counter = StateStore(tmp_path / "state").replay()
+        assert [p.campaign_id for p in pending] == [
+            "c-000001",
+            "c-000003",
+        ]
+
     def test_save_result_raises_and_leaves_no_temp_file(self, tmp_path):
         store = StateStore(tmp_path / "state")
         try:
