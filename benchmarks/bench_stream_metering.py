@@ -1,0 +1,304 @@
+"""Streaming metering gate — O(window) memory and batch bit-identity.
+
+Drives a synthetic 1 Hz campaign stream (W program windows separated by
+idle gaps) through :class:`repro.metering.stream.StreamingWindow` and
+measures, with ``tracemalloc``:
+
+* the streaming pipeline's peak memory at trace length L and at 4L —
+  the peak must *not* scale with the trace (``O(window)``), so the 4L
+  peak is capped at ``MEMORY_GROWTH_CEILING`` times the L peak;
+* the batch pipeline's peak at 4L (it materialises the whole trace) —
+  the streaming peak must stay below ``BATCH_FRACTION_CEILING`` of it.
+
+Every run also re-asserts the bit-identity contract: the finalised
+window statistics must equal the batch ``extract_window`` →
+``trimmed_stats`` numbers exactly, window for window, bit for bit.
+
+Against a baseline (``benchmarks/stream-baseline.json``) the gate
+compares machine-calibrated streaming throughput and exits 3 on a
+regression.  Re-baseline with ``--update-baseline`` after an
+intentional change.
+
+Run as a standalone gate::
+
+    PYTHONPATH=src python benchmarks/bench_stream_metering.py --smoke
+        [--baseline benchmarks/stream-baseline.json] [--update-baseline]
+
+or as a benchmark exhibit::
+
+    pytest benchmarks/bench_stream_metering.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.metering.analysis import extract_window, trimmed_stats
+from repro.metering.stream import StreamingWindow, WindowSpec
+from repro.obs.bench import _calibration_ops_per_s
+
+SMOKE_WINDOWS = 16
+FULL_WINDOWS = 64
+WINDOW_S = 120
+GAP_S = 10
+CHUNK = 256
+BASELINE_PATH = Path(__file__).parent / "stream-baseline.json"
+
+#: 4x the trace may cost at most this factor in streaming peak memory.
+MEMORY_GROWTH_CEILING = 1.5
+#: Streaming peak must stay below this fraction of the batch peak.
+BATCH_FRACTION_CEILING = 0.5
+#: Tolerated calibrated throughput slowdown against the baseline.
+SPEED_TOLERANCE = 0.35
+
+
+def _specs(windows: int, gap_s: int = GAP_S) -> "list[WindowSpec]":
+    period = WINDOW_S + gap_s
+    return [
+        WindowSpec(f"w{i:03d}", float(i * period), float(i * period + WINDOW_S))
+        for i in range(windows)
+    ]
+
+
+def _stretched_gap(factor: int) -> int:
+    """The gap that makes the trace ``factor`` times longer.
+
+    The window count and size stay fixed — only the idle trace between
+    programs grows — so anything the streaming pipeline retains *per
+    window* (open buffers, finalised summaries) is held constant and
+    the measured growth isolates what scales with the trace itself.
+    """
+    return factor * (WINDOW_S + GAP_S) - WINDOW_S
+
+
+def _chunk_stream(windows: int, seed: int, gap_s: int = GAP_S):
+    """Yield ``(times, watts)`` chunks of the synthetic campaign trace.
+
+    The trace is generated chunk by chunk from the seed, so the
+    streaming path never holds more than ``CHUNK`` samples of it.
+    """
+    rng = np.random.default_rng(seed)
+    total = windows * (WINDOW_S + gap_s)
+    start = 0
+    while start < total:
+        n = min(CHUNK, total - start)
+        times = np.arange(start, start + n, dtype=float)
+        watts = 250.0 + 20.0 * rng.standard_normal(n)
+        yield times, watts
+        start += n
+
+
+def _run_streaming(windows: int, seed: int, gap_s: int = GAP_S):
+    pipeline = StreamingWindow(trim=0.1)
+    for spec in _specs(windows, gap_s):
+        pipeline.add_window(spec)
+    n_samples = 0
+    for times, watts in _chunk_stream(windows, seed, gap_s):
+        pipeline.push_many(times, watts)
+        n_samples += times.size
+    return pipeline.finalize(), n_samples
+
+
+def _run_batch(windows: int, seed: int, gap_s: int = GAP_S):
+    chunks = list(_chunk_stream(windows, seed, gap_s))
+    times = np.concatenate([t for t, _ in chunks])
+    watts = np.concatenate([w for _, w in chunks])
+    return [
+        trimmed_stats(
+            extract_window(times, watts, spec.start_s, spec.end_s), 0.1
+        )
+        for spec in _specs(windows, gap_s)
+    ]
+
+
+def _peak_bytes(fn, *args) -> tuple[object, int]:
+    tracemalloc.start()
+    try:
+        out = fn(*args)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return out, peak
+
+
+def collect(windows: int, seed: int = 2015) -> dict:
+    """Measure one gate pass; asserts bit-identity along the way."""
+    # Throughput, untraced (tracemalloc slows allocation).
+    started = time.perf_counter()
+    results, n_samples = _run_streaming(windows, seed)
+    elapsed = time.perf_counter() - started
+
+    batch = _run_batch(windows, seed)
+    for window, expected in zip(results, batch):
+        if window.stats != expected:
+            raise AssertionError(
+                f"bit-identity violated on {window.spec.label}: "
+                f"{window.stats} != {expected}"
+            )
+
+    gap_4x = _stretched_gap(4)
+    (_, stream_peak_1x) = _peak_bytes(_run_streaming, windows, seed)
+    (_, stream_peak_4x) = _peak_bytes(_run_streaming, windows, seed, gap_4x)
+    (_, batch_peak_4x) = _peak_bytes(_run_batch, windows, seed, gap_4x)
+
+    return {
+        "windows": windows,
+        "samples": int(n_samples),
+        "throughput_samples_per_s": n_samples / elapsed,
+        "stream_peak_1x_kb": stream_peak_1x / 1024,
+        "stream_peak_4x_kb": stream_peak_4x / 1024,
+        "batch_peak_4x_kb": batch_peak_4x / 1024,
+        "memory_growth_4x": stream_peak_4x / stream_peak_1x,
+        "batch_fraction_4x": stream_peak_4x / batch_peak_4x,
+    }
+
+
+def format_stats(stats: dict) -> str:
+    return (
+        f"windows={stats['windows']} samples={stats['samples']}\n"
+        f"throughput: {stats['throughput_samples_per_s']:,.0f} samples/s\n"
+        f"peak memory: stream {stats['stream_peak_1x_kb']:.0f} KB (1x) / "
+        f"{stats['stream_peak_4x_kb']:.0f} KB (4x), "
+        f"batch {stats['batch_peak_4x_kb']:.0f} KB (4x)\n"
+        f"growth at 4x trace: {stats['memory_growth_4x']:.2f}x "
+        f"(ceiling {MEMORY_GROWTH_CEILING}x)\n"
+        f"fraction of batch peak: {stats['batch_fraction_4x']:.2f} "
+        f"(ceiling {BATCH_FRACTION_CEILING})"
+    )
+
+
+def check_memory(stats: dict) -> "list[str]":
+    """The O(window) invariants — machine-independent, always gated."""
+    failures = []
+    if stats["memory_growth_4x"] > MEMORY_GROWTH_CEILING:
+        failures.append(
+            f"streaming peak grew {stats['memory_growth_4x']:.2f}x on a "
+            f"4x trace (ceiling {MEMORY_GROWTH_CEILING}x): not O(window)"
+        )
+    if stats["batch_fraction_4x"] > BATCH_FRACTION_CEILING:
+        failures.append(
+            f"streaming peak is {stats['batch_fraction_4x']:.2f} of the "
+            f"batch peak (ceiling {BATCH_FRACTION_CEILING}): not O(window)"
+        )
+    return failures
+
+
+def compare(baseline: dict, stats: dict, calibration: float) -> "list[str]":
+    failures = check_memory(stats)
+    mode_base = baseline.get("modes", {}).get(str(stats["windows"]))
+    if mode_base is None:
+        failures.append(f"baseline has no mode {stats['windows']}")
+        return failures
+    machine_ratio = calibration / baseline["calibration_ops_per_s"]
+    calibrated = (
+        stats["throughput_samples_per_s"]
+        / mode_base["throughput_samples_per_s"]
+        / machine_ratio
+    )
+    if calibrated < 1.0 - SPEED_TOLERANCE:
+        failures.append(
+            f"throughput regressed: {calibrated:.2f}x calibrated "
+            f"(floor {1 - SPEED_TOLERANCE:.2f}x)"
+        )
+    return failures
+
+
+def _baseline_entry(stats: dict) -> dict:
+    return {
+        "throughput_samples_per_s": stats["throughput_samples_per_s"],
+        "stream_peak_4x_kb": stats["stream_peak_4x_kb"],
+        "batch_peak_4x_kb": stats["batch_peak_4x_kb"],
+    }
+
+
+def test_stream_metering(benchmark):
+    stats = benchmark.pedantic(
+        collect, args=(SMOKE_WINDOWS,), iterations=1, rounds=1
+    )
+    print()
+    print(format_stats(stats))
+    assert check_memory(stats) == []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"{SMOKE_WINDOWS} windows instead of {FULL_WINDOWS}",
+    )
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="compare against this baseline; exit 3 on regression",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=f"write this run's numbers into {BASELINE_PATH.name}",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="save the run's stats as JSON"
+    )
+    args = parser.parse_args(argv)
+    windows = SMOKE_WINDOWS if args.smoke else FULL_WINDOWS
+
+    stats = collect(windows, seed=args.seed)
+    print(format_stats(stats))
+    calibration = _calibration_ops_per_s()
+
+    if args.json:
+        document = dict(stats)
+        document["calibration_ops_per_s"] = calibration
+        Path(args.json).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"saved: {args.json}")
+
+    if args.update_baseline:
+        if BASELINE_PATH.exists():
+            baseline = json.loads(BASELINE_PATH.read_text())
+        else:
+            baseline = {
+                "kind": "stream-metering-baseline",
+                "schema_version": 1,
+                "modes": {},
+            }
+        baseline["calibration_ops_per_s"] = calibration
+        baseline["modes"][str(windows)] = _baseline_entry(stats)
+        BASELINE_PATH.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+
+    failures = check_memory(stats)
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        failures = compare(baseline, stats, calibration)
+        if failures:
+            # One remeasure before failing: a noisy slice can depress
+            # throughput far beyond any code change.
+            retry = collect(windows, seed=args.seed)
+            print("remeasured:")
+            print(format_stats(retry))
+            failures = compare(baseline, retry, calibration)
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 3
+    print("gate ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -122,6 +122,7 @@ def evaluate_server(
     engine: "str | None" = None,
     allow_partial: bool = False,
     states: "list[EvaluationState] | None" = None,
+    on_run=None,
 ) -> EvaluationResult:
     """Run the full proposed method on ``server``.
 
@@ -143,6 +144,13 @@ def evaluate_server(
     over the measured states, flagged by ``coverage < 1``.  At least one
     state must survive — an empty matrix still raises.  The successful
     rows are bit-identical to a complete run's.
+
+    ``on_run`` is an optional observer called as ``on_run(state, run)``
+    for every state that produced a run, in state order, before its row
+    is built.  The serve daemon uses it to feed each run's trace to the
+    streaming metering pipeline and publish live window statistics; the
+    hook cannot change what is evaluated, and exceptions it raises
+    propagate.
 
     >>> from repro.hardware import XEON_E5462
     >>> result = evaluate_server(XEON_E5462)
@@ -171,6 +179,8 @@ def evaluate_server(
             missing.append(state.label)
             last_error = run
             continue
+        if on_run is not None:
+            on_run(state, run)
         rows.append(_row_from_run(state, run, trim))
     if not rows:
         raise ConfigurationError(

@@ -34,6 +34,8 @@ from repro.core.metrics import r_squared
 from repro.engine.simulator import PMU_INTERVAL_S, Simulator
 from repro.errors import InsufficientMemoryError, RegressionError
 from repro.hardware.pmu import REGRESSION_FEATURES
+from repro.metering.analysis import DEFAULT_TRIM
+from repro.metering.stream import StreamingFeatures, StreamingTrim
 from repro.hardware.specs import ServerSpec
 from repro.stats.linreg import OlsModel, StepwiseResult, fit_ols, forward_stepwise
 from repro.stats.normalize import ZScoreNormalizer
@@ -52,29 +54,31 @@ __all__ = [
 ]
 
 
-def _map_workloads(simulator: Simulator, workloads: list, backend=None) -> list:
-    """Run ``workloads`` in order; errors come back in place of runs.
+def _iter_runs(simulator: Simulator, workloads: list, backend=None):
+    """Yield ``(workload, run-or-error)`` pairs in campaign order.
 
     ``backend=None`` executes inline on ``simulator`` exactly as the
-    historical loops did.  A backend (e.g.
-    :class:`repro.fleet.backend.FleetBackend`) receives the whole list
-    at once via ``map_runs`` and may parallelise, cache, and retry; the
-    simulator's seeding contract keeps the results bit-identical either
-    way.  Workloads that cannot run (memory fit, process rules) are
-    returned as the raised :class:`~repro.errors.WorkloadError` so the
-    caller can skip them positionally.
+    historical loops did, but yields each run as it completes and
+    retains none of them — a collector that reduces runs to features on
+    the fly holds at most one run's traces at a time.  A backend (e.g.
+    :class:`repro.fleet.backend.FleetBackend`) still receives the whole
+    list at once via ``map_runs`` and may parallelise, cache, and
+    retry; the simulator's seeding contract keeps the results
+    bit-identical either way.  Workloads that cannot run (memory fit,
+    process rules) come back as the raised
+    :class:`~repro.errors.WorkloadError` so the caller can skip them
+    positionally.
     """
     from repro.errors import WorkloadError
 
     if backend is not None:
-        return backend.map_runs(simulator, list(workloads))
-    out = []
+        yield from zip(workloads, backend.map_runs(simulator, list(workloads)))
+        return
     for workload in workloads:
         try:
-            out.append(simulator.run(workload))
+            yield workload, simulator.run(workload)
         except WorkloadError as exc:
-            out.append(exc)
-    return out
+            yield workload, exc
 
 
 @dataclass(frozen=True)
@@ -133,20 +137,22 @@ def collect_hpcc_training(
         for component in HPCC_COMPONENTS
         for nprocs in proc_counts
     ]
-    runs = _map_workloads(simulator, workloads, backend)
     rows: list[np.ndarray] = []
     power: list[float] = []
     labels: list[str] = []
-    for workload, run in zip(workloads, runs):
+    for workload, run in _iter_runs(simulator, workloads, backend):
         if isinstance(run, WorkloadError):
             raise run
-        interval = int(PMU_INTERVAL_S)
-        for k, sample in enumerate(run.pmu_samples):
-            window = run.measured_watts[k * interval : (k + 1) * interval]
-            if window.size == 0:
-                continue
-            rows.append(sample.as_vector())
-            power.append(float(window.mean()))
+        # Stream the run's trace through the interval accumulator: the
+        # per-10 s pairing is bit-identical to slicing the materialised
+        # trace, and the inline path never holds more than one run.
+        acc = StreamingFeatures(interval=int(PMU_INTERVAL_S))
+        acc.push_pmu_many(run.pmu_samples)
+        acc.push_power_many(run.measured_watts)
+        features_k, power_k = acc.finalize()
+        for row, watts_k in zip(features_k, power_k):
+            rows.append(row)
+            power.append(float(watts_k))
             labels.append(workload.label)
     if not rows:
         raise RegressionError("HPCC campaign produced no observations")
@@ -313,18 +319,25 @@ def collect_npb_features(
     """
     simulator = simulator or Simulator(server)
     workloads = verification_runs(server, klass)
-    runs = _map_workloads(simulator, workloads, backend)
     labels: list[str] = []
     rows: list[np.ndarray] = []
     watts: list[float] = []
-    for workload, run in zip(workloads, runs):
+    for workload, run in _iter_runs(simulator, workloads, backend):
         if isinstance(run, InsufficientMemoryError):
             continue
         if isinstance(run, Exception):
             raise run
+        # Reduce each run to its feature row and trimmed power through
+        # the streaming accumulators — bit-identical to
+        # ``pmu_matrix().mean(axis=0)`` / ``average_power_watts()`` on
+        # the materialised trace, which is therefore never retained.
+        acc = StreamingFeatures(interval=int(PMU_INTERVAL_S))
+        acc.push_pmu_many(run.pmu_samples)
+        trim_acc = StreamingTrim(DEFAULT_TRIM)
+        trim_acc.push_many(run.measured_watts)
         labels.append(workload.label)
-        rows.append(run.pmu_matrix().mean(axis=0))
-        watts.append(run.average_power_watts())
+        rows.append(acc.pmu_mean())
+        watts.append(trim_acc.finalize().mean)
     if not rows:
         raise RegressionError(f"NPB class {klass} produced no runs")
     return tuple(labels), np.vstack(rows), np.asarray(watts)

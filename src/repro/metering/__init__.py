@@ -8,14 +8,18 @@ samples, and average (Section V-C2).  This package reproduces that chain:
 * :mod:`repro.metering.meter` — the WT210 model: 1 Hz sampling, range
   handling, gaussian + quantisation noise.
 * :mod:`repro.metering.csvlog` — WTViewer-style CSV writing/reading and
-  multi-file merge.
+  multi-file merge (chunked reader + streaming k-way merge).
 * :mod:`repro.metering.sampler` — the 1 s memory-usage sampler.
 * :mod:`repro.metering.analysis` — window extraction, 10 % trimming,
   averages, and PPW assembly.
+* :mod:`repro.metering.stream` — the same analysis chain folded over a
+  live sample stream: O(window) memory, finalised results bit-identical
+  to the batch pipeline (see docs/metering.md).
 """
 
 from repro.metering.meter import MeterSpec, Wt210Meter, WT210
 from repro.metering.csvlog import (
+    iter_power_csv,
     read_power_csv,
     write_power_csv,
     merge_power_csvs,
@@ -27,11 +31,20 @@ from repro.metering.analysis import (
     trimmed_mean,
     trimmed_stats,
 )
+from repro.metering.stream import (
+    StreamingFeatures,
+    StreamingStats,
+    StreamingTrim,
+    StreamingWindow,
+    WindowResult,
+    WindowSpec,
+)
 
 __all__ = [
     "MeterSpec",
     "Wt210Meter",
     "WT210",
+    "iter_power_csv",
     "read_power_csv",
     "write_power_csv",
     "merge_power_csvs",
@@ -40,4 +53,10 @@ __all__ = [
     "extract_window",
     "trimmed_mean",
     "trimmed_stats",
+    "StreamingFeatures",
+    "StreamingStats",
+    "StreamingTrim",
+    "StreamingWindow",
+    "WindowResult",
+    "WindowSpec",
 ]

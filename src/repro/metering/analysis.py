@@ -264,6 +264,8 @@ def validate_trace(
     max_gap_s: float = DEFAULT_MAX_GAP_S,
     outlier_z: float = DEFAULT_OUTLIER_Z,
     min_coverage: float = DEFAULT_MIN_COVERAGE,
+    expected_start_s: "float | None" = None,
+    expected_end_s: "float | None" = None,
 ) -> TraceQuality:
     """Assess a trace without touching it (a dry-run of the repair)."""
     return repair_trace(
@@ -273,6 +275,8 @@ def validate_trace(
         max_gap_s=max_gap_s,
         outlier_z=outlier_z,
         min_coverage=min_coverage,
+        expected_start_s=expected_start_s,
+        expected_end_s=expected_end_s,
     ).quality
 
 
@@ -302,6 +306,8 @@ def repair_trace(
     max_gap_s: float = DEFAULT_MAX_GAP_S,
     outlier_z: float = DEFAULT_OUTLIER_Z,
     min_coverage: float = DEFAULT_MIN_COVERAGE,
+    expected_start_s: "float | None" = None,
+    expected_end_s: "float | None" = None,
 ) -> RepairedTrace:
     """Validate and repair one metered trace.
 
@@ -325,11 +331,30 @@ def repair_trace(
     that has no finite samples at all) is *quarantined*: empty arrays
     come back and the quality record carries the ``"quarantined"`` flag.
     The function never raises on bad data — only on inconsistent inputs.
+
+    ``expected_start_s``/``expected_end_s`` declare the window the trace
+    was *supposed* to cover, on the nominal (skew-corrected) timeline.
+    Without them the grid is anchored at the first surviving sample, so
+    a trace that lost its opening or closing seconds reports inflated
+    coverage — there is nothing to anchor the loss against.  With them,
+    the grid spans the declared half-open window: samples outside it are
+    dropped (flag ``"outside_expected_window"``) and leading/trailing
+    missing slots count as unfilled, exactly like interior holes over
+    the gap budget.
     """
     if sample_hz <= 0:
         raise ConfigurationError(f"sample_hz must be positive, got {sample_hz}")
     if max_gap_s < 0:
         raise ConfigurationError(f"max_gap_s must be >= 0, got {max_gap_s}")
+    if (
+        expected_start_s is not None
+        and expected_end_s is not None
+        and not float(expected_end_s) > float(expected_start_s)
+    ):
+        raise ConfigurationError(
+            "expected window must be non-empty: "
+            f"[{expected_start_s}, {expected_end_s})"
+        )
     times_s = np.asarray(times_s, dtype=float).ravel()
     watts = np.asarray(watts, dtype=float).ravel()
     if times_s.shape != watts.shape:
@@ -374,33 +399,78 @@ def repair_trace(
             flags.append("timestamp_jitter")
 
     # Outliers: robust z via median/MAD.  MAD of a quantised flat trace
-    # can be 0; fall back to std so z stays finite.
+    # can be 0; the fallback scale must then come from the *inlier* core
+    # — the old ``watts.std()`` fallback included the glitch itself, so
+    # a single large spike inflated its own rejection threshold and
+    # survived with ``n_outliers=0``.
     n_outliers = 0
     if watts.size >= 4:
         med = float(np.median(watts))
-        mad = float(np.median(np.abs(watts - med)))
-        scale = mad / 0.6745 if mad > 0 else float(watts.std())
-        if scale > 0:
-            z = np.abs(watts - med) / scale
-            inliers = z <= outlier_z
-            n_outliers = int(watts.size - inliers.sum())
-            if n_outliers:
-                flags.append("outliers_rejected")
-                times_s, watts = times_s[inliers], watts[inliers]
+        dev = np.abs(watts - med)
+        mad = float(np.median(dev))
+        if mad > 0:
+            z = dev / (mad / 0.6745)
+        else:
+            core = np.argsort(dev, kind="stable")
+            core = core[: dev.size - max(dev.size // 10, 1)]
+            scale = float(watts[core].std())
+            if scale > 0:
+                z = dev / scale
+            else:
+                # Even the lowest-deviation 90 % is perfectly flat:
+                # against a bit-flat plateau, any deviation from the
+                # median is a glitch, not noise.
+                z = np.where(dev > 0, np.inf, 0.0)
+        inliers = z <= outlier_z
+        n_outliers = int(watts.size - inliers.sum())
+        if n_outliers:
+            flags.append("outliers_rejected")
+            times_s, watts = times_s[inliers], watts[inliers]
     if times_s.size == 0:
         return _quarantined(n_samples, n_nan, "all_rejected")
 
     # Regrid: place surviving samples on the nominal grid, fill gaps up
     # to the budget by linear interpolation, leave longer holes out.
-    idx = np.round((times_s - times_s[0]) / period).astype(int)
+    # The grid anchors at the declared window start when one is given;
+    # otherwise at the first surviving sample (which cannot see leading
+    # dropouts).
+    anchor = (
+        float(expected_start_s)
+        if expected_start_s is not None
+        else float(times_s[0])
+    )
+    idx = np.round((times_s - anchor) / period).astype(int)
+    n_window: "int | None" = None
+    if expected_end_s is not None:
+        n_window = int(
+            np.ceil((float(expected_end_s) - anchor) / period - EDGE_TOLERANCE_S)
+        )
+        if n_window < 1:
+            raise ConfigurationError(
+                "expected window ends before its grid anchor: "
+                f"[{anchor}, {expected_end_s})"
+            )
+    inside = np.ones(idx.size, dtype=bool)
+    if expected_start_s is not None:
+        inside &= idx >= 0
+    if n_window is not None:
+        inside &= idx < n_window
+    n_dropped = int(idx.size - inside.sum())
+    if n_dropped:
+        flags.append("outside_expected_window")
+        idx, times_s, watts = idx[inside], times_s[inside], watts[inside]
+        if idx.size == 0:
+            return _quarantined(
+                n_samples, n_nan, "outside_expected_window", "all_rejected"
+            )
     # Collisions after regridding (sub-period spacing) keep the first.
     keep = np.ones(idx.size, dtype=bool)
     keep[1:] = np.diff(idx) > 0
     idx, times_kept, watts_kept = idx[keep], times_s[keep], watts[keep]
-    n_expected = int(idx[-1]) + 1
+    n_expected = n_window if n_window is not None else int(idx[-1]) + 1
     grid_watts = np.full(n_expected, np.nan)
     grid_watts[idx] = watts_kept
-    grid_times = times_kept[0] + np.arange(n_expected) * period
+    grid_times = anchor + np.arange(n_expected) * period
     missing = np.isnan(grid_watts)
     n_interpolated = 0
     n_unfilled = 0

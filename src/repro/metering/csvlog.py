@@ -14,8 +14,10 @@ offset).
 from __future__ import annotations
 
 import csv
+import heapq
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
@@ -25,12 +27,82 @@ __all__ = [
     "write_power_csv",
     "read_power_csv",
     "read_power_csv_tolerant",
+    "iter_power_csv",
     "merge_power_csvs",
+    "roundtrip_sample",
     "CsvReadReport",
+    "PowerCsvWriter",
     "HEADER",
+    "DEFAULT_CHUNK_SIZE",
 ]
 
 HEADER: tuple[str, str] = ("time_s", "power_w")
+
+#: Format specs every row goes through.  Public because the streaming
+#: campaign path must reproduce the *written-then-parsed* values without
+#: a file in between (see :func:`roundtrip_sample`) — keeping the specs
+#: in one place keeps the two paths from drifting.
+TIME_FORMAT = ".3f"
+POWER_FORMAT = ".2f"
+
+#: Rows per chunk :func:`iter_power_csv` yields.
+DEFAULT_CHUNK_SIZE = 4096
+
+
+def roundtrip_sample(t: float, w: float) -> tuple[float, float]:
+    """The value a sample has after one CSV write+read round trip.
+
+    The batch pipeline logs ``f"{t:.3f}", f"{w:.2f}"`` and parses the
+    strings back; the streaming campaign path feeds samples to the
+    pipeline *as generated*, so it applies the identical format/parse
+    here — that float quantisation is part of the measurement, and
+    skipping it would break bit-identity with the batch analysis.
+    """
+    return float(f"{t:{TIME_FORMAT}}"), float(f"{w:{POWER_FORMAT}}")
+
+
+class PowerCsvWriter:
+    """Incremental WTViewer-style CSV writer (context manager).
+
+    Writes the header on open and rows on :meth:`write`, producing
+    byte-identical files to :func:`write_power_csv` without ever holding
+    the trace — the streaming merge and campaign paths append one
+    chunk at a time.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._fh = self.path.open("w", newline="")
+        self._writer = csv.writer(self._fh)
+        self._writer.writerow(HEADER)
+
+    def write(self, t: float, w: float) -> None:
+        """Append one row."""
+        self._writer.writerow([f"{t:{TIME_FORMAT}}", f"{w:{POWER_FORMAT}}"])
+
+    def write_many(self, times_s: np.ndarray, watts: np.ndarray) -> None:
+        """Append a chunk of rows."""
+        times_s = np.asarray(times_s, dtype=float)
+        watts = np.asarray(watts, dtype=float)
+        if times_s.shape != watts.shape:
+            raise MeterError(
+                f"times and watts must align: {times_s.shape} vs "
+                f"{watts.shape}"
+            )
+        for t, w in zip(times_s, watts):
+            self.write(t, w)
+
+    def close(self) -> Path:
+        """Flush and close; returns the path."""
+        if not self._fh.closed:
+            self._fh.close()
+        return self.path
+
+    def __enter__(self) -> "PowerCsvWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def write_power_csv(
@@ -43,13 +115,9 @@ def write_power_csv(
         raise MeterError(
             f"times and watts must align: {times_s.shape} vs {watts.shape}"
         )
-    path = Path(path)
-    with path.open("w", newline="") as fh:
-        writer = csv.writer(fh)
-        writer.writerow(HEADER)
-        for t, w in zip(times_s, watts):
-            writer.writerow([f"{t:.3f}", f"{w:.2f}"])
-    return path
+    with PowerCsvWriter(path) as writer:
+        writer.write_many(times_s, watts)
+    return writer.path
 
 
 def read_power_csv(path: "str | Path") -> tuple[np.ndarray, np.ndarray]:
@@ -134,16 +202,114 @@ def read_power_csv_tolerant(
     )
 
 
+def iter_power_csv(
+    path: "str | Path", chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Read one CSV in bounded chunks of ``(times_s, watts)`` arrays.
+
+    The streaming counterpart of :func:`read_power_csv`: identical
+    header/row validation and identical parsed values, but peak memory
+    is O(``chunk_size``) instead of O(file).  Concatenating every chunk
+    reproduces the batch reader's arrays exactly.
+    """
+    if chunk_size < 1:
+        raise MeterError(f"chunk_size must be >= 1, got {chunk_size}")
+    path = Path(path)
+    times: list[float] = []
+    watts: list[float] = []
+    try:
+        with path.open(newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header is None or tuple(header) != HEADER:
+                raise MeterError(
+                    f"{path}: not a power CSV (header {header!r})"
+                )
+            for lineno, row in enumerate(reader, start=2):
+                if len(row) != 2:
+                    raise MeterError(f"{path}:{lineno}: expected 2 columns")
+                try:
+                    times.append(float(row[0]))
+                    watts.append(float(row[1]))
+                except ValueError as exc:
+                    raise MeterError(f"{path}:{lineno}: {exc}") from exc
+                if len(times) >= chunk_size:
+                    yield np.asarray(times), np.asarray(watts)
+                    times, watts = [], []
+    except UnicodeDecodeError as exc:
+        raise MeterError(f"{path}: not a text CSV file ({exc})") from exc
+    if times:
+        yield np.asarray(times), np.asarray(watts)
+
+
+class _UnsortedFile(Exception):
+    """Internal: a file fed to the streaming merge was out of order."""
+
+
+def _sorted_rows(
+    path: Path, chunk_size: int
+) -> Iterator[tuple[float, float]]:
+    """Yield one file's rows, proving non-decreasing order as we go."""
+    last = float("-inf")
+    for times, watts in iter_power_csv(path, chunk_size):
+        for t, w in zip(times, watts):
+            t = float(t)
+            if t < last:
+                raise _UnsortedFile(str(path))
+            last = t
+            yield t, float(w)
+
+
 def merge_power_csvs(
-    paths: "list[str | Path]", out_path: "str | Path"
+    paths: "list[str | Path]",
+    out_path: "str | Path",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> Path:
     """Merge several CSVs into one, sorted by timestamp.
 
     Duplicate timestamps (overlapping logger files) keep the first
-    occurrence, matching WTViewer's merge behaviour.
+    occurrence — first in *argument order* for cross-file ties, first in
+    file order within a file — matching WTViewer's merge behaviour.
+
+    Sorted inputs (every file a campaign writes) are merged as a k-way
+    stream: peak memory is O(files x chunk), not O(trace), and the
+    output is byte-identical to the old concatenate-and-stable-sort
+    implementation, whose tie-breaking a stable k-way merge reproduces
+    exactly.  A file discovered out of order mid-stream falls back to
+    materialising everything, preserving the historical behaviour for
+    arbitrary inputs.  The merge lands via a temp file + rename, so a
+    bad input never leaves a partial merge behind.
     """
     if not paths:
         raise MeterError("no CSV files to merge")
+    out_path = Path(out_path)
+    tmp_path = out_path.with_name(out_path.name + ".merge-tmp")
+    try:
+        streams = [_sorted_rows(Path(p), chunk_size) for p in paths]
+        with PowerCsvWriter(tmp_path) as writer:
+            last: "float | None" = None
+            # heapq.merge is stable across its input iterables, so ties
+            # resolve to the earliest file — the same winner the stable
+            # argsort of the concatenation picked.
+            for t, w in heapq.merge(*streams, key=lambda row: row[0]):
+                if last is not None and t <= last:
+                    continue  # duplicate timestamp: keep the first
+                writer.write(t, w)
+                last = t
+    except _UnsortedFile:
+        tmp_path.unlink(missing_ok=True)
+        return _merge_materialized(paths, out_path)
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
+    tmp_path.replace(out_path)
+    return out_path
+
+
+def _merge_materialized(
+    paths: "list[str | Path]", out_path: "str | Path"
+) -> Path:
+    """The historical O(trace) merge, kept for unsorted inputs."""
     all_times: list[np.ndarray] = []
     all_watts: list[np.ndarray] = []
     for path in paths:

@@ -1,0 +1,484 @@
+"""Online (streaming) metering: window routing, trim, stats, features.
+
+The batch analysis chain (Section V-C2) — :func:`extract_window` →
+:func:`trimmed_stats` → regression-feature collection — needs the whole
+trace in memory.  This module is the same chain folded over a live
+1 Hz sample stream, the substrate ROADMAP item 5(a) names: samples are
+consumed incrementally, closed windows are summarised and released, and
+peak memory is O(window), not O(trace) (``bench_stream_metering.py``
+gates this with ``tracemalloc``).
+
+Bit-identity contract
+---------------------
+Finalised results are **bit-identical** to the batch pipeline, which is
+only possible because the accumulators are *positional*, like the batch
+trim:
+
+* :class:`StreamingTrim` drops head samples as soon as they are
+  guaranteed trimmed (``position < int(n_seen * trim)`` can only grow),
+  retains the undecided middle+tail, and at close assembles exactly the
+  samples ``trimmed_stats`` would have kept — then applies the very same
+  numpy reduction.  numpy's pairwise summation means a running
+  Welford/Kahan mean can *never* bit-match ``ndarray.mean()``; retaining
+  the kept window (which is O(window)) and reducing it once is what
+  makes the contract exact rather than approximate.
+* :class:`StreamingWindow` uses the same half-open
+  ``[start - tol, end - tol)`` edge snapping as :func:`extract_window`,
+  so a sample lands in exactly the windows the batch mask would pick.
+* :class:`StreamingStats` (Kahan-compensated Welford) is the O(1)/sample
+  *live estimate* — exact under any chunking of the same sample order
+  (the property suite pins this), but only approximately equal to the
+  batch mean; use the finalised :class:`TrimmedStats` for reported
+  numbers.
+
+The differential suite (``tests/metering/test_stream_differential.py``)
+proves the finalised results bit-identical on clean grids, repaired
+traces, and degenerate/fallback windows.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.metering.analysis import (
+    DEFAULT_TRIM,
+    EDGE_TOLERANCE_S,
+    TrimmedStats,
+)
+
+__all__ = [
+    "StreamingStats",
+    "StreamingTrim",
+    "StreamingWindow",
+    "StreamingFeatures",
+    "WindowSpec",
+    "WindowResult",
+]
+
+
+class StreamingStats:
+    """O(1)-per-sample running mean/std (Welford with Kahan compensation).
+
+    The live-estimate half of the pipeline: its ``mean``/``std`` agree
+    with numpy to ~1 ulp-scale error but are **not** bit-identical to
+    ``ndarray.mean()`` (numpy sums pairwise; no running accumulator can
+    reproduce that association order one sample at a time).  What *is*
+    exact: folding the same samples in the same order through any
+    chunking yields bit-identical accumulator state — ``push_many`` is
+    defined as per-sample ``push``, so chunk boundaries cannot matter.
+    """
+
+    __slots__ = ("n", "_mean", "_mean_c", "_m2", "_m2_c")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._mean_c = 0.0  # Kahan compensation for the mean
+        self._m2 = 0.0
+        self._m2_c = 0.0  # Kahan compensation for M2
+
+    def push(self, value: float) -> None:
+        """Fold one sample into the accumulator."""
+        value = float(value)
+        self.n += 1
+        delta = value - self._mean
+        # Kahan-compensated `mean += delta / n`.
+        term = delta / self.n - self._mean_c
+        total = self._mean + term
+        self._mean_c = (total - self._mean) - term
+        self._mean = total
+        # Kahan-compensated `m2 += delta * (value - mean_new)`.
+        term = delta * (value - self._mean) - self._m2_c
+        total = self._m2 + term
+        self._m2_c = (total - self._m2) - term
+        self._m2 = total
+
+    def push_many(self, values: np.ndarray) -> None:
+        """Fold a chunk; defined as per-sample pushes (chunk-invariant)."""
+        for value in np.asarray(values, dtype=float).ravel():
+            self.push(value)
+
+    @property
+    def mean(self) -> float:
+        """Running mean (0.0 before any sample)."""
+        return self._mean if self.n else 0.0
+
+    def std(self, ddof: int = 0) -> float:
+        """Running standard deviation (NaN when ``n <= ddof``)."""
+        if ddof < 0:
+            raise ConfigurationError(f"ddof must be >= 0, got {ddof}")
+        if self.n <= ddof:
+            return float("nan")
+        return math.sqrt(max(self._m2, 0.0) / (self.n - ddof))
+
+
+class StreamingTrim:
+    """Positional head/tail trim over a stream, exact at close.
+
+    Mirrors :func:`trimmed_stats`: after ``n`` samples the batch path
+    keeps ``values[cut : n - cut]`` with ``cut = int(n * trim)``.  Since
+    ``int(n * trim)`` is non-decreasing in ``n``, a head sample at
+    position ``p`` is *guaranteed* trimmed once ``p < int(n_seen *
+    trim)`` — it is dropped from the deque the moment that holds, so the
+    buffer holds only the undecided middle plus the (ring-buffer-sized,
+    ``<= ceil(n*trim) + 1``) tail that the close will cut.
+
+    :meth:`finalize` assembles the kept samples into a float64 array and
+    applies the identical numpy reductions ``trimmed_stats`` uses —
+    same values, same order, same pairwise summation — so the returned
+    :class:`TrimmedStats` is bit-identical to the batch result,
+    degenerate/fallback windows included.  ``live`` carries the
+    :class:`StreamingStats` running estimate over *all* samples.
+    """
+
+    __slots__ = ("trim", "ddof", "live", "_buffer", "_n", "_head_dropped")
+
+    def __init__(self, trim: float = DEFAULT_TRIM, ddof: int = 0) -> None:
+        if not 0.0 <= trim < 0.5:
+            raise ConfigurationError(f"trim must be in [0, 0.5), got {trim}")
+        if ddof < 0:
+            raise ConfigurationError(f"ddof must be >= 0, got {ddof}")
+        self.trim = float(trim)
+        self.ddof = int(ddof)
+        self.live = StreamingStats()
+        self._buffer: deque[float] = deque()
+        self._n = 0
+        self._head_dropped = 0
+
+    @property
+    def n_seen(self) -> int:
+        """Samples pushed so far."""
+        return self._n
+
+    @property
+    def n_buffered(self) -> int:
+        """Samples currently retained (the O(window) footprint)."""
+        return len(self._buffer)
+
+    def push(self, value: float) -> None:
+        """Accept one sample in stream order."""
+        value = float(value)
+        self._n += 1
+        self._buffer.append(value)
+        self.live.push(value)
+        # Head samples the final cut can no longer keep are released
+        # immediately: cut = int(n * trim) only grows with n.
+        guaranteed = int(self._n * self.trim)
+        while self._head_dropped < guaranteed:
+            self._buffer.popleft()
+            self._head_dropped += 1
+
+    def push_many(self, values: np.ndarray) -> None:
+        """Accept a chunk of samples in stream order."""
+        for value in np.asarray(values, dtype=float).ravel():
+            self.push(value)
+
+    def finalize(self) -> TrimmedStats:
+        """Close the window: the batch ``trimmed_stats``, bit for bit."""
+        n = self._n
+        if n == 0:
+            raise ConfigurationError("cannot summarise an empty window")
+        cut = int(n * self.trim)
+        # Invariant: push() already dropped exactly `cut` head samples.
+        assert self._head_dropped == cut
+        kept = list(self._buffer)
+        if cut:
+            kept = kept[: len(kept) - cut]
+        fallback = False
+        if not kept:  # defensive: unreachable for trim < 0.5, like batch
+            middle = n // 2 - cut
+            kept = [list(self._buffer)[middle]]
+            fallback = True
+        values = np.asarray(kept, dtype=float)
+        if values.size <= self.ddof:
+            raise ConfigurationError(
+                f"ddof={self.ddof} needs more than {self.ddof} surviving "
+                f"samples, got {values.size}"
+            )
+        if values.size == 1:
+            fallback = True
+        return TrimmedStats(
+            mean=float(values.mean()),
+            std=float(values.std(ddof=self.ddof)),
+            n_total=int(n),
+            n_used=int(values.size),
+            ddof=int(self.ddof),
+            fallback=fallback,
+        )
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """One half-open program window ``[start_s, end_s)`` to meter."""
+
+    label: str
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if not self.end_s > self.start_s:
+            raise ConfigurationError(
+                f"window must be non-empty: [{self.start_s}, {self.end_s})"
+            )
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """A finalised window: its spec and the batch-identical statistics."""
+
+    spec: WindowSpec
+    stats: TrimmedStats
+
+
+class StreamingWindow:
+    """Routes a live sample stream into per-program trimmed windows.
+
+    Membership uses the identical edge snapping as
+    :func:`extract_window`: a sample at ``t`` belongs to window ``w``
+    iff ``t >= w.start_s - tol and t < w.end_s - tol`` — order- and
+    chunk-independent, so any interleaving of pushes yields the same
+    window contents as the batch mask over the full trace.
+
+    Windows must be registered in non-decreasing ``start_s`` order
+    (:meth:`add_window`), matching how a campaign schedules runs.  A
+    window is finalised eagerly once the stream's high-water mark passes
+    ``end_s + tol`` — beyond that point a sample within the reorder
+    tolerance can no longer fall inside it — or at :meth:`finalize`.
+    Samples arriving for already-finalised windows are counted
+    (``late_samples``), never raised.
+    """
+
+    def __init__(
+        self,
+        trim: float = DEFAULT_TRIM,
+        ddof: int = 0,
+        edge_tolerance_s: float = EDGE_TOLERANCE_S,
+        on_finalize=None,
+    ) -> None:
+        if not 0.0 <= trim < 0.5:
+            raise ConfigurationError(f"trim must be in [0, 0.5), got {trim}")
+        self.trim = float(trim)
+        self.ddof = int(ddof)
+        self.tol = float(edge_tolerance_s)
+        self.on_finalize = on_finalize
+        self._windows: list[tuple[WindowSpec, StreamingTrim]] = []
+        self._first_open = 0
+        self._results: list[WindowResult] = []
+        self._watermark = -math.inf
+        self._finalized_horizon = -math.inf
+        self.late_samples = 0
+
+    def add_window(self, spec: WindowSpec) -> None:
+        """Register the next window; ``start_s`` must not decrease."""
+        if self._windows and spec.start_s < self._windows[-1][0].start_s:
+            raise ConfigurationError(
+                "windows must be registered in non-decreasing start order: "
+                f"{spec.start_s} after {self._windows[-1][0].start_s}"
+            )
+        self._windows.append(
+            (spec, StreamingTrim(trim=self.trim, ddof=self.ddof))
+        )
+
+    @property
+    def n_open(self) -> int:
+        """Windows registered but not yet finalised."""
+        return len(self._windows) - self._first_open
+
+    @property
+    def n_buffered(self) -> int:
+        """Samples retained across all open windows (memory footprint)."""
+        return sum(
+            acc.n_buffered for _, acc in self._windows[self._first_open :]
+        )
+
+    def push(self, t: float, value: float) -> None:
+        """Route one timestamped sample."""
+        t = float(t)
+        routed = False
+        windows = self._windows
+        i = self._first_open
+        while i < len(windows):
+            spec, acc = windows[i]
+            if t < spec.start_s - self.tol:
+                break  # starts are sorted; later windows begin later
+            if t < spec.end_s - self.tol:
+                acc.push(value)
+                routed = True
+            i += 1
+        if not routed and t < self._finalized_horizon - self.tol:
+            self.late_samples += 1
+            obs.inc("stream.late_samples")
+        if t > self._watermark:
+            self._watermark = t
+            self._close_passed()
+
+    def push_many(self, times_s: np.ndarray, values: np.ndarray) -> None:
+        """Route a chunk of timestamped samples in stream order."""
+        times_s = np.asarray(times_s, dtype=float).ravel()
+        values = np.asarray(values, dtype=float).ravel()
+        if times_s.shape != values.shape:
+            raise ConfigurationError(
+                f"times and values must align: {times_s.shape} vs "
+                f"{values.shape}"
+            )
+        for t, value in zip(times_s, values):
+            self.push(t, value)
+        obs.inc("stream.samples", float(times_s.size))
+        obs.set_gauge("stream.depth", float(self.n_buffered))
+
+    def _close_passed(self) -> None:
+        """Finalise every leading window the watermark has passed."""
+        while self._first_open < len(self._windows):
+            spec, _ = self._windows[self._first_open]
+            if self._watermark < spec.end_s + self.tol:
+                break
+            self._finalize_first()
+
+    def _finalize_first(self) -> None:
+        spec, acc = self._windows[self._first_open]
+        started = time.perf_counter()
+        try:
+            stats = acc.finalize()
+        except ConfigurationError:
+            # An empty window is the batch ConfigurationError; streaming
+            # reports it as a result-less window instead of aborting the
+            # stream mid-flight.
+            stats = None
+        self._windows[self._first_open] = (spec, None)  # release buffer
+        self._first_open += 1
+        self._finalized_horizon = max(self._finalized_horizon, spec.end_s)
+        if stats is None:
+            raise ConfigurationError(
+                f"window {spec.label!r} [{spec.start_s}, {spec.end_s}) "
+                "closed with no samples"
+            )
+        result = WindowResult(spec=spec, stats=stats)
+        self._results.append(result)
+        obs.observe(
+            "stream.finalize_seconds", time.perf_counter() - started
+        )
+        obs.inc("stream.windows_finalized")
+        if self.on_finalize is not None:
+            self.on_finalize(result)
+
+    @property
+    def results(self) -> list[WindowResult]:
+        """Windows finalised so far, in registration order."""
+        return list(self._results)
+
+    def finalize(self) -> list[WindowResult]:
+        """Close all remaining windows and return every result in order."""
+        while self._first_open < len(self._windows):
+            self._finalize_first()
+        obs.set_gauge("stream.depth", 0.0)
+        return self.results
+
+    def stats_by_label(self) -> dict[str, TrimmedStats]:
+        """Finalised stats keyed by window label (last wins on repeats)."""
+        return {r.spec.label: r.stats for r in self._results}
+
+
+class StreamingFeatures:
+    """Accumulates the regression features without holding the trace.
+
+    Batch equivalents (and the bit-identity targets):
+
+    * ``collect_hpcc_training`` pairs PMU sample ``k`` with
+      ``measured_watts[k*interval : (k+1)*interval].mean()`` — here the
+      power stream fills one ``interval``-sized buffer at a time, each
+      reduced (by the same ``ndarray.mean()``) and released when its
+      interval completes, so at most one interval of samples is ever
+      held.
+    * ``collect_npb_features`` uses ``run.pmu_matrix().mean(axis=0)`` —
+      :meth:`pmu_mean` stacks the pushed PMU vectors identically.
+
+    PMU rows are tiny (six floats per 10 s); they are retained.
+    """
+
+    def __init__(self, interval: int = 10) -> None:
+        if interval < 1:
+            raise ConfigurationError(
+                f"interval must be >= 1 sample, got {interval}"
+            )
+        self.interval = int(interval)
+        self._pmu_rows: list[np.ndarray] = []
+        self._power_means: list[float] = []
+        self._current: list[float] = []
+        self._n_power = 0
+
+    @property
+    def n_power(self) -> int:
+        """Power samples pushed so far."""
+        return self._n_power
+
+    @property
+    def n_pmu(self) -> int:
+        """PMU vectors pushed so far."""
+        return len(self._pmu_rows)
+
+    def push_power(self, value: float) -> None:
+        """Accept one 1 Hz power sample in stream order."""
+        if self._n_power and self._n_power % self.interval == 0:
+            self._close_interval()
+        self._current.append(float(value))
+        self._n_power += 1
+
+    def push_power_many(self, values: np.ndarray) -> None:
+        """Accept a chunk of power samples in stream order."""
+        for value in np.asarray(values, dtype=float).ravel():
+            self.push_power(value)
+
+    def _close_interval(self) -> None:
+        window = np.asarray(self._current, dtype=float)
+        self._power_means.append(float(window.mean()))
+        self._current = []
+
+    def push_pmu(self, sample) -> None:
+        """Accept one PMU sample (object with ``as_vector()``) or vector."""
+        vector = (
+            sample.as_vector()
+            if hasattr(sample, "as_vector")
+            else np.asarray(sample, dtype=float)
+        )
+        self._pmu_rows.append(np.asarray(vector, dtype=float))
+
+    def push_pmu_many(self, samples) -> None:
+        """Accept a sequence of PMU samples/vectors."""
+        for sample in samples:
+            self.push_pmu(sample)
+
+    def pmu_mean(self) -> np.ndarray:
+        """Column means of the stacked PMU rows (npb feature row)."""
+        if not self._pmu_rows:
+            raise ConfigurationError("no PMU samples accumulated")
+        return np.vstack(self._pmu_rows).mean(axis=0)
+
+    def finalize(self) -> tuple[np.ndarray, np.ndarray]:
+        """Pair PMU rows with their interval power means (hpcc rows).
+
+        Returns ``(features, power)`` exactly as the batch inner loop of
+        ``collect_hpcc_training`` builds them: PMU sample ``k`` pairs
+        with interval ``k``'s mean, intervals with no power samples are
+        skipped, and surplus power beyond the PMU rows is ignored.
+        """
+        if self._current:
+            self._close_interval()
+        rows: list[np.ndarray] = []
+        power: list[float] = []
+        for k, row in enumerate(self._pmu_rows):
+            if k >= len(self._power_means):
+                continue
+            rows.append(row)
+            power.append(self._power_means[k])
+        if not rows:
+            raise ConfigurationError(
+                "no PMU/power interval pairs accumulated"
+            )
+        return np.vstack(rows), np.asarray(power, dtype=float)

@@ -310,6 +310,45 @@ def _serve_load(iterations: int, seed: int) -> "tuple[float, dict[str, Any]]":
     }
 
 
+def _stream_meter(iterations: int, seed: int) -> "tuple[float, dict[str, Any]]":
+    """64 program windows of 1 Hz samples through the streaming pipeline.
+
+    A synthetic campaign trace (64 back-to-back 60 s windows) is routed
+    chunk-by-chunk through :class:`repro.metering.stream.StreamingWindow`
+    and every window finalised; operations = samples routed, so the
+    throughput is the live-metering ingest rate.
+    """
+    import numpy as np
+
+    from repro.metering.stream import StreamingWindow, WindowSpec
+
+    n_windows, window_s, chunk = 64, 60, 256
+    rng = np.random.default_rng(seed)
+    times = np.arange(n_windows * window_s, dtype=float)
+    watts = 250.0 + 20.0 * rng.standard_normal(times.size)
+    samples = 0
+    finalized = 0
+    for _ in range(iterations):
+        pipeline = StreamingWindow()
+        for k in range(n_windows):
+            pipeline.add_window(
+                WindowSpec(f"w{k:02d}", k * window_s, (k + 1) * window_s)
+            )
+        for lo in range(0, times.size, chunk):
+            pipeline.push_many(
+                times[lo : lo + chunk], watts[lo : lo + chunk]
+            )
+        finalized += len(pipeline.finalize())
+        samples += times.size
+    return float(samples), {
+        "windows": n_windows,
+        "window_s": window_s,
+        "chunk": chunk,
+        "samples": samples,
+        "finalized": finalized,
+    }
+
+
 def _scenarios() -> "tuple[Scenario, ...]":
     out = [
         Scenario(
@@ -411,6 +450,16 @@ def _scenarios() -> "tuple[Scenario, ...]":
             iterations_full=3,
             iterations_quick=1,
             run=_zoo_grid,
+        )
+    )
+    out.append(
+        Scenario(
+            name="stream.meter64",
+            description="64-window 1 Hz stream through the online pipeline",
+            unit="samples/s",
+            iterations_full=20,
+            iterations_quick=5,
+            run=_stream_meter,
         )
     )
     return tuple(out)

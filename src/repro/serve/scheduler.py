@@ -55,6 +55,8 @@ from repro.fleet.events import EventLog
 from repro.fleet.runner import FleetRunner, RetryPolicy
 from repro.fleet.spec import campaign_from_dict, make_job
 from repro.hardware.zoo import resolve_server
+from repro.metering.analysis import DEFAULT_TRIM
+from repro.metering.stream import StreamingWindow, WindowSpec
 from repro.serve.protocol import Submission, submission_content_key
 from repro.serve.queues import QueuePolicy, TenantQueues
 from repro.serve.state import StateStore
@@ -501,7 +503,11 @@ class ServeScheduler:
         if shed:
             backend.budget = self.shed_job_budget
         result = evaluate_server(
-            server, simulator, backend=backend, allow_partial=shed
+            server,
+            simulator,
+            backend=backend,
+            allow_partial=shed,
+            on_run=lambda state, run: self._stream_window(record, state, run),
         )
         partial = bool(result.missing)
         if partial:
@@ -516,6 +522,45 @@ class ServeScheduler:
                 self.counters["deduped_jobs"] += outcome.cache_hits
         digest = _document_digest(document)
         return document, digest, partial
+
+    def _stream_window(
+        self, record: CampaignState, state: Any, run: RunResult
+    ) -> None:
+        """Publish one state's live window statistics over ``/events``.
+
+        Each measured run's trace goes through the streaming metering
+        pipeline (:mod:`repro.metering.stream`) and the finalised
+        window — bit-identical to the batch trim the result document
+        reports — lands in the shared journal as a
+        ``serve_stream_window`` event, so ``GET
+        /v1/campaigns/<id>/events`` tails per-window statistics while
+        the campaign is still running.  Observability only: a failure
+        here is counted, never allowed to fail the campaign.
+        """
+        try:
+            pipeline = StreamingWindow(trim=DEFAULT_TRIM)
+            pipeline.add_window(
+                WindowSpec(
+                    label=state.label,
+                    start_s=run.t_start_s,
+                    end_s=run.t_end_s,
+                )
+            )
+            pipeline.push_many(run.times_s, run.measured_watts)
+            (window,) = pipeline.finalize()
+            stats = window.stats
+            self.events.emit(
+                "serve_stream_window",
+                campaign=record.campaign_id,
+                label=state.label,
+                mean=stats.mean,
+                std=stats.std,
+                n_used=stats.n_used,
+                n_total=stats.n_total,
+                fallback=stats.fallback or None,
+            )
+        except Exception:  # noqa: BLE001 - observability must not kill work
+            obs.inc("serve.stream.errors")
 
     def _execute_fleet(
         self, record: CampaignState, cache: ResultCache, shed: bool

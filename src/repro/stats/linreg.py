@@ -111,7 +111,14 @@ def fit_ols(x: np.ndarray, y: np.ndarray, intercept: bool = True) -> OlsModel:
         coefficients, c = solution, 0.0
     residuals = y - (x @ coefficients + c)
     rss = float(residuals @ residuals)
-    tss = float(((y - y.mean()) ** 2).sum())
+    # Through-origin fits are scored against the zero model, not the
+    # mean: the centred TSS can be smaller than the RSS (pushing R²
+    # negative) or zero for a constant target, neither of which
+    # describes how much of ``y`` the origin-constrained fit explains.
+    if intercept:
+        tss = float(((y - y.mean()) ** 2).sum())
+    else:
+        tss = float((y**2).sum())
     r2 = 1.0 - rss / tss if tss > 0 else 0.0
     dof = n - k - (1 if intercept else 0)
     adjusted = 1.0 - (1.0 - r2) * (n - 1) / dof if dof > 0 else r2

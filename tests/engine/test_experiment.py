@@ -114,3 +114,28 @@ class TestRepairPath:
         assert result.merged_csv is not None
         assert result.quality is not None
         assert not result.quality.quarantined
+
+
+class TestStreamingPath:
+    """``Campaign(streaming=True)``: online analysis, same numbers."""
+
+    def test_streaming_matches_batch_measurements(self, e5462):
+        batch = Campaign(Simulator(e5462, seed=77), gap_s=10.0)
+        stream = Campaign(
+            Simulator(e5462, seed=77), gap_s=10.0, streaming=True
+        )
+        assert (
+            stream.run(ep_series()).measurements
+            == batch.run(ep_series()).measurements
+        )
+
+    def test_streaming_writes_same_artifacts(self, e5462, tmp_path):
+        campaign = Campaign(Simulator(e5462, seed=1), streaming=True)
+        result = campaign.run([NpbWorkload("ep", "C", 2)], csv_dir=tmp_path)
+        assert result.merged_csv == tmp_path / "merged.csv"
+        assert (tmp_path / "segment_000.csv").exists()
+        assert result.quality is None
+
+    def test_streaming_cannot_repair(self, sim_e5462):
+        with pytest.raises(ConfigurationError):
+            Campaign(sim_e5462, streaming=True, repair=True)

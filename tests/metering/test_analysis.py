@@ -337,3 +337,152 @@ class TestRepairTrace:
         data = json.loads(json.dumps(validate_trace(times, watts).to_dict()))
         assert data["coverage"] == 1.0
         assert data["flags"] == []
+
+
+class TestMadZeroFallback:
+    """Robust-z fallback when the MAD collapses to zero (flat traces)."""
+
+    def test_flat_trace_with_spike_is_rejected(self):
+        from repro.metering.analysis import repair_trace
+
+        # A quantised flat trace has MAD 0; the old fallback scale was
+        # watts.std() *including* the glitch, so a single large spike
+        # inflated its own threshold and survived.  The scale must come
+        # from the MAD-inlier core instead.
+        times = np.arange(60.0)
+        watts = np.full(60, 250.0)
+        watts[30] = 1200.0
+        repaired = repair_trace(times, watts)
+        assert "outliers_rejected" in repaired.quality.flags
+        # The spike's slot is interpolated back to the plateau.
+        assert repaired.watts[30] == pytest.approx(250.0)
+        assert float(repaired.watts.max()) < 300.0
+
+    def test_minimum_population_still_rejects(self):
+        from repro.metering.analysis import repair_trace
+
+        times = np.arange(4.0)
+        watts = np.array([250.0, 250.0, 250.0, 2000.0])
+        repaired = repair_trace(times, watts)
+        assert "outliers_rejected" in repaired.quality.flags
+        assert float(repaired.watts.max()) < 300.0
+
+    def test_outlier_z_inf_still_disables_rejection(self):
+        from repro.metering.analysis import repair_trace
+
+        # The campaign path disables glitch rejection with z=inf; the
+        # flat-trace fallback must honour that too (inf <= inf).
+        times = np.arange(60.0)
+        watts = np.full(60, 250.0)
+        watts[30] = 1200.0
+        repaired = repair_trace(times, watts, outlier_z=np.inf)
+        assert "outliers_rejected" not in repaired.quality.flags
+        assert float(repaired.watts.max()) == 1200.0
+
+    def test_bit_flat_trace_is_untouched(self):
+        from repro.metering.analysis import repair_trace
+
+        times = np.arange(60.0)
+        watts = np.full(60, 250.0)
+        repaired = repair_trace(times, watts)
+        assert repaired.quality.flags == ()
+        assert np.array_equal(repaired.watts, watts)
+
+    def test_noisy_core_fallback_scales_from_inliers(self):
+        from repro.metering.analysis import repair_trace
+
+        # MAD 0 but the core is not perfectly flat: > half the samples
+        # sit on the median, the rest carry small quantisation noise.
+        # The inlier std scales z; the glitch still stands out.
+        times = np.arange(40.0)
+        watts = np.full(40, 250.0)
+        watts[1::4] = 250.25
+        watts[20] = 1500.0
+        repaired = repair_trace(times, watts)
+        assert "outliers_rejected" in repaired.quality.flags
+        assert float(repaired.watts.max()) < 300.0
+
+
+class TestExpectedWindow:
+    """Declared-window regrid: edge dropouts count against coverage."""
+
+    def test_leading_dropout_counts_as_unfilled(self):
+        from repro.metering.analysis import repair_trace
+
+        times = np.arange(30.0, 120.0)
+        watts = np.full(90, 250.0)
+        plain = repair_trace(times, watts)
+        assert plain.quality.coverage == 1.0  # cannot see the loss
+        declared = repair_trace(
+            times, watts, expected_start_s=0.0, expected_end_s=120.0
+        )
+        assert declared.quality.n_expected == 120
+        assert declared.quality.n_unfilled == 30
+        assert declared.quality.coverage == pytest.approx(0.75)
+        assert "long_gap_unfilled" in declared.quality.flags or (
+            declared.quality.n_unfilled > 0
+        )
+
+    def test_trailing_dropout_counts_as_unfilled(self):
+        from repro.metering.analysis import repair_trace
+
+        times = np.arange(0.0, 90.0)
+        watts = np.full(90, 250.0)
+        declared = repair_trace(
+            times, watts, expected_start_s=0.0, expected_end_s=120.0
+        )
+        assert declared.quality.n_expected == 120
+        assert declared.quality.n_unfilled == 30
+        assert declared.times_s.size == 90
+
+    def test_samples_outside_window_are_dropped(self):
+        from repro.metering.analysis import repair_trace
+
+        times = np.arange(-10.0, 130.0)
+        watts = np.full(140, 250.0)
+        declared = repair_trace(
+            times, watts, expected_start_s=0.0, expected_end_s=120.0
+        )
+        assert "outside_expected_window" in declared.quality.flags
+        assert declared.times_s.size == 120
+        assert declared.times_s[0] == 0.0
+        assert declared.times_s[-1] == 119.0
+
+    def test_matching_window_is_bit_identical_to_default(self):
+        from repro.metering.analysis import repair_trace
+
+        rng = np.random.default_rng(9)
+        times = np.arange(120.0)
+        watts = 250.0 + rng.standard_normal(120)
+        plain = repair_trace(times, watts)
+        declared = repair_trace(
+            times, watts, expected_start_s=0.0, expected_end_s=120.0
+        )
+        assert np.array_equal(plain.times_s, declared.times_s)
+        assert np.array_equal(plain.watts, declared.watts)
+        assert plain.quality == declared.quality
+
+    def test_empty_window_rejected(self):
+        from repro.metering.analysis import repair_trace
+
+        with pytest.raises(ConfigurationError):
+            repair_trace(
+                np.arange(3.0),
+                np.full(3, 250.0),
+                expected_start_s=10.0,
+                expected_end_s=10.0,
+            )
+
+    def test_interior_gap_still_budgeted(self):
+        from repro.metering.analysis import repair_trace
+
+        # A short interior gap interpolates exactly as before even with
+        # a declared window.
+        times = np.concatenate([np.arange(0.0, 50.0), np.arange(53.0, 120.0)])
+        watts = np.full(times.size, 250.0)
+        declared = repair_trace(
+            times, watts, expected_start_s=0.0, expected_end_s=120.0
+        )
+        assert declared.quality.n_expected == 120
+        assert declared.quality.n_unfilled == 0
+        assert "gaps_interpolated" in declared.quality.flags

@@ -109,3 +109,136 @@ class TestTolerantReader:
         path.write_text("a,b\n1,2\n")
         with pytest.raises(MeterError):
             read_power_csv_tolerant(path)
+
+
+class TestIterPowerCsv:
+    def test_chunks_concatenate_to_full_read(self, tmp_path):
+        from repro.metering.csvlog import iter_power_csv
+
+        times = np.arange(1000.0)
+        watts = 200.0 + np.sin(times)
+        path = write_power_csv(tmp_path / "a.csv", times, watts)
+        t_full, w_full = read_power_csv(path)
+        for chunk_size in (1, 7, 100, 4096):
+            chunks = list(iter_power_csv(path, chunk_size=chunk_size))
+            assert all(t.size <= chunk_size for t, _ in chunks)
+            t_cat = np.concatenate([t for t, _ in chunks])
+            w_cat = np.concatenate([w for _, w in chunks])
+            assert np.array_equal(t_cat, t_full)
+            assert np.array_equal(w_cat, w_full)
+
+    def test_same_validation_as_batch_reader(self, tmp_path):
+        from repro.metering.csvlog import iter_power_csv
+
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        with pytest.raises(MeterError):
+            list(iter_power_csv(bad))
+        torn = tmp_path / "torn.csv"
+        torn.write_text("time_s,power_w\n1.0,200.0\n2.0,oops\n")
+        with pytest.raises(MeterError):
+            list(iter_power_csv(torn))
+
+    def test_empty_body_yields_nothing(self, tmp_path):
+        from repro.metering.csvlog import iter_power_csv
+
+        path = write_power_csv(
+            tmp_path / "empty.csv", np.array([]), np.array([])
+        )
+        assert list(iter_power_csv(path)) == []
+
+
+class TestPowerCsvWriter:
+    def test_incremental_writes_byte_identical_to_batch(self, tmp_path):
+        from repro.metering.csvlog import PowerCsvWriter
+
+        times = np.arange(100.0)
+        watts = 250.0 + np.cos(times / 3.0)
+        batch = write_power_csv(tmp_path / "batch.csv", times, watts)
+        inc = tmp_path / "inc.csv"
+        with PowerCsvWriter(inc) as writer:
+            writer.write(times[0], watts[0])
+            writer.write_many(times[1:41], watts[1:41])
+            for t, w in zip(times[41:], watts[41:]):
+                writer.write(t, w)
+        assert inc.read_bytes() == batch.read_bytes()
+
+    def test_roundtrip_sample_matches_file_roundtrip(self, tmp_path):
+        from repro.metering.csvlog import roundtrip_sample
+
+        rng = np.random.default_rng(3)
+        times = np.sort(rng.uniform(0, 500, 50))
+        watts = rng.uniform(50, 400, 50)
+        path = write_power_csv(tmp_path / "a.csv", times, watts)
+        t_read, w_read = read_power_csv(path)
+        for i in range(50):
+            t, w = roundtrip_sample(times[i], watts[i])
+            assert t == t_read[i]
+            assert w == w_read[i]
+
+
+class TestStreamingMerge:
+    @staticmethod
+    def _segments(tmp_path, n_files=3, n=200, overlap=5):
+        rng = np.random.default_rng(17)
+        paths = []
+        start = 0.0
+        for i in range(n_files):
+            times = start + np.arange(float(n))
+            watts = rng.uniform(100, 300, n)
+            paths.append(
+                write_power_csv(tmp_path / f"seg{i}.csv", times, watts)
+            )
+            start = times[-1] + 1.0 - overlap
+        return paths
+
+    def test_streaming_merge_byte_identical_to_materialized(self, tmp_path):
+        from repro.metering import csvlog
+
+        paths = self._segments(tmp_path)
+        streamed = merge_power_csvs(paths, tmp_path / "stream.csv")
+        materialized = csvlog._merge_materialized(
+            paths, tmp_path / "mat.csv"
+        )
+        assert streamed.read_bytes() == materialized.read_bytes()
+
+    def test_small_chunk_size_changes_nothing(self, tmp_path):
+        paths = self._segments(tmp_path)
+        a = merge_power_csvs(paths, tmp_path / "a.csv")
+        b = merge_power_csvs(paths, tmp_path / "b.csv", chunk_size=1)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_unsorted_file_falls_back_to_materialized(self, tmp_path):
+        from repro.metering import csvlog
+
+        # One segment written out of order: the k-way merge cannot
+        # stream it, but the result must still match the historical
+        # sort-based merge.
+        ordered = write_power_csv(
+            tmp_path / "ok.csv", np.arange(10.0), np.full(10, 200.0)
+        )
+        shuffled = tmp_path / "shuffled.csv"
+        shuffled.write_text(
+            "time_s,power_w\n5.000,210.00\n2.000,220.00\n8.000,230.00\n"
+        )
+        out = merge_power_csvs([ordered, shuffled], tmp_path / "out.csv")
+        expected = csvlog._merge_materialized(
+            [ordered, shuffled], tmp_path / "expected.csv"
+        )
+        assert out.read_bytes() == expected.read_bytes()
+        times, _ = read_power_csv(out)
+        assert np.all(np.diff(times) > 0)
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        paths = self._segments(tmp_path)
+        merge_power_csvs(paths, tmp_path / "out.csv")
+        leftovers = [p.name for p in tmp_path.glob("*.merge-tmp")]
+        assert leftovers == []
+
+    def test_failure_leaves_no_partial_output(self, tmp_path):
+        paths = self._segments(tmp_path)
+        missing = tmp_path / "missing.csv"
+        with pytest.raises(FileNotFoundError):
+            merge_power_csvs(paths + [missing], tmp_path / "out.csv")
+        assert not (tmp_path / "out.csv").exists()
+        assert list(tmp_path.glob("*.merge-tmp")) == []

@@ -294,3 +294,37 @@ class TestDurability:
         assert kinds[0] == "serve_submit"
         assert kinds[-1] == "serve_finish"
         assert "job_finish" in kinds  # fleet jobs share the journal
+
+    def test_live_window_stats_streamed_per_state(self, scheduler):
+        outcome = scheduler.submit(_evaluate_submission(seed=0))
+        campaign_id = outcome.campaign.campaign_id
+        _wait_done(scheduler, campaign_id)
+        windows = [
+            e
+            for e in read_events(scheduler.state.events_path)
+            if e.get("campaign") == campaign_id
+            and e["kind"] == "serve_stream_window"
+        ]
+        # One live window record per measured state of the matrix.
+        assert len(windows) == 10
+        labels = {e["label"] for e in windows}
+        assert "Idle" in labels
+        for event in windows:
+            assert event["n_used"] <= event["n_total"]
+            assert event["mean"] > 0
+
+    def test_window_stats_match_evaluation_rows(self, scheduler):
+        # The streamed mean is the same trimmed mean the evaluation row
+        # reports — the live view never disagrees with the result.
+        outcome = scheduler.submit(_evaluate_submission(seed=0))
+        campaign_id = outcome.campaign.campaign_id
+        _wait_done(scheduler, campaign_id)
+        document = scheduler.result(campaign_id)
+        by_label = {r["label"]: r for r in document["rows"]}
+        for event in read_events(scheduler.state.events_path):
+            if (
+                event.get("campaign") != campaign_id
+                or event["kind"] != "serve_stream_window"
+            ):
+                continue
+            assert event["mean"] == by_label[event["label"]]["watts"]

@@ -67,6 +67,36 @@ class TestOls:
         assert model.intercept == 0.0
         assert model.coefficients[0] == pytest.approx(3.0)
 
+    def test_no_intercept_r_square_uses_uncentered_tss(self):
+        # A perfect through-origin fit must score R² = 1, which only
+        # holds when TSS is taken about zero, not about the mean.
+        x = np.arange(1.0, 11.0)[:, None]
+        y = 3.0 * x[:, 0]
+        model = fit_ols(x, y, intercept=False)
+        assert model.r_square == pytest.approx(1.0)
+
+    def test_no_intercept_r_square_stays_in_unit_interval(self):
+        # Against centered TSS this fit scores R² < 0 (the zero-slope
+        # model beats it about the mean); against the correct uncentered
+        # TSS it lands in [0, 1].
+        x = np.array([[1.0], [2.0], [3.0], [4.0]])
+        y = np.array([10.0, 9.5, 10.5, 10.0])  # flat, far from origin
+        model = fit_ols(x, y, intercept=False)
+        rss = float(((y - model.predict(x)) ** 2).sum())
+        centered = float(((y - y.mean()) ** 2).sum())
+        assert 1.0 - rss / centered < 0.0  # the old formula went negative
+        assert 0.0 <= model.r_square <= 1.0
+
+    def test_intercept_r_square_pinned(self, linear_data):
+        # The intercept=True path must stay byte-identical: same
+        # centered-TSS formula, bit for bit.
+        x, y = linear_data
+        model = fit_ols(x, y)
+        residuals = y - model.predict(x)
+        rss = float(residuals @ residuals)
+        tss = float(((y - y.mean()) ** 2).sum())
+        assert model.r_square == 1.0 - rss / tss
+
     def test_needs_more_rows_than_params(self):
         with pytest.raises(RegressionError):
             fit_ols(np.ones((3, 3)), np.ones(3))
